@@ -1,0 +1,153 @@
+"""Figure 10: Verdict vs simple answer caching (Baseline2).
+
+(a) error reduction over NoLearn for different sample sizes used by past
+queries, and (b) for different ratios of novel queries in the workload.
+Verdict should beat the cache everywhere, and the gap should widen as the
+workload contains more novel queries (the cache only helps exact repeats).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from repro.aqp.cache_baseline import CachingEngine
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.core.engine import VerdictEngine
+from repro.db.executor import ExactExecutor
+from repro.experiments.metrics import actual_relative_error, error_reduction
+from repro.experiments.reporting import format_series
+from repro.sqlparser.parser import parse_query
+from repro.workloads.synthetic import make_sales_table
+
+
+def _build(novel_ratio: float, sample_ratio: float, seed: int = 11):
+    """Return (NoLearn error, caching error, Verdict error) on test queries."""
+    from repro.db.catalog import Catalog
+
+    table = make_sales_table(num_rows=20_000, num_weeks=80, seed=seed)
+    catalog = Catalog()
+    catalog.add_table(table, fact=True)
+    sampling = SamplingConfig(sample_ratio=sample_ratio, num_batches=3, seed=seed)
+    aqp = OnlineAggregationEngine(
+        catalog,
+        sampling=sampling,
+        cost_model=CostModelConfig.scaled_for(int(20_000 * sample_ratio)),
+    )
+    caching = CachingEngine(aqp)
+    verdict = VerdictEngine(catalog, aqp, config=VerdictConfig(learn_length_scales=False))
+    exact = ExactExecutor(catalog)
+    rng = np.random.default_rng(seed)
+
+    def random_query():
+        low = int(rng.integers(1, 60))
+        high = low + int(rng.integers(5, 20))
+        return f"SELECT AVG(revenue) FROM sales WHERE week >= {low} AND week <= {high}"
+
+    past_queries = [random_query() for _ in range(20)]
+    test_queries = []
+    for _ in range(12):
+        if rng.random() < novel_ratio:
+            test_queries.append(random_query())
+        else:
+            test_queries.append(past_queries[int(rng.integers(0, len(past_queries)))])
+
+    # Train both systems on the past queries.
+    for sql in past_queries:
+        parsed = parse_query(sql)
+        caching.final_answer(parsed)
+        verdict.record(parsed, aqp.final_answer(parsed))
+    verdict.train(learn_length_scales_flag=False)
+
+    nolearn_errors, caching_errors, verdict_errors = [], [], []
+    for sql in test_queries:
+        parsed = parse_query(sql)
+        truth = exact.execute(parsed).scalar()
+        raw = aqp.first_answer(parsed)
+        nolearn_errors.append(actual_relative_error([(raw.scalar_estimate().value, truth)]))
+        cached = next(iter(caching.run(parsed)))
+        caching_errors.append(actual_relative_error([(cached.scalar_estimate().value, truth)]))
+        improved = verdict.process_answer(parsed, raw)
+        verdict_errors.append(
+            actual_relative_error([(improved.scalar_estimate().value, truth)])
+        )
+    return (
+        float(np.mean(nolearn_errors)),
+        float(np.mean(caching_errors)),
+        float(np.mean(verdict_errors)),
+    )
+
+
+def test_fig10a_sample_size_sweep(benchmark):
+    def run():
+        series = []
+        for sample_ratio in (0.02, 0.05, 0.1, 0.3):
+            nolearn, caching, verdict = _build(novel_ratio=0.5, sample_ratio=sample_ratio)
+            series.append(
+                (
+                    sample_ratio,
+                    error_reduction(nolearn, caching),
+                    error_reduction(nolearn, verdict),
+                )
+            )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig10a_sample_sizes",
+        format_series(
+            "Figure 10(a): actual error reduction vs past-query sample size (Baseline2)",
+            [(ratio, baseline2) for ratio, baseline2, _ in series],
+            x_label="sample ratio",
+            y_label="error reduction (%)",
+        )
+        + "\n"
+        + format_series(
+            "Figure 10(a): actual error reduction vs past-query sample size (Verdict)",
+            [(ratio, verdict) for ratio, _, verdict in series],
+            x_label="sample ratio",
+            y_label="error reduction (%)",
+        ),
+    )
+    # Verdict is at least competitive with caching on average.
+    verdict_mean = np.mean([v for _, _, v in series])
+    caching_mean = np.mean([c for _, c, _ in series])
+    assert verdict_mean >= caching_mean - 10
+
+
+def test_fig10b_novel_query_ratio(benchmark):
+    def run():
+        series = []
+        for novel_ratio in (0.0, 0.4, 0.8, 1.0):
+            nolearn, caching, verdict = _build(novel_ratio=novel_ratio, sample_ratio=0.1)
+            series.append(
+                (
+                    novel_ratio,
+                    error_reduction(nolearn, caching),
+                    error_reduction(nolearn, verdict),
+                )
+            )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig10b_novel_queries",
+        format_series(
+            "Figure 10(b): error reduction vs novel-query ratio (Baseline2)",
+            [(ratio, baseline2) for ratio, baseline2, _ in series],
+            x_label="novel ratio",
+            y_label="error reduction (%)",
+        )
+        + "\n"
+        + format_series(
+            "Figure 10(b): error reduction vs novel-query ratio (Verdict)",
+            [(ratio, verdict) for ratio, _, verdict in series],
+            x_label="novel ratio",
+            y_label="error reduction (%)",
+        ),
+    )
+    # With a fully novel workload the cache cannot help while Verdict still does.
+    fully_novel = series[-1]
+    assert fully_novel[2] > fully_novel[1] - 1e-9

@@ -1,0 +1,54 @@
+"""Figure 11: error reduction on top of a time-bound AQP engine.
+
+For fixed time budgets, compares the error bounds of the time-bound NoLearn
+engine with Verdict's improved answers computed inside the same budget
+(Appendix C.2).  Expected shape: large error reductions in every setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import customer1_runner, emit, tpch_runner
+from repro.experiments.metrics import error_reduction
+from repro.experiments.reporting import format_table
+
+
+def _evaluate(runner, test_queries, budget):
+    base_bounds, verdict_bounds = [], []
+    for sql in test_queries:
+        baseline, verdict = runner.evaluate_time_bound(sql, time_budget_s=budget, record=False)
+        base_bounds.append(baseline.relative_error_bound)
+        verdict_bounds.append(verdict.relative_error_bound)
+    return error_reduction(float(np.mean(base_bounds)), float(np.mean(verdict_bounds)))
+
+
+def test_fig11_time_bound_error_reduction(benchmark):
+    def run():
+        rows = []
+        runner, queries = customer1_runner(cached=True, num_queries=50)
+        rows.append(["Customer1", "cached", "0.8 s", f"{_evaluate(runner, queries[:10], 0.8):.1f}%"])
+        runner, queries = customer1_runner(cached=False, num_queries=50)
+        rows.append(["Customer1", "ssd", "5.0 s", f"{_evaluate(runner, queries[:10], 5.0):.1f}%"])
+        # TPC-H queries join several unsampled dimension tables, whose scan
+        # time sets a floor on the usable budget (the paper notes the same
+        # bottleneck); the budgets are therefore larger than for Customer1.
+        runner, queries = tpch_runner(cached=True)
+        rows.append(["TPC-H", "cached", "3.0 s", f"{_evaluate(runner, queries[:6], 3.0):.1f}%"])
+        runner, queries = tpch_runner(cached=False)
+        rows.append(["TPC-H", "ssd", "45.0 s", f"{_evaluate(runner, queries[:6], 45.0):.1f}%"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig11_timebound",
+        format_table(
+            ["Dataset", "Storage", "Time bound", "Error reduction"],
+            rows,
+            title="Figure 11: error reduction over a time-bound AQP engine "
+            "(paper: 63%-89%)",
+        ),
+    )
+    reductions = [float(row[-1].rstrip("%")) for row in rows]
+    assert all(value > 0 for value in reductions)

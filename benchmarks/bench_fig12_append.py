@@ -1,0 +1,132 @@
+"""Figure 12: error bounds under data appends, with and without adjustment.
+
+Appends 5% / 10% / 15% / 20% of drifted tuples to the fact table and reports
+the average error bound and the bound-violation fraction for Verdict with the
+Appendix D adjustment (VerdictAdjust) and without it (VerdictNoAdjust), plus
+NoLearn's bound for reference.  Expected shape: the unadjusted engine becomes
+increasingly overconfident as more data is appended; the adjusted engine's
+bounds stay wider and its violations stay low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.core.engine import VerdictEngine
+from repro.db.catalog import Catalog
+from repro.db.executor import ExactExecutor
+from repro.db.schema import measure
+from repro.experiments.reporting import format_table
+from repro.sqlparser.parser import parse_query
+from repro.workloads.synthetic import make_sales_table
+
+_TRAINING = [
+    "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 20",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 10 AND week <= 30",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 20 AND week <= 45",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 35 AND week <= 60",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 50 AND week <= 80",
+]
+_TESTS = [
+    "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 28",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 22 AND week <= 50",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 40 AND week <= 70",
+]
+
+
+def _build(adjust: bool, append_fraction: float, seed: int = 41):
+    base_rows = 10_000
+    table = make_sales_table(num_rows=base_rows, num_weeks=80, seed=seed)
+    catalog = Catalog()
+    catalog.add_table(table, fact=True)
+    aqp = OnlineAggregationEngine(
+        catalog,
+        sampling=SamplingConfig(sample_ratio=0.25, num_batches=3, seed=seed),
+        cost_model=CostModelConfig.scaled_for(int(base_rows * 0.25)),
+    )
+    verdict = VerdictEngine(
+        catalog,
+        aqp,
+        # Validation and LOO calibration are disabled so the comparison
+        # isolates the effect of the Appendix D synopsis adjustment itself.
+        config=VerdictConfig(
+            learn_length_scales=False,
+            enable_model_validation=False,
+            calibrate_model_variance=False,
+        ),
+    )
+    for sql in _TRAINING:
+        parsed, _ = verdict.check(sql)
+        verdict.record(parsed, aqp.final_answer(parsed))
+    verdict.train(learn_length_scales_flag=False)
+
+    appended_rows = int(base_rows * append_fraction)
+    if appended_rows:
+        appended = make_sales_table(num_rows=appended_rows, num_weeks=80, seed=seed + 1, name="sales")
+        drifted = appended.with_column(
+            measure("revenue"), np.asarray(appended.column("revenue")) + 200.0
+        )
+        verdict.register_append("sales", drifted, adjust=adjust)
+
+    exact = ExactExecutor(catalog)
+    bounds, violations, raw_bounds = [], 0, []
+    for sql in _TESTS:
+        parsed, _ = verdict.check(sql)
+        truth = exact.execute(parsed).scalar()
+        answer = verdict.execute(parsed, max_batches=1, record=False)[-1]
+        estimate = answer.scalar_estimate()
+        bound = 1.96 * estimate.error
+        bounds.append(bound / max(abs(truth), 1e-9))
+        raw_bounds.append(1.96 * estimate.raw_error / max(abs(truth), 1e-9))
+        if abs(estimate.value - truth) > bound:
+            violations += 1
+    return (
+        float(np.mean(bounds)),
+        violations / len(_TESTS),
+        float(np.mean(raw_bounds)),
+    )
+
+
+def test_fig12_data_append(benchmark):
+    def run():
+        rows = []
+        for fraction in (0.05, 0.10, 0.15, 0.20):
+            adjusted_bound, adjusted_violations, nolearn_bound = _build(True, fraction)
+            unadjusted_bound, unadjusted_violations, _ = _build(False, fraction)
+            rows.append(
+                [
+                    f"{100 * fraction:.0f}%",
+                    f"{100 * nolearn_bound:.2f}%",
+                    f"{100 * unadjusted_bound:.2f}%",
+                    f"{100 * adjusted_bound:.2f}%",
+                    f"{100 * unadjusted_violations:.0f}%",
+                    f"{100 * adjusted_violations:.0f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig12_append",
+        format_table(
+            [
+                "Appended",
+                "NoLearn bound",
+                "NoAdjust bound",
+                "Adjust bound",
+                "NoAdjust violations",
+                "Adjust violations",
+            ],
+            rows,
+            title="Figure 12: error bounds and violations under data appends",
+        ),
+    )
+    # The adjusted engine's bounds are never tighter than the unadjusted ones,
+    # and its violation rate never exceeds the unadjusted engine's.
+    for row in rows:
+        assert float(row[3].rstrip("%")) >= float(row[2].rstrip("%")) - 1e-9
+        assert float(row[5].rstrip("%")) <= float(row[4].rstrip("%")) + 1e-9

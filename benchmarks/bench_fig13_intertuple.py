@@ -1,0 +1,38 @@
+"""Figure 13: prevalence of inter-tuple covariances in (UCI-like) datasets.
+
+Computes the adjacent-value correlation analysis of Appendix E over the 16
+synthetic UCI-like datasets and reports the histogram of correlations.  The
+shape to reproduce: a large share of attribute pairs exhibits clearly
+positive adjacent-value correlation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit
+from repro.experiments.reporting import format_table
+from repro.workloads.uci import correlation_histogram, correlation_summaries
+
+
+def test_fig13_intertuple_covariances(benchmark):
+    summaries = benchmark.pedantic(
+        correlation_summaries, kwargs={"num_rows": 600, "seed": 7}, rounds=1, iterations=1
+    )
+    correlations = [value for summary in summaries for value in summary.correlations]
+    histogram = correlation_histogram(correlations)
+    rows = [
+        [f"({low:.1f}, {high:.1f}]", f"{percentage:.1f}%"]
+        for low, high, percentage in histogram
+    ]
+    emit(
+        "fig13_intertuple",
+        format_table(
+            ["Correlation bin", "Percentage of attribute pairs"],
+            rows,
+            title="Figure 13: adjacent-value correlations across 16 UCI-like datasets",
+        ),
+    )
+    assert len(summaries) == 16
+    positive_share = sum(1 for value in correlations if value > 0.3) / len(correlations)
+    assert positive_share > 0.3

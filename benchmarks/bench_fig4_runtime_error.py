@@ -1,0 +1,59 @@
+"""Figure 4: runtime vs error bound and runtime vs actual error curves.
+
+Regenerates the four panels (Customer1 cached / not cached, TPC-H cached /
+not cached) as averaged per-batch series for NoLearn and Verdict.  The shape
+to reproduce: Verdict's curves sit below NoLearn's everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import customer1_runner, emit, tpch_runner
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import aggregate_profile_by_batch
+
+
+def _panel(runner, test_queries, label):
+    results = runner.evaluate(test_queries)
+    lines = []
+    for engine in ("baseline", "verdict"):
+        curve = aggregate_profile_by_batch(results, engine=engine)
+        lines.append(
+            format_series(
+                f"{label} / {'NoLearn' if engine == 'baseline' else 'Verdict'} (error bound)",
+                [(p.elapsed_seconds, 100 * p.relative_error_bound) for p in curve],
+                x_label="runtime (s)",
+                y_label="error bound (%)",
+            )
+        )
+        lines.append(
+            format_series(
+                f"{label} / {'NoLearn' if engine == 'baseline' else 'Verdict'} (actual error)",
+                [(p.elapsed_seconds, 100 * p.actual_relative_error) for p in curve],
+                x_label="runtime (s)",
+                y_label="actual error (%)",
+            )
+        )
+    baseline_curve = aggregate_profile_by_batch(results, engine="baseline")
+    verdict_curve = aggregate_profile_by_batch(results, engine="verdict")
+    return "\n".join(lines), baseline_curve, verdict_curve
+
+
+def test_fig4_runtime_vs_error(benchmark):
+    def run():
+        panels = []
+        for cached in (True, False):
+            runner, queries = customer1_runner(cached=cached, num_queries=50)
+            panels.append(_panel(runner, queries[:12], f"Customer1/{'cached' if cached else 'ssd'}"))
+        runner, queries = tpch_runner(cached=True)
+        panels.append(_panel(runner, queries[:6], "TPC-H/cached"))
+        runner, queries = tpch_runner(cached=False)
+        panels.append(_panel(runner, queries[:6], "TPC-H/ssd"))
+        return panels
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig4_runtime_error", "\n\n".join(text for text, _, _ in panels))
+    for _, baseline_curve, verdict_curve in panels:
+        for base, verdict in zip(baseline_curve, verdict_curve):
+            assert verdict.relative_error_bound <= base.relative_error_bound + 1e-9

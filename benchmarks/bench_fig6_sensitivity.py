@@ -1,0 +1,130 @@
+"""Figure 6: sensitivity to workload diversity, data distribution, number of
+past queries, and the resulting overhead.
+
+(a) error reduction vs fraction of frequently accessed columns,
+(b) error reduction for uniform / gaussian / skewed data,
+(c) error reduction vs number of past queries (learning behaviour),
+(d) inference overhead vs number of past queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.experiments.metrics import error_reduction
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.powerlaw import PowerLawQueryGenerator
+from repro.workloads.synthetic import make_synthetic_table
+
+
+def _runner_for(table):
+    from repro.db.catalog import Catalog
+
+    catalog = Catalog()
+    catalog.add_table(table, fact=True)
+    sampling = SamplingConfig(sample_ratio=0.2, num_batches=4, seed=3)
+    return ExperimentRunner(
+        catalog,
+        sampling=sampling,
+        cost_model=CostModelConfig.scaled_for(int(len(table) * sampling.sample_ratio)),
+        config=VerdictConfig(learn_length_scales=False),
+    )
+
+
+def _error_reduction_for(table, frequent_fraction, num_past, num_test=10, seed=0):
+    runner = _runner_for(table)
+    generator = PowerLawQueryGenerator(
+        table, frequent_fraction=frequent_fraction, predicates_per_query=2, seed=seed
+    )
+    training = generator.generate_sql(num_past)
+    test = generator.generate_sql(num_test)
+    runner.train_on(training)
+    results = [r for r in runner.evaluate(test, record=False, max_batches=1) if r.supported]
+    base = float(np.mean([r.baseline[0].relative_error_bound for r in results]))
+    verdict = float(np.mean([r.verdict[0].relative_error_bound for r in results]))
+    reduction = error_reduction(base, verdict)
+    overhead_ms = 1000 * float(np.mean([r.overhead_seconds for r in results]))
+    return reduction, overhead_ms
+
+
+def test_fig6a_workload_diversity(benchmark):
+    table = make_synthetic_table(num_rows=20_000, num_columns=30, categorical_fraction=0.1, seed=1)
+
+    def run():
+        series = []
+        for fraction in (0.04, 0.1, 0.2, 0.4):
+            reduction, _ = _error_reduction_for(table, fraction, num_past=40, seed=2)
+            series.append((fraction, reduction))
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig6a_workload_diversity",
+        format_series(
+            "Figure 6(a): error reduction vs ratio of frequently accessed columns",
+            series,
+            x_label="frequent-column ratio",
+            y_label="error reduction (%)",
+        ),
+    )
+    assert series[0][1] > 0
+
+
+def test_fig6b_data_distribution(benchmark):
+    def run():
+        series = []
+        for distribution in ("uniform", "gaussian", "skewed"):
+            table = make_synthetic_table(
+                num_rows=20_000, num_columns=20, distribution=distribution, seed=4
+            )
+            reduction, _ = _error_reduction_for(table, 0.2, num_past=40, seed=5)
+            series.append((distribution, reduction))
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig6b_data_distribution",
+        "\n".join(f"  {name:10s} -> error reduction {value:.1f}%" for name, value in series),
+    )
+    # Error reduction should be delivered consistently across distributions.
+    values = [value for _, value in series]
+    assert min(values) > 0
+    assert max(values) - min(values) < 60
+
+
+def test_fig6c_learning_curve_and_fig6d_overhead(benchmark):
+    table = make_synthetic_table(num_rows=20_000, num_columns=30, categorical_fraction=0.1, seed=6)
+
+    def run():
+        reductions, overheads = [], []
+        for num_past in (10, 50, 100, 200):
+            reduction, overhead_ms = _error_reduction_for(table, 0.2, num_past=num_past, seed=7)
+            reductions.append((num_past, reduction))
+            overheads.append((num_past, overhead_ms))
+        return reductions, overheads
+
+    reductions, overheads = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig6c_learning_curve",
+        format_series(
+            "Figure 6(c): error reduction vs number of past queries",
+            reductions,
+            x_label="# past queries",
+            y_label="error reduction (%)",
+        )
+        + "\n\n"
+        + format_series(
+            "Figure 6(d): inference overhead vs number of past queries",
+            overheads,
+            x_label="# past queries",
+            y_label="overhead (ms)",
+        ),
+    )
+    # Learning behaviour: more past queries never hurt much and eventually help.
+    assert reductions[-1][1] >= reductions[0][1] - 10
+    # Overhead stays tens of milliseconds even with hundreds of past queries.
+    assert overheads[-1][1] < 500

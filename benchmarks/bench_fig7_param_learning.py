@@ -1,0 +1,69 @@
+"""Figure 7: accuracy of correlation-parameter learning.
+
+Snippet answers are drawn from the model with known length scales; the
+learning procedure estimates them back from 20 / 50 / 100 past snippets.  The
+expected shape: estimates scatter around the true value and tighten as the
+number of past snippets grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit
+from repro.config import VerdictConfig
+from repro.core.learning import learn_length_scales
+from repro.experiments.reporting import format_table
+from repro.workloads.synthetic import make_gp_snippets
+
+
+def _estimate(true_scale: float, num_snippets: int, seed: int) -> float:
+    snippets, domains, key = make_gp_snippets(
+        num_snippets=num_snippets,
+        true_length_scale=true_scale,
+        noise_std=0.15,
+        seed=seed,
+    )
+    learned = learn_length_scales(
+        key,
+        snippets,
+        domains,
+        VerdictConfig(learning_restarts=2, max_learning_snippets=num_snippets),
+    )
+    return learned.length_scales["x"]
+
+
+def test_fig7_parameter_learning(benchmark):
+    true_scales = [0.5, 1.0, 2.0]
+    counts = [20, 50, 100]
+
+    def run():
+        rows = []
+        errors = {count: [] for count in counts}
+        for true_scale in true_scales:
+            row = [f"{true_scale:.1f}"]
+            for count in counts:
+                estimates = [
+                    _estimate(true_scale, count, seed) for seed in (1, 2, 3)
+                ]
+                mean_estimate = float(np.mean(estimates))
+                row.append(f"{mean_estimate:.2f}")
+                errors[count].append(abs(np.log(mean_estimate / true_scale)))
+            rows.append(row)
+        return rows, errors
+
+    rows, errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_param_learning",
+        format_table(
+            ["True length scale", "est. (20 snippets)", "est. (50)", "est. (100)"],
+            rows,
+            title="Figure 7: estimated vs true correlation parameter",
+        ),
+    )
+    # More snippets -> estimates closer to the truth (in log space), and all
+    # estimates are within an order of magnitude of the truth.
+    assert np.mean(errors[100]) <= np.mean(errors[20]) + 0.2
+    for count in counts:
+        assert max(errors[count]) < np.log(8)

@@ -1,0 +1,67 @@
+"""Figure 1 / Figure 8: the model refines as more queries are processed.
+
+Issues SUM(count) range queries over the n-gram-like weekly series and probes
+an unseen week range after 0 / 2 / 4 / 8 past queries; the probe's improved
+error bound should shrink monotonically (the Figure 1 narrative).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.ngram import figure1_query_ranges, make_ngram_catalog, ngram_range_query
+
+
+def _run_refinement():
+    catalog = make_ngram_catalog(num_weeks=104, rows_per_week=120, seed=17)
+    sampling = SamplingConfig(sample_ratio=0.25, num_batches=3, seed=2)
+    runner = ExperimentRunner(
+        catalog,
+        sampling=sampling,
+        cost_model=CostModelConfig.scaled_for(int(104 * 120 * sampling.sample_ratio)),
+        config=VerdictConfig(learn_length_scales=False),
+    )
+    probe = ngram_range_query(40, 60)
+    ranges = figure1_query_ranges(8, num_weeks=104, seed=18)
+
+    def probe_point():
+        result = runner.evaluate_query(probe, record=False, max_batches=1)
+        return (
+            100 * result.verdict[0].relative_error_bound,
+            100 * result.verdict[0].actual_relative_error,
+        )
+
+    series = [(0, *probe_point())]
+    processed = 0
+    for batch in ([ranges[0], ranges[1]], [ranges[2], ranges[3]], ranges[4:]):
+        runner.train_on([ngram_range_query(low, high) for low, high in batch])
+        processed += len(batch)
+        series.append((processed, *probe_point()))
+    return series
+
+
+def test_fig8_model_refinement(benchmark):
+    series = benchmark.pedantic(_run_refinement, rounds=1, iterations=1)
+    emit(
+        "fig8_model_refinement",
+        format_series(
+            "Figure 1/8: probe query error bound after N past queries",
+            [(n, bound) for n, bound, _ in series],
+            x_label="# past queries",
+            y_label="error bound (%)",
+        )
+        + "\n"
+        + format_series(
+            "Figure 1/8: probe query actual error after N past queries",
+            [(n, actual) for n, _, actual in series],
+            x_label="# past queries",
+            y_label="actual error (%)",
+        ),
+    )
+    bounds = [bound for _, bound, _ in series]
+    assert bounds[-1] <= bounds[0] + 1e-9
+    assert bounds[2] <= bounds[0] + 1e-9

@@ -1,0 +1,70 @@
+"""Table 3: generality of Verdict -- fraction of supported queries.
+
+Classifies a Customer1-like trace and the 22 TPC-H-like templates with the
+query type checker and reports the same three columns as Table 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import emit
+from repro.experiments.reporting import format_table
+from repro.sqlparser.checker import QueryTypeChecker, check_sql
+from repro.sqlparser.parser import parse_query
+from repro.workloads.customer1 import Customer1Workload
+from repro.workloads.tpch import TPCHWorkload
+
+
+def _table3_rows():
+    customer1 = Customer1Workload(num_rows=2_000, seed=3)
+    trace = customer1.generate_trace(num_queries=400, supported_fraction=0.737, seed=9)
+    customer_results = [check_sql(query.sql) for query in trace]
+    customer_aggregate = [r for r in customer_results if r.has_aggregate or not r.supported]
+    customer_supported = sum(1 for r in customer_results if r.supported)
+
+    tpch = TPCHWorkload(scale=0.05, seed=3)
+    templates = tpch.query_templates()
+    tpch_aggregate = [t for t in templates if t.has_aggregate]
+    tpch_supported = sum(1 for t in tpch_aggregate if check_sql(t.sql).supported)
+
+    rows = [
+        [
+            "Customer1",
+            len(customer_results),
+            customer_supported,
+            f"{100.0 * customer_supported / len(customer_results):.1f}%",
+        ],
+        [
+            "TPC-H",
+            len(tpch_aggregate),
+            tpch_supported,
+            f"{100.0 * tpch_supported / len(tpch_aggregate):.1f}%",
+        ],
+    ]
+    return rows
+
+
+def test_table3_generality(benchmark):
+    rows = benchmark(_table3_rows)
+    emit(
+        "table3_generality",
+        format_table(
+            ["Dataset", "# aggregate queries", "# supported", "Percentage"],
+            rows,
+            title="Table 3: Generality of Verdict (paper: Customer1 73.7%, TPC-H 63.6%)",
+        ),
+    )
+    assert rows[0][2] / rows[0][1] > 0.6
+    assert rows[1][1] == 21 and rows[1][2] == 14
+
+
+def test_checker_throughput(benchmark):
+    """Micro-benchmark: the per-query cost of the type checker is negligible."""
+    checker = QueryTypeChecker()
+    query = parse_query(
+        "SELECT region, SUM(revenue), COUNT(*) FROM sales "
+        "WHERE date_key >= 10 AND date_key <= 90 AND customer_age >= 30 GROUP BY region"
+    )
+    result = benchmark(checker.check, query)
+    assert result.supported

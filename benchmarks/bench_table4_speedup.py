@@ -1,0 +1,84 @@
+"""Table 4: speedup and error reduction of Verdict over NoLearn.
+
+For each dataset (Customer1-like, TPC-H-like) and storage setting (cached /
+SSD cost model), reports (a) the time to reach target error bounds for
+NoLearn and Verdict and the resulting speedup, and (b) the lowest error bound
+reached within fixed time budgets and the resulting error reduction.
+Absolute numbers differ from the paper (the substrate is a cost-model
+simulator over laptop-sized data); the expected shape is speedup > 1 and
+large error reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import customer1_runner, emit, tpch_runner
+from repro.experiments.metrics import error_reduction, speedup
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import error_bound_at_time, time_to_reach_bound
+
+
+def _analyse(runner, test_queries, label, rows_speedup, rows_reduction):
+    results = [r for r in runner.evaluate(test_queries) if r.supported]
+    if not results:
+        return
+    final_bounds = [r.baseline[-1].relative_error_bound for r in results]
+    first_bounds = [r.baseline[0].relative_error_bound for r in results]
+    targets = [
+        float(np.mean(first_bounds) * 0.6 + np.mean(final_bounds) * 0.4),
+        float(np.mean(first_bounds) * 0.3 + np.mean(final_bounds) * 0.7),
+    ]
+    for target in targets:
+        base_time = float(np.mean([time_to_reach_bound(r.baseline, target) for r in results]))
+        verdict_time = float(np.mean([time_to_reach_bound(r.verdict, target) for r in results]))
+        rows_speedup.append(
+            [label, f"{100 * target:.1f}%", f"{base_time:.2f} s", f"{verdict_time:.2f} s",
+             f"{speedup(base_time, verdict_time):.1f}x"]
+        )
+    budgets = [
+        float(np.median([r.baseline[-1].elapsed_seconds for r in results]) * 0.4),
+        float(np.median([r.baseline[-1].elapsed_seconds for r in results]) * 0.8),
+    ]
+    for budget in budgets:
+        base_bound = float(np.mean([error_bound_at_time(r.baseline, budget) for r in results]))
+        verdict_bound = float(np.mean([error_bound_at_time(r.verdict, budget) for r in results]))
+        rows_reduction.append(
+            [label, f"{budget:.2f} s", f"{100 * base_bound:.2f}%", f"{100 * verdict_bound:.2f}%",
+             f"{error_reduction(base_bound, verdict_bound):.1f}%"]
+        )
+
+
+def _run_table4():
+    rows_speedup: list[list] = []
+    rows_reduction: list[list] = []
+    for cached in (True, False):
+        label = "Customer1/" + ("cached" if cached else "ssd")
+        runner, test_queries = customer1_runner(cached=cached, num_queries=60)
+        _analyse(runner, test_queries[:16], label, rows_speedup, rows_reduction)
+    runner, test_queries = tpch_runner(cached=True)
+    _analyse(runner, test_queries[:8], "TPC-H/cached", rows_speedup, rows_reduction)
+    return rows_speedup, rows_reduction
+
+
+def test_table4_speedup_and_error_reduction(benchmark):
+    rows_speedup, rows_reduction = benchmark.pedantic(_run_table4, rounds=1, iterations=1)
+    emit(
+        "table4_speedup",
+        format_table(
+            ["Setting", "Target bound", "NoLearn time", "Verdict time", "Speedup"],
+            rows_speedup,
+            title="Table 4 (top): time to reach a target error bound",
+        )
+        + "\n\n"
+        + format_table(
+            ["Setting", "Time budget", "NoLearn bound", "Verdict bound", "Error reduction"],
+            rows_reduction,
+            title="Table 4 (bottom): achieved error bound within a time budget",
+        ),
+    )
+    speedups = [float(row[-1].rstrip("x")) for row in rows_speedup]
+    reductions = [float(row[-1].rstrip("%")) for row in rows_reduction]
+    assert max(speedups) > 1.0
+    assert max(reductions) > 20.0

@@ -1,0 +1,62 @@
+"""Table 5: Verdict's runtime overhead over the raw AQP latency.
+
+Measures the wall-clock inference overhead Verdict adds on top of the
+(model-time) NoLearn latency, in the cached and SSD cost-model settings.
+The paper reports ~10 ms (0.02%--0.48% of total time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import customer1_runner, emit
+from repro.experiments.reporting import format_table
+
+
+def _measure(cached: bool):
+    runner, test_queries = customer1_runner(cached=cached, num_queries=40)
+    overheads, latencies = [], []
+    for sql in test_queries[:10]:
+        result = runner.evaluate_query(sql, record=False, max_batches=2)
+        if not result.supported:
+            continue
+        overheads.append(result.overhead_seconds / max(len(result.verdict), 1))
+        latencies.append(result.baseline[-1].elapsed_seconds)
+    return float(np.mean(overheads)), float(np.mean(latencies))
+
+
+def test_table5_overhead(benchmark):
+    def run():
+        return _measure(cached=True), _measure(cached=False)
+
+    (cached_overhead, cached_latency), (ssd_overhead, ssd_latency) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ["NoLearn latency", f"{cached_latency:.3f} s", f"{ssd_latency:.3f} s"],
+        ["Verdict latency", f"{cached_latency + cached_overhead:.3f} s", f"{ssd_latency + ssd_overhead:.3f} s"],
+        [
+            "Overhead",
+            f"{cached_overhead * 1000:.1f} ms ({100 * cached_overhead / cached_latency:.2f}%)",
+            f"{ssd_overhead * 1000:.1f} ms ({100 * ssd_overhead / ssd_latency:.2f}%)",
+        ],
+    ]
+    emit(
+        "table5_overhead",
+        format_table(
+            ["Latency", "Cached", "Not cached"],
+            rows,
+            title="Table 5: Verdict's per-answer runtime overhead (paper: ~10 ms, <0.5%)",
+        ),
+    )
+    assert cached_overhead < 0.25
+    assert 100 * ssd_overhead / ssd_latency < 5.0
+
+
+def test_inference_overhead_micro(benchmark):
+    """Micro-benchmark of a single improved-answer computation."""
+    runner, test_queries = customer1_runner(num_queries=40)
+    parsed, check = runner.verdict.check(test_queries[0])
+    raw = runner.aqp.first_answer(parsed)
+    benchmark(runner.verdict.process_answer, parsed, raw, check)

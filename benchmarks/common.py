@@ -1,0 +1,82 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.  The
+regenerated rows/series are printed and also written to
+``benchmarks/results/<name>.txt`` so they can be inspected after a
+``pytest benchmarks/ --benchmark-only`` run (pytest captures stdout).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.customer1 import Customer1Workload
+from repro.workloads.tpch import TPCHWorkload
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def customer1_runner(
+    num_rows: int = 20_000,
+    num_days: int = 200,
+    cached: bool = True,
+    num_queries: int = 60,
+    train_fraction: float = 0.5,
+    learn: bool = False,
+    seed: int = 21,
+):
+    """A trained Customer1 runner plus its held-out test queries."""
+    workload = Customer1Workload(num_rows=num_rows, num_days=num_days, seed=seed)
+    catalog = workload.build_catalog()
+    sampling = SamplingConfig(sample_ratio=0.2, num_batches=5, seed=1)
+    sample_rows = int(num_rows * sampling.sample_ratio)
+    runner = ExperimentRunner(
+        catalog,
+        sampling=sampling,
+        cost_model=CostModelConfig.scaled_for(sample_rows, cached=cached),
+        config=VerdictConfig(learn_length_scales=learn, learning_restarts=1),
+    )
+    trace = workload.generate_trace(num_queries=num_queries, seed=seed + 1)
+    split = int(len(trace) * train_fraction)
+    runner.train_on([q.sql for q in trace[:split]])
+    return runner, [q.sql for q in trace[split:]]
+
+
+def tpch_runner(
+    scale: float = 0.15,
+    cached: bool = True,
+    num_training: int = 28,
+    num_test: int = 14,
+    learn: bool = False,
+    seed: int = 5,
+):
+    """A trained TPC-H runner plus held-out supported test queries."""
+    workload = TPCHWorkload(scale=scale, seed=seed)
+    catalog = workload.build_catalog()
+    sampling = SamplingConfig(sample_ratio=0.25, num_batches=4, seed=2)
+    sample_rows = int(workload.num_lineitem * sampling.sample_ratio)
+    runner = ExperimentRunner(
+        catalog,
+        sampling=sampling,
+        cost_model=CostModelConfig.scaled_for(
+            sample_rows,
+            cached=cached,
+            unsampled_table_scan_penalty_s=0.0 if cached else 1.5,
+        ),
+        config=VerdictConfig(learn_length_scales=learn, learning_restarts=1),
+    )
+    training = [q.sql for q in workload.supported_queries(num_queries=num_training, seed=seed + 1)]
+    test = [q.sql for q in workload.supported_queries(num_queries=num_test, seed=seed + 2)]
+    runner.train_on(training)
+    return runner, test

@@ -1,0 +1,64 @@
+"""TPC-H-style analytics: Verdict speeding up a star-schema workload.
+
+Builds the TPC-H-like catalog (lineitem fact table joined to orders, part,
+supplier, customer), trains Verdict on one round of the 14 supported query
+templates, and then compares NoLearn (online aggregation) against Verdict on
+a fresh round of templates: time to reach a target error bound and the error
+bound achieved within a fixed time budget.
+
+Run with:  python examples/tpch_analytics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.experiments.metrics import error_reduction, speedup
+from repro.experiments.runner import ExperimentRunner, error_bound_at_time, time_to_reach_bound
+from repro.workloads.tpch import TPCHWorkload
+
+
+def main() -> None:
+    workload = TPCHWorkload(scale=0.2, seed=11)
+    catalog = workload.build_catalog()
+    sampling = SamplingConfig(sample_ratio=0.25, num_batches=4)
+    runner = ExperimentRunner(
+        catalog,
+        sampling=sampling,
+        cost_model=CostModelConfig.scaled_for(
+            int(workload.num_lineitem * sampling.sample_ratio), cached=True
+        ),
+        config=VerdictConfig(),
+    )
+
+    training = [q.sql for q in workload.supported_queries(num_queries=28, seed=1)]
+    test = [q.sql for q in workload.supported_queries(num_queries=10, seed=2)]
+    print(f"Training Verdict on {len(training)} supported TPC-H-like queries ...")
+    runner.train_on(training)
+
+    print("Evaluating a fresh round of templates ...\n")
+    results = [r for r in runner.evaluate(test) if r.supported]
+
+    target = float(
+        np.mean([r.baseline[0].relative_error_bound for r in results]) * 0.5
+        + np.mean([r.baseline[-1].relative_error_bound for r in results]) * 0.5
+    )
+    base_time = float(np.mean([time_to_reach_bound(r.baseline, target) for r in results]))
+    verdict_time = float(np.mean([time_to_reach_bound(r.verdict, target) for r in results]))
+    print(f"Target error bound {100 * target:.1f}%:")
+    print(f"  NoLearn needs {base_time:.2f} model seconds on average")
+    print(f"  Verdict needs {verdict_time:.2f} model seconds on average")
+    print(f"  -> speedup {speedup(base_time, verdict_time):.1f}x\n")
+
+    budget = float(np.median([r.baseline[-1].elapsed_seconds for r in results]) / 2)
+    base_bound = float(np.mean([error_bound_at_time(r.baseline, budget) for r in results]))
+    verdict_bound = float(np.mean([error_bound_at_time(r.verdict, budget) for r in results]))
+    print(f"Within a {budget:.2f}-second budget:")
+    print(f"  NoLearn reaches a {100 * base_bound:.2f}% bound")
+    print(f"  Verdict reaches a {100 * verdict_bound:.2f}% bound")
+    print(f"  -> error reduction {error_reduction(base_bound, verdict_bound):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for the offline reproduction ships setuptools without the
+``wheel`` package, so PEP 517 editable installs fail with "invalid command
+'bdist_wheel'".  Keeping a setup.py lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) work offline; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

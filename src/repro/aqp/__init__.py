@@ -1,0 +1,41 @@
+"""Approximate query processing (AQP) engine substrate.
+
+Verdict treats the AQP engine underneath it as a black box that returns, for
+every query snippet, a raw (approximate) answer and an expected error whose
+square is the expectation of the squared deviation from the exact answer
+(Section 3.1).  This subpackage provides the engines used in the paper's
+evaluation:
+
+* :class:`repro.aqp.online_agg.OnlineAggregationEngine` -- the "NoLearn"
+  baseline of Section 8: offline uniform samples split into batches, answers
+  refined batch by batch with CLT error estimates.
+* :class:`repro.aqp.time_bound.TimeBoundEngine` -- the time-bound engine of
+  Appendix C.2: picks the largest sample prefix that fits a time budget.
+* :class:`repro.aqp.cache_baseline.CachingEngine` -- "Baseline2" of
+  Appendix C.1: NoLearn plus exact-match answer caching.
+"""
+
+from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow, InternalEstimates
+from repro.aqp.estimators import (
+    avg_estimate,
+    count_estimate,
+    freq_estimate,
+    sum_estimate,
+)
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.aqp.time_bound import TimeBoundEngine
+from repro.aqp.cache_baseline import CachingEngine
+
+__all__ = [
+    "AggregateEstimate",
+    "AQPAnswer",
+    "AQPRow",
+    "InternalEstimates",
+    "avg_estimate",
+    "count_estimate",
+    "freq_estimate",
+    "sum_estimate",
+    "OnlineAggregationEngine",
+    "TimeBoundEngine",
+    "CachingEngine",
+]

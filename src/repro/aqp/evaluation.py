@@ -1,0 +1,187 @@
+"""Shared sample-evaluation logic for the AQP engines.
+
+Both the online-aggregation engine and the time-bound engine do the same
+thing once they have decided how many sample rows to scan: evaluate the query
+predicate and group-by over the scanned (and dimension-joined) sample prefix,
+then form CLT estimates for every (group, aggregate) cell.  This module holds
+that shared logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aqp.estimators import (
+    Estimate,
+    avg_estimate,
+    count_estimate,
+    freq_estimate,
+    sum_estimate,
+)
+from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow, InternalEstimates
+from repro.db.expressions import evaluate_expression, evaluate_predicate
+from repro.db.executor import _evaluate_row_predicate, _normalize_value
+from repro.db.table import Table
+from repro.sqlparser import ast
+
+
+def _iter_group_masks(table: Table, mask: np.ndarray, group_columns: tuple[str, ...]):
+    """Yield (group values, group mask) pairs, in first-seen order."""
+    if not group_columns:
+        yield (), mask
+        return
+    selected_indices = np.flatnonzero(mask)
+    if len(selected_indices) == 0:
+        return
+    columns = [table.column(name) for name in group_columns]
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for index in selected_indices:
+        key = tuple(_normalize_value(column[index]) for column in columns)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [int(index)]
+            order.append(key)
+        else:
+            bucket.append(int(index))
+    for key in order:
+        group_mask = np.zeros(len(table), dtype=bool)
+        group_mask[np.asarray(groups[key], dtype=np.int64)] = True
+        yield key, group_mask
+
+
+def _estimate_cell(
+    aggregate: ast.Aggregate,
+    name: str,
+    table: Table,
+    group_mask: np.ndarray,
+    scanned_rows: int,
+    population_size: int,
+) -> AggregateEstimate:
+    """Form the estimate for one (group, aggregate) cell."""
+    selected = int(group_mask.sum())
+    freq = freq_estimate(selected, scanned_rows)
+    count = count_estimate(selected, scanned_rows, population_size)
+
+    avg: Estimate | None = None
+    if not aggregate.is_star:
+        all_values = np.asarray(
+            evaluate_expression(aggregate.argument, table), dtype=np.float64
+        )
+        fallback_std = float(all_values.std(ddof=0)) if len(all_values) else 1.0
+        avg = avg_estimate(all_values[group_mask], fallback_std=fallback_std or 1.0)
+
+    function = aggregate.function
+    if function is ast.AggregateFunction.FREQ:
+        value, error = freq.value, freq.error
+    elif function is ast.AggregateFunction.COUNT:
+        value, error = count.value, count.error
+    elif function is ast.AggregateFunction.AVG:
+        assert avg is not None
+        value, error = avg.value, avg.error
+    elif function is ast.AggregateFunction.SUM:
+        assert avg is not None
+        total = sum_estimate(avg, count)
+        value, error = total.value, total.error
+    elif function in (ast.AggregateFunction.MIN, ast.AggregateFunction.MAX):
+        # Sample-based engines cannot bound MIN/MAX errors (Section 2.5); the
+        # value is reported with a conservative error of the selected spread.
+        if avg is None or selected == 0:
+            value, error = 0.0, 0.0
+        else:
+            values = np.asarray(
+                evaluate_expression(aggregate.argument, table), dtype=np.float64
+            )[group_mask]
+            value = float(values.min() if function is ast.AggregateFunction.MIN else values.max())
+            error = float(values.std(ddof=0)) if len(values) > 1 else abs(value)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError(f"unknown aggregate function {function}")
+
+    internal = InternalEstimates(
+        freq_value=freq.value,
+        freq_error=freq.error,
+        avg_value=None if avg is None else avg.value,
+        avg_error=None if avg is None else avg.error,
+        selected_rows=selected,
+        scanned_rows=scanned_rows,
+        population_size=population_size,
+    )
+    return AggregateEstimate(
+        name=name, function=function, value=value, error=error, internal=internal
+    )
+
+
+def estimate_answer(
+    query: ast.Query,
+    scanned_table: Table,
+    scanned_rows: int,
+    sample_size: int,
+    population_size: int,
+    elapsed_seconds: float,
+    batches_processed: int = 0,
+) -> AQPAnswer:
+    """Build an :class:`AQPAnswer` from an already-joined sample prefix.
+
+    Parameters
+    ----------
+    query:
+        The query being answered.
+    scanned_table:
+        The sample prefix after applying the query's dimension joins.
+    scanned_rows:
+        Number of sample rows scanned (denominator of selectivity estimates).
+    sample_size:
+        Total size of the offline sample (for reporting).
+    population_size:
+        Cardinality of the original fact table (scales COUNT/SUM).
+    elapsed_seconds:
+        Cumulative model time charged so far for this query.
+    batches_processed:
+        How many online-aggregation batches the prefix covers.
+    """
+    aggregate_items = [item for item in query.select if item.is_aggregate]
+    aggregate_names = tuple(item.output_name for item in aggregate_items)
+    group_columns = tuple(column.name for column in query.group_by)
+
+    mask = evaluate_predicate(query.where, scanned_table)
+    rows: list[AQPRow] = []
+    for group_values, group_mask in _iter_group_masks(scanned_table, mask, group_columns):
+        estimates = {
+            item.output_name: _estimate_cell(
+                item.expression,
+                item.output_name,
+                scanned_table,
+                group_mask,
+                scanned_rows=scanned_rows,
+                population_size=population_size,
+            )
+            for item in aggregate_items
+        }
+        rows.append(AQPRow(group_values=group_values, estimates=estimates))
+
+    if query.having is not None:
+        rows = [row for row in rows if _having_matches(query, row)]
+
+    return AQPAnswer(
+        query=query,
+        group_columns=group_columns,
+        aggregate_names=aggregate_names,
+        rows=rows,
+        rows_scanned=scanned_rows,
+        sample_size=sample_size,
+        population_size=population_size,
+        elapsed_seconds=elapsed_seconds,
+        batches_processed=batches_processed,
+    )
+
+
+def _having_matches(query: ast.Query, row: AQPRow) -> bool:
+    """Apply the HAVING clause to estimated values (subset/superset error is
+    possible and expected -- Section 2.2)."""
+    from repro.db.executor import ResultRow
+
+    result_row = ResultRow(
+        group_values=row.group_values,
+        aggregates={name: est.value for name, est in row.estimates.items()},
+    )
+    return _evaluate_row_predicate(query.having, query, result_row)

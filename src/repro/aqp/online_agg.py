@@ -1,0 +1,127 @@
+"""Online aggregation AQP engine ("NoLearn" in Section 8.1).
+
+The engine creates uniform random samples of fact tables offline and splits
+them into batches.  To answer a query it computes an approximate answer and
+CLT error bound on the first batch, then keeps refining the answer batch by
+batch.  Runtime is accounted with the deterministic IO cost model: planning
+overhead is charged once per query, dimension tables joined to the sample are
+charged once (they are not sampled), and every batch adds its scan cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.aqp.evaluation import estimate_answer
+from repro.aqp.types import AQPAnswer
+from repro.config import CostModelConfig, SamplingConfig
+from repro.db.catalog import Catalog
+from repro.db.io_model import IOSimulator
+from repro.db.sampling import SampleStore
+from repro.db.table import Table
+from repro.errors import AQPError
+from repro.sqlparser import ast
+
+StopCondition = Callable[[AQPAnswer], bool]
+
+
+class OnlineAggregationEngine:
+    """Batch-by-batch online aggregation over offline uniform samples."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        sampling: SamplingConfig | None = None,
+        cost_model: CostModelConfig | None = None,
+        sample_store: SampleStore | None = None,
+    ):
+        self.catalog = catalog
+        self.sampling = sampling or SamplingConfig()
+        self.samples = sample_store or SampleStore(catalog, self.sampling)
+        self.io = IOSimulator(cost_model)
+
+    # ------------------------------------------------------------------ public
+
+    def run(self, query: ast.Query) -> Iterator[AQPAnswer]:
+        """Yield cumulative approximate answers, one per processed batch."""
+        if not self.catalog.has_table(query.table):
+            raise AQPError(f"unknown table {query.table!r}")
+        sample = self.samples.sample_for(query.table)
+        population_size = self.catalog.cardinality(query.table)
+        unsampled_rows = self._unsampled_join_rows(query)
+
+        elapsed = 0.0
+        previous_rows = 0
+        for batch_number, (rows, prefix) in enumerate(sample.iter_batch_prefixes(), start=1):
+            first_batch = batch_number == 1
+            report = self.io.charge_query(
+                rows_scanned=rows - previous_rows,
+                unsampled_rows=unsampled_rows if first_batch else 0,
+                include_planning=first_batch,
+            )
+            elapsed += report.total_seconds
+            previous_rows = rows
+            joined = self._apply_joins(query, prefix)
+            yield estimate_answer(
+                query=query,
+                scanned_table=joined,
+                scanned_rows=len(joined),
+                sample_size=sample.sample_size,
+                population_size=population_size,
+                elapsed_seconds=elapsed,
+                batches_processed=batch_number,
+            )
+
+    def execute(
+        self,
+        query: ast.Query,
+        stop: StopCondition | None = None,
+        max_batches: int | None = None,
+    ) -> list[AQPAnswer]:
+        """Run online aggregation and collect the sequence of answers.
+
+        Processing stops as soon as ``stop(answer)`` returns True (the answer
+        that satisfied the condition is included), when ``max_batches`` have
+        been processed, or when the sample is exhausted.
+        """
+        answers: list[AQPAnswer] = []
+        for answer in self.run(query):
+            answers.append(answer)
+            if stop is not None and stop(answer):
+                break
+            if max_batches is not None and answer.batches_processed >= max_batches:
+                break
+        return answers
+
+    def final_answer(self, query: ast.Query) -> AQPAnswer:
+        """The most accurate answer (after scanning the whole sample)."""
+        answers = self.execute(query)
+        if not answers:
+            raise AQPError("online aggregation produced no answers")
+        return answers[-1]
+
+    def first_answer(self, query: ast.Query) -> AQPAnswer:
+        """The answer after the first batch only (cheapest, least accurate)."""
+        for answer in self.run(query):
+            return answer
+        raise AQPError("online aggregation produced no answers")
+
+    # ----------------------------------------------------------------- helpers
+
+    def _apply_joins(self, query: ast.Query, prefix: Table) -> Table:
+        joined = prefix
+        for join_clause in query.joins:
+            joined = self.catalog.join(joined, join_clause)
+        return joined
+
+    def _unsampled_join_rows(self, query: ast.Query) -> int:
+        """Rows of unsampled dimension tables that each query must read."""
+        total = 0
+        for join_clause in query.joins:
+            if self.catalog.has_table(join_clause.table):
+                total += self.catalog.cardinality(join_clause.table)
+        return total
+
+    @property
+    def cost_model(self) -> CostModelConfig:
+        return self.io.config

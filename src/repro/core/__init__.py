@@ -1,0 +1,62 @@
+"""Verdict: the paper's database-learning engine.
+
+The core package implements the paper's contribution:
+
+* :mod:`repro.core.snippet` / :mod:`repro.core.synopsis` -- query snippets and
+  the bounded query synopsis (Section 2),
+* :mod:`repro.core.regions` -- predicate regions over attribute domains,
+* :mod:`repro.core.kernel` -- the squared-exponential inter-tuple covariance
+  and its closed-form integrals (Section 4.2, Appendix F.1),
+* :mod:`repro.core.covariance` -- covariances between snippet answers
+  (Section 4.1, Appendix F.2),
+* :mod:`repro.core.prior` -- analytic prior mean / variance (Appendix F.3),
+* :mod:`repro.core.learning` -- correlation-parameter learning (Appendix A),
+* :mod:`repro.core.inference` -- maximum-entropy (Gaussian) inference
+  (Section 3, Equations 4/5 and 11/12),
+* :mod:`repro.core.validation` -- model validation (Appendix B),
+* :mod:`repro.core.append` -- data-append adjustments (Appendix D),
+* :mod:`repro.core.engine` -- the Verdict facade combining everything with an
+  off-the-shelf AQP engine.
+"""
+
+from repro.core.regions import AttributeDomains, CategoricalConstraint, NumericRange, Region
+from repro.core.snippet import AggregateKind, Snippet, SnippetKey
+from repro.core.synopsis import QuerySynopsis
+from repro.core.kernel import se_double_integral, se_kernel, se_single_integral
+from repro.core.covariance import AggregateModel, SnippetCovariance
+from repro.core.prior import estimate_prior
+from repro.core.learning import LearnedParameters, learn_length_scales
+from repro.core.inference import GaussianInference, InferenceResult, PreparedInference
+from repro.core.validation import ValidationDecision, validate_model_answer
+from repro.core.append import AppendAdjustment, append_adjustment, apply_append_adjustment
+from repro.core.engine import ImprovedEstimate, VerdictAnswer, VerdictEngine
+
+__all__ = [
+    "AttributeDomains",
+    "CategoricalConstraint",
+    "NumericRange",
+    "Region",
+    "AggregateKind",
+    "Snippet",
+    "SnippetKey",
+    "QuerySynopsis",
+    "se_kernel",
+    "se_single_integral",
+    "se_double_integral",
+    "AggregateModel",
+    "SnippetCovariance",
+    "estimate_prior",
+    "LearnedParameters",
+    "learn_length_scales",
+    "GaussianInference",
+    "InferenceResult",
+    "PreparedInference",
+    "ValidationDecision",
+    "validate_model_answer",
+    "AppendAdjustment",
+    "append_adjustment",
+    "apply_append_adjustment",
+    "ImprovedEstimate",
+    "VerdictAnswer",
+    "VerdictEngine",
+]

@@ -1,0 +1,99 @@
+"""Data-append generalisation (Appendix D).
+
+When new tuples ``r_a`` are appended to a relation ``r``, past snippet
+answers refer to a stale version of the data.  Rather than re-executing past
+queries, Verdict lowers its confidence in them: by Lemma 3, if the difference
+between the appended and original measure values is modelled by a random
+variable with mean ``mu_k`` and variance ``eta_k^2``, then the past raw
+answer should be shifted by ``mu_k * |r_a| / (|r| + |r_a|)`` and its squared
+error inflated by ``(|r_a| * eta_k / (|r| + |r_a|))^2``.
+
+``mu_k`` and ``eta_k`` are estimated from (samples of) the old and appended
+data.  The same machinery applies to FREQ snippets with ``mu = 0`` and an
+``eta`` derived from the appended fraction, reflecting that appended tuples
+may redistribute mass across the dimension space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.snippet import AggregateKind, Snippet
+
+
+@dataclass(frozen=True)
+class AppendAdjustment:
+    """Shift and error inflation to apply to past snippets of one aggregate."""
+
+    answer_shift: float
+    extra_variance: float
+    appended_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.extra_variance < 0:
+            raise ValueError("extra_variance must be non-negative")
+        if not 0.0 <= self.appended_fraction <= 1.0:
+            raise ValueError("appended_fraction must be in [0, 1]")
+
+
+def append_adjustment(
+    old_values: np.ndarray,
+    new_values: np.ndarray,
+    old_count: int,
+    new_count: int,
+    kind: AggregateKind = AggregateKind.AVG,
+) -> AppendAdjustment:
+    """Estimate Lemma 3's adjustment for one measure attribute.
+
+    Parameters
+    ----------
+    old_values / new_values:
+        (Samples of) the measure attribute in the original relation and in the
+        appended tuples.  For FREQ snippets these may be empty; only the row
+        counts matter.
+    old_count / new_count:
+        ``|r|`` and ``|r_a|``.
+    kind:
+        AVG adjustments shift by the mean value difference; FREQ adjustments
+        carry no shift but still inflate the error in proportion to the
+        appended fraction.
+    """
+    if old_count < 0 or new_count < 0:
+        raise ValueError("row counts must be non-negative")
+    total = old_count + new_count
+    if total == 0 or new_count == 0:
+        return AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=0.0)
+    ratio = new_count / total
+
+    if kind is AggregateKind.FREQ:
+        # Appended tuples can shift up to the appended fraction of the mass
+        # into or out of any region; use that as a conservative spread.
+        eta = ratio
+        return AppendAdjustment(
+            answer_shift=0.0,
+            extra_variance=(ratio * eta) ** 2,
+            appended_fraction=ratio,
+        )
+
+    old = np.asarray(old_values, dtype=np.float64)
+    new = np.asarray(new_values, dtype=np.float64)
+    if len(old) == 0 or len(new) == 0:
+        return AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=ratio)
+    mu = float(new.mean() - old.mean())
+    # eta^2: variance of the value difference; approximated by the sum of the
+    # two populations' variances (independent draws).
+    eta2 = float(new.var(ddof=0) + old.var(ddof=0))
+    shift = mu * ratio
+    extra_variance = (ratio**2) * eta2
+    return AppendAdjustment(
+        answer_shift=shift, extra_variance=extra_variance, appended_fraction=ratio
+    )
+
+
+def apply_append_adjustment(snippet: Snippet, adjustment: AppendAdjustment) -> Snippet:
+    """Return a copy of ``snippet`` with the adjustment applied."""
+    return snippet.with_adjustment(
+        answer_shift=adjustment.answer_shift, extra_variance=adjustment.extra_variance
+    )

@@ -1,0 +1,199 @@
+"""Covariances between query-snippet answers (Section 4, Appendix F.2).
+
+The covariance between two snippet answers decomposes into a product of
+per-attribute factors (Equation 10): for numeric attributes, the analytic
+double integral of the squared-exponential kernel over the two predicate
+ranges; for categorical attributes, the size of the intersection of the two
+value sets (Appendix F.2).
+
+This module works with *normalised* factors: every numeric factor is the
+double integral divided by both range widths and every categorical factor is
+the intersection size divided by both set sizes, so each per-attribute factor
+lies in ``[0, 1]`` and the product is the correlation structure of *averages*
+of the latent inter-tuple process over the two regions.  AVG snippets are
+such averages directly; FREQ snippets are converted to densities (answer
+divided by the region's volume fraction) before inference and converted back
+afterwards, which is algebraically equivalent to the unnormalised treatment
+in the paper but numerically far better behaved.
+
+Unconstrained attributes are treated as spanning their full domain, so the
+same formula applies uniformly to every pair of snippets.  The overall signal
+variance ``sigma_g^2`` multiplying the factors is calibrated in
+:mod:`repro.core.prior` / :mod:`repro.core.inference` so that the model's
+marginal variances match the empirical variance of past answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.kernel import se_average_factor
+from repro.core.regions import AttributeDomains, CategoricalConstraint, NumericRange, Region
+from repro.core.snippet import Snippet, SnippetKey
+from repro.errors import InferenceError
+
+
+@dataclass(frozen=True)
+class AggregateModel:
+    """Learned correlation parameters for one aggregate function ``g``.
+
+    ``length_scales`` maps numeric attribute names to the paper's ``l_{g,k}``;
+    attributes absent from the mapping fall back to their domain width (the
+    optimisation starting point used in Appendix A).
+    """
+
+    key: SnippetKey
+    length_scales: Mapping[str, float] = field(default_factory=dict)
+
+    def length_scale(self, attribute: str, domains: AttributeDomains) -> float:
+        scale = self.length_scales.get(attribute)
+        if scale is not None and scale > 0:
+            return float(scale)
+        domain = domains.numeric.get(attribute)
+        if domain is None:
+            raise InferenceError(f"no numeric domain for attribute {attribute!r}")
+        return domain.width
+
+    def with_length_scales(self, length_scales: Mapping[str, float]) -> "AggregateModel":
+        merged = dict(self.length_scales)
+        merged.update(length_scales)
+        return AggregateModel(key=self.key, length_scales=merged)
+
+
+class SnippetCovariance:
+    """Computes normalised covariance factors between snippet regions.
+
+    The factors returned by this class are *unit-variance* correlations (the
+    product over attributes of per-attribute factors in ``[0, 1]``); callers
+    multiply by the calibrated signal variance ``sigma_g^2``.
+    """
+
+    def __init__(self, domains: AttributeDomains, model: AggregateModel):
+        self.domains = domains
+        self.model = model
+
+    # ------------------------------------------------------------------ public
+
+    def factor_matrix(
+        self, rows: Sequence[Snippet], cols: Sequence[Snippet] | None = None
+    ) -> np.ndarray:
+        """Pairwise factor matrix between two snippet lists.
+
+        When ``cols`` is omitted the matrix is the symmetric factor matrix of
+        ``rows`` against itself.
+        """
+        symmetric = cols is None
+        col_snippets = rows if cols is None else cols
+        result = np.ones((len(rows), len(col_snippets)), dtype=np.float64)
+        if result.size == 0:
+            return result
+
+        for name, domain in sorted(self.domains.numeric.items()):
+            length_scale = self.model.length_scale(name, self.domains)
+            row_ranges = [self._numeric_range(snippet.region, name) for snippet in rows]
+            col_ranges = (
+                row_ranges
+                if symmetric
+                else [self._numeric_range(snippet.region, name) for snippet in col_snippets]
+            )
+            result *= self._numeric_factor(row_ranges, col_ranges, length_scale)
+
+        for name, domain in sorted(self.domains.categorical.items()):
+            row_sets = [self._categorical_constraint(snippet.region, name) for snippet in rows]
+            col_sets = (
+                row_sets
+                if symmetric
+                else [
+                    self._categorical_constraint(snippet.region, name)
+                    for snippet in col_snippets
+                ]
+            )
+            result *= self._categorical_factor(row_sets, col_sets)
+        return result
+
+    def factor_vector(self, rows: Sequence[Snippet], new: Snippet) -> np.ndarray:
+        """Factors between every past snippet and one new snippet."""
+        return self.factor_matrix(rows, [new]).ravel()
+
+    def self_factor(self, snippet: Snippet) -> float:
+        """The snippet's own (prior) factor -- the diagonal entry."""
+        return float(self.factor_matrix([snippet])[0, 0])
+
+    # ---------------------------------------------------------------- per-type
+
+    def _numeric_range(self, region: Region, name: str) -> tuple[float, float]:
+        constrained = region.numeric_by_name().get(name)
+        if constrained is not None:
+            domain = self.domains.numeric[name]
+            low = max(constrained.low, domain.low - domain.width)
+            high = min(constrained.high, domain.high + domain.width)
+            if high - low < domain.resolution:
+                center = 0.5 * (low + high)
+                low = center - 0.5 * domain.resolution
+                high = center + 0.5 * domain.resolution
+            return (low, high)
+        domain = self.domains.numeric[name]
+        return (domain.low, domain.high if domain.high > domain.low else domain.low + domain.resolution)
+
+    def _categorical_constraint(self, region: Region, name: str) -> CategoricalConstraint:
+        constrained = region.categorical_by_name().get(name)
+        if constrained is not None:
+            return constrained
+        domain = self.domains.categorical[name]
+        return CategoricalConstraint(name=name, values=None, domain_size=domain.size)
+
+    def _numeric_factor(
+        self,
+        row_ranges: Sequence[tuple[float, float]],
+        col_ranges: Sequence[tuple[float, float]],
+        length_scale: float,
+    ) -> np.ndarray:
+        """Normalised double-integral factors, deduplicated by distinct range.
+
+        Snippets in a workload reuse a small number of distinct ranges per
+        attribute (most commonly the full domain), so factors are computed on
+        the distinct ranges and scattered back, keeping the cost independent
+        of the number of snippet pairs in the common case.
+        """
+        distinct: dict[tuple[float, float], int] = {}
+        row_index = np.empty(len(row_ranges), dtype=np.int64)
+        col_index = np.empty(len(col_ranges), dtype=np.int64)
+        for target, ranges in ((row_index, row_ranges), (col_index, col_ranges)):
+            for position, bounds in enumerate(ranges):
+                identifier = distinct.setdefault(bounds, len(distinct))
+                target[position] = identifier
+        lows = np.array([bounds[0] for bounds in distinct], dtype=np.float64)
+        highs = np.array([bounds[1] for bounds in distinct], dtype=np.float64)
+        base = se_average_factor(
+            lows[:, None], highs[:, None], lows[None, :], highs[None, :], length_scale
+        )
+        base = np.asarray(base, dtype=np.float64)
+        return base[np.ix_(row_index, col_index)]
+
+    def _categorical_factor(
+        self,
+        row_sets: Sequence[CategoricalConstraint],
+        col_sets: Sequence[CategoricalConstraint],
+    ) -> np.ndarray:
+        """Normalised intersection factors, deduplicated by distinct value set."""
+        distinct: dict[frozenset | None, int] = {}
+        constraints: list[CategoricalConstraint] = []
+        row_index = np.empty(len(row_sets), dtype=np.int64)
+        col_index = np.empty(len(col_sets), dtype=np.int64)
+        for target, sets in ((row_index, row_sets), (col_index, col_sets)):
+            for position, constraint in enumerate(sets):
+                identity = constraint.values
+                if identity not in distinct:
+                    distinct[identity] = len(constraints)
+                    constraints.append(constraint)
+                target[position] = distinct[identity]
+        count = len(constraints)
+        base = np.empty((count, count), dtype=np.float64)
+        for i, first in enumerate(constraints):
+            for j, second in enumerate(constraints):
+                denominator = max(first.size, 1) * max(second.size, 1)
+                base[i, j] = first.intersection_size(second) / denominator
+        return base[np.ix_(row_index, col_index)]

@@ -1,0 +1,665 @@
+"""The Verdict engine: database learning on top of an off-the-shelf AQP engine.
+
+The engine implements the workflow of Figure 2 and Algorithms 1 / 2:
+
+1. an incoming query is checked against the supported class (Section 2.2);
+   unsupported queries bypass inference and the raw AQP answer is returned;
+2. supported queries are sent to the AQP engine, which returns raw answers
+   and raw errors (for online aggregation, a sequence of them);
+3. each raw answer is decomposed into internal snippets (AVG(A_k) and
+   FREQ(*), Section 2.3), the maximum-entropy inference of Section 3 produces
+   model-based answers/errors for up to ``N_max`` snippets, the model
+   validation of Appendix B accepts or rejects each of them, and the improved
+   user-facing aggregates are recombined (AVG directly, COUNT from FREQ, SUM
+   from AVG x COUNT);
+4. once the query finishes, its raw snippets are added to the query synopsis
+   (bounded per aggregate function, LRU-evicted);
+5. the offline step (:meth:`VerdictEngine.train`) learns correlation
+   parameters from the synopsis and refreshes the precomputed covariance
+   factorisations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.aqp.time_bound import TimeBoundEngine
+from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow
+from repro.config import VerdictConfig
+from repro.core.append import append_adjustment, apply_append_adjustment
+from repro.core.covariance import AggregateModel
+from repro.core.inference import GaussianInference, InferenceResult, PreparedInference
+from repro.core.learning import LearnedParameters, learn_length_scales
+from repro.core.prior import estimate_prior
+from repro.core.regions import AttributeDomains, Region, RegionBuilder
+from repro.core.snippet import AggregateKind, Snippet, SnippetKey
+from repro.core.synopsis import QuerySynopsis
+from repro.core.validation import validate_model_answer
+from repro.db.catalog import Catalog
+from repro.db.table import Table
+from repro.errors import ReproError
+from repro.sqlparser import ast
+from repro.sqlparser.checker import CheckResult, QueryTypeChecker
+from repro.sqlparser.decompose import SnippetSpec, decompose_query
+from repro.sqlparser.parser import parse_query
+
+Value = Union[int, float, str]
+
+
+# --------------------------------------------------------------------------- #
+# Answer types
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ImprovedEstimate:
+    """Improved answer/error for one aggregate of one output row."""
+
+    name: str
+    function: ast.AggregateFunction
+    value: float
+    error: float
+    raw_value: float
+    raw_error: float
+    improved: bool
+    validation_reason: str = ""
+
+    def error_bound(self, multiplier: float) -> float:
+        return multiplier * self.error
+
+    def relative_error_bound(self, multiplier: float) -> float:
+        denominator = abs(self.value)
+        if denominator < 1e-12:
+            return float("inf") if self.error > 0 else 0.0
+        return multiplier * self.error / denominator
+
+
+@dataclass(frozen=True)
+class VerdictRow:
+    """One output row of an improved answer."""
+
+    group_values: tuple[Value, ...]
+    estimates: dict[str, ImprovedEstimate]
+
+    def estimate(self, name: str) -> ImprovedEstimate:
+        return self.estimates[name]
+
+
+@dataclass
+class VerdictAnswer:
+    """Verdict's improved answer wrapping one raw AQP answer."""
+
+    query: ast.Query
+    raw: AQPAnswer
+    rows: list[VerdictRow]
+    supported: bool
+    unsupported_reasons: tuple[str, ...]
+    overhead_seconds: float
+
+    @property
+    def group_columns(self) -> tuple[str, ...]:
+        return self.raw.group_columns
+
+    @property
+    def aggregate_names(self) -> tuple[str, ...]:
+        return self.raw.aggregate_names
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Model time of the raw answer plus Verdict's inference overhead."""
+        return self.raw.elapsed_seconds + self.overhead_seconds
+
+    def by_group(self) -> dict[tuple[Value, ...], VerdictRow]:
+        return {row.group_values: row for row in self.rows}
+
+    def scalar_estimate(self) -> ImprovedEstimate:
+        if len(self.rows) != 1 or len(self.aggregate_names) != 1:
+            raise ValueError("scalar_estimate() requires a single-cell answer")
+        return self.rows[0].estimates[self.aggregate_names[0]]
+
+    def mean_relative_error_bound(self, multiplier: float) -> float:
+        bounds = [
+            estimate.relative_error_bound(multiplier)
+            for row in self.rows
+            for estimate in row.estimates.values()
+        ]
+        finite = [b for b in bounds if b != float("inf")]
+        if not finite:
+            return 0.0
+        return sum(finite) / len(finite)
+
+    def improvement_count(self) -> int:
+        """How many cells Verdict actually improved (validation accepted)."""
+        return sum(
+            1
+            for row in self.rows
+            for estimate in row.estimates.values()
+            if estimate.improved
+        )
+
+
+@dataclass
+class _CellPlan:
+    """Internal bookkeeping for one (row, aggregate) cell to improve."""
+
+    row_index: int
+    name: str
+    function: ast.AggregateFunction
+    raw: AggregateEstimate
+    avg_snippet: Snippet | None = None
+    freq_snippet: Snippet | None = None
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+
+
+class VerdictEngine:
+    """Database learning on top of a black-box AQP engine (Figure 2)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        aqp_engine: OnlineAggregationEngine,
+        config: VerdictConfig | None = None,
+        time_bound_engine: TimeBoundEngine | None = None,
+    ):
+        self.catalog = catalog
+        self.aqp = aqp_engine
+        self.config = config or VerdictConfig()
+        self.time_bound = time_bound_engine
+        self.checker = QueryTypeChecker()
+        self.synopsis = QuerySynopsis(capacity_per_key=self.config.max_snippets_per_aggregate)
+        self.inference = GaussianInference(self.config)
+        self._models: dict[SnippetKey, AggregateModel] = {}
+        self._prepared: dict[SnippetKey, PreparedInference] = {}
+        self._domains_cache: dict[str, AttributeDomains] = {}
+        self.queries_processed = 0
+        self.queries_improved = 0
+        self.total_overhead_seconds = 0.0
+
+    # ----------------------------------------------------------------- domains
+
+    def domains_for(self, fact_table: str) -> AttributeDomains:
+        """Attribute domains of a fact table and its FK-joined dimensions."""
+        if fact_table not in self._domains_cache:
+            self._domains_cache[fact_table] = self._build_domains(fact_table)
+        return self._domains_cache[fact_table]
+
+    def _build_domains(self, fact_table: str) -> AttributeDomains:
+        """Domains of the fact table plus every transitively FK-joined dimension.
+
+        Snowflake-style chains (e.g. lineitem -> orders -> customer) are
+        followed so that predicates on any reachable dimension attribute can
+        be represented as region constraints rather than residual filters.
+        """
+        domains = AttributeDomains.from_table(self.catalog.table(fact_table))
+        visited = {fact_table}
+        frontier = [fact_table]
+        while frontier:
+            current = frontier.pop()
+            for foreign_key in self.catalog.foreign_keys(current):
+                dimension_name = foreign_key.dimension_table
+                if dimension_name in visited:
+                    continue
+                visited.add(dimension_name)
+                frontier.append(dimension_name)
+                dimension = self.catalog.table(dimension_name)
+                domains = domains.merged_with(AttributeDomains.from_table(dimension))
+        return domains
+
+    def invalidate_domains(self, fact_table: str | None = None) -> None:
+        if fact_table is None:
+            self._domains_cache.clear()
+        else:
+            self._domains_cache.pop(fact_table, None)
+        self._prepared.clear()
+
+    # ------------------------------------------------------------------- query
+
+    def check(self, query: Union[str, ast.Query]) -> tuple[ast.Query, CheckResult]:
+        """Parse (if needed) and type-check a query."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return parsed, self.checker.check(parsed)
+
+    def run(self, query: Union[str, ast.Query]) -> Iterator[VerdictAnswer]:
+        """Yield improved answers, one per raw answer of the AQP engine.
+
+        The synopsis is *not* updated; callers that want learning should use
+        :meth:`execute` or call :meth:`record` with the final raw answer.
+        """
+        parsed, check = self.check(query)
+        for raw in self.aqp.run(parsed):
+            yield self.process_answer(parsed, raw, check)
+
+    def execute(
+        self,
+        query: Union[str, ast.Query],
+        stop: Callable[[VerdictAnswer], bool] | None = None,
+        max_batches: int | None = None,
+        record: bool = True,
+    ) -> list[VerdictAnswer]:
+        """Run a query through the AQP engine, improving every raw answer.
+
+        Online aggregation stops as soon as ``stop(answer)`` is satisfied (the
+        satisfying answer is included) or ``max_batches`` have been processed.
+        The final raw answer's snippets are added to the synopsis when
+        ``record`` is True and the query is supported.
+        """
+        parsed, check = self.check(query)
+        answers: list[VerdictAnswer] = []
+        for raw in self.aqp.run(parsed):
+            answer = self.process_answer(parsed, raw, check)
+            answers.append(answer)
+            if stop is not None and stop(answer):
+                break
+            if max_batches is not None and raw.batches_processed >= max_batches:
+                break
+        if record and answers and check.supported:
+            self.record(parsed, answers[-1].raw)
+        self.queries_processed += 1
+        if answers and answers[-1].improvement_count() > 0:
+            self.queries_improved += 1
+        return answers
+
+    def execute_time_bound(
+        self,
+        query: Union[str, ast.Query],
+        time_budget_s: float,
+        record: bool = True,
+        inference_epsilon_s: float = 0.01,
+    ) -> VerdictAnswer:
+        """Answer a query within a time budget using the time-bound engine.
+
+        Verdict shrinks the budget it hands to the AQP engine by its own
+        (small) inference overhead epsilon (Section 7).
+        """
+        if self.time_bound is None:
+            raise ReproError("no time-bound AQP engine configured")
+        parsed, check = self.check(query)
+        inner_budget = max(time_budget_s - inference_epsilon_s, 1e-3)
+        raw = self.time_bound.execute(parsed, inner_budget)
+        answer = self.process_answer(parsed, raw, check)
+        if record and check.supported:
+            self.record(parsed, raw)
+        self.queries_processed += 1
+        return answer
+
+    # -------------------------------------------------------------- processing
+
+    def process_answer(
+        self,
+        query: ast.Query,
+        raw: AQPAnswer,
+        check: CheckResult | None = None,
+    ) -> VerdictAnswer:
+        """Improve one raw AQP answer (Algorithm 2, without the synopsis update)."""
+        if check is None:
+            check = self.checker.check(query)
+        started = time.perf_counter()
+        if not check.supported:
+            rows = [self._passthrough_row(row) for row in raw.rows]
+            overhead = time.perf_counter() - started
+            self.total_overhead_seconds += overhead
+            return VerdictAnswer(
+                query=query,
+                raw=raw,
+                rows=rows,
+                supported=False,
+                unsupported_reasons=check.reasons,
+                overhead_seconds=overhead,
+            )
+
+        domains = self.domains_for(query.table)
+        plans = self._build_cell_plans(query, raw, domains)
+        improved_rows: list[dict[str, ImprovedEstimate]] = [
+            {} for _ in range(len(raw.rows))
+        ]
+        for plan in plans:
+            improved_rows[plan.row_index][plan.name] = self._improve_cell(plan, domains, raw)
+
+        rows: list[VerdictRow] = []
+        for row_index, raw_row in enumerate(raw.rows):
+            estimates = dict(improved_rows[row_index])
+            for name, estimate in raw_row.estimates.items():
+                if name not in estimates:
+                    estimates[name] = _raw_passthrough(estimate)
+            rows.append(VerdictRow(group_values=raw_row.group_values, estimates=estimates))
+        overhead = time.perf_counter() - started
+        self.total_overhead_seconds += overhead
+        return VerdictAnswer(
+            query=query,
+            raw=raw,
+            rows=rows,
+            supported=True,
+            unsupported_reasons=(),
+            overhead_seconds=overhead,
+        )
+
+    def record(self, query: ast.Query, raw: AQPAnswer) -> int:
+        """Add the raw snippets of a processed query to the synopsis.
+
+        Returns the number of snippets added.  Only supported queries should
+        be recorded (Section 2.2: the class of queries that can be improved is
+        the class that can improve others).
+        """
+        domains = self.domains_for(query.table)
+        plans = self._build_cell_plans(query, raw, domains)
+        added = 0
+        for plan in plans:
+            for snippet in (plan.avg_snippet, plan.freq_snippet):
+                if snippet is not None:
+                    self.synopsis.add(snippet)
+                    added += 1
+        if added:
+            # Prepared factorisations are stale once the synopsis changes.
+            self._prepared.clear()
+        return added
+
+    # ---------------------------------------------------------------- training
+
+    def train(self, learn_length_scales_flag: bool | None = None) -> dict[SnippetKey, LearnedParameters]:
+        """Offline step (Algorithm 1): learn parameters and refresh factorisations."""
+        learn = (
+            self.config.learn_length_scales
+            if learn_length_scales_flag is None
+            else learn_length_scales_flag
+        )
+        results: dict[SnippetKey, LearnedParameters] = {}
+        for key in self.synopsis.keys():
+            snippets = self.synopsis.snippets_for(key)
+            domains = self.domains_for(key.table)
+            if learn:
+                learned = learn_length_scales(key, snippets, domains, self.config)
+            else:
+                learned = LearnedParameters(
+                    key=key,
+                    length_scales=domains.default_length_scales(),
+                    sigma2=estimate_prior(snippets, domains).variance,
+                    log_likelihood=0.0,
+                    optimized_attributes=(),
+                    converged=False,
+                )
+            results[key] = learned
+            self._models[key] = learned.as_model()
+        self._prepared.clear()
+        for key in self.synopsis.keys():
+            self._prepared_for(key)
+        return results
+
+    def set_model(self, key: SnippetKey, model: AggregateModel) -> None:
+        """Override the correlation parameters of one aggregate function.
+
+        Used by the Figure 9 experiment, which injects deliberately mis-scaled
+        length scales to stress the model validation.
+        """
+        self._models[key] = model
+        self._prepared.pop(key, None)
+
+    def model_for(self, key: SnippetKey) -> AggregateModel:
+        model = self._models.get(key)
+        if model is None:
+            domains = self.domains_for(key.table)
+            model = AggregateModel(key=key, length_scales=domains.default_length_scales())
+        return model
+
+    # ------------------------------------------------------------- data append
+
+    def register_append(
+        self, table_name: str, appended: Table, adjust: bool = True
+    ) -> int:
+        """Append new tuples to a table and adjust the synopsis (Appendix D).
+
+        Returns the number of snippets adjusted.  Passing ``adjust=False``
+        reproduces the "no adjustment" ablation of Figure 12: the data grows
+        but past snippets keep their stale answers and errors.
+        """
+        old_table = self.catalog.table(table_name)
+        old_count = old_table.num_rows
+        new_count = appended.num_rows
+        updated = old_table.append(appended.renamed(table_name))
+        self.catalog.replace_table(updated)
+        self.aqp.samples.invalidate(table_name)
+        if self.time_bound is not None:
+            self.time_bound.samples.invalidate(table_name)
+        self.invalidate_domains(table_name)
+
+        if not adjust:
+            return 0
+
+        adjusted = 0
+        for key in self.synopsis.keys():
+            if key.table != table_name:
+                continue
+            if key.kind is AggregateKind.AVG and key.attribute and appended.has_column(key.attribute):
+                old_values = np.asarray(old_table.column(key.attribute), dtype=np.float64)
+                new_values = np.asarray(appended.column(key.attribute), dtype=np.float64)
+            else:
+                old_values = np.array([], dtype=np.float64)
+                new_values = np.array([], dtype=np.float64)
+            adjustment = append_adjustment(
+                old_values, new_values, old_count, new_count, kind=key.kind
+            )
+            adjusted += self.synopsis.transform(
+                key, lambda snippet: apply_append_adjustment(snippet, adjustment)
+            )
+        self._prepared.clear()
+        return adjusted
+
+    # ------------------------------------------------------------------ helpers
+
+    def _prepared_for(self, key: SnippetKey) -> PreparedInference | None:
+        cached = self._prepared.get(key)
+        if cached is not None and cached.synopsis_version == self.synopsis.version:
+            return cached
+        snippets = self.synopsis.snippets_for(key)
+        if len(snippets) < self.config.min_past_snippets or not snippets:
+            return None
+        prepared = self.inference.prepare(
+            key,
+            snippets,
+            self.model_for(key),
+            self.domains_for(key.table),
+            synopsis_version=self.synopsis.version,
+        )
+        if prepared is not None:
+            self._prepared[key] = prepared
+        return prepared
+
+    def _build_cell_plans(
+        self, query: ast.Query, raw: AQPAnswer, domains: AttributeDomains
+    ) -> list[_CellPlan]:
+        aggregate_items = [item for item in query.select if item.is_aggregate]
+        limit = self.config.max_snippets_per_query * max(len(aggregate_items), 1)
+        specs = decompose_query(query, group_rows=raw.group_rows(), max_snippets=limit)
+        builder = RegionBuilder(domains)
+        plans: list[_CellPlan] = []
+        select_items = list(query.select)
+        for spec in specs:
+            if spec.group_index >= len(raw.rows):
+                continue
+            raw_row = raw.rows[spec.group_index]
+            item = select_items[spec.aggregate_index]
+            name = item.output_name
+            estimate = raw_row.estimates.get(name)
+            if estimate is None:
+                continue
+            region = builder.build(spec.predicate)
+            plan = _CellPlan(
+                row_index=spec.group_index,
+                name=name,
+                function=spec.aggregate.function,
+                raw=estimate,
+            )
+            self._attach_snippets(plan, spec, region, query.table, estimate)
+            plans.append(plan)
+        return plans
+
+    def _attach_snippets(
+        self,
+        plan: _CellPlan,
+        spec: SnippetSpec,
+        region: Region,
+        table: str,
+        estimate: AggregateEstimate,
+    ) -> None:
+        function = spec.aggregate.function
+        internal = estimate.internal
+        needs_avg = function in (ast.AggregateFunction.AVG, ast.AggregateFunction.SUM)
+        needs_freq = function in (
+            ast.AggregateFunction.COUNT,
+            ast.AggregateFunction.SUM,
+            ast.AggregateFunction.FREQ,
+        )
+        if needs_avg and internal.avg_value is not None:
+            attribute = _expression_label(spec.aggregate.argument)
+            key = SnippetKey(
+                kind=AggregateKind.AVG,
+                table=table,
+                attribute=attribute,
+                residual=region.residual,
+            )
+            plan.avg_snippet = Snippet(
+                key=key,
+                region=region,
+                raw_answer=float(internal.avg_value),
+                raw_error=float(internal.avg_error or 0.0),
+            )
+        if needs_freq:
+            key = SnippetKey(
+                kind=AggregateKind.FREQ, table=table, residual=region.residual
+            )
+            plan.freq_snippet = Snippet(
+                key=key,
+                region=region,
+                raw_answer=float(internal.freq_value),
+                raw_error=float(internal.freq_error),
+            )
+
+    def _improve_cell(
+        self, plan: _CellPlan, domains: AttributeDomains, raw: AQPAnswer
+    ) -> ImprovedEstimate:
+        avg_result = self._improve_snippet(plan.avg_snippet)
+        freq_result = self._improve_snippet(plan.freq_snippet)
+        population = raw.population_size
+        function = plan.function
+
+        if function is ast.AggregateFunction.AVG and avg_result is not None:
+            value, error, improved, reason = avg_result
+        elif function is ast.AggregateFunction.FREQ and freq_result is not None:
+            value, error, improved, reason = freq_result
+        elif function is ast.AggregateFunction.COUNT and freq_result is not None:
+            freq_value, freq_error, improved, reason = freq_result
+            value = freq_value * population
+            error = freq_error * population
+        elif function is ast.AggregateFunction.SUM and avg_result is not None and freq_result is not None:
+            avg_value, avg_error, avg_improved, avg_reason = avg_result
+            freq_value, freq_error, freq_improved, freq_reason = freq_result
+            count_value = freq_value * population
+            count_error = freq_error * population
+            value = avg_value * count_value
+            error = math.sqrt(
+                (count_value * avg_error) ** 2 + (avg_value * count_error) ** 2
+            )
+            improved = avg_improved or freq_improved
+            reason = "; ".join(sorted({avg_reason, freq_reason}))
+        else:
+            return _raw_passthrough(plan.raw)
+
+        # Never report an improved error larger than the raw error: the
+        # recombination of SUM from two improved components uses an
+        # independence approximation, so cap it for safety (Theorem 1 applies
+        # per snippet, and the cap keeps it true per user-facing aggregate).
+        if error > plan.raw.error and plan.raw.error > 0:
+            value, error = plan.raw.value, plan.raw.error
+            improved = False
+            reason = "recombination not tighter than raw"
+        return ImprovedEstimate(
+            name=plan.name,
+            function=function,
+            value=value,
+            error=error,
+            raw_value=plan.raw.value,
+            raw_error=plan.raw.error,
+            improved=improved,
+            validation_reason=reason,
+        )
+
+    def _improve_snippet(
+        self, snippet: Snippet | None
+    ) -> tuple[float, float, bool, str] | None:
+        """Return (value, error, improved, reason) for one internal snippet."""
+        if snippet is None:
+            return None
+        prepared = self._prepared_for(snippet.key)
+        if prepared is None:
+            return (snippet.raw_answer, snippet.raw_error, False, "empty synopsis")
+        result = self.inference.infer(prepared, snippet)
+        decision = validate_model_answer(
+            result,
+            snippet.key.kind,
+            validation_confidence=self.config.validation_confidence,
+            enabled=self.config.enable_model_validation,
+            conservative=self.config.conservative_validation,
+        )
+        self.synopsis.mark_used(
+            snippet.key, [past.snippet_id for past in prepared.snippets]
+        )
+        improved = decision.accepted and decision.improved_error < snippet.raw_error
+        return (
+            decision.improved_answer,
+            decision.improved_error,
+            improved,
+            decision.reason,
+        )
+
+    def _passthrough_row(self, row: AQPRow) -> VerdictRow:
+        estimates = {name: _raw_passthrough(est) for name, est in row.estimates.items()}
+        return VerdictRow(group_values=row.group_values, estimates=estimates)
+
+    # --------------------------------------------------------------- statistics
+
+    def synopsis_size(self) -> int:
+        return len(self.synopsis)
+
+    def memory_footprint_bytes(self) -> int:
+        """Synopsis payload plus the precomputed covariance factorisations."""
+        total = self.synopsis.memory_footprint_bytes()
+        for prepared in self._prepared.values():
+            total += prepared.size * prepared.size * 8
+            total += prepared.size * 3 * 8
+        return total
+
+
+def _raw_passthrough(estimate: AggregateEstimate) -> ImprovedEstimate:
+    """Wrap a raw estimate unchanged (unsupported query / empty synopsis)."""
+    return ImprovedEstimate(
+        name=estimate.name,
+        function=estimate.function,
+        value=estimate.value,
+        error=estimate.error,
+        raw_value=estimate.value,
+        raw_error=estimate.error,
+        improved=False,
+        validation_reason="passthrough",
+    )
+
+
+def _expression_label(expression: ast.Expression) -> str:
+    """Canonical label of a measure expression, used in snippet keys."""
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.Literal):
+        return repr(expression.value)
+    if isinstance(expression, ast.Star):
+        return "*"
+    if isinstance(expression, ast.BinaryOp):
+        return f"({_expression_label(expression.left)}{expression.op}{_expression_label(expression.right)})"
+    return repr(expression)

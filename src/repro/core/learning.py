@@ -1,0 +1,186 @@
+"""Correlation-parameter learning (Appendix A).
+
+The length scales ``l_{g,1} .. l_{g,l}`` of the squared-exponential
+inter-tuple covariance are learned by maximising the Gaussian log-likelihood
+of the past snippet answers (Equation 13):
+
+    log Pr(theta_past | Sigma_n)
+        = -1/2 theta^T Sigma_n^{-1} theta - 1/2 log|Sigma_n| - n/2 log 2 pi
+
+where ``Sigma_n`` is the past-answer covariance implied by the candidate
+length scales (including the observation-noise diagonal), and ``theta`` are
+the centred past answers.  The signal variance ``sigma_g^2`` and the prior
+mean are computed analytically (Appendix F.3 / :mod:`repro.core.prior`), so
+the optimisation is only over the length scales of numeric attributes that at
+least one past snippet actually constrains (the likelihood is flat in the
+others).
+
+The paper uses Matlab's ``fminunc``; this reproduction uses
+``scipy.optimize.minimize`` (L-BFGS-B) over log length scales, started at the
+attribute domain width (the paper's starting point), with a small number of
+random restarts since the likelihood is not convex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.optimize import minimize
+
+from repro.config import VerdictConfig
+from repro.core.covariance import AggregateModel, SnippetCovariance
+from repro.core.prior import estimate_prior, observation_error, observation_value
+from repro.core.regions import AttributeDomains
+from repro.core.snippet import Snippet, SnippetKey
+from repro.errors import LearningError
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@dataclass(frozen=True)
+class LearnedParameters:
+    """Result of learning the correlation parameters of one aggregate."""
+
+    key: SnippetKey
+    length_scales: dict[str, float]
+    sigma2: float
+    log_likelihood: float
+    optimized_attributes: tuple[str, ...]
+    converged: bool
+
+    def as_model(self) -> AggregateModel:
+        return AggregateModel(key=self.key, length_scales=dict(self.length_scales))
+
+
+def negative_log_likelihood(
+    length_scales: dict[str, float],
+    key: SnippetKey,
+    snippets: Sequence[Snippet],
+    domains: AttributeDomains,
+    jitter: float = 1e-9,
+) -> float:
+    """Negative log-likelihood of past answers under given length scales.
+
+    Exposed separately so tests (and the Figure 7 benchmark) can inspect the
+    likelihood surface directly.
+    """
+    past = list(snippets)
+    if len(past) < 2:
+        return 0.0
+    model = AggregateModel(key=key, length_scales=length_scales)
+    covariance = SnippetCovariance(domains, model)
+    prior = estimate_prior(past, domains)
+
+    factors = covariance.factor_matrix(past)
+    mean_diagonal = float(np.mean(np.diag(factors)))
+    sigma2 = prior.variance / (mean_diagonal if mean_diagonal > 0 else 1.0)
+
+    noise = np.array(
+        [observation_error(snippet, domains) ** 2 for snippet in past], dtype=np.float64
+    )
+    matrix = sigma2 * factors + np.diag(noise)
+    matrix[np.diag_indices_from(matrix)] += jitter * max(
+        float(np.mean(np.diag(matrix))), 1.0
+    )
+    observations = np.array(
+        [observation_value(snippet, domains) for snippet in past], dtype=np.float64
+    )
+    centered = observations - prior.mean
+    try:
+        cho = cho_factor(matrix, lower=True)
+    except np.linalg.LinAlgError:
+        return float("inf")
+    alpha = cho_solve(cho, centered)
+    log_det = 2.0 * float(np.sum(np.log(np.diag(cho[0]))))
+    value = 0.5 * float(centered @ alpha) + 0.5 * log_det + 0.5 * len(past) * _LOG_2PI
+    if not math.isfinite(value):
+        return float("inf")
+    return value
+
+
+def constrained_numeric_attributes(
+    snippets: Sequence[Snippet], domains: AttributeDomains
+) -> list[str]:
+    """Numeric attributes constrained by at least one past snippet."""
+    constrained: set[str] = set()
+    for snippet in snippets:
+        for numeric_range in snippet.region.numeric_ranges:
+            if numeric_range.name in domains.numeric:
+                constrained.add(numeric_range.name)
+    return sorted(constrained)
+
+
+def learn_length_scales(
+    key: SnippetKey,
+    snippets: Sequence[Snippet],
+    domains: AttributeDomains,
+    config: VerdictConfig | None = None,
+    seed: int = 0,
+) -> LearnedParameters:
+    """Learn length scales for one aggregate function from its past snippets."""
+    config = config or VerdictConfig()
+    past = list(snippets)[-config.max_learning_snippets :]
+    defaults = domains.default_length_scales()
+    prior = estimate_prior(past, domains)
+
+    attributes = constrained_numeric_attributes(past, domains)
+    if len(past) < 3 or not attributes or not config.learn_length_scales:
+        return LearnedParameters(
+            key=key,
+            length_scales=dict(defaults),
+            sigma2=prior.variance,
+            log_likelihood=-negative_log_likelihood(defaults, key, past, domains),
+            optimized_attributes=(),
+            converged=False,
+        )
+
+    widths = np.array([max(defaults[name], 1e-9) for name in attributes], dtype=np.float64)
+    lower = np.log(widths * 1e-3)
+    upper = np.log(widths * 10.0)
+
+    def objective(log_scales: np.ndarray) -> float:
+        scales = dict(defaults)
+        scales.update(
+            {name: float(np.exp(value)) for name, value in zip(attributes, log_scales)}
+        )
+        return negative_log_likelihood(scales, key, past, domains, jitter=config.jitter)
+
+    rng = np.random.default_rng(seed)
+    best_value = float("inf")
+    best_scales = np.log(widths)
+    converged = False
+    starts = [np.log(widths)]
+    for _ in range(max(config.learning_restarts - 1, 0)):
+        starts.append(np.log(widths) + rng.uniform(-2.0, 1.0, size=len(widths)))
+    for start in starts:
+        try:
+            outcome = minimize(
+                objective,
+                start,
+                method="L-BFGS-B",
+                bounds=list(zip(lower, upper)),
+                options={"maxiter": 60},
+            )
+        except (ValueError, FloatingPointError) as exc:  # pragma: no cover - defensive
+            raise LearningError(f"length-scale optimisation failed: {exc}") from exc
+        if outcome.fun < best_value and math.isfinite(outcome.fun):
+            best_value = float(outcome.fun)
+            best_scales = np.asarray(outcome.x, dtype=np.float64)
+            converged = bool(outcome.success)
+
+    length_scales = dict(defaults)
+    length_scales.update(
+        {name: float(np.exp(value)) for name, value in zip(attributes, best_scales)}
+    )
+    return LearnedParameters(
+        key=key,
+        length_scales=length_scales,
+        sigma2=prior.variance,
+        log_likelihood=-best_value,
+        optimized_attributes=tuple(attributes),
+        converged=converged,
+    )

@@ -1,0 +1,97 @@
+"""Internal query snippets: the unit of Verdict's inference.
+
+Verdict performs its internal computations on exactly two aggregate
+functions, ``AVG(A_k)`` and ``FREQ(*)`` (Section 2.3); user-facing SUM /
+COUNT / AVG aggregates are recombined from them at answer time.  A
+:class:`Snippet` is one internal aggregate over one predicate region together
+with its raw (AQP) answer and raw error, which is what the query synopsis
+stores and what inference consumes.
+
+The :class:`SnippetKey` identifies the aggregate function ``g`` of the
+paper: the internal kind, the aggregated attribute (for AVG), the fact table
+it is computed over, and the residual-predicate signature.  Snippets can only
+inform each other when their keys match -- covariances across different
+aggregate functions, different tables, or different unrepresentable filters
+are never formed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.core.regions import Region
+
+
+class AggregateKind(enum.Enum):
+    """Verdict's two internal aggregate functions (Section 2.3)."""
+
+    AVG = "avg"
+    FREQ = "freq"
+
+
+@dataclass(frozen=True)
+class SnippetKey:
+    """Identity of an internal aggregate function ``g``."""
+
+    kind: AggregateKind
+    table: str
+    attribute: str | None = None
+    residual: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.kind is AggregateKind.AVG and not self.attribute:
+            raise ValueError("AVG snippets require an aggregated attribute")
+        if self.kind is AggregateKind.FREQ and self.attribute:
+            raise ValueError("FREQ snippets must not name an attribute")
+
+    @property
+    def label(self) -> str:
+        if self.kind is AggregateKind.AVG:
+            return f"AVG({self.attribute}) on {self.table}"
+        return f"FREQ(*) on {self.table}"
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One past (or new) query snippet with its raw answer and raw error.
+
+    Attributes
+    ----------
+    key:
+        The aggregate function identity.
+    region:
+        Predicate region ``F_i`` of the snippet.
+    raw_answer:
+        ``theta_i`` -- the AQP engine's approximate answer.
+    raw_error:
+        ``beta_i`` -- the AQP engine's expected (one standard deviation)
+        error.  Exact answers have ``raw_error == 0``.
+    snippet_id:
+        Monotonically increasing identifier assigned by the synopsis.
+    sequence:
+        Last-used sequence number maintained by the synopsis for its LRU
+        replacement policy.
+    """
+
+    key: SnippetKey
+    region: Region
+    raw_answer: float
+    raw_error: float
+    snippet_id: int = -1
+    sequence: int = -1
+
+    def __post_init__(self) -> None:
+        if self.raw_error < 0:
+            raise ValueError("raw_error must be non-negative")
+
+    def with_identity(self, snippet_id: int, sequence: int) -> "Snippet":
+        """Copy with synopsis-assigned identifiers."""
+        return replace(self, snippet_id=snippet_id, sequence=sequence)
+
+    def with_adjustment(self, answer_shift: float, extra_variance: float) -> "Snippet":
+        """Copy with the data-append adjustment of Appendix D applied."""
+        if extra_variance < 0:
+            raise ValueError("extra_variance must be non-negative")
+        new_error = (self.raw_error**2 + extra_variance) ** 0.5
+        return replace(self, raw_answer=self.raw_answer + answer_shift, raw_error=new_error)

@@ -1,0 +1,138 @@
+"""The query synopsis: Verdict's bounded store of past snippets.
+
+Definition 2 of the paper: the query synopsis is the set of
+``(q_i, theta_i, beta_i)`` triples for the past snippets.  For each aggregate
+function ``g`` it retains at most ``C_g`` snippets (2,000 by default),
+replacing the least recently used snippet when full (Section 2.3).  The
+synopsis is the only state Verdict keeps -- no input tuples are retained,
+which is why its memory footprint stays tiny (Section 8.5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterable
+
+from repro.core.snippet import Snippet, SnippetKey
+from repro.errors import SynopsisError
+
+
+class QuerySynopsis:
+    """Bounded, LRU-evicted store of past query snippets grouped by key."""
+
+    def __init__(self, capacity_per_key: int = 2_000):
+        if capacity_per_key <= 0:
+            raise SynopsisError("capacity_per_key must be positive")
+        self.capacity_per_key = capacity_per_key
+        self._groups: dict[SnippetKey, OrderedDict[int, Snippet]] = {}
+        self._next_id = 0
+        self._sequence = 0
+        self._version = 0
+
+    # ----------------------------------------------------------------- content
+
+    def add(self, snippet: Snippet) -> Snippet:
+        """Insert a snippet, evicting the least recently used one if needed.
+
+        Returns the stored snippet (with its assigned identifiers).
+        """
+        group = self._groups.setdefault(snippet.key, OrderedDict())
+        self._sequence += 1
+        stored = snippet.with_identity(self._next_id, self._sequence)
+        self._next_id += 1
+        group[stored.snippet_id] = stored
+        group.move_to_end(stored.snippet_id)
+        while len(group) > self.capacity_per_key:
+            group.popitem(last=False)
+        self._version += 1
+        return stored
+
+    def add_all(self, snippets: Iterable[Snippet]) -> list[Snippet]:
+        """Insert several snippets and return the stored copies."""
+        return [self.add(snippet) for snippet in snippets]
+
+    def snippets_for(self, key: SnippetKey) -> list[Snippet]:
+        """Past snippets for one aggregate function, oldest-used first."""
+        group = self._groups.get(key)
+        if not group:
+            return []
+        return list(group.values())
+
+    def mark_used(self, key: SnippetKey, snippet_ids: Iterable[int]) -> None:
+        """Refresh the LRU position of the snippets that inference just used."""
+        group = self._groups.get(key)
+        if not group:
+            return
+        for snippet_id in snippet_ids:
+            if snippet_id in group:
+                self._sequence += 1
+                snippet = group[snippet_id].with_identity(snippet_id, self._sequence)
+                group[snippet_id] = snippet
+                group.move_to_end(snippet_id)
+
+    def keys(self) -> list[SnippetKey]:
+        return list(self._groups)
+
+    def count(self, key: SnippetKey | None = None) -> int:
+        """Number of stored snippets (for one key, or in total)."""
+        if key is not None:
+            return len(self._groups.get(key, ()))
+        return sum(len(group) for group in self._groups.values())
+
+    def clear(self, key: SnippetKey | None = None) -> None:
+        """Drop all snippets (for one key, or everywhere)."""
+        if key is None:
+            self._groups.clear()
+        else:
+            self._groups.pop(key, None)
+        self._version += 1
+
+    # ---------------------------------------------------------------- mutation
+
+    def transform(self, key: SnippetKey, function: Callable[[Snippet], Snippet]) -> int:
+        """Apply ``function`` to every snippet of one key (keeps identifiers).
+
+        Used by the data-append adjustment (Appendix D) to shift answers and
+        inflate errors in place.  Returns the number of snippets transformed.
+        """
+        group = self._groups.get(key)
+        if not group:
+            return 0
+        for snippet_id, snippet in list(group.items()):
+            updated = function(snippet)
+            if updated.key != key:
+                raise SynopsisError("transform must not change a snippet's key")
+            group[snippet_id] = updated.with_identity(snippet_id, snippet.sequence)
+        self._version += 1
+        return len(group)
+
+    def transform_all(self, function: Callable[[Snippet], Snippet]) -> int:
+        """Apply ``function`` to every snippet of every key."""
+        return sum(self.transform(key, function) for key in list(self._groups))
+
+    # ------------------------------------------------------------------ stats
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (used for cache
+        invalidation by the inference layer)."""
+        return self._version
+
+    def memory_footprint_bytes(self) -> int:
+        """Rough memory footprint estimate of the synopsis contents.
+
+        The paper reports 15-25 KB per query; here we count the per-snippet
+        payload (region constraints plus a few floats), which is what the
+        Table 5 / Section 8.5 style reporting needs.
+        """
+        total = 0
+        for group in self._groups.values():
+            for snippet in group.values():
+                total += 64  # answer, error, ids, key reference
+                total += 48 * len(snippet.region.numeric_ranges)
+                for constraint in snippet.region.categorical_constraints:
+                    total += 48 + 16 * constraint.size
+        return total
+
+    def __len__(self) -> int:
+        return self.count()

@@ -1,0 +1,190 @@
+"""Database catalog: named tables, fact/dimension roles, FK denormalisation.
+
+Data warehouses record measurements in *fact* tables and normalise common
+attributes into *dimension* tables (Section 2.2, footnote 2).  Verdict
+supports foreign-key joins between one fact table and any number of dimension
+tables, and the paper's discussion is phrased over the denormalised table.
+The catalog keeps that metadata and provides denormalisation: joining a fact
+table with dimension tables along declared foreign keys to produce the wide
+table every other component operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.db.schema import Column, ColumnRole, Schema
+from repro.db.table import Table
+from repro.errors import CatalogError
+from repro.sqlparser import ast
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared foreign key from ``fact_table.fact_column`` to
+    ``dimension_table.dimension_column``."""
+
+    fact_table: str
+    fact_column: str
+    dimension_table: str
+    dimension_column: str
+
+
+class Catalog:
+    """A collection of named tables with star-schema metadata."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._fact_tables: set[str] = set()
+        self._foreign_keys: list[ForeignKey] = []
+
+    # ----------------------------------------------------------------- tables
+
+    def add_table(self, table: Table, fact: bool = False) -> None:
+        """Register a table.  ``fact=True`` marks it as a fact table."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        if fact:
+            self._fact_tables.add(table.name)
+
+    def replace_table(self, table: Table) -> None:
+        """Replace an existing table's contents (used for data appends)."""
+        if table.name not in self._tables:
+            raise CatalogError(f"table {table.name!r} does not exist")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def fact_tables(self) -> list[str]:
+        return sorted(self._fact_tables)
+
+    def is_fact_table(self, name: str) -> bool:
+        return name in self._fact_tables
+
+    # ----------------------------------------------------------- foreign keys
+
+    def add_foreign_key(
+        self,
+        fact_table: str,
+        fact_column: str,
+        dimension_table: str,
+        dimension_column: str,
+    ) -> None:
+        """Declare a foreign key used for fact-dimension joins."""
+        for table_name, column_name in (
+            (fact_table, fact_column),
+            (dimension_table, dimension_column),
+        ):
+            table = self.table(table_name)
+            if not table.has_column(column_name):
+                raise CatalogError(
+                    f"table {table_name!r} has no column {column_name!r}"
+                )
+        self._foreign_keys.append(
+            ForeignKey(fact_table, fact_column, dimension_table, dimension_column)
+        )
+
+    def foreign_keys(self, fact_table: str | None = None) -> list[ForeignKey]:
+        if fact_table is None:
+            return list(self._foreign_keys)
+        return [fk for fk in self._foreign_keys if fk.fact_table == fact_table]
+
+    def find_foreign_key(self, fact_table: str, dimension_table: str) -> ForeignKey | None:
+        for fk in self._foreign_keys:
+            if fk.fact_table == fact_table and fk.dimension_table == dimension_table:
+                return fk
+        return None
+
+    # --------------------------------------------------------------- joining
+
+    def join(self, base: Table, join_clause: ast.JoinClause) -> Table:
+        """Hash-join ``base`` with a dimension table along an equi-join clause.
+
+        The join is a foreign-key join: every base row is expected to match at
+        most one dimension row; unmatched base rows are dropped (inner join),
+        which is what Verdict's supported join class produces.
+        """
+        dimension = self.table(join_clause.table)
+        left_name, right_name = self._resolve_join_columns(base, dimension, join_clause)
+        left_keys = base.column(left_name)
+        right_keys = dimension.column(right_name)
+
+        index: dict[object, int] = {}
+        for row_index, key in enumerate(right_keys):
+            if key not in index:
+                index[key] = row_index
+        matches = np.asarray(
+            [index.get(key, -1) for key in left_keys], dtype=np.int64
+        )
+        keep = matches >= 0
+        base_kept = base.filter(keep)
+        dimension_rows = matches[keep]
+
+        merged_columns = base_kept.to_dict()
+        merged_schema_columns: list[Column] = list(base_kept.schema.columns)
+        existing = set(base_kept.column_names())
+        for column in dimension.schema:
+            if column.name in existing:
+                continue
+            merged_columns[column.name] = dimension.column(column.name)[dimension_rows]
+            merged_schema_columns.append(column)
+            existing.add(column.name)
+        return Table(base.name, Schema(tuple(merged_schema_columns)), merged_columns)
+
+    def denormalize(self, query: ast.Query) -> Table:
+        """Apply every join in ``query`` to its base table, in order."""
+        table = self.table(query.table)
+        for join_clause in query.joins:
+            table = self.join(table, join_clause)
+        return table
+
+    def _resolve_join_columns(
+        self, base: Table, dimension: Table, join_clause: ast.JoinClause
+    ) -> tuple[str, str]:
+        """Figure out which side of the ON clause refers to the base table."""
+        left, right = join_clause.left_column, join_clause.right_column
+        candidates = [(left.name, right.name), (right.name, left.name)]
+        for base_column, dimension_column in candidates:
+            if base.has_column(base_column) and dimension.has_column(dimension_column):
+                return base_column, dimension_column
+        raise CatalogError(
+            f"cannot resolve join ON {left.qualified} = {right.qualified} between "
+            f"{base.name!r} and {dimension.name!r}"
+        )
+
+    # --------------------------------------------------------------- metadata
+
+    def cardinality(self, name: str) -> int:
+        """Number of rows of a table (used to scale FREQ(*) into COUNT(*))."""
+        return self.table(name).num_rows
+
+    def dimension_attribute_columns(self, table_name: str) -> list[Column]:
+        """Dimension-role columns of a table (candidates for inference domains)."""
+        return [
+            column
+            for column in self.table(table_name).schema
+            if column.role is ColumnRole.DIMENSION
+        ]
+
+    @classmethod
+    def of(cls, tables: Iterable[Table], fact_tables: Iterable[str] = ()) -> "Catalog":
+        """Convenience constructor from an iterable of tables."""
+        catalog = cls()
+        fact_set = set(fact_tables)
+        for table in tables:
+            catalog.add_table(table, fact=table.name in fact_set)
+        return catalog

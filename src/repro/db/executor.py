@@ -1,0 +1,257 @@
+"""Exact query executor over the columnar substrate.
+
+The exact executor computes ground-truth answers used (a) to measure the
+*actual* error of approximate answers in the experiments and (b) as the
+computational kernel underneath the sampling-based AQP engines, which run the
+same evaluation over sample rows and rescale.
+
+Supported evaluation: denormalising fact-dimension joins, conjunctive (and,
+for completeness, disjunctive) predicates, group-by over stored or derived
+attributes, the aggregates SUM / COUNT / AVG / MIN / MAX / FREQ, and HAVING
+clauses expressed over output column names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.expressions import evaluate_expression, evaluate_predicate
+from repro.db.table import Table
+from repro.errors import ExpressionError
+from repro.sqlparser import ast
+
+Value = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One output row: group-by values plus aggregate values by output name."""
+
+    group_values: tuple[Value, ...]
+    aggregates: dict[str, float]
+
+    def value(self, name: str) -> float:
+        return self.aggregates[name]
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a query: column metadata plus rows."""
+
+    group_columns: tuple[str, ...]
+    aggregate_names: tuple[str, ...]
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def scalar(self) -> float:
+        """The single aggregate value of a one-row, one-aggregate result."""
+        if len(self.rows) != 1 or len(self.aggregate_names) != 1:
+            raise ValueError(
+                "scalar() requires exactly one row and one aggregate, got "
+                f"{len(self.rows)} rows x {len(self.aggregate_names)} aggregates"
+            )
+        return self.rows[0].aggregates[self.aggregate_names[0]]
+
+    def group_rows(self) -> list[tuple[Value, ...]]:
+        """Group value tuples in row order (input to query decomposition)."""
+        return [row.group_values for row in self.rows]
+
+    def by_group(self) -> dict[tuple[Value, ...], ResultRow]:
+        """Index rows by group values for comparisons across engines."""
+        return {row.group_values: row for row in self.rows}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def compute_aggregate(
+    aggregate: ast.Aggregate,
+    table: Table,
+    mask: np.ndarray,
+    total_rows: int,
+) -> float:
+    """Compute one aggregate over the rows of ``table`` selected by ``mask``.
+
+    ``total_rows`` is the cardinality used to normalise FREQ(*) (the paper's
+    internal aggregate: the fraction of the table's tuples that satisfy the
+    predicate).
+    """
+    selected = int(mask.sum())
+    function = aggregate.function
+    if function is ast.AggregateFunction.COUNT:
+        return float(selected)
+    if function is ast.AggregateFunction.FREQ:
+        if total_rows <= 0:
+            return 0.0
+        return float(selected) / float(total_rows)
+    if selected == 0:
+        # SQL semantics: SUM/AVG/MIN/MAX over an empty set is NULL; the
+        # experiments treat it as 0 so error metrics stay well defined.
+        return 0.0
+    values = np.asarray(evaluate_expression(aggregate.argument, table), dtype=np.float64)
+    values = values[mask]
+    if function is ast.AggregateFunction.SUM:
+        return float(values.sum())
+    if function is ast.AggregateFunction.AVG:
+        return float(values.mean())
+    if function is ast.AggregateFunction.MIN:
+        return float(values.min())
+    if function is ast.AggregateFunction.MAX:
+        return float(values.max())
+    raise ExpressionError(f"unknown aggregate function {function}")
+
+
+class ExactExecutor:
+    """Executes queries exactly against a catalog (or a single wide table)."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ public
+
+    def execute(self, query: ast.Query) -> QueryResult:
+        """Execute ``query`` and return its exact result."""
+        table = self.catalog.denormalize(query)
+        return self.execute_on_table(query, table, total_rows=len(table))
+
+    def execute_on_table(
+        self, query: ast.Query, table: Table, total_rows: int | None = None
+    ) -> QueryResult:
+        """Execute ``query`` against an explicit (already denormalised) table.
+
+        ``total_rows`` overrides the cardinality used for FREQ(*); the AQP
+        engines pass the sample size here so FREQ stays a fraction of the rows
+        actually scanned.
+        """
+        total = len(table) if total_rows is None else total_rows
+        mask = evaluate_predicate(query.where, table)
+        aggregate_items = [item for item in query.select if item.is_aggregate]
+        aggregate_names = tuple(item.output_name for item in aggregate_items)
+        group_columns = tuple(column.name for column in query.group_by)
+
+        result = QueryResult(group_columns=group_columns, aggregate_names=aggregate_names)
+        if not group_columns:
+            aggregates = {
+                item.output_name: compute_aggregate(item.expression, table, mask, total)
+                for item in aggregate_items
+            }
+            result.rows.append(ResultRow(group_values=(), aggregates=aggregates))
+        else:
+            for group_values, group_mask in self._iter_groups(table, mask, group_columns):
+                aggregates = {
+                    item.output_name: compute_aggregate(
+                        item.expression, table, group_mask, total
+                    )
+                    for item in aggregate_items
+                }
+                result.rows.append(
+                    ResultRow(group_values=group_values, aggregates=aggregates)
+                )
+        if query.having is not None:
+            result.rows = [
+                row for row in result.rows if self._having_matches(query, row)
+            ]
+        return result
+
+    # ----------------------------------------------------------------- helpers
+
+    def _iter_groups(
+        self, table: Table, mask: np.ndarray, group_columns: Sequence[str]
+    ):
+        """Yield (group value tuple, boolean mask) pairs in first-seen order."""
+        selected_indices = np.flatnonzero(mask)
+        if len(selected_indices) == 0:
+            return
+        columns = [table.column(name) for name in group_columns]
+        groups: dict[tuple[Value, ...], list[int]] = {}
+        order: list[tuple[Value, ...]] = []
+        for index in selected_indices:
+            key = tuple(_normalize_value(column[index]) for column in columns)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [int(index)]
+                order.append(key)
+            else:
+                bucket.append(int(index))
+        for key in order:
+            group_mask = np.zeros(len(table), dtype=bool)
+            group_mask[np.asarray(groups[key], dtype=np.int64)] = True
+            yield key, group_mask
+
+    def _having_matches(self, query: ast.Query, row: ResultRow) -> bool:
+        """Evaluate a HAVING predicate against one output row.
+
+        Column references in HAVING are resolved against output names: group
+        columns first, then aggregate output names / aliases.
+        """
+        return _evaluate_row_predicate(query.having, query, row)
+
+
+def _normalize_value(value: object) -> Value:
+    """Convert NumPy scalars into plain Python values for hashable group keys."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value  # type: ignore[return-value]
+
+
+def _row_value(query: ast.Query, row: ResultRow, name: str) -> Value:
+    if name in row.aggregates:
+        return row.aggregates[name]
+    group_names = [column.name for column in query.group_by]
+    if name in group_names:
+        return row.group_values[group_names.index(name)]
+    raise ExpressionError(f"HAVING references unknown output column {name!r}")
+
+
+def _evaluate_row_predicate(
+    predicate: ast.Predicate | None, query: ast.Query, row: ResultRow
+) -> bool:
+    if predicate is None:
+        return True
+    if isinstance(predicate, ast.And):
+        return all(_evaluate_row_predicate(p, query, row) for p in predicate.predicates)
+    if isinstance(predicate, ast.Or):
+        return any(_evaluate_row_predicate(p, query, row) for p in predicate.predicates)
+    if isinstance(predicate, ast.Not):
+        return not _evaluate_row_predicate(predicate.predicate, query, row)
+    if isinstance(predicate, ast.Comparison):
+        left, op, right = predicate.left, predicate.op, predicate.right
+        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+            left, right = right, left
+            op = {
+                ast.ComparisonOp.LT: ast.ComparisonOp.GT,
+                ast.ComparisonOp.LE: ast.ComparisonOp.GE,
+                ast.ComparisonOp.GT: ast.ComparisonOp.LT,
+                ast.ComparisonOp.GE: ast.ComparisonOp.LE,
+            }.get(op, op)
+        if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.Literal):
+            raise ExpressionError("HAVING comparisons must be column vs literal")
+        actual = _row_value(query, row, left.name)
+        expected = right.value
+        if op is ast.ComparisonOp.EQ:
+            return actual == expected
+        if op is ast.ComparisonOp.NE:
+            return actual != expected
+        if op is ast.ComparisonOp.LT:
+            return actual < expected
+        if op is ast.ComparisonOp.LE:
+            return actual <= expected
+        if op is ast.ComparisonOp.GT:
+            return actual > expected
+        if op is ast.ComparisonOp.GE:
+            return actual >= expected
+    if isinstance(predicate, ast.InPredicate):
+        actual = _row_value(query, row, predicate.column.name)
+        matched = actual in set(predicate.values)
+        return not matched if predicate.negated else matched
+    if isinstance(predicate, ast.BetweenPredicate):
+        actual = _row_value(query, row, predicate.column.name)
+        return predicate.low <= actual <= predicate.high
+    raise ExpressionError(
+        f"unsupported HAVING predicate of type {type(predicate).__name__}"
+    )

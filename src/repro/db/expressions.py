@@ -1,0 +1,178 @@
+"""Evaluation of scalar expressions and predicates against columnar tables.
+
+Scalar expressions (columns, literals, arithmetic over them) evaluate to NumPy
+arrays aligned with the table rows; predicates evaluate to boolean masks.
+The evaluator is shared by the exact executor (ground truth) and by the
+sampling-based AQP engines, which apply the same predicates to sample rows.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Union
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ExpressionError
+from repro.sqlparser import ast
+
+
+def evaluate_expression(expression: ast.Expression, table: Table) -> np.ndarray:
+    """Evaluate a scalar expression to an array aligned with ``table`` rows."""
+    if isinstance(expression, ast.ColumnRef):
+        if not table.has_column(expression.name):
+            raise ExpressionError(
+                f"unknown column {expression.name!r} in table {table.name!r}"
+            )
+        return table.column(expression.name)
+    if isinstance(expression, ast.Literal):
+        return np.full(len(table), expression.value)
+    if isinstance(expression, ast.Star):
+        raise ExpressionError("'*' can only appear inside COUNT(*) / FREQ(*)")
+    if isinstance(expression, ast.BinaryOp):
+        left = np.asarray(evaluate_expression(expression.left, table), dtype=np.float64)
+        right = np.asarray(evaluate_expression(expression.right, table), dtype=np.float64)
+        if expression.op == "+":
+            return left + right
+        if expression.op == "-":
+            return left - right
+        if expression.op == "*":
+            return left * right
+        if expression.op == "/":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                result = np.divide(left, right)
+            return np.where(np.isfinite(result), result, 0.0)
+        raise ExpressionError(f"unknown arithmetic operator {expression.op!r}")
+    raise ExpressionError(f"cannot evaluate expression of type {type(expression).__name__}")
+
+
+def _comparison_mask(
+    column_values: np.ndarray, op: ast.ComparisonOp, literal: Union[int, float, str]
+) -> np.ndarray:
+    """Boolean mask for ``column <op> literal`` handling numeric/categorical types."""
+    if isinstance(literal, str) or column_values.dtype == object:
+        values = column_values.astype(object)
+        if op is ast.ComparisonOp.EQ:
+            return np.asarray([v == literal for v in values], dtype=bool)
+        if op is ast.ComparisonOp.NE:
+            return np.asarray([v != literal for v in values], dtype=bool)
+        # Ordered comparisons on strings compare lexicographically.
+        if op is ast.ComparisonOp.LT:
+            return np.asarray([v < literal for v in values], dtype=bool)
+        if op is ast.ComparisonOp.LE:
+            return np.asarray([v <= literal for v in values], dtype=bool)
+        if op is ast.ComparisonOp.GT:
+            return np.asarray([v > literal for v in values], dtype=bool)
+        if op is ast.ComparisonOp.GE:
+            return np.asarray([v >= literal for v in values], dtype=bool)
+        raise ExpressionError(f"unknown comparison operator {op}")
+    values = np.asarray(column_values, dtype=np.float64)
+    literal_value = float(literal)
+    if op is ast.ComparisonOp.EQ:
+        return values == literal_value
+    if op is ast.ComparisonOp.NE:
+        return values != literal_value
+    if op is ast.ComparisonOp.LT:
+        return values < literal_value
+    if op is ast.ComparisonOp.LE:
+        return values <= literal_value
+    if op is ast.ComparisonOp.GT:
+        return values > literal_value
+    if op is ast.ComparisonOp.GE:
+        return values >= literal_value
+    raise ExpressionError(f"unknown comparison operator {op}")
+
+
+def evaluate_predicate(predicate: ast.Predicate | None, table: Table) -> np.ndarray:
+    """Evaluate a predicate to a boolean mask over ``table`` rows.
+
+    ``None`` (no predicate) evaluates to an all-True mask.
+    """
+    if predicate is None:
+        return np.ones(len(table), dtype=bool)
+
+    if isinstance(predicate, ast.And):
+        mask = np.ones(len(table), dtype=bool)
+        for child in predicate.predicates:
+            mask &= evaluate_predicate(child, table)
+        return mask
+    if isinstance(predicate, ast.Or):
+        mask = np.zeros(len(table), dtype=bool)
+        for child in predicate.predicates:
+            mask |= evaluate_predicate(child, table)
+        return mask
+    if isinstance(predicate, ast.Not):
+        return ~evaluate_predicate(predicate.predicate, table)
+    if isinstance(predicate, ast.Comparison):
+        return _evaluate_comparison(predicate, table)
+    if isinstance(predicate, ast.InPredicate):
+        column = table.column(predicate.column.name)
+        allowed = set(predicate.values)
+        if column.dtype == object:
+            mask = np.asarray([v in allowed for v in column], dtype=bool)
+        else:
+            numeric_allowed = np.asarray(
+                [v for v in predicate.values if isinstance(v, (int, float))],
+                dtype=np.float64,
+            )
+            mask = np.isin(np.asarray(column, dtype=np.float64), numeric_allowed)
+        return ~mask if predicate.negated else mask
+    if isinstance(predicate, ast.BetweenPredicate):
+        column = table.column(predicate.column.name)
+        if column.dtype == object:
+            values = column.astype(object)
+            return np.asarray(
+                [predicate.low <= v <= predicate.high for v in values], dtype=bool
+            )
+        values = np.asarray(column, dtype=np.float64)
+        return (values >= float(predicate.low)) & (values <= float(predicate.high))
+    if isinstance(predicate, ast.LikePredicate):
+        column = table.column(predicate.column.name)
+        pattern = predicate.pattern.replace("%", "*").replace("_", "?")
+        mask = np.asarray(
+            [fnmatch.fnmatch(str(v), pattern) for v in column], dtype=bool
+        )
+        return ~mask if predicate.negated else mask
+    raise ExpressionError(f"cannot evaluate predicate of type {type(predicate).__name__}")
+
+
+def _evaluate_comparison(predicate: ast.Comparison, table: Table) -> np.ndarray:
+    left, op, right = predicate.left, predicate.op, predicate.right
+    # Normalise "literal <op> column" to "column <flipped op> literal".
+    if isinstance(left, ast.Literal) and not isinstance(right, ast.Literal):
+        left, right = right, left
+        op = _flip(op)
+    if isinstance(right, ast.Literal):
+        if isinstance(left, ast.ColumnRef):
+            return _comparison_mask(table.column(left.name), op, right.value)
+        values = evaluate_expression(left, table)
+        return _comparison_mask(np.asarray(values, dtype=np.float64), op, right.value)
+    # column-vs-column (or expression-vs-expression) comparison
+    left_values = np.asarray(evaluate_expression(left, table), dtype=np.float64)
+    right_values = np.asarray(evaluate_expression(right, table), dtype=np.float64)
+    if op is ast.ComparisonOp.EQ:
+        return left_values == right_values
+    if op is ast.ComparisonOp.NE:
+        return left_values != right_values
+    if op is ast.ComparisonOp.LT:
+        return left_values < right_values
+    if op is ast.ComparisonOp.LE:
+        return left_values <= right_values
+    if op is ast.ComparisonOp.GT:
+        return left_values > right_values
+    if op is ast.ComparisonOp.GE:
+        return left_values >= right_values
+    raise ExpressionError(f"unknown comparison operator {op}")
+
+
+def _flip(op: ast.ComparisonOp) -> ast.ComparisonOp:
+    mapping = {
+        ast.ComparisonOp.EQ: ast.ComparisonOp.EQ,
+        ast.ComparisonOp.NE: ast.ComparisonOp.NE,
+        ast.ComparisonOp.LT: ast.ComparisonOp.GT,
+        ast.ComparisonOp.LE: ast.ComparisonOp.GE,
+        ast.ComparisonOp.GT: ast.ComparisonOp.LT,
+        ast.ComparisonOp.GE: ast.ComparisonOp.LE,
+    }
+    return mapping[op]

@@ -1,0 +1,214 @@
+"""NumPy-backed columnar tables.
+
+A :class:`Table` stores each column as a NumPy array.  Numeric columns use
+float64 / int64 arrays; categorical columns use object arrays (typically of
+strings or small integers).  Tables support row filtering by boolean mask,
+column projection, vertical append (for the data-append experiments of
+Appendix D), and cheap row-count queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.schema import Column, ColumnKind, Schema
+from repro.errors import TableError
+
+
+def _coerce_column(column: Column, values: Sequence) -> np.ndarray:
+    """Convert ``values`` into the canonical array dtype for ``column``."""
+    if column.kind is ColumnKind.FLOAT:
+        array = np.asarray(values, dtype=np.float64)
+    elif column.kind is ColumnKind.INT:
+        array = np.asarray(values, dtype=np.int64)
+    else:
+        array = np.asarray(values, dtype=object)
+    return array
+
+
+class Table:
+    """A columnar table with a fixed schema.
+
+    Parameters
+    ----------
+    name:
+        Table name (used by the catalog and in SQL).
+    schema:
+        The table schema.
+    columns:
+        Mapping from column name to a sequence of values.  Every column in the
+        schema must be present and all columns must have equal length.
+    """
+
+    def __init__(self, name: str, schema: Schema, columns: Mapping[str, Sequence]):
+        self.name = name
+        self.schema = schema
+        data: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column in schema:
+            if column.name not in columns:
+                raise TableError(f"table {name!r}: missing column {column.name!r}")
+            array = _coerce_column(column, columns[column.name])
+            if array.ndim != 1:
+                raise TableError(
+                    f"table {name!r}: column {column.name!r} must be one-dimensional"
+                )
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise TableError(
+                    f"table {name!r}: column {column.name!r} has length {len(array)}, "
+                    f"expected {length}"
+                )
+            data[column.name] = array
+        extra = set(columns) - set(schema.names())
+        if extra:
+            raise TableError(f"table {name!r}: unexpected columns {sorted(extra)}")
+        self._data = data
+        self._length = length or 0
+
+    # ------------------------------------------------------------------ basics
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns in the table."""
+        return len(self.schema)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the backing array of column ``name`` (not a copy)."""
+        self.schema.column(name)
+        return self._data[name]
+
+    def column_names(self) -> list[str]:
+        """Column names in schema order."""
+        return self.schema.names()
+
+    def has_column(self, name: str) -> bool:
+        return name in self.schema
+
+    # -------------------------------------------------------------- row access
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return a single row as a dict (for debugging and small tables)."""
+        if not 0 <= index < self._length:
+            raise TableError(f"row index {index} out of range [0, {self._length})")
+        return {name: self._data[name][index] for name in self.schema.names()}
+
+    def rows(self) -> Iterable[dict[str, object]]:
+        """Iterate over rows as dicts.  Intended for small tables / tests."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    # ----------------------------------------------------------- table algebra
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return a new table containing only rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._length:
+            raise TableError(
+                f"mask length {len(mask)} does not match table length {self._length}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return a new table containing the rows at ``indices`` (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        columns = {name: self._data[name][indices] for name in self.schema.names()}
+        return Table(self.name, self.schema, columns)
+
+    def head(self, count: int) -> "Table":
+        """Return a new table containing the first ``count`` rows."""
+        if count < 0:
+            raise TableError("head count must be non-negative")
+        return self.take(np.arange(min(count, self._length)))
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Return a new table containing only the named columns, in order."""
+        columns = tuple(self.schema.column(name) for name in names)
+        data = {name: self._data[name] for name in names}
+        return Table(self.name, Schema(columns), data)
+
+    def with_column(self, column: Column, values: Sequence) -> "Table":
+        """Return a new table with ``column`` appended (or replaced)."""
+        array = _coerce_column(column, values)
+        if len(array) != self._length:
+            raise TableError(
+                f"new column {column.name!r} has length {len(array)}, "
+                f"expected {self._length}"
+            )
+        if column.name in self.schema:
+            new_columns = tuple(
+                column if c.name == column.name else c for c in self.schema
+            )
+        else:
+            new_columns = self.schema.columns + (column,)
+        data = dict(self._data)
+        data[column.name] = array
+        return Table(self.name, Schema(new_columns), data)
+
+    def renamed(self, name: str) -> "Table":
+        """Return the same table under a different name (no copy of data)."""
+        table = Table.__new__(Table)
+        table.name = name
+        table.schema = self.schema
+        table._data = self._data
+        table._length = self._length
+        return table
+
+    def append(self, other: "Table") -> "Table":
+        """Return a new table with ``other``'s rows appended.
+
+        The schemas must have identical column names and kinds.  This is the
+        primitive behind the data-append experiments (Appendix D).
+        """
+        if self.schema.names() != other.schema.names():
+            raise TableError(
+                "cannot append tables with different column sets: "
+                f"{self.schema.names()} vs {other.schema.names()}"
+            )
+        for column in self.schema:
+            other_column = other.schema.column(column.name)
+            if other_column.kind is not column.kind:
+                raise TableError(
+                    f"column {column.name!r} has kind {column.kind} here but "
+                    f"{other_column.kind} in the appended table"
+                )
+        columns = {
+            name: np.concatenate([self._data[name], other._data[name]])
+            for name in self.schema.names()
+        }
+        return Table(self.name, self.schema, columns)
+
+    # ------------------------------------------------------------- conversions
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._data)
+
+    @classmethod
+    def from_rows(
+        cls, name: str, schema: Schema, rows: Iterable[Mapping[str, object]]
+    ) -> "Table":
+        """Build a table from an iterable of row dicts."""
+        names = schema.names()
+        buffers: dict[str, list] = {n: [] for n in names}
+        for row in rows:
+            for n in names:
+                if n not in row:
+                    raise TableError(f"row missing column {n!r}")
+                buffers[n].append(row[n])
+        return cls(name, schema, buffers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self._length}, cols={self.num_columns})"

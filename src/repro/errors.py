@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is inconsistent or a referenced column does not exist."""
+
+
+class TableError(ReproError):
+    """A columnar table operation failed (bad lengths, bad dtypes, ...)."""
+
+
+class CatalogError(ReproError):
+    """A database catalog operation failed (unknown table, bad join spec, ...)."""
+
+
+class ExpressionError(ReproError):
+    """A predicate or derived-attribute expression could not be evaluated."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedQueryError(ReproError):
+    """The query parses but is outside Verdict's supported class.
+
+    The ``reasons`` attribute lists the individual unsupported constructs so
+    that generality experiments (Table 3) can report *why* a query was
+    rejected.
+    """
+
+    def __init__(self, message: str, reasons: list[str] | None = None):
+        super().__init__(message)
+        self.reasons = list(reasons or [])
+
+
+class AQPError(ReproError):
+    """The underlying AQP engine failed to produce a raw answer."""
+
+
+class InferenceError(ReproError):
+    """Verdict's inference could not be carried out (singular covariance, ...)."""
+
+
+class LearningError(ReproError):
+    """Correlation-parameter learning failed."""
+
+
+class SynopsisError(ReproError):
+    """The query synopsis was used inconsistently."""

@@ -1,0 +1,35 @@
+"""Experiment harness: runs workloads through NoLearn and Verdict and
+computes the metrics reported in the paper's tables and figures."""
+
+from repro.experiments.metrics import (
+    actual_relative_error,
+    bound_violation_rate,
+    error_reduction,
+    relative_error,
+    speedup,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ProfilePoint,
+    QueryRunResult,
+    aggregate_profile_by_batch,
+    error_bound_at_time,
+    time_to_reach_bound,
+)
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "relative_error",
+    "actual_relative_error",
+    "error_reduction",
+    "speedup",
+    "bound_violation_rate",
+    "ExperimentRunner",
+    "ProfilePoint",
+    "QueryRunResult",
+    "aggregate_profile_by_batch",
+    "time_to_reach_bound",
+    "error_bound_at_time",
+    "format_table",
+    "format_series",
+]

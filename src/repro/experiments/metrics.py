@@ -1,0 +1,82 @@
+"""Error and speedup metrics used throughout the experiment harness.
+
+The paper reports *relative* errors (Section 8.3): error bounds relative to
+the estimate's magnitude and actual errors relative to the exact answer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|``; infinite when the truth is ~zero but
+    the estimate is not."""
+    if abs(truth) < 1e-12:
+        return 0.0 if abs(estimate) < 1e-12 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def actual_relative_error(
+    cells: Iterable[tuple[float, float]],
+) -> float:
+    """Mean relative error over ``(estimate, truth)`` cells, ignoring cells
+    whose truth is ~zero (their relative error is undefined)."""
+    errors = [
+        relative_error(estimate, truth)
+        for estimate, truth in cells
+        if abs(truth) >= 1e-12
+    ]
+    finite = [e for e in errors if math.isfinite(e)]
+    if not finite:
+        return 0.0
+    return sum(finite) / len(finite)
+
+
+def error_reduction(baseline_error: float, improved_error: float) -> float:
+    """Percentage reduction of ``improved_error`` relative to ``baseline_error``.
+
+    Matches the paper's "error reduction" columns (e.g. 90.2% in Table 4).
+    Returns 0 when the baseline error is already ~zero.
+    """
+    if baseline_error <= 1e-15:
+        return 0.0
+    return 100.0 * (baseline_error - improved_error) / baseline_error
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """``baseline / improved`` runtime ratio (the paper's "Speedup" column)."""
+    if improved_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / improved_seconds
+
+
+def bound_violation_rate(
+    pairs: Sequence[tuple[float, float]],
+) -> float:
+    """Fraction of ``(error_bound, actual_error)`` pairs with actual > bound.
+
+    At 95% confidence a correct system keeps this below roughly 0.05
+    (Section 8.4, Figure 5).
+    """
+    if not pairs:
+        return 0.0
+    violations = sum(1 for bound, actual in pairs if actual > bound + 1e-12)
+    return violations / len(pairs)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Simple percentile helper (linear interpolation), fraction in [0, 1]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight

@@ -1,0 +1,54 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark scripts print the same rows and series the paper's tables and
+figures report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned, pipe-separated text table."""
+    string_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths[: len(headers)]))
+    for row in string_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[float, float]], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as aligned text (one figure curve)."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_stringify(x):>12}  ->  {_stringify(y)}")
+    return "\n".join(lines)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

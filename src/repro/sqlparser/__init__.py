@@ -1,0 +1,62 @@
+"""SQL substrate: query AST, parser, supported-query checker, decomposition.
+
+Verdict (Section 2.2) supports flat aggregate queries with SUM / COUNT / AVG
+aggregates, conjunctive equality / inequality / IN predicates over numeric and
+categorical attributes, foreign-key joins between one fact table and any
+number of dimension tables, and group-by / having clauses.  Everything else
+(MIN/MAX, disjunctions, LIKE filters, nested queries, DISTINCT aggregates)
+parses but is flagged unsupported so the engine can pass it through untouched
+and the generality experiments (Table 3) can count it.
+"""
+
+from repro.sqlparser.ast import (
+    Aggregate,
+    AggregateFunction,
+    And,
+    BetweenPredicate,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InPredicate,
+    JoinClause,
+    LikePredicate,
+    Literal,
+    Not,
+    Or,
+    Query,
+    SelectItem,
+    Star,
+)
+from repro.sqlparser.lexer import Token, TokenKind, tokenize
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.checker import CheckResult, QueryTypeChecker
+from repro.sqlparser.decompose import SnippetSpec, decompose_query
+
+__all__ = [
+    "Aggregate",
+    "AggregateFunction",
+    "And",
+    "BetweenPredicate",
+    "BinaryOp",
+    "ColumnRef",
+    "Comparison",
+    "ComparisonOp",
+    "InPredicate",
+    "JoinClause",
+    "LikePredicate",
+    "Literal",
+    "Not",
+    "Or",
+    "Query",
+    "SelectItem",
+    "Star",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_query",
+    "CheckResult",
+    "QueryTypeChecker",
+    "SnippetSpec",
+    "decompose_query",
+]

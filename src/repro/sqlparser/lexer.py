@@ -1,0 +1,211 @@
+"""Tokeniser for the supported SQL dialect.
+
+The lexer recognises identifiers, qualified identifiers, numeric and string
+literals, comparison operators, arithmetic operators, parentheses, commas, and
+the SQL keywords used by the parser.  Keywords are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    DOT = "dot"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "HAVING",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "LIKE",
+        "AS",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "OUTER",
+        "ON",
+        "SUM",
+        "COUNT",
+        "AVG",
+        "MIN",
+        "MAX",
+        "FREQ",
+        "DISTINCT",
+        "LIMIT",
+        "ASC",
+        "DESC",
+        "NULL",
+        "IS",
+    }
+)
+
+_OPERATOR_CHARS = set("=<>!+-*/")
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    value: Union[str, int, float]
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and str(self.value) in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}@{self.position})"
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal starting at ``start``."""
+    assert text[start] == "'"
+    index = start + 1
+    chars: list[str] = []
+    while index < len(text):
+        ch = text[index]
+        if ch == "'":
+            # doubled quote escapes a literal quote
+            if index + 1 < len(text) and text[index + 1] == "'":
+                chars.append("'")
+                index += 2
+                continue
+            return "".join(chars), index + 1
+        chars.append(ch)
+        index += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)
+
+
+def _read_number(text: str, start: int) -> tuple[Union[int, float], int]:
+    """Read a numeric literal (integer or float, optional exponent)."""
+    index = start
+    seen_dot = False
+    seen_exp = False
+    while index < len(text):
+        ch = text[index]
+        if ch.isdigit():
+            index += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            index += 1
+        elif ch in "eE" and not seen_exp and index > start:
+            seen_exp = True
+            index += 1
+            if index < len(text) and text[index] in "+-":
+                index += 1
+        else:
+            break
+    raw = text[start:index]
+    try:
+        if seen_dot or seen_exp:
+            return float(raw), index
+        return int(raw), index
+    except ValueError:
+        raise SQLSyntaxError(f"invalid numeric literal {raw!r}", position=start) from None
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text`` into a list of tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "'":
+            value, index_after = _read_string(text, index)
+            tokens.append(Token(TokenKind.STRING, value, index))
+            index = index_after
+            continue
+        if ch.isdigit() or (
+            ch == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            value, index_after = _read_number(text, index)
+            tokens.append(Token(TokenKind.NUMBER, value, index))
+            index = index_after
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, start))
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", index))
+            index += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", index))
+            index += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", index))
+            index += 1
+            continue
+        if ch == ";":
+            tokens.append(Token(TokenKind.SEMICOLON, ";", index))
+            index += 1
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenKind.DOT, ".", index))
+            index += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenKind.STAR, "*", index))
+            index += 1
+            continue
+        if ch in _OPERATOR_CHARS:
+            two = text[index : index + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                value = "<>" if two == "!=" else two
+                tokens.append(Token(TokenKind.OPERATOR, value, index))
+                index += 2
+                continue
+            tokens.append(Token(TokenKind.OPERATOR, ch, index))
+            index += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=index)
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens
+
+
+def iter_significant(tokens: list[Token]) -> Iterator[Token]:
+    """Yield tokens excluding the trailing EOF (convenience for tests)."""
+    for token in tokens:
+        if token.kind is TokenKind.EOF:
+            return
+        yield token

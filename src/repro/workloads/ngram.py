@@ -1,0 +1,73 @@
+"""A Twitter-n-gram-like weekly series (Figure 1 / Figure 8 illustration).
+
+Figure 1 of the paper shows DBL refining a model of the weekly number of
+occurrences of an n-gram ("bought a car") as more SUM(count) range queries
+are answered.  This generator produces a fact table of per-tweet n-gram
+occurrence counts whose weekly totals follow a smooth seasonal curve, plus
+helpers to build the SUM(count) range queries over weeks that the
+illustration (and the ``ngram_timeseries`` example) issues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.schema import ColumnKind, Schema, measure, numeric_dimension
+from repro.db.table import Table
+from repro.workloads.synthetic import _smooth_signal
+
+
+def make_ngram_table(
+    num_weeks: int = 104,
+    rows_per_week: int = 300,
+    base_count: float = 90.0,
+    seasonal_amplitude: float = 35.0,
+    seed: int = 0,
+    name: str = "tweets",
+) -> Table:
+    """Per-tweet n-gram occurrence counts with a smooth weekly trend."""
+    rng = np.random.default_rng(seed)
+    num_rows = num_weeks * rows_per_week
+    weeks = np.repeat(np.arange(1, num_weeks + 1), rows_per_week).astype(np.float64)
+    trend = base_count + _smooth_signal(
+        weeks, rng, length_scale=num_weeks / 6.0, amplitude=seasonal_amplitude
+    )
+    counts = np.maximum(rng.poisson(np.maximum(trend, 1.0)), 0).astype(np.float64)
+    schema = Schema.of([numeric_dimension("week", ColumnKind.INT), measure("count")])
+    return Table(
+        name, schema, {"week": weeks.astype(np.int64), "count": counts}
+    )
+
+
+def make_ngram_catalog(
+    num_weeks: int = 104, rows_per_week: int = 300, seed: int = 0
+) -> Catalog:
+    """Catalog containing only the n-gram fact table."""
+    table = make_ngram_table(num_weeks=num_weeks, rows_per_week=rows_per_week, seed=seed)
+    catalog = Catalog()
+    catalog.add_table(table, fact=True)
+    return catalog
+
+
+def ngram_range_query(week_low: int, week_high: int, table: str = "tweets") -> str:
+    """The Figure 1 query: total occurrences over a week range."""
+    if week_high < week_low:
+        raise ValueError("week_high must be >= week_low")
+    return (
+        f"SELECT SUM(count) FROM {table} "
+        f"WHERE week >= {week_low} AND week <= {week_high}"
+    )
+
+
+def figure1_query_ranges(
+    num_queries: int, num_weeks: int = 104, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Week ranges mimicking Figure 1's progressively arriving queries."""
+    rng = np.random.default_rng(seed)
+    ranges: list[tuple[int, int]] = []
+    for _ in range(num_queries):
+        width = int(rng.integers(6, max(num_weeks // 4, 8)))
+        start = int(rng.integers(1, max(num_weeks - width, 2)))
+        ranges.append((start, start + width))
+    return ranges

@@ -1,0 +1,129 @@
+"""Query generators with power-law column access (Section 8.6, Figure 6a).
+
+The paper studies how Verdict's benefit degrades as the set of columns used
+in selection predicates becomes more diverse.  Queries are generated so that
+a fixed fraction of the columns (the "frequently accessed columns") are picked
+with equal probability, while the access probability of the remaining columns
+decays by half for every further column -- a power-law access pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import ColumnRole
+from repro.db.table import Table
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """A generated SQL query plus the columns its predicates touch."""
+
+    sql: str
+    predicate_columns: tuple[str, ...]
+
+
+class PowerLawQueryGenerator:
+    """Generates supported aggregate queries over one wide table.
+
+    Parameters
+    ----------
+    table:
+        The (denormalised) table queries are generated against.
+    frequent_fraction:
+        Fraction of dimension columns that are "frequently accessed".
+    predicates_per_query:
+        How many selection predicates each query carries (the Customer1 trace
+        analysed in the paper mostly has fewer than 5).
+    measure_column:
+        Measure attribute used by AVG / SUM aggregates.
+    range_fraction:
+        Width of numeric range predicates, as a fraction of the domain.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        frequent_fraction: float = 0.2,
+        predicates_per_query: int = 2,
+        measure_column: str = "measure",
+        range_fraction: float = 0.25,
+        seed: int = 0,
+    ):
+        if not 0.0 < frequent_fraction <= 1.0:
+            raise ValueError("frequent_fraction must be in (0, 1]")
+        if predicates_per_query <= 0:
+            raise ValueError("predicates_per_query must be positive")
+        self.table = table
+        self.measure_column = measure_column
+        self.range_fraction = range_fraction
+        self.predicates_per_query = predicates_per_query
+        self.rng = np.random.default_rng(seed)
+
+        dimension_columns = [
+            column for column in table.schema if column.role is ColumnRole.DIMENSION
+        ]
+        if not dimension_columns:
+            raise ValueError("table has no dimension columns to filter on")
+        self.dimension_columns = dimension_columns
+        self.access_probabilities = self._access_probabilities(
+            len(dimension_columns), frequent_fraction
+        )
+
+    @staticmethod
+    def _access_probabilities(num_columns: int, frequent_fraction: float) -> np.ndarray:
+        """Equal probability for the frequent prefix, halving afterwards."""
+        frequent = max(1, int(round(num_columns * frequent_fraction)))
+        weights = np.ones(num_columns, dtype=np.float64)
+        decay = 1.0
+        for index in range(frequent, num_columns):
+            decay *= 0.5
+            weights[index] = decay
+        return weights / weights.sum()
+
+    # ------------------------------------------------------------------ public
+
+    def generate(self, num_queries: int) -> list[GeneratedQuery]:
+        """Generate ``num_queries`` supported aggregate queries."""
+        return [self._one_query() for _ in range(num_queries)]
+
+    def generate_sql(self, num_queries: int) -> list[str]:
+        return [query.sql for query in self.generate(num_queries)]
+
+    # ----------------------------------------------------------------- internal
+
+    def _one_query(self) -> GeneratedQuery:
+        count = min(self.predicates_per_query, len(self.dimension_columns))
+        chosen_indices = self.rng.choice(
+            len(self.dimension_columns),
+            size=count,
+            replace=False,
+            p=self.access_probabilities,
+        )
+        predicates: list[str] = []
+        touched: list[str] = []
+        for index in sorted(chosen_indices):
+            column = self.dimension_columns[index]
+            touched.append(column.name)
+            predicates.append(self._predicate_for(column.name, column.is_categorical))
+        aggregate = self.rng.choice(
+            [f"AVG({self.measure_column})", "COUNT(*)", f"SUM({self.measure_column})"],
+            p=[0.5, 0.3, 0.2],
+        )
+        where = " AND ".join(predicates)
+        sql = f"SELECT {aggregate} FROM {self.table.name} WHERE {where}"
+        return GeneratedQuery(sql=sql, predicate_columns=tuple(touched))
+
+    def _predicate_for(self, column_name: str, categorical: bool) -> str:
+        values = self.table.column(column_name)
+        if categorical:
+            choice = values[self.rng.integers(0, len(values))]
+            return f"{column_name} = '{choice}'"
+        numeric = np.asarray(values, dtype=np.float64)
+        low, high = float(numeric.min()), float(numeric.max())
+        width = (high - low) * self.range_fraction
+        start = float(self.rng.uniform(low, max(high - width, low)))
+        end = start + width
+        return f"{column_name} >= {start:.4f} AND {column_name} <= {end:.4f}"

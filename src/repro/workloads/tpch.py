@@ -1,0 +1,466 @@
+"""A TPC-H-like star schema, data generator, and the 22 query templates.
+
+The paper runs TPC-H at scale factor 100 (100 GB) with 500 queries generated
+by the TPC-H workload generator; of the 22 query types, 21 contain at least
+one aggregate and 14 are supported by Verdict (Table 3), the rest failing on
+textual filters, disjunctions, MIN/MAX aggregates, or nested sub-queries.
+
+This module generates a laptop-sized schema with the same shape (a ``lineitem``
+fact table joined to ``orders``, ``part``, ``supplier``, and ``customer``
+dimensions) and 22 parameterised query templates expressed in the reproduced
+SQL dialect.  The templates are deliberately simplified (the full TPC-H text
+cannot run on the flat dialect anyway -- the paper itself relies on Hive's
+flattening), but they preserve the property Table 3 measures: exactly 21 of
+the 22 contain aggregates, and exactly 14 fall in Verdict's supported class,
+with the others rejected for the same reasons as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.schema import (
+    ColumnKind,
+    Schema,
+    categorical_dimension,
+    key,
+    measure,
+    numeric_dimension,
+)
+from repro.db.table import Table
+from repro.workloads.synthetic import _smooth_signal
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_RETURN_FLAGS = ["A", "N", "R"]
+_LINE_STATUS = ["F", "O"]
+_SHIP_MODES = ["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"]
+_PART_TYPES = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_PART_BRANDS = [f"Brand#{i}" for i in range(1, 6)]
+
+
+@dataclass(frozen=True)
+class TPCHQuery:
+    """One generated TPC-H-like query instance."""
+
+    template_id: int
+    sql: str
+    has_aggregate: bool
+    expected_supported: bool
+
+
+class TPCHWorkload:
+    """Generates the TPC-H-like catalog and the 22 query templates."""
+
+    FACT_TABLE = "lineitem"
+    # Date domain, in "days since start".
+    MIN_DATE = 1
+    MAX_DATE = 2_400
+
+    def __init__(self, scale: float = 1.0, seed: int = 0):
+        """``scale = 1.0`` yields ~30K lineitem rows (laptop-sized)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.num_lineitem = int(30_000 * scale)
+        self.num_orders = max(int(7_500 * scale), 100)
+        self.num_parts = max(int(1_000 * scale), 50)
+        self.num_suppliers = max(int(100 * scale), 20)
+        self.num_customers = max(int(1_500 * scale), 50)
+
+    # ------------------------------------------------------------------- data
+
+    def build_catalog(self) -> Catalog:
+        rng = np.random.default_rng(self.seed)
+
+        customer = self._build_customer(rng)
+        supplier = self._build_supplier(rng)
+        part = self._build_part(rng)
+        orders = self._build_orders(rng)
+        lineitem = self._build_lineitem(rng, orders, part)
+
+        catalog = Catalog()
+        catalog.add_table(lineitem, fact=True)
+        catalog.add_table(orders)
+        catalog.add_table(part)
+        catalog.add_table(supplier)
+        catalog.add_table(customer)
+        catalog.add_foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey")
+        catalog.add_foreign_key("lineitem", "l_partkey", "part", "p_partkey")
+        catalog.add_foreign_key("lineitem", "l_suppkey", "supplier", "s_suppkey")
+        catalog.add_foreign_key("orders", "o_custkey", "customer", "c_custkey")
+        return catalog
+
+    def _build_customer(self, rng: np.random.Generator) -> Table:
+        keys = np.arange(self.num_customers, dtype=np.int64)
+        segments = np.array(
+            [_SEGMENTS[i % len(_SEGMENTS)] for i in range(self.num_customers)], dtype=object
+        )
+        regions = np.array(
+            [_REGIONS[int(value)] for value in rng.integers(0, len(_REGIONS), self.num_customers)],
+            dtype=object,
+        )
+        balance = rng.uniform(-1_000.0, 10_000.0, size=self.num_customers)
+        return Table(
+            "customer",
+            Schema.of(
+                [
+                    key("c_custkey"),
+                    categorical_dimension("c_mktsegment"),
+                    categorical_dimension("c_region"),
+                    measure("c_acctbal"),
+                ]
+            ),
+            {
+                "c_custkey": keys,
+                "c_mktsegment": segments,
+                "c_region": regions,
+                "c_acctbal": balance,
+            },
+        )
+
+    def _build_supplier(self, rng: np.random.Generator) -> Table:
+        keys = np.arange(self.num_suppliers, dtype=np.int64)
+        regions = np.array(
+            [_REGIONS[int(value)] for value in rng.integers(0, len(_REGIONS), self.num_suppliers)],
+            dtype=object,
+        )
+        balance = rng.uniform(-500.0, 8_000.0, size=self.num_suppliers)
+        return Table(
+            "supplier",
+            Schema.of(
+                [key("s_suppkey"), categorical_dimension("s_region"), measure("s_acctbal")]
+            ),
+            {"s_suppkey": keys, "s_region": regions, "s_acctbal": balance},
+        )
+
+    def _build_part(self, rng: np.random.Generator) -> Table:
+        keys = np.arange(self.num_parts, dtype=np.int64)
+        types = np.array(
+            [_PART_TYPES[int(value)] for value in rng.integers(0, len(_PART_TYPES), self.num_parts)],
+            dtype=object,
+        )
+        brands = np.array(
+            [_PART_BRANDS[int(value)] for value in rng.integers(0, len(_PART_BRANDS), self.num_parts)],
+            dtype=object,
+        )
+        sizes = rng.integers(1, 50, size=self.num_parts).astype(np.float64)
+        retail = rng.uniform(900.0, 2_000.0, size=self.num_parts)
+        return Table(
+            "part",
+            Schema.of(
+                [
+                    key("p_partkey"),
+                    categorical_dimension("p_type"),
+                    categorical_dimension("p_brand"),
+                    numeric_dimension("p_size", ColumnKind.INT),
+                    measure("p_retailprice"),
+                ]
+            ),
+            {
+                "p_partkey": keys,
+                "p_type": types,
+                "p_brand": brands,
+                "p_size": sizes.astype(np.int64),
+                "p_retailprice": retail,
+            },
+        )
+
+    def _build_orders(self, rng: np.random.Generator) -> Table:
+        keys = np.arange(self.num_orders, dtype=np.int64)
+        custkeys = rng.integers(0, self.num_customers, size=self.num_orders)
+        dates = rng.integers(self.MIN_DATE, self.MAX_DATE + 1, size=self.num_orders)
+        priorities = np.array(
+            [f"{i}-PRIORITY" for i in rng.integers(1, 6, size=self.num_orders)], dtype=object
+        )
+        status = np.array(
+            [_LINE_STATUS[int(value)] for value in rng.integers(0, 2, self.num_orders)],
+            dtype=object,
+        )
+        totals = rng.uniform(1_000.0, 400_000.0, size=self.num_orders)
+        return Table(
+            "orders",
+            Schema.of(
+                [
+                    key("o_orderkey"),
+                    key("o_custkey"),
+                    numeric_dimension("o_orderdate", ColumnKind.INT),
+                    categorical_dimension("o_orderpriority"),
+                    categorical_dimension("o_orderstatus"),
+                    measure("o_totalprice"),
+                ]
+            ),
+            {
+                "o_orderkey": keys,
+                "o_custkey": custkeys.astype(np.int64),
+                "o_orderdate": dates.astype(np.int64),
+                "o_orderpriority": priorities,
+                "o_orderstatus": status,
+                "o_totalprice": totals,
+            },
+        )
+
+    def _build_lineitem(
+        self, rng: np.random.Generator, orders: Table, part: Table
+    ) -> Table:
+        orderkeys = rng.integers(0, self.num_orders, size=self.num_lineitem)
+        partkeys = rng.integers(0, self.num_parts, size=self.num_lineitem)
+        suppkeys = rng.integers(0, self.num_suppliers, size=self.num_lineitem)
+        order_dates = np.asarray(orders.column("o_orderdate"), dtype=np.float64)[orderkeys]
+        shipdates = np.clip(
+            order_dates + rng.integers(1, 120, size=self.num_lineitem),
+            self.MIN_DATE,
+            self.MAX_DATE,
+        )
+        quantities = rng.integers(1, 51, size=self.num_lineitem).astype(np.float64)
+        retail = np.asarray(part.column("p_retailprice"), dtype=np.float64)[partkeys]
+        seasonal = _smooth_signal(
+            shipdates.astype(np.float64), rng, length_scale=200.0, amplitude=120.0
+        )
+        extendedprice = np.maximum(
+            quantities * (retail / 10.0) + seasonal + rng.normal(0, 25.0, self.num_lineitem),
+            1.0,
+        )
+        discounts = np.round(rng.uniform(0.0, 0.1, size=self.num_lineitem), 2)
+        taxes = np.round(rng.uniform(0.0, 0.08, size=self.num_lineitem), 2)
+        returnflags = np.array(
+            [_RETURN_FLAGS[int(value)] for value in rng.integers(0, 3, self.num_lineitem)],
+            dtype=object,
+        )
+        linestatus = np.array(
+            [_LINE_STATUS[int(value)] for value in rng.integers(0, 2, self.num_lineitem)],
+            dtype=object,
+        )
+        shipmodes = np.array(
+            [_SHIP_MODES[int(value)] for value in rng.integers(0, len(_SHIP_MODES), self.num_lineitem)],
+            dtype=object,
+        )
+        return Table(
+            "lineitem",
+            Schema.of(
+                [
+                    key("l_orderkey"),
+                    key("l_partkey"),
+                    key("l_suppkey"),
+                    numeric_dimension("l_shipdate", ColumnKind.INT),
+                    numeric_dimension("l_quantity"),
+                    categorical_dimension("l_returnflag"),
+                    categorical_dimension("l_linestatus"),
+                    categorical_dimension("l_shipmode"),
+                    measure("l_extendedprice"),
+                    measure("l_discount"),
+                    measure("l_tax"),
+                ]
+            ),
+            {
+                "l_orderkey": orderkeys.astype(np.int64),
+                "l_partkey": partkeys.astype(np.int64),
+                "l_suppkey": suppkeys.astype(np.int64),
+                "l_shipdate": shipdates.astype(np.int64),
+                "l_quantity": quantities,
+                "l_returnflag": returnflags,
+                "l_linestatus": linestatus,
+                "l_shipmode": shipmodes,
+                "l_extendedprice": extendedprice,
+                "l_discount": discounts,
+                "l_tax": taxes,
+            },
+        )
+
+    # -------------------------------------------------------------- templates
+
+    def query_templates(self, rng: np.random.Generator | None = None) -> list[TPCHQuery]:
+        """One instance of each of the 22 query templates.
+
+        21 templates contain at least one aggregate; 14 of those are in
+        Verdict's supported class, matching Table 3's TPC-H row.
+        """
+        rng = rng or np.random.default_rng(self.seed + 17)
+        date_low = int(rng.integers(self.MIN_DATE, self.MAX_DATE - 400))
+        date_high = date_low + int(rng.integers(90, 400))
+        discount_low = round(float(rng.uniform(0.01, 0.05)), 2)
+        quantity_cap = int(rng.integers(24, 40))
+        segment = str(rng.choice(_SEGMENTS))
+        region = str(rng.choice(_REGIONS))
+        brand = str(rng.choice(_PART_BRANDS))
+        shipmode = str(rng.choice(_SHIP_MODES))
+        priority = f"{int(rng.integers(1, 6))}-PRIORITY"
+        size = int(rng.integers(1, 40))
+
+        supported: list[tuple[int, str]] = [
+            # Q1: pricing summary report (flattened: no computed group columns)
+            (1,
+             "SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), "
+             "AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*) "
+             f"FROM lineitem WHERE l_shipdate <= {date_high} "
+             "GROUP BY l_returnflag, l_linestatus"),
+            # Q3: shipping priority (join orders + customer)
+            (3,
+             "SELECT o_orderpriority, SUM(l_extendedprice * (1 - l_discount)) "
+             "FROM lineitem JOIN orders ON l_orderkey = o_orderkey "
+             "JOIN customer ON o_custkey = c_custkey "
+             f"WHERE c_mktsegment = '{segment}' AND o_orderdate <= {date_high} "
+             f"AND l_shipdate >= {date_low} GROUP BY o_orderpriority"),
+            # Q4: order priority checking (flattened)
+            (4,
+             "SELECT o_orderpriority, COUNT(*) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             f"WHERE o_orderdate >= {date_low} AND o_orderdate <= {date_high} "
+             "GROUP BY o_orderpriority"),
+            # Q5: local supplier volume (joins, region filter)
+            (5,
+             "SELECT c_region, SUM(l_extendedprice * (1 - l_discount)) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             "JOIN customer ON o_custkey = c_custkey "
+             f"WHERE c_region = '{region}' AND o_orderdate >= {date_low} "
+             f"AND o_orderdate <= {date_high} GROUP BY c_region"),
+            # Q6: forecasting revenue change
+            (6,
+             "SELECT SUM(l_extendedprice * l_discount) FROM lineitem "
+             f"WHERE l_shipdate >= {date_low} AND l_shipdate <= {date_high} "
+             f"AND l_discount >= {discount_low} AND l_quantity < {quantity_cap}"),
+            # Q7: volume shipping (supplier region vs customer region)
+            (7,
+             "SELECT s_region, SUM(l_extendedprice * (1 - l_discount)) FROM lineitem "
+             "JOIN supplier ON l_suppkey = s_suppkey "
+             f"WHERE l_shipdate >= {date_low} AND l_shipdate <= {date_high} "
+             "GROUP BY s_region"),
+            # Q8: national market share (simplified to region share of volume)
+            (8,
+             "SELECT c_region, AVG(l_extendedprice) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             "JOIN customer ON o_custkey = c_custkey "
+             f"WHERE o_orderdate >= {date_low} AND o_orderdate <= {date_high} "
+             "GROUP BY c_region"),
+            # Q10: returned item reporting
+            (10,
+             "SELECT c_mktsegment, SUM(l_extendedprice * (1 - l_discount)) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             "JOIN customer ON o_custkey = c_custkey "
+             f"WHERE l_returnflag = 'R' AND o_orderdate >= {date_low} "
+             "GROUP BY c_mktsegment"),
+            # Q12: shipping modes and order priority
+            (12,
+             "SELECT l_shipmode, COUNT(*) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             f"WHERE l_shipmode IN ('{shipmode}', 'MAIL') "
+             f"AND l_shipdate >= {date_low} AND l_shipdate <= {date_high} "
+             "GROUP BY l_shipmode"),
+            # Q14: promotion effect (ratio numerator; flat form)
+            (14,
+             "SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey "
+             f"WHERE p_type = 'PROMO' AND l_shipdate >= {date_low} AND l_shipdate <= {date_high}"),
+            # Q17: small-quantity-order revenue (flattened to a quantity cap)
+            (17,
+             "SELECT AVG(l_extendedprice) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey "
+             f"WHERE p_brand = '{brand}' AND l_quantity < {quantity_cap}"),
+            # Q18: large volume customer (group by segment with having)
+            (18,
+             "SELECT c_mktsegment, SUM(l_quantity) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             "JOIN customer ON o_custkey = c_custkey "
+             f"WHERE o_orderdate >= {date_low} GROUP BY c_mktsegment "
+             "HAVING sum_l_quantity > 100"),
+            # Q19: discounted revenue (brand + quantity window)
+            (19,
+             "SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey "
+             f"WHERE p_brand = '{brand}' AND l_quantity >= 1 AND l_quantity <= {quantity_cap} "
+             f"AND p_size >= 1 AND p_size <= {size}"),
+            # Q21: suppliers who kept orders waiting (simplified flat count)
+            (21,
+             "SELECT s_region, COUNT(*) FROM lineitem "
+             "JOIN supplier ON l_suppkey = s_suppkey "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             f"WHERE o_orderstatus = 'F' AND l_shipdate >= {date_low} GROUP BY s_region"),
+        ]
+
+        unsupported: list[tuple[int, str, bool]] = [
+            # Q2: minimum-cost supplier -> MIN aggregate (unsupported)
+            (2,
+             "SELECT MIN(p_retailprice) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey "
+             f"WHERE p_size = {size} AND p_type = 'STANDARD'",
+             True),
+            # Q9: product type profit -> LIKE filter on part type
+            (9,
+             "SELECT s_region, SUM(l_extendedprice * (1 - l_discount)) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey "
+             "JOIN supplier ON l_suppkey = s_suppkey "
+             "WHERE p_type LIKE '%ECONOMY%' GROUP BY s_region",
+             True),
+            # Q11: important stock identification -> nested aggregate threshold
+            (11,
+             "SELECT p_brand, SUM(l_quantity) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey GROUP BY p_brand "
+             "HAVING sum_l_quantity > (SELECT AVG(l_quantity) FROM lineitem)",
+             True),
+            # Q13: customer distribution -> non-aggregate projection (the one
+            # template without an aggregate function)
+            (13,
+             "SELECT c_custkey, c_mktsegment FROM customer "
+             f"WHERE c_acctbal >= 0 AND c_mktsegment = '{segment}'",
+             False),
+            # Q15: top supplier -> MAX aggregate
+            (15,
+             "SELECT MAX(l_extendedprice) FROM lineitem "
+             f"WHERE l_shipdate >= {date_low} AND l_shipdate <= {date_high}",
+             True),
+            # Q16: parts/supplier relationship -> NOT IN + disjunction
+            (16,
+             "SELECT p_brand, COUNT(*) FROM lineitem "
+             "JOIN part ON l_partkey = p_partkey "
+             f"WHERE p_brand NOT IN ('{brand}') OR p_size = {size} GROUP BY p_brand",
+             True),
+            # Q20: potential part promotion -> nested sub-query in WHERE
+            (20,
+             "SELECT COUNT(*) FROM lineitem WHERE l_partkey IN "
+             "(SELECT p_partkey FROM part WHERE p_size = 10)",
+             True),
+            # Q22: global sales opportunity -> disjunction over regions
+            (22,
+             "SELECT c_region, COUNT(*), AVG(c_acctbal) FROM lineitem "
+             "JOIN orders ON l_orderkey = o_orderkey "
+             "JOIN customer ON o_custkey = c_custkey "
+             f"WHERE c_region = '{region}' OR c_acctbal < 0 GROUP BY c_region",
+             True),
+        ]
+
+        queries = [
+            TPCHQuery(template_id=template_id, sql=sql, has_aggregate=True, expected_supported=True)
+            for template_id, sql in supported
+        ]
+        queries.extend(
+            TPCHQuery(
+                template_id=template_id,
+                sql=sql,
+                has_aggregate=has_aggregate,
+                expected_supported=False,
+            )
+            for template_id, sql, has_aggregate in unsupported
+        )
+        return sorted(queries, key=lambda q: q.template_id)
+
+    def generate_queries(self, num_queries: int = 100, seed: int | None = None) -> list[TPCHQuery]:
+        """Sample ``num_queries`` template instances with fresh parameters."""
+        rng = np.random.default_rng(self.seed + 31 if seed is None else seed)
+        queries: list[TPCHQuery] = []
+        while len(queries) < num_queries:
+            batch = self.query_templates(rng)
+            rng.shuffle(batch)  # type: ignore[arg-type]
+            for query in batch:
+                if len(queries) >= num_queries:
+                    break
+                queries.append(query)
+        return queries
+
+    def supported_queries(self, num_queries: int = 100, seed: int | None = None) -> list[TPCHQuery]:
+        """Only the supported template instances (for speedup experiments)."""
+        queries = self.generate_queries(num_queries * 2, seed=seed)
+        return [query for query in queries if query.expected_supported][:num_queries]

@@ -1,0 +1,66 @@
+"""Unit tests for the answer-caching baseline (Baseline2, Appendix C.1)."""
+
+import pytest
+
+from repro.aqp.cache_baseline import CachingEngine
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.config import SamplingConfig
+from repro.sqlparser.parser import parse_query
+
+
+@pytest.fixture()
+def caching_engine(sales_catalog):
+    inner = OnlineAggregationEngine(
+        sales_catalog, sampling=SamplingConfig(sample_ratio=0.2, num_batches=3, seed=5)
+    )
+    return CachingEngine(inner, hit_cost_s=0.01)
+
+
+class TestCachingEngine:
+    def test_first_run_is_a_miss(self, caching_engine):
+        query = parse_query("SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 10")
+        answers = list(caching_engine.run(query))
+        assert len(answers) == 3
+        assert caching_engine.misses == 1
+        assert caching_engine.hits == 0
+        assert caching_engine.cache_size == 1
+
+    def test_repeated_query_hits_cache(self, caching_engine):
+        sql = "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 10"
+        first = caching_engine.final_answer(parse_query(sql))
+        second_answers = list(caching_engine.run(parse_query(sql)))
+        assert caching_engine.hits == 1
+        assert len(second_answers) == 1
+        hit = second_answers[0]
+        assert hit.elapsed_seconds == pytest.approx(0.01)
+        assert hit.rows_scanned == 0
+        # The cached answer carries the accurate (final-batch) estimates.
+        assert hit.scalar_estimate().value == pytest.approx(first.scalar_estimate().value)
+
+    def test_structurally_identical_text_hits(self, caching_engine):
+        caching_engine.final_answer(
+            parse_query("SELECT COUNT(*) FROM sales WHERE week = 3")
+        )
+        caching_engine.final_answer(
+            parse_query("select count(*) from sales where week = 3")
+        )
+        assert caching_engine.hits == 1
+
+    def test_novel_query_misses(self, caching_engine):
+        caching_engine.final_answer(parse_query("SELECT COUNT(*) FROM sales WHERE week = 3"))
+        caching_engine.final_answer(parse_query("SELECT COUNT(*) FROM sales WHERE week = 4"))
+        assert caching_engine.misses == 2
+        assert caching_engine.hits == 0
+
+    def test_cache_keeps_lowest_error_answer(self, caching_engine):
+        sql = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 20"
+        query = parse_query(sql)
+        # First run: only one batch (higher error).
+        for answer in caching_engine.run(query):
+            break
+        # A later full run should replace the cache entry with a better one.
+        full = caching_engine.final_answer(query)
+        assert caching_engine.cache_size == 1
+
+    def test_catalog_passthrough(self, caching_engine, sales_catalog):
+        assert caching_engine.catalog is sales_catalog

@@ -1,0 +1,96 @@
+"""Unit tests for the CLT estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aqp.estimators import (
+    avg_estimate,
+    confidence_multiplier,
+    count_estimate,
+    freq_estimate,
+    sum_estimate,
+)
+
+
+class TestFreqAndCount:
+    def test_freq_point_estimate(self):
+        estimate = freq_estimate(25, 100)
+        assert estimate.value == pytest.approx(0.25)
+        assert estimate.error == pytest.approx(math.sqrt(0.25 * 0.75 / 100))
+
+    def test_freq_zero_selected_has_positive_error(self):
+        estimate = freq_estimate(0, 100)
+        assert estimate.value == 0.0
+        assert estimate.error > 0.0
+
+    def test_freq_no_rows_scanned(self):
+        estimate = freq_estimate(0, 0)
+        assert estimate.value == 0.0
+        assert estimate.error == 1.0
+
+    def test_freq_error_shrinks_with_sample_size(self):
+        small = freq_estimate(10, 40)
+        large = freq_estimate(1000, 4000)
+        assert large.error < small.error
+
+    def test_count_scales_freq(self):
+        freq = freq_estimate(30, 100)
+        count = count_estimate(30, 100, population_size=10_000)
+        assert count.value == pytest.approx(freq.value * 10_000)
+        assert count.error == pytest.approx(freq.error * 10_000)
+
+
+class TestAvgAndSum:
+    def test_avg_matches_sample_mean_and_se(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        estimate = avg_estimate(values)
+        assert estimate.value == pytest.approx(3.0)
+        assert estimate.error == pytest.approx(values.std(ddof=1) / math.sqrt(5))
+
+    def test_avg_empty_uses_fallback(self):
+        estimate = avg_estimate(np.array([]), fallback_std=2.5)
+        assert estimate.value == 0.0
+        assert estimate.error == pytest.approx(2.5)
+
+    def test_avg_single_value_uses_fallback(self):
+        estimate = avg_estimate(np.array([7.0]), fallback_std=1.5)
+        assert estimate.value == 7.0
+        assert estimate.error == pytest.approx(1.5)
+
+    def test_sum_propagates_errors(self):
+        avg = avg_estimate(np.array([10.0, 12.0, 8.0, 11.0]))
+        count = count_estimate(4, 10, 1000)
+        total = sum_estimate(avg, count)
+        assert total.value == pytest.approx(avg.value * count.value)
+        expected = math.sqrt((count.value * avg.error) ** 2 + (avg.value * count.error) ** 2)
+        assert total.error == pytest.approx(expected)
+
+    def test_avg_is_consistent(self, rng):
+        """The standard error should be a valid 1-sigma error in practice."""
+        population = rng.normal(50.0, 10.0, size=50_000)
+        truth = population.mean()
+        misses = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(population, size=400, replace=False)
+            estimate = avg_estimate(sample)
+            if abs(estimate.value - truth) > 1.96 * estimate.error:
+                misses += 1
+        assert misses / trials < 0.12  # ~5% expected, generous margin
+
+
+class TestConfidenceMultiplier:
+    def test_95_percent(self):
+        assert confidence_multiplier(0.95) == pytest.approx(1.96, abs=0.01)
+
+    def test_99_percent(self):
+        assert confidence_multiplier(0.99) == pytest.approx(2.576, abs=0.01)
+
+    def test_monotone(self):
+        assert confidence_multiplier(0.99) > confidence_multiplier(0.9)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            confidence_multiplier(1.5)

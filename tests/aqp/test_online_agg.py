@@ -1,0 +1,125 @@
+"""Unit tests for the online aggregation engine (NoLearn)."""
+
+import pytest
+
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.config import CostModelConfig, SamplingConfig
+from repro.db.executor import ExactExecutor
+from repro.errors import AQPError
+from repro.sqlparser.parser import parse_query
+
+
+@pytest.fixture()
+def engine(sales_catalog):
+    return OnlineAggregationEngine(
+        sales_catalog,
+        sampling=SamplingConfig(sample_ratio=0.3, num_batches=5, seed=2),
+        cost_model=CostModelConfig(cached=True),
+    )
+
+
+class TestOnlineAggregation:
+    def test_yields_one_answer_per_batch(self, engine):
+        query = parse_query("SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 25")
+        answers = list(engine.run(query))
+        assert len(answers) == 5
+        assert [a.batches_processed for a in answers] == [1, 2, 3, 4, 5]
+        rows_scanned = [a.rows_scanned for a in answers]
+        assert rows_scanned == sorted(rows_scanned)
+
+    def test_elapsed_time_increases_with_batches(self, engine):
+        query = parse_query("SELECT COUNT(*) FROM sales WHERE week >= 1 AND week <= 10")
+        answers = list(engine.run(query))
+        elapsed = [a.elapsed_seconds for a in answers]
+        assert elapsed == sorted(elapsed)
+        assert elapsed[0] >= engine.cost_model.planning_overhead_s
+
+    def test_error_bounds_shrink_as_batches_accumulate(self, engine):
+        query = parse_query("SELECT AVG(revenue) FROM sales")
+        answers = list(engine.run(query))
+        first_error = answers[0].scalar_estimate().error
+        last_error = answers[-1].scalar_estimate().error
+        assert last_error < first_error
+
+    def test_final_answer_close_to_exact(self, engine, sales_catalog):
+        query = parse_query("SELECT AVG(revenue) FROM sales WHERE week >= 10 AND week <= 40")
+        exact = ExactExecutor(sales_catalog).execute(query).scalar()
+        final = engine.final_answer(query)
+        estimate = final.scalar_estimate()
+        assert abs(estimate.value - exact) <= 4 * estimate.error + 1e-9
+
+    def test_count_estimate_scales_to_population(self, engine, sales_catalog):
+        query = parse_query("SELECT COUNT(*) FROM sales WHERE week >= 1 AND week <= 26")
+        exact = ExactExecutor(sales_catalog).execute(query).scalar()
+        final = engine.final_answer(query)
+        estimate = final.scalar_estimate()
+        assert estimate.value == pytest.approx(exact, rel=0.2)
+
+    def test_group_by_rows_have_internal_estimates(self, engine):
+        query = parse_query(
+            "SELECT region, SUM(revenue), COUNT(*) FROM sales WHERE week <= 30 GROUP BY region"
+        )
+        final = engine.final_answer(query)
+        assert len(final.rows) >= 2
+        for row in final.rows:
+            sum_estimate = row.estimates["sum_revenue"]
+            assert sum_estimate.internal.avg_value is not None
+            assert sum_estimate.internal.freq_value > 0
+            count_estimate = row.estimates["count_star"]
+            assert count_estimate.internal.avg_value is None
+
+    def test_execute_with_stop_condition(self, engine):
+        query = parse_query("SELECT AVG(revenue) FROM sales")
+        answers = engine.execute(query, stop=lambda a: a.batches_processed >= 2)
+        assert len(answers) == 2
+
+    def test_execute_with_max_batches(self, engine):
+        query = parse_query("SELECT AVG(revenue) FROM sales")
+        answers = engine.execute(query, max_batches=3)
+        assert len(answers) == 3
+
+    def test_first_answer(self, engine):
+        query = parse_query("SELECT AVG(revenue) FROM sales")
+        first = engine.first_answer(query)
+        assert first.batches_processed == 1
+
+    def test_unknown_table_raises(self, engine):
+        with pytest.raises(AQPError):
+            list(engine.run(parse_query("SELECT COUNT(*) FROM missing")))
+
+    def test_join_charges_dimension_scan(self, star_catalog):
+        engine = OnlineAggregationEngine(
+            star_catalog,
+            sampling=SamplingConfig(sample_ratio=1.0, num_batches=2, seed=1),
+            cost_model=CostModelConfig(cached=True),
+        )
+        no_join = parse_query("SELECT AVG(amount) FROM orders")
+        with_join = parse_query(
+            "SELECT region, AVG(amount) FROM orders JOIN stores ON store_id = store_id "
+            "GROUP BY region"
+        )
+        plain = list(engine.run(no_join))[-1]
+        joined = list(engine.run(with_join))[-1]
+        assert joined.elapsed_seconds > plain.elapsed_seconds
+
+    def test_ssd_cost_model_is_slower(self, sales_catalog):
+        sampling = SamplingConfig(sample_ratio=0.2, num_batches=3, seed=4)
+        cached = OnlineAggregationEngine(
+            sales_catalog, sampling=sampling, cost_model=CostModelConfig(cached=True)
+        )
+        ssd = OnlineAggregationEngine(
+            sales_catalog, sampling=sampling, cost_model=CostModelConfig(cached=False)
+        )
+        query = parse_query("SELECT AVG(revenue) FROM sales")
+        assert ssd.final_answer(query).elapsed_seconds > cached.final_answer(query).elapsed_seconds
+
+    def test_having_filters_estimated_groups(self, engine):
+        query = parse_query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING count_star >= 0"
+        )
+        final = engine.final_answer(query)
+        assert len(final.rows) >= 1
+        strict = parse_query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING count_star > 1000000"
+        )
+        assert len(engine.final_answer(strict).rows) == 0

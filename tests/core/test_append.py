@@ -1,0 +1,75 @@
+"""Unit tests for the data-append adjustment (Appendix D, Lemma 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.append import AppendAdjustment, append_adjustment, apply_append_adjustment
+from repro.core.regions import NumericRange, Region
+from repro.core.snippet import AggregateKind, Snippet, SnippetKey
+
+
+def avg_snippet(answer=10.0, error=0.5):
+    key = SnippetKey(kind=AggregateKind.AVG, table="t", attribute="m")
+    region = Region(numeric_ranges=(NumericRange("x", 0, 1),))
+    return Snippet(key=key, region=region, raw_answer=answer, raw_error=error)
+
+
+class TestAppendAdjustment:
+    def test_no_append_means_no_adjustment(self):
+        adjustment = append_adjustment(np.array([1.0]), np.array([]), 100, 0)
+        assert adjustment.answer_shift == 0.0
+        assert adjustment.extra_variance == 0.0
+        assert adjustment.appended_fraction == 0.0
+
+    def test_lemma3_shift_and_inflation(self):
+        old = np.array([10.0, 12.0, 8.0, 10.0])
+        new = np.array([20.0, 22.0, 18.0, 20.0])
+        adjustment = append_adjustment(old, new, old_count=900, new_count=100)
+        ratio = 100 / 1000
+        expected_shift = (new.mean() - old.mean()) * ratio
+        assert adjustment.answer_shift == pytest.approx(expected_shift)
+        expected_eta2 = new.var() + old.var()
+        assert adjustment.extra_variance == pytest.approx(ratio**2 * expected_eta2)
+        assert adjustment.appended_fraction == pytest.approx(ratio)
+
+    def test_larger_append_means_larger_adjustment(self):
+        old = np.array([10.0, 11.0, 9.0])
+        new = np.array([20.0, 21.0, 19.0])
+        small = append_adjustment(old, new, 950, 50)
+        large = append_adjustment(old, new, 800, 200)
+        assert abs(large.answer_shift) > abs(small.answer_shift)
+        assert large.extra_variance > small.extra_variance
+
+    def test_identical_distributions_mean_no_shift(self):
+        values = np.array([5.0, 6.0, 4.0, 5.0])
+        adjustment = append_adjustment(values, values, 500, 500)
+        assert adjustment.answer_shift == pytest.approx(0.0)
+        assert adjustment.extra_variance > 0.0  # uncertainty still grows
+
+    def test_freq_kind_has_no_shift_but_inflates(self):
+        adjustment = append_adjustment(
+            np.array([]), np.array([]), 900, 100, kind=AggregateKind.FREQ
+        )
+        assert adjustment.answer_shift == 0.0
+        assert adjustment.extra_variance > 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            append_adjustment(np.array([1.0]), np.array([1.0]), -1, 10)
+
+    def test_validation_of_fields(self):
+        with pytest.raises(ValueError):
+            AppendAdjustment(answer_shift=0.0, extra_variance=-1.0, appended_fraction=0.1)
+        with pytest.raises(ValueError):
+            AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=1.5)
+
+
+class TestApplyAdjustment:
+    def test_apply_shifts_answer_and_inflates_error(self):
+        snippet = avg_snippet(answer=10.0, error=0.5)
+        adjustment = AppendAdjustment(answer_shift=1.0, extra_variance=0.75, appended_fraction=0.1)
+        adjusted = apply_append_adjustment(snippet, adjustment)
+        assert adjusted.raw_answer == pytest.approx(11.0)
+        assert adjusted.raw_error == pytest.approx((0.25 + 0.75) ** 0.5)
+        # The original snippet is unchanged (snippets are immutable).
+        assert snippet.raw_answer == 10.0

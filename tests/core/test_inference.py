@@ -1,0 +1,170 @@
+"""Unit tests for the maximum-entropy inference (Section 3, Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import VerdictConfig
+from repro.core.covariance import AggregateModel
+from repro.core.inference import GaussianInference
+from repro.core.regions import (
+    AttributeDomains,
+    NumericDomain,
+    NumericRange,
+    Region,
+)
+from repro.core.snippet import AggregateKind, Snippet, SnippetKey
+
+
+@pytest.fixture()
+def domains():
+    return AttributeDomains(numeric={"x": NumericDomain("x", 0.0, 100.0, 0.1)})
+
+
+@pytest.fixture()
+def key():
+    return SnippetKey(kind=AggregateKind.AVG, table="t", attribute="m")
+
+
+@pytest.fixture()
+def freq_key():
+    return SnippetKey(kind=AggregateKind.FREQ, table="t")
+
+
+def avg_snippet(key, low, high, answer, error=0.5):
+    region = Region(numeric_ranges=(NumericRange("x", low, high),))
+    return Snippet(key=key, region=region, raw_answer=answer, raw_error=error)
+
+
+@pytest.fixture()
+def inference():
+    return GaussianInference(VerdictConfig())
+
+
+@pytest.fixture()
+def model(key):
+    return AggregateModel(key=key, length_scales={"x": 20.0})
+
+
+@pytest.fixture()
+def past(key):
+    # Smoothly varying answers over adjacent ranges.
+    return [
+        avg_snippet(key, 0, 20, 10.0),
+        avg_snippet(key, 20, 40, 12.0),
+        avg_snippet(key, 40, 60, 14.0),
+        avg_snippet(key, 60, 80, 16.0),
+    ]
+
+
+class TestPrepare:
+    def test_prepare_empty_returns_none(self, inference, key, model, domains):
+        assert inference.prepare(key, [], model, domains) is None
+
+    def test_prepare_holds_factorisation(self, inference, key, model, domains, past):
+        prepared = inference.prepare(key, past, model, domains, synopsis_version=3)
+        assert prepared is not None
+        assert prepared.size == 4
+        assert prepared.synopsis_version == 3
+        assert prepared.sigma2 > 0
+        assert prepared.observations.shape == (4,)
+
+
+class TestInfer:
+    def test_empty_synopsis_passes_raw_through(self, inference, key):
+        new = avg_snippet(key, 10, 30, 11.0, error=1.0)
+        result = inference.infer(None, new)
+        assert result.model_answer == 11.0
+        assert result.model_error == 1.0
+        assert not result.improved
+
+    def test_improved_error_never_exceeds_raw(self, inference, key, model, domains, past):
+        prepared = inference.prepare(key, past, model, domains)
+        for raw_error in (0.01, 0.5, 2.0, 10.0):
+            new = avg_snippet(key, 30, 50, 13.5, error=raw_error)
+            result = inference.infer(prepared, new)
+            assert result.model_error <= raw_error + 1e-12
+
+    def test_zero_raw_error_returns_exact(self, inference, key, model, domains, past):
+        prepared = inference.prepare(key, past, model, domains)
+        new = avg_snippet(key, 30, 50, 13.0, error=0.0)
+        result = inference.infer(prepared, new)
+        assert result.model_answer == 13.0
+        assert result.model_error == 0.0
+
+    def test_overlapping_past_pulls_answer_toward_trend(
+        self, inference, key, model, domains, past
+    ):
+        prepared = inference.prepare(key, past, model, domains)
+        # The raw answer is far off the smooth trend; a noisy raw answer gets
+        # pulled toward the GP prediction (which is near 13 for range 30-50).
+        new = avg_snippet(key, 30, 50, 20.0, error=4.0)
+        result = inference.infer(prepared, new)
+        assert result.model_answer < 20.0
+        assert result.model_answer > 10.0
+        assert result.model_error < 4.0
+
+    def test_accurate_raw_answer_dominates(self, inference, key, model, domains, past):
+        prepared = inference.prepare(key, past, model, domains)
+        new = avg_snippet(key, 30, 50, 20.0, error=0.001)
+        result = inference.infer(prepared, new)
+        assert result.model_answer == pytest.approx(20.0, abs=0.1)
+
+    def test_distant_range_keeps_raw_answer_weight(self, inference, key, domains, past):
+        # With a short length scale, a far-away range is nearly independent of
+        # the past, so the model-based answer stays close to the raw one.
+        short_model = AggregateModel(key=key, length_scales={"x": 1.0})
+        prepared = inference.prepare(key, past, short_model, domains)
+        new = avg_snippet(key, 95, 100, 30.0, error=1.0)
+        result = inference.infer(prepared, new)
+        assert result.model_answer == pytest.approx(30.0, abs=1.5)
+
+    def test_freq_inference_in_density_space(self, inference, freq_key, domains):
+        model = AggregateModel(key=freq_key, length_scales={"x": 30.0})
+        past = [
+            Snippet(
+                key=freq_key,
+                region=Region(numeric_ranges=(NumericRange("x", 0, 20),)),
+                raw_answer=0.2,
+                raw_error=0.01,
+            ),
+            Snippet(
+                key=freq_key,
+                region=Region(numeric_ranges=(NumericRange("x", 20, 40),)),
+                raw_answer=0.2,
+                raw_error=0.01,
+            ),
+        ]
+        prepared = inference.prepare(freq_key, past, model, domains)
+        new = Snippet(
+            key=freq_key,
+            region=Region(numeric_ranges=(NumericRange("x", 10, 30),)),
+            raw_answer=0.25,
+            raw_error=0.05,
+        )
+        result = inference.infer(prepared, new)
+        assert result.model_error <= new.raw_error
+        # Data is uniform (density 0.01/unit); expect an answer near 0.2.
+        assert 0.15 < result.model_answer < 0.27
+
+
+class TestDirectEquivalence:
+    def test_block_form_matches_direct_conditioning(self, key, model, domains, past):
+        """Equations (11)/(12) must agree with Equations (4)/(5).
+
+        The direct form is the uncalibrated reference, so the leave-one-out
+        calibration is switched off for the comparison.
+        """
+        inference = GaussianInference(VerdictConfig(calibrate_model_variance=False))
+        for low, high, answer, error in [(30, 50, 13.5, 0.7), (10, 15, 10.5, 0.3), (70, 90, 17.0, 2.0)]:
+            new = avg_snippet(key, low, high, answer, error=error)
+            prepared = inference.prepare(key, past, model, domains)
+            block = inference.infer(prepared, new)
+            direct = inference.infer_direct(key, past, new, model, domains)
+            assert block.model_answer == pytest.approx(direct.model_answer, rel=1e-6, abs=1e-9)
+            assert block.model_error == pytest.approx(direct.model_error, rel=1e-5, abs=1e-9)
+
+    def test_direct_with_empty_past(self, inference, key, model, domains):
+        new = avg_snippet(key, 0, 10, 5.0, error=0.4)
+        result = inference.infer_direct(key, [], new, model, domains)
+        assert result.model_answer == 5.0
+        assert result.model_error == 0.4

@@ -1,0 +1,118 @@
+"""Unit tests for the squared-exponential kernel and its analytic integrals."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.kernel import (
+    se_average_factor,
+    se_double_integral,
+    se_kernel,
+    se_single_integral,
+)
+
+
+class TestKernel:
+    def test_kernel_at_zero_is_one(self):
+        assert se_kernel(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_kernel_decays_with_distance(self):
+        assert se_kernel(1.0, 1.0) == pytest.approx(math.exp(-1.0))
+        assert se_kernel(3.0, 1.0) < se_kernel(1.0, 1.0)
+
+    def test_kernel_widens_with_length_scale(self):
+        assert se_kernel(2.0, 4.0) > se_kernel(2.0, 1.0)
+
+    def test_kernel_vectorised(self):
+        values = se_kernel(np.array([0.0, 1.0, 2.0]), 1.0)
+        np.testing.assert_allclose(values, [1.0, math.exp(-1), math.exp(-4)])
+
+    def test_invalid_length_scale(self):
+        with pytest.raises(ValueError):
+            se_kernel(1.0, 0.0)
+        with pytest.raises(ValueError):
+            se_double_integral(0, 1, 0, 1, -1.0)
+        with pytest.raises(ValueError):
+            se_single_integral(0, 0, 1, 0.0)
+
+
+class TestSingleIntegral:
+    @pytest.mark.parametrize("x, low, high, scale", [(0.5, 0.0, 1.0, 0.7), (2.0, -1.0, 3.0, 1.5), (5.0, 0.0, 1.0, 0.3)])
+    def test_matches_numeric_quadrature(self, x, low, high, scale):
+        expected, _ = integrate.quad(lambda y: math.exp(-((x - y) ** 2) / scale**2), low, high)
+        assert se_single_integral(x, low, high, scale) == pytest.approx(expected, rel=1e-8)
+
+    def test_reversed_range_is_negative(self):
+        forward = se_single_integral(0.5, 0.0, 1.0, 1.0)
+        backward = se_single_integral(0.5, 1.0, 0.0, 1.0)
+        assert backward == pytest.approx(-forward)
+
+
+class TestDoubleIntegral:
+    @pytest.mark.parametrize(
+        "a, b, c, d, scale",
+        [
+            (0.0, 1.0, 0.0, 1.0, 0.8),
+            (0.0, 1.0, 2.0, 3.5, 0.8),
+            (0.0, 2.0, 1.0, 1.5, 2.0),
+            (-3.0, -1.0, 4.0, 6.0, 1.0),
+            (0.0, 10.0, 0.0, 10.0, 3.0),
+        ],
+    )
+    def test_matches_numeric_quadrature(self, a, b, c, d, scale):
+        expected, _ = integrate.dblquad(
+            lambda y, x: math.exp(-((x - y) ** 2) / scale**2), a, b, lambda x: c, lambda x: d
+        )
+        assert se_double_integral(a, b, c, d, scale) == pytest.approx(expected, rel=1e-6)
+
+    def test_symmetry_in_the_two_ranges(self):
+        first = se_double_integral(0.0, 1.0, 2.0, 4.0, 1.3)
+        second = se_double_integral(2.0, 4.0, 0.0, 1.0, 1.3)
+        assert first == pytest.approx(second)
+
+    def test_non_negative_even_for_far_ranges(self):
+        value = se_double_integral(0.0, 1.0, 1e6, 1e6 + 1.0, 0.5)
+        assert value >= 0.0
+
+    def test_broadcasting_produces_pairwise_matrix(self):
+        lows = np.array([0.0, 2.0, 5.0])
+        highs = np.array([1.0, 3.0, 6.0])
+        matrix = se_double_integral(
+            lows[:, None], highs[:, None], lows[None, :], highs[None, :], 1.0
+        )
+        assert matrix.shape == (3, 3)
+        for i in range(3):
+            for j in range(3):
+                expected = se_double_integral(lows[i], highs[i], lows[j], highs[j], 1.0)
+                assert matrix[i, j] == pytest.approx(expected)
+
+
+class TestAverageFactor:
+    def test_identical_ranges_give_high_factor(self):
+        factor = se_average_factor(0.0, 0.5, 0.0, 0.5, 5.0)
+        assert 0.9 < factor <= 1.0
+
+    def test_far_ranges_give_low_factor(self):
+        factor = se_average_factor(0.0, 1.0, 50.0, 51.0, 1.0)
+        assert factor == pytest.approx(0.0, abs=1e-10)
+
+    def test_factor_bounded_by_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, c = rng.uniform(0, 10, size=2)
+            b, d = a + rng.uniform(0.01, 5), c + rng.uniform(0.01, 5)
+            scale = rng.uniform(0.1, 20)
+            factor = float(se_average_factor(a, b, c, d, scale))
+            assert 0.0 <= factor <= 1.0 + 1e-12
+
+    def test_point_limit_tends_to_kernel(self):
+        width = 1e-4
+        factor = se_average_factor(1.0, 1.0 + width, 3.0, 3.0 + width, 1.5)
+        assert factor == pytest.approx(se_kernel(2.0, 1.5), rel=1e-3)
+
+    def test_overlapping_factor_larger_than_disjoint(self):
+        overlapping = se_average_factor(0.0, 2.0, 1.0, 3.0, 1.0)
+        disjoint = se_average_factor(0.0, 2.0, 6.0, 8.0, 1.0)
+        assert overlapping > disjoint

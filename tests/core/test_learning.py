@@ -1,0 +1,78 @@
+"""Unit tests for correlation-parameter learning (Appendix A)."""
+
+import pytest
+
+from repro.config import VerdictConfig
+from repro.core.learning import (
+    constrained_numeric_attributes,
+    learn_length_scales,
+    negative_log_likelihood,
+)
+from repro.workloads.synthetic import make_gp_snippets
+
+
+class TestLikelihood:
+    def test_true_scale_beats_badly_wrong_scale(self):
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=60, true_length_scale=1.5, seed=3
+        )
+        nll_true = negative_log_likelihood({"x": 1.5}, key, snippets, domains)
+        nll_tiny = negative_log_likelihood({"x": 0.01}, key, snippets, domains)
+        assert nll_true < nll_tiny
+
+    def test_too_few_snippets_returns_zero(self):
+        snippets, domains, key = make_gp_snippets(num_snippets=1, true_length_scale=1.0, seed=0)
+        assert negative_log_likelihood({"x": 1.0}, key, snippets, domains) == 0.0
+
+    def test_constrained_attributes_detected(self):
+        snippets, domains, key = make_gp_snippets(num_snippets=5, true_length_scale=1.0, seed=1)
+        assert constrained_numeric_attributes(snippets, domains) == ["x"]
+
+
+class TestLearnLengthScales:
+    def test_recovers_roughly_true_scale(self):
+        """Figure 7: the estimate should be of the right order of magnitude."""
+        true_scale = 2.0
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=80, true_length_scale=true_scale, seed=7
+        )
+        learned = learn_length_scales(
+            key, snippets, domains, VerdictConfig(learning_restarts=2, max_learning_snippets=80)
+        )
+        estimate = learned.length_scales["x"]
+        assert 0.3 * true_scale < estimate < 3.5 * true_scale
+        assert learned.optimized_attributes == ("x",)
+        assert learned.sigma2 > 0
+
+    def test_more_snippets_do_not_hurt(self):
+        """The likelihood at the learned scale should beat the default scale."""
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=60, true_length_scale=1.0, seed=9
+        )
+        learned = learn_length_scales(
+            key, snippets, domains, VerdictConfig(learning_restarts=1, max_learning_snippets=60)
+        )
+        default_scales = domains.default_length_scales()
+        nll_default = negative_log_likelihood(default_scales, key, snippets, domains)
+        nll_learned = negative_log_likelihood(learned.length_scales, key, snippets, domains)
+        assert nll_learned <= nll_default + 1e-6
+
+    def test_learning_disabled_returns_defaults(self):
+        snippets, domains, key = make_gp_snippets(num_snippets=30, true_length_scale=1.0, seed=2)
+        config = VerdictConfig(learn_length_scales=False)
+        learned = learn_length_scales(key, snippets, domains, config)
+        assert learned.length_scales == domains.default_length_scales()
+        assert learned.optimized_attributes == ()
+        assert not learned.converged
+
+    def test_too_few_snippets_returns_defaults(self):
+        snippets, domains, key = make_gp_snippets(num_snippets=2, true_length_scale=1.0, seed=4)
+        learned = learn_length_scales(key, snippets, domains, VerdictConfig())
+        assert learned.length_scales == domains.default_length_scales()
+
+    def test_as_model(self):
+        snippets, domains, key = make_gp_snippets(num_snippets=10, true_length_scale=1.0, seed=5)
+        learned = learn_length_scales(key, snippets, domains, VerdictConfig(learn_length_scales=False))
+        model = learned.as_model()
+        assert model.key == key
+        assert model.length_scales == learned.length_scales

@@ -1,0 +1,102 @@
+"""Unit tests for prior statistics and observation-space conversion."""
+
+import pytest
+
+from repro.core.prior import (
+    answer_from_observation,
+    error_from_observation,
+    estimate_prior,
+    observation_error,
+    observation_value,
+)
+from repro.core.regions import (
+    AttributeDomains,
+    CategoricalDomain,
+    NumericDomain,
+    NumericRange,
+    Region,
+)
+from repro.core.snippet import AggregateKind, Snippet, SnippetKey
+
+
+@pytest.fixture()
+def domains():
+    return AttributeDomains(
+        numeric={"x": NumericDomain("x", 0.0, 100.0, 0.1)},
+        categorical={"c": CategoricalDomain("c", 4)},
+    )
+
+
+def avg_snippet(answer, low=0.0, high=10.0, error=0.5):
+    key = SnippetKey(kind=AggregateKind.AVG, table="t", attribute="m")
+    region = Region(numeric_ranges=(NumericRange("x", low, high),))
+    return Snippet(key=key, region=region, raw_answer=answer, raw_error=error)
+
+
+def freq_snippet(answer, low=0.0, high=10.0, error=0.01):
+    key = SnippetKey(kind=AggregateKind.FREQ, table="t")
+    region = Region(numeric_ranges=(NumericRange("x", low, high),))
+    return Snippet(key=key, region=region, raw_answer=answer, raw_error=error)
+
+
+class TestObservationSpace:
+    def test_avg_is_identity(self, domains):
+        snippet = avg_snippet(42.0, error=1.5)
+        assert observation_value(snippet, domains) == 42.0
+        assert observation_error(snippet, domains) == 1.5
+        assert answer_from_observation(10.0, snippet, domains) == 10.0
+        assert error_from_observation(2.0, snippet, domains) == 2.0
+
+    def test_freq_scaled_by_volume_fraction(self, domains):
+        snippet = freq_snippet(0.1, low=0.0, high=10.0, error=0.02)
+        fraction = snippet.region.volume_fraction(domains)
+        assert fraction == pytest.approx(0.1)
+        assert observation_value(snippet, domains) == pytest.approx(1.0)
+        assert observation_error(snippet, domains) == pytest.approx(0.2)
+
+    def test_freq_round_trip(self, domains):
+        snippet = freq_snippet(0.05, low=20.0, high=45.0)
+        value = observation_value(snippet, domains)
+        assert answer_from_observation(value, snippet, domains) == pytest.approx(0.05)
+        error = observation_error(snippet, domains)
+        assert error_from_observation(error, snippet, domains) == pytest.approx(snippet.raw_error)
+
+    def test_uniform_freq_snippets_have_equal_density(self, domains):
+        """Two FREQ snippets over ranges of different widths but with mass
+        proportional to the width map to the same density observation."""
+        narrow = freq_snippet(0.1, low=0.0, high=10.0)
+        wide = freq_snippet(0.2, low=50.0, high=70.0)
+        assert observation_value(narrow, domains) == pytest.approx(
+            observation_value(wide, domains)
+        )
+
+
+class TestEstimatePrior:
+    def test_empty(self, domains):
+        prior = estimate_prior([], domains)
+        assert prior.count == 0
+        assert prior.variance > 0
+
+    def test_avg_prior_mean_and_variance(self, domains):
+        snippets = [avg_snippet(value) for value in (10.0, 12.0, 14.0)]
+        prior = estimate_prior(snippets, domains)
+        assert prior.mean == pytest.approx(12.0)
+        assert prior.variance == pytest.approx(4.0)
+        assert prior.count == 3
+
+    def test_single_snippet_gets_positive_variance(self, domains):
+        prior = estimate_prior([avg_snippet(50.0)], domains)
+        assert prior.variance > 0
+
+    def test_identical_answers_get_floor_variance(self, domains):
+        snippets = [avg_snippet(5.0) for _ in range(4)]
+        prior = estimate_prior(snippets, domains)
+        assert prior.variance > 0
+
+    def test_freq_prior_uses_densities(self, domains):
+        snippets = [
+            freq_snippet(0.1, low=0.0, high=10.0),
+            freq_snippet(0.3, low=0.0, high=30.0),
+        ]
+        prior = estimate_prior(snippets, domains)
+        assert prior.mean == pytest.approx(1.0)

@@ -1,0 +1,162 @@
+"""Unit tests for attribute domains, regions, and the region builder."""
+
+import pytest
+
+from repro.core.regions import (
+    AttributeDomains,
+    CategoricalConstraint,
+    CategoricalDomain,
+    NumericDomain,
+    NumericRange,
+    Region,
+    RegionBuilder,
+)
+from repro.errors import ReproError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+
+
+@pytest.fixture()
+def domains():
+    return AttributeDomains(
+        numeric={
+            "week": NumericDomain("week", 1.0, 52.0, 1.0),
+            "age": NumericDomain("age", 18.0, 80.0, 0.5),
+        },
+        categorical={"region": CategoricalDomain("region", 8)},
+    )
+
+
+@pytest.fixture()
+def builder(domains):
+    return RegionBuilder(domains)
+
+
+def where_of(sql: str):
+    return parse_query(sql).where
+
+
+class TestDomains:
+    def test_from_table(self, tiny_table):
+        domains = AttributeDomains.from_table(tiny_table)
+        assert "week" in domains.numeric
+        assert "revenue" in domains.numeric
+        assert "region" in domains.categorical
+        assert domains.categorical["region"].size == 2
+        week = domains.numeric["week"]
+        assert week.low == 1.0 and week.high == 3.0
+        assert week.resolution > 0
+
+    def test_from_table_excludes_keys(self, star_catalog):
+        domains = AttributeDomains.from_table(star_catalog.table("orders"))
+        assert "store_id" not in domains.numeric
+        assert "day" in domains.numeric
+
+    def test_default_length_scales_are_domain_widths(self, domains):
+        scales = domains.default_length_scales()
+        assert scales["week"] == pytest.approx(51.0)
+        assert scales["age"] == pytest.approx(62.0)
+
+    def test_merged_with(self, domains):
+        other = AttributeDomains(numeric={"price": NumericDomain("price", 0, 10, 0.1)})
+        merged = domains.merged_with(other)
+        assert merged.has_attribute("price")
+        assert merged.has_attribute("week")
+
+    def test_invalid_domains_rejected(self):
+        with pytest.raises(ReproError):
+            NumericDomain("x", 5.0, 1.0, 0.1)
+        with pytest.raises(ReproError):
+            NumericDomain("x", 0.0, 1.0, 0.0)
+        with pytest.raises(ReproError):
+            CategoricalDomain("c", 0)
+
+
+class TestCategoricalConstraint:
+    def test_intersection_sizes(self):
+        full = CategoricalConstraint("c", None, 10)
+        small = CategoricalConstraint("c", frozenset({"a", "b"}), 10)
+        other = CategoricalConstraint("c", frozenset({"b", "z"}), 10)
+        assert full.intersection_size(full) == 10
+        assert full.intersection_size(small) == 2
+        assert small.intersection_size(full) == 2
+        assert small.intersection_size(other) == 1
+        assert small.size == 2 and full.size == 10
+
+
+class TestRegionBuilder:
+    def test_range_predicates(self, builder):
+        region = builder.build(where_of("SELECT COUNT(*) FROM t WHERE week >= 5 AND week <= 10"))
+        ranges = region.numeric_by_name()
+        assert ranges["week"].low == 5 and ranges["week"].high == 10
+        assert region.residual == frozenset()
+
+    def test_unconstrained_attributes_are_not_listed(self, builder):
+        region = builder.build(where_of("SELECT COUNT(*) FROM t WHERE week >= 5"))
+        assert "age" not in region.numeric_by_name()
+        assert region.constrained_attributes() == {"week"}
+
+    def test_equality_expands_to_resolution(self, builder, domains):
+        region = builder.build(where_of("SELECT COUNT(*) FROM t WHERE week = 7"))
+        week_range = region.numeric_by_name()["week"]
+        assert week_range.width == pytest.approx(domains.numeric["week"].resolution)
+        assert week_range.midpoint == pytest.approx(7.0)
+
+    def test_between_and_in_numeric(self, builder):
+        region = builder.build(
+            where_of("SELECT COUNT(*) FROM t WHERE age BETWEEN 30 AND 40 AND week IN (2, 8, 5)")
+        )
+        assert region.numeric_by_name()["age"].low == 30
+        assert region.numeric_by_name()["week"].low == 2
+        assert region.numeric_by_name()["week"].high == 8
+
+    def test_categorical_equality_and_in(self, builder):
+        region = builder.build(
+            where_of("SELECT COUNT(*) FROM t WHERE region IN ('a', 'b') AND week >= 1")
+        )
+        constraint = region.categorical_by_name()["region"]
+        assert constraint.values == frozenset({"a", "b"})
+        single = builder.build(where_of("SELECT COUNT(*) FROM t WHERE region = 'a'"))
+        assert single.categorical_by_name()["region"].values == frozenset({"a"})
+
+    def test_contradictory_range_collapses(self, builder):
+        region = builder.build(
+            where_of("SELECT COUNT(*) FROM t WHERE week >= 40 AND week <= 10")
+        )
+        week_range = region.numeric_by_name()["week"]
+        assert week_range.width > 0  # collapsed to a resolution-wide sliver
+
+    def test_unrepresentable_predicates_become_residual(self, builder):
+        region = builder.build(
+            where_of("SELECT COUNT(*) FROM t WHERE week = 1 OR age >= 30")
+        )
+        assert region.residual  # disjunction cannot be a region
+        like = builder.build(where_of("SELECT COUNT(*) FROM t WHERE region LIKE 'a%'"))
+        assert like.residual
+
+    def test_unknown_column_goes_to_residual(self, builder):
+        region = builder.build(where_of("SELECT COUNT(*) FROM t WHERE unknown_col >= 3"))
+        assert any("unknown_col" in item or "ColumnRef" in item for item in region.residual)
+
+    def test_none_predicate_gives_empty_region(self, builder):
+        region = builder.build(None)
+        assert region.numeric_ranges == ()
+        assert region.categorical_constraints == ()
+
+
+class TestVolume:
+    def test_volume_fraction_in_unit_interval(self, builder, domains):
+        region = builder.build(
+            where_of("SELECT COUNT(*) FROM t WHERE week >= 1 AND week <= 26 AND region = 'a'")
+        )
+        fraction = region.volume_fraction(domains)
+        expected = (26 - 1) / 51.0 * (1 / 8)
+        assert fraction == pytest.approx(expected, rel=1e-6)
+        assert 0 < fraction <= 1
+
+    def test_empty_region_has_fraction_one(self, domains):
+        assert Region().volume_fraction(domains) == 1.0
+
+    def test_volume_constrained_only(self, builder, domains):
+        region = builder.build(where_of("SELECT COUNT(*) FROM t WHERE week >= 10 AND week <= 20"))
+        assert region.volume(domains) == pytest.approx(10.0)

@@ -1,0 +1,85 @@
+"""Unit tests for model validation (Appendix B)."""
+
+import pytest
+
+from repro.core.inference import InferenceResult
+from repro.core.snippet import AggregateKind
+from repro.core.validation import validate_model_answer
+
+
+def result(model_answer, model_error, raw_answer, raw_error):
+    return InferenceResult(
+        model_answer=model_answer,
+        model_error=model_error,
+        gp_mean=model_answer,
+        gp_error=model_error,
+        raw_answer=raw_answer,
+        raw_error=raw_error,
+        past_snippets_used=5,
+    )
+
+
+class TestLikelyRegion:
+    def test_accepts_model_close_to_raw(self):
+        decision = validate_model_answer(
+            result(10.0, 0.2, 10.3, 0.5), AggregateKind.AVG
+        )
+        assert decision.accepted
+        assert decision.improved_answer == 10.0
+        assert decision.improved_error == 0.2
+
+    def test_rejects_model_far_from_raw(self):
+        # Raw error 0.5 at 99% confidence gives a likely region of about 1.29;
+        # a 5-unit gap is far outside it.
+        decision = validate_model_answer(
+            result(10.0, 0.2, 15.0, 0.5), AggregateKind.AVG
+        )
+        assert not decision.accepted
+        assert decision.improved_answer == 15.0
+        assert decision.improved_error == 0.5
+        assert "outside likely region" in decision.reason
+
+    def test_halfwidth_scales_with_raw_error(self):
+        tight = validate_model_answer(result(10.0, 0.2, 10.0, 0.5), AggregateKind.AVG)
+        loose = validate_model_answer(result(10.0, 0.2, 10.0, 2.0), AggregateKind.AVG)
+        assert loose.likely_region_halfwidth > tight.likely_region_halfwidth
+
+    def test_higher_confidence_widens_region(self):
+        borderline = result(10.0, 0.2, 11.2, 0.5)
+        strict = validate_model_answer(borderline, AggregateKind.AVG, validation_confidence=0.9)
+        relaxed = validate_model_answer(borderline, AggregateKind.AVG, validation_confidence=0.999)
+        assert not strict.accepted
+        assert relaxed.accepted
+
+    def test_zero_raw_error_never_rejects_matching_model(self):
+        decision = validate_model_answer(result(10.0, 0.0, 10.0, 0.0), AggregateKind.AVG)
+        assert decision.accepted
+
+
+class TestNegativeFreq:
+    def test_negative_freq_rejected(self):
+        decision = validate_model_answer(result(-0.01, 0.001, 0.02, 0.01), AggregateKind.FREQ)
+        assert not decision.accepted
+        assert decision.improved_answer == 0.02
+        assert "negative FREQ" in decision.reason
+
+    def test_negative_avg_is_allowed(self):
+        decision = validate_model_answer(result(-5.0, 0.2, -5.1, 0.5), AggregateKind.AVG)
+        assert decision.accepted
+
+    def test_negative_freq_clipped_when_validation_disabled(self):
+        decision = validate_model_answer(
+            result(-0.01, 0.001, 0.02, 0.01), AggregateKind.FREQ, enabled=False
+        )
+        assert decision.accepted
+        assert decision.improved_answer == 0.0
+
+
+class TestDisabledValidation:
+    def test_disabled_validation_always_accepts(self):
+        decision = validate_model_answer(
+            result(10.0, 0.2, 25.0, 0.5), AggregateKind.AVG, enabled=False
+        )
+        assert decision.accepted
+        assert decision.improved_answer == 10.0
+        assert decision.reason == "validation disabled"

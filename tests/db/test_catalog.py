@@ -1,0 +1,116 @@
+"""Unit tests for the catalog and fact-dimension joins."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.schema import Schema, categorical_dimension, key, measure
+from repro.db.table import Table
+from repro.errors import CatalogError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+
+
+class TestCatalogBasics:
+    def test_add_and_lookup(self, tiny_table):
+        catalog = Catalog()
+        catalog.add_table(tiny_table, fact=True)
+        assert catalog.has_table("tiny")
+        assert catalog.is_fact_table("tiny")
+        assert catalog.table_names() == ["tiny"]
+        assert catalog.cardinality("tiny") == 5
+
+    def test_duplicate_table_rejected(self, tiny_table):
+        catalog = Catalog()
+        catalog.add_table(tiny_table)
+        with pytest.raises(CatalogError):
+            catalog.add_table(tiny_table)
+
+    def test_unknown_table(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_replace_table(self, tiny_table):
+        catalog = Catalog()
+        catalog.add_table(tiny_table)
+        replacement = tiny_table.head(2)
+        catalog.replace_table(replacement)
+        assert catalog.cardinality("tiny") == 2
+        with pytest.raises(CatalogError):
+            catalog.replace_table(tiny_table.renamed("nope"))
+
+    def test_foreign_key_requires_existing_columns(self, star_catalog):
+        with pytest.raises(CatalogError):
+            star_catalog.add_foreign_key("orders", "missing", "stores", "store_id")
+
+    def test_foreign_key_lookup(self, star_catalog):
+        assert len(star_catalog.foreign_keys("orders")) == 1
+        assert star_catalog.find_foreign_key("orders", "stores") is not None
+        assert star_catalog.find_foreign_key("orders", "nothing") is None
+
+    def test_dimension_attribute_columns(self, star_catalog):
+        names = [c.name for c in star_catalog.dimension_attribute_columns("orders")]
+        assert names == ["day"]
+
+    def test_of_constructor(self, tiny_table):
+        catalog = Catalog.of([tiny_table], fact_tables=["tiny"])
+        assert catalog.is_fact_table("tiny")
+
+
+class TestJoins:
+    def test_denormalize_star_schema(self, star_catalog):
+        query = parse_query(
+            "SELECT AVG(amount) FROM orders JOIN stores ON store_id = store_id"
+        )
+        joined = star_catalog.denormalize(query)
+        assert joined.num_rows == 6
+        assert "region" in joined.schema
+        # Foreign-key join keeps fact columns intact.
+        assert list(joined.column("amount")) == [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+        # Region values follow the store assignment of each order.
+        assert list(joined.column("region")) == ["east", "west", "east", "west", "east", "east"]
+
+    def test_join_drops_unmatched_rows(self, star_catalog):
+        # Point one order at a store that does not exist.
+        orders = star_catalog.table("orders")
+        broken = orders.with_column(key("store_id"), [0, 1, 0, 1, 2, 99])
+        clause = ast.JoinClause(
+            table="stores",
+            left_column=ast.ColumnRef("store_id"),
+            right_column=ast.ColumnRef("store_id"),
+        )
+        joined = star_catalog.join(broken, clause)
+        assert joined.num_rows == 5
+
+    def test_join_with_unresolvable_columns(self, star_catalog):
+        clause = ast.JoinClause(
+            table="stores",
+            left_column=ast.ColumnRef("nonexistent"),
+            right_column=ast.ColumnRef("also_missing"),
+        )
+        with pytest.raises(CatalogError):
+            star_catalog.join(star_catalog.table("orders"), clause)
+
+    def test_chained_joins(self):
+        """Fact -> dim1 -> dim2 chains resolve because the first join widens the base."""
+        fact = Table(
+            "f",
+            Schema.of([key("k1"), measure("m")]),
+            {"k1": [0, 1], "m": [1.0, 2.0]},
+        )
+        dim1 = Table(
+            "d1",
+            Schema.of([key("k1"), key("k2")]),
+            {"k1": [0, 1], "k2": [10, 11]},
+        )
+        dim2 = Table(
+            "d2",
+            Schema.of([key("k2"), categorical_dimension("label")]),
+            {"k2": [10, 11], "label": ["a", "b"]},
+        )
+        catalog = Catalog.of([fact, dim1, dim2], fact_tables=["f"])
+        query = parse_query(
+            "SELECT label, SUM(m) FROM f JOIN d1 ON k1 = k1 JOIN d2 ON k2 = k2 GROUP BY label"
+        )
+        joined = catalog.denormalize(query)
+        assert sorted(joined.column("label")) == ["a", "b"]

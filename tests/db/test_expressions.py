@@ -1,0 +1,99 @@
+"""Unit tests for predicate / expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.db.expressions import evaluate_expression, evaluate_predicate
+from repro.errors import ExpressionError
+from repro.sqlparser import ast
+
+
+def _comparison(column, op, value):
+    return ast.Comparison(ast.ColumnRef(column), op, ast.Literal(value))
+
+
+class TestExpressions:
+    def test_column_and_literal(self, tiny_table):
+        values = evaluate_expression(ast.ColumnRef("revenue"), tiny_table)
+        assert list(values) == [10.0, 20.0, 30.0, 40.0, 50.0]
+        literal = evaluate_expression(ast.Literal(3), tiny_table)
+        assert list(literal) == [3] * 5
+
+    def test_arithmetic(self, tiny_table):
+        expr = ast.BinaryOp(
+            "*",
+            ast.ColumnRef("revenue"),
+            ast.BinaryOp("-", ast.Literal(1), ast.ColumnRef("discount")),
+        )
+        values = evaluate_expression(expr, tiny_table)
+        expected = np.array([10 * 0.9, 20 * 0.8, 30 * 1.0, 40 * 0.5, 50 * 0.7])
+        np.testing.assert_allclose(values, expected)
+
+    def test_division_by_zero_yields_zero(self, tiny_table):
+        expr = ast.BinaryOp("/", ast.ColumnRef("revenue"), ast.Literal(0))
+        values = evaluate_expression(expr, tiny_table)
+        assert list(values) == [0.0] * 5
+
+    def test_unknown_column(self, tiny_table):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(ast.ColumnRef("missing"), tiny_table)
+
+    def test_star_not_evaluable(self, tiny_table):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(ast.Star(), tiny_table)
+
+
+class TestPredicates:
+    def test_none_is_all_true(self, tiny_table):
+        assert evaluate_predicate(None, tiny_table).all()
+
+    def test_numeric_comparisons(self, tiny_table):
+        mask = evaluate_predicate(_comparison("revenue", ast.ComparisonOp.GE, 30), tiny_table)
+        assert list(mask) == [False, False, True, True, True]
+        mask = evaluate_predicate(_comparison("week", ast.ComparisonOp.EQ, 1), tiny_table)
+        assert list(mask) == [True, True, False, False, False]
+        mask = evaluate_predicate(_comparison("week", ast.ComparisonOp.NE, 1), tiny_table)
+        assert list(mask) == [False, False, True, True, True]
+
+    def test_literal_on_left_is_flipped(self, tiny_table):
+        predicate = ast.Comparison(ast.Literal(30), ast.ComparisonOp.GE, ast.ColumnRef("revenue"))
+        mask = evaluate_predicate(predicate, tiny_table)
+        # 30 >= revenue  <=>  revenue <= 30
+        assert list(mask) == [True, True, True, False, False]
+
+    def test_categorical_equality(self, tiny_table):
+        mask = evaluate_predicate(_comparison("region", ast.ComparisonOp.EQ, "east"), tiny_table)
+        assert list(mask) == [True, False, True, False, True]
+
+    def test_and_or_not(self, tiny_table):
+        east = _comparison("region", ast.ComparisonOp.EQ, "east")
+        big = _comparison("revenue", ast.ComparisonOp.GT, 25)
+        both = evaluate_predicate(ast.And((east, big)), tiny_table)
+        assert list(both) == [False, False, True, False, True]
+        either = evaluate_predicate(ast.Or((east, big)), tiny_table)
+        assert list(either) == [True, False, True, True, True]
+        negated = evaluate_predicate(ast.Not(east), tiny_table)
+        assert list(negated) == [False, True, False, True, False]
+
+    def test_in_predicate(self, tiny_table):
+        predicate = ast.InPredicate(ast.ColumnRef("week"), (1, 3))
+        mask = evaluate_predicate(predicate, tiny_table)
+        assert list(mask) == [True, True, False, True, True]
+        negated = ast.InPredicate(ast.ColumnRef("region"), ("east",), negated=True)
+        assert list(evaluate_predicate(negated, tiny_table)) == [False, True, False, True, False]
+
+    def test_between_predicate(self, tiny_table):
+        predicate = ast.BetweenPredicate(ast.ColumnRef("revenue"), 20, 40)
+        assert list(evaluate_predicate(predicate, tiny_table)) == [False, True, True, True, False]
+
+    def test_like_predicate(self, tiny_table):
+        predicate = ast.LikePredicate(ast.ColumnRef("region"), "ea%")
+        assert list(evaluate_predicate(predicate, tiny_table)) == [True, False, True, False, True]
+        negated = ast.LikePredicate(ast.ColumnRef("region"), "ea%", negated=True)
+        assert list(evaluate_predicate(negated, tiny_table)) == [False, True, False, True, False]
+
+    def test_column_vs_column_comparison(self, tiny_table):
+        predicate = ast.Comparison(
+            ast.ColumnRef("revenue"), ast.ComparisonOp.GT, ast.ColumnRef("discount")
+        )
+        assert evaluate_predicate(predicate, tiny_table).all()

@@ -1,0 +1,86 @@
+"""Unit tests for the deterministic IO cost model."""
+
+import pytest
+
+from repro.config import CostModelConfig
+from repro.db.io_model import IOSimulator
+
+
+class TestCostModelConfig:
+    def test_seconds_per_row_switches_with_storage(self):
+        cached = CostModelConfig(cached=True)
+        ssd = CostModelConfig(cached=False)
+        assert cached.seconds_per_row == cached.cached_seconds_per_row
+        assert ssd.seconds_per_row == ssd.ssd_seconds_per_row
+        assert ssd.seconds_per_row > cached.seconds_per_row
+
+    def test_query_seconds_composition(self):
+        config = CostModelConfig(planning_overhead_s=0.5, cached_seconds_per_row=1e-6)
+        assert config.query_seconds(1_000_000) == pytest.approx(0.5 + 1.0)
+        with_penalty = config.query_seconds(0, unsampled_penalty=True)
+        assert with_penalty == pytest.approx(0.5 + config.unsampled_table_scan_penalty_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModelConfig(planning_overhead_s=-1)
+        with pytest.raises(ValueError):
+            CostModelConfig(cached_seconds_per_row=0)
+        config = CostModelConfig()
+        with pytest.raises(ValueError):
+            config.scan_seconds(-1)
+
+    def test_with_options(self):
+        config = CostModelConfig().with_options(cached=False)
+        assert config.cached is False
+
+
+class TestIOSimulator:
+    def test_charge_query_accumulates(self):
+        simulator = IOSimulator(CostModelConfig(planning_overhead_s=0.1, cached_seconds_per_row=1e-3))
+        report = simulator.charge_query(100)
+        assert report.total_seconds == pytest.approx(0.1 + 0.1)
+        simulator.charge_query(50, include_planning=False)
+        assert simulator.queries_charged == 2
+        assert simulator.total_rows_scanned == 150
+        assert simulator.total_seconds == pytest.approx(0.1 + 0.1 + 0.05)
+
+    def test_unsampled_penalty_applied_once(self):
+        config = CostModelConfig(planning_overhead_s=0.0, cached_seconds_per_row=1e-6)
+        simulator = IOSimulator(config)
+        report = simulator.charge_query(0, unsampled_rows=1000)
+        assert report.penalty_seconds == config.unsampled_table_scan_penalty_s
+        report = simulator.charge_query(10, unsampled_rows=0)
+        assert report.penalty_seconds == 0.0
+
+    def test_negative_rows_rejected(self):
+        simulator = IOSimulator()
+        with pytest.raises(ValueError):
+            simulator.charge_query(-1)
+
+    def test_rows_for_budget_inverts_cost(self):
+        config = CostModelConfig(planning_overhead_s=0.2, cached_seconds_per_row=1e-5)
+        simulator = IOSimulator(config)
+        rows = simulator.rows_for_budget(1.2)
+        # 1.0 second of scan at 1e-5 s/row -> 100000 rows.
+        assert rows == pytest.approx(100_000, rel=0.01)
+        assert simulator.rows_for_budget(0.1) == 0
+        assert simulator.rows_for_budget(-1.0) == 0
+
+    def test_rows_for_budget_accounts_for_unsampled_tables(self):
+        config = CostModelConfig(
+            planning_overhead_s=0.0,
+            cached_seconds_per_row=1e-5,
+            unsampled_table_scan_penalty_s=0.5,
+        )
+        simulator = IOSimulator(config)
+        without = simulator.rows_for_budget(1.0)
+        with_dims = simulator.rows_for_budget(1.0, unsampled_rows=10_000)
+        assert with_dims < without
+
+    def test_reset(self):
+        simulator = IOSimulator()
+        simulator.charge_query(10)
+        simulator.reset()
+        assert simulator.total_seconds == 0.0
+        assert simulator.total_rows_scanned == 0
+        assert simulator.queries_charged == 0

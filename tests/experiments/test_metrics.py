@@ -1,0 +1,65 @@
+"""Unit tests for experiment metrics."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    actual_relative_error,
+    bound_violation_rate,
+    error_reduction,
+    percentile,
+    relative_error,
+    speedup,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_truth(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_actual_relative_error_averages_cells(self):
+        cells = [(110.0, 100.0), (95.0, 100.0), (1.0, 0.0)]
+        # The zero-truth cell is ignored.
+        assert actual_relative_error(cells) == pytest.approx((0.1 + 0.05) / 2)
+
+    def test_actual_relative_error_empty(self):
+        assert actual_relative_error([]) == 0.0
+
+
+class TestReductionAndSpeedup:
+    def test_error_reduction(self):
+        assert error_reduction(0.2, 0.02) == pytest.approx(90.0)
+        assert error_reduction(0.2, 0.2) == pytest.approx(0.0)
+        assert error_reduction(0.0, 0.1) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+
+class TestBoundViolations:
+    def test_rate(self):
+        pairs = [(0.1, 0.05), (0.1, 0.2), (0.05, 0.04), (0.02, 0.03)]
+        assert bound_violation_rate(pairs) == pytest.approx(0.5)
+        assert bound_violation_rate([]) == 0.0
+
+    def test_exact_boundary_is_not_a_violation(self):
+        assert bound_violation_rate([(0.1, 0.1)]) == 0.0
+
+
+class TestPercentile:
+    def test_median_and_extremes(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile(values, 0.25) == pytest.approx(2.0)
+
+    def test_empty_and_invalid(self):
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)

@@ -1,0 +1,36 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.2345], ["much_longer_name", 10_000.0]],
+            title="Example",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Example"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in text
+        assert "much_longer_name" in text
+        # Numeric formatting keeps sane precision.
+        assert "1.234" in text or "1.235" in text
+        assert "1e+04" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_infinity(self):
+        text = format_table(["x"], [[float("inf")]])
+        assert "inf" in text
+
+
+class TestFormatSeries:
+    def test_series_lists_points(self):
+        text = format_series("curve", [(1.0, 0.5), (2.0, 0.25)], x_label="time", y_label="error")
+        assert "curve" in text
+        assert "time" in text and "error" in text
+        assert text.count("->") >= 3

@@ -1,0 +1,108 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ProfilePoint,
+    actual_error_at_time,
+    aggregate_profile_by_batch,
+    error_bound_at_time,
+    time_to_reach_bound,
+)
+
+
+TRAINING = [
+    "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 15",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 10 AND week <= 25",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 20 AND week <= 35",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 30 AND week <= 52",
+    "SELECT COUNT(*) FROM sales WHERE week >= 1 AND week <= 26",
+    "SELECT COUNT(*) FROM sales WHERE week >= 20 AND week <= 45",
+    "SELECT MAX(revenue) FROM sales",  # unsupported: must be skipped silently
+]
+
+TEST_QUERIES = [
+    "SELECT AVG(revenue) FROM sales WHERE week >= 12 AND week <= 30",
+    "SELECT COUNT(*) FROM sales WHERE week >= 8 AND week <= 40",
+]
+
+
+@pytest.fixture()
+def runner(sales_catalog):
+    return ExperimentRunner(
+        sales_catalog,
+        sampling=SamplingConfig(sample_ratio=0.2, num_batches=4, seed=8),
+        cost_model=CostModelConfig(cached=True),
+        config=VerdictConfig(learn_length_scales=False),
+    )
+
+
+class TestRunner:
+    def test_train_counts_supported_only(self, runner):
+        recorded = runner.train_on(TRAINING)
+        assert recorded == len(TRAINING) - 1
+
+    def test_evaluate_produces_profiles(self, runner):
+        runner.train_on(TRAINING)
+        results = runner.evaluate(TEST_QUERIES, max_batches=3)
+        assert len(results) == 2
+        for result in results:
+            assert result.supported
+            assert len(result.baseline) == 3
+            assert len(result.verdict) == 3
+            # Elapsed time grows with batches; Verdict adds a small overhead.
+            assert result.baseline[0].elapsed_seconds < result.baseline[-1].elapsed_seconds
+            assert result.verdict[0].elapsed_seconds >= result.baseline[0].elapsed_seconds
+            # Verdict's bounds are never worse than NoLearn's (Theorem 1).
+            for base, improved in zip(result.baseline, result.verdict):
+                assert improved.relative_error_bound <= base.relative_error_bound + 1e-9
+            assert result.verdict_cells and result.baseline_cells
+
+    def test_verdict_reduces_error_bounds_after_training(self, runner):
+        runner.train_on(TRAINING)
+        result = runner.evaluate_query(TEST_QUERIES[0], max_batches=1)
+        assert result.verdict[0].relative_error_bound < result.baseline[0].relative_error_bound
+
+    def test_time_bound_comparison(self, runner):
+        runner.train_on(TRAINING)
+        baseline, verdict = runner.evaluate_time_bound(TEST_QUERIES[0], time_budget_s=1.0)
+        assert baseline.elapsed_seconds <= 1.0 + 1e-6
+        assert verdict.relative_error_bound <= baseline.relative_error_bound + 1e-9
+
+
+class TestProfileHelpers:
+    def make_profile(self):
+        return [
+            ProfilePoint(1.0, 0.20, 0.10),
+            ProfilePoint(2.0, 0.10, 0.06),
+            ProfilePoint(3.0, 0.05, 0.02),
+        ]
+
+    def test_time_to_reach_bound(self):
+        profile = self.make_profile()
+        assert time_to_reach_bound(profile, 0.10) == 2.0
+        assert time_to_reach_bound(profile, 0.01) == 3.0  # never reached -> last
+        assert time_to_reach_bound([], 0.1) == float("inf")
+
+    def test_error_bound_at_time(self):
+        profile = self.make_profile()
+        assert error_bound_at_time(profile, 2.5) == 0.10
+        assert error_bound_at_time(profile, 10.0) == 0.05
+        assert error_bound_at_time(profile, 0.5) == 0.20  # first batch fallback
+
+    def test_actual_error_at_time(self):
+        profile = self.make_profile()
+        assert actual_error_at_time(profile, 2.5) == 0.06
+        assert actual_error_at_time(profile, 0.1) == 0.10
+
+    def test_aggregate_profile_by_batch(self, runner):
+        runner.train_on(TRAINING[:4])
+        results = runner.evaluate(TEST_QUERIES, max_batches=2)
+        baseline_curve = aggregate_profile_by_batch(results, engine="baseline")
+        verdict_curve = aggregate_profile_by_batch(results, engine="verdict")
+        assert len(baseline_curve) == 2
+        assert len(verdict_curve) == 2
+        assert verdict_curve[0].relative_error_bound <= baseline_curve[0].relative_error_bound + 1e-9
+        assert aggregate_profile_by_batch([], engine="verdict") == []

@@ -1,0 +1,64 @@
+"""Unit tests for the SQL tokeniser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser.lexer import Token, TokenKind, iter_significant, tokenize
+
+
+class TestTokenize:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select AVG from WHERE")
+        kinds = [t.kind for t in iter_significant(tokens)]
+        assert kinds == [TokenKind.KEYWORD] * 4
+        assert [t.value for t in iter_significant(tokens)] == ["SELECT", "AVG", "FROM", "WHERE"]
+
+    def test_identifiers_and_numbers(self):
+        tokens = list(iter_significant(tokenize("revenue 42 3.14 1e3 2.5e-2")))
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[1].value == 42
+        assert tokens[2].value == pytest.approx(3.14)
+        assert tokens[3].value == pytest.approx(1000.0)
+        assert tokens[4].value == pytest.approx(0.025)
+
+    def test_string_literals_with_escaped_quote(self):
+        tokens = list(iter_significant(tokenize("'hello' 'it''s'")))
+        assert tokens[0].value == "hello"
+        assert tokens[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = list(iter_significant(tokenize("a >= 1 AND b <> 2 OR c != 3 AND d <= 4")))
+        operators = [t.value for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert operators == [">=", "<>", "<>", "<="]
+
+    def test_punctuation(self):
+        tokens = list(iter_significant(tokenize("f(a, b.c) * 2;")))
+        kinds = [t.kind for t in tokens]
+        assert TokenKind.LPAREN in kinds
+        assert TokenKind.RPAREN in kinds
+        assert TokenKind.COMMA in kinds
+        assert TokenKind.DOT in kinds
+        assert TokenKind.STAR in kinds
+        assert TokenKind.SEMICOLON in kinds
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @ FROM t")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_positions_recorded(self):
+        tokens = list(iter_significant(tokenize("ab cd")))
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenKind.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("WHERE")

@@ -1,0 +1,190 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+
+
+class TestSelectList:
+    def test_single_aggregate(self):
+        query = parse_query("SELECT AVG(revenue) FROM sales")
+        assert query.table == "sales"
+        assert len(query.select) == 1
+        aggregate = query.select[0].expression
+        assert isinstance(aggregate, ast.Aggregate)
+        assert aggregate.function is ast.AggregateFunction.AVG
+        assert isinstance(aggregate.argument, ast.ColumnRef)
+
+    def test_count_star_and_alias(self):
+        query = parse_query("SELECT COUNT(*) AS n FROM sales")
+        item = query.select[0]
+        assert item.alias == "n"
+        assert item.output_name == "n"
+        assert item.expression.is_star
+
+    def test_multiple_aggregates_and_group_columns(self):
+        query = parse_query(
+            "SELECT region, AVG(price), SUM(revenue) FROM sales GROUP BY region"
+        )
+        assert len(query.select) == 3
+        assert len(query.aggregates) == 2
+        assert query.group_by_names == ["region"]
+        assert [item.output_name for item in query.select] == [
+            "region",
+            "avg_price",
+            "sum_revenue",
+        ]
+
+    def test_derived_aggregate_argument(self):
+        query = parse_query("SELECT SUM(revenue * (1 - discount)) FROM sales")
+        argument = query.select[0].expression.argument
+        assert isinstance(argument, ast.BinaryOp)
+        assert argument.op == "*"
+        assert isinstance(argument.right, ast.BinaryOp)
+
+    def test_distinct_aggregate(self):
+        query = parse_query("SELECT COUNT(DISTINCT region) FROM sales")
+        assert query.select[0].expression.distinct
+
+    def test_min_max_parse(self):
+        query = parse_query("SELECT MIN(price), MAX(price) FROM sales")
+        functions = [a.function for a in query.aggregates]
+        assert functions == [ast.AggregateFunction.MIN, ast.AggregateFunction.MAX]
+
+
+class TestWhere:
+    def test_conjunctive_ranges(self):
+        query = parse_query(
+            "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 10 AND region = 'east'"
+        )
+        assert isinstance(query.where, ast.And)
+        assert len(query.where.predicates) == 3
+
+    def test_between_and_in(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE week BETWEEN 2 AND 9 AND region IN ('a', 'b')"
+        )
+        predicates = query.where.predicates
+        assert isinstance(predicates[0], ast.BetweenPredicate)
+        assert predicates[0].low == 2 and predicates[0].high == 9
+        assert isinstance(predicates[1], ast.InPredicate)
+        assert predicates[1].values == ("a", "b")
+
+    def test_or_not_like(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE week = 1 OR NOT region LIKE 'ea%'"
+        )
+        assert isinstance(query.where, ast.Or)
+        assert isinstance(query.where.predicates[1], ast.Not)
+
+    def test_not_in(self):
+        query = parse_query("SELECT COUNT(*) FROM sales WHERE region NOT IN ('a')")
+        predicate = query.where
+        assert isinstance(predicate, ast.InPredicate)
+        assert predicate.negated
+
+    def test_negative_literals(self):
+        query = parse_query("SELECT COUNT(*) FROM sales WHERE balance >= -10.5")
+        assert query.where.right.value == pytest.approx(-10.5)
+
+    def test_parenthesised_predicates(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE (week >= 1 AND week <= 5) AND region = 'a'"
+        )
+        assert isinstance(query.where, ast.And)
+
+    def test_qualified_columns(self):
+        query = parse_query("SELECT AVG(s.revenue) FROM sales s WHERE s.week >= 2")
+        argument = query.select[0].expression.argument
+        assert argument.table == "s"
+        assert argument.qualified == "s.revenue"
+
+
+class TestJoinsGroupByHaving:
+    def test_join_clause(self):
+        query = parse_query(
+            "SELECT region, SUM(amount) FROM orders JOIN stores ON store_id = store_id "
+            "GROUP BY region"
+        )
+        assert len(query.joins) == 1
+        assert query.joins[0].table == "stores"
+
+    def test_multiple_joins(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM lineitem "
+            "JOIN orders ON l_orderkey = o_orderkey "
+            "JOIN customer ON o_custkey = c_custkey"
+        )
+        assert [j.table for j in query.joins] == ["orders", "customer"]
+
+    def test_inner_and_left_join_keywords(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM a INNER JOIN b ON x = y LEFT OUTER JOIN c ON u = v"
+        )
+        assert [j.table for j in query.joins] == ["b", "c"]
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*) FROM a JOIN b ON x < y")
+
+    def test_having(self):
+        query = parse_query(
+            "SELECT region, SUM(revenue) FROM sales GROUP BY region HAVING sum_revenue > 10"
+        )
+        assert query.having is not None
+
+    def test_order_by_and_limit_are_ignored(self):
+        query = parse_query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region DESC LIMIT 10"
+        )
+        assert query.group_by_names == ["region"]
+
+    def test_trailing_semicolon(self):
+        query = parse_query("SELECT COUNT(*) FROM sales;")
+        assert query.table == "sales"
+
+
+class TestSubqueries:
+    def test_subquery_in_where_detected(self):
+        query = parse_query(
+            "SELECT AVG(revenue) FROM sales WHERE price >= (SELECT AVG(price) FROM sales)"
+        )
+        assert query.has_subquery
+
+    def test_subquery_in_from_detected(self):
+        query = parse_query("SELECT COUNT(*) FROM (SELECT week FROM sales) t")
+        assert query.has_subquery
+
+    def test_in_subquery_detected(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE week IN (SELECT week FROM other)"
+        )
+        assert query.has_subquery
+
+    def test_flat_query_has_no_subquery(self):
+        query = parse_query("SELECT COUNT(*) FROM sales WHERE week = 1")
+        assert not query.has_subquery
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*) FROM sales EXTRA nonsense ,")
+
+    def test_bad_in_list(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*) FROM t WHERE a IN (b)")
+
+    def test_query_hashable_and_comparable(self):
+        first = parse_query("SELECT COUNT(*) FROM sales WHERE week = 1")
+        second = parse_query("select count(*) from sales where week = 1")
+        assert first == second
+        assert hash(first) == hash(second)
+        different = parse_query("SELECT COUNT(*) FROM sales WHERE week = 2")
+        assert first != different

@@ -1,0 +1,75 @@
+"""Unit tests for the Customer1-like workload generator."""
+
+import pytest
+
+from repro.sqlparser.checker import check_sql
+from repro.workloads.customer1 import Customer1Workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Customer1Workload(num_rows=5_000, num_days=120, seed=1)
+
+
+@pytest.fixture(scope="module")
+def catalog(workload):
+    return workload.build_catalog()
+
+
+class TestCatalog:
+    def test_star_schema_shape(self, catalog):
+        assert catalog.is_fact_table("sales")
+        assert catalog.has_table("dim_store")
+        assert catalog.has_table("dim_product")
+        assert len(catalog.foreign_keys("sales")) == 2
+        assert catalog.cardinality("sales") == 5_000
+
+    def test_measures_positive(self, catalog):
+        sales = catalog.table("sales")
+        assert float(sales.column("price").min()) > 0
+        assert float(sales.column("revenue").min()) >= 0
+
+    def test_joinable(self, catalog):
+        from repro.db.executor import ExactExecutor
+        from repro.sqlparser.parser import parse_query
+
+        result = ExactExecutor(catalog).execute(
+            parse_query(
+                "SELECT region, SUM(revenue) FROM sales "
+                "JOIN dim_store ON store_key = store_key GROUP BY region"
+            )
+        )
+        assert len(result.rows) >= 2
+
+
+class TestTrace:
+    def test_trace_is_timestamped_and_ordered(self, workload):
+        trace = workload.generate_trace(num_queries=50, seed=5)
+        assert len(trace) == 50
+        assert [q.timestamp for q in trace] == sorted(q.timestamp for q in trace)
+
+    def test_supported_fraction_matches_target(self, workload):
+        trace = workload.generate_trace(num_queries=400, supported_fraction=0.737, seed=7)
+        checked = [check_sql(q.sql).supported for q in trace]
+        fraction = sum(checked) / len(checked)
+        assert 0.65 < fraction < 0.82
+
+    def test_expected_support_flag_agrees_with_checker(self, workload):
+        trace = workload.generate_trace(num_queries=120, seed=9)
+        for query in trace:
+            assert check_sql(query.sql).supported == query.expected_supported, query.sql
+
+    def test_all_supported_queries_run_on_catalog(self, workload, catalog):
+        from repro.db.executor import ExactExecutor
+        from repro.sqlparser.parser import parse_query
+
+        executor = ExactExecutor(catalog)
+        trace = workload.generate_trace(num_queries=40, supported_fraction=1.0, seed=11)
+        for query in trace:
+            result = executor.execute(parse_query(query.sql))
+            assert result is not None
+
+    def test_unsupported_templates_have_variety(self, workload):
+        trace = workload.generate_trace(num_queries=300, supported_fraction=0.0, seed=13)
+        templates = {q.template for q in trace}
+        assert {"like_filter", "disjunction", "minmax", "nested"} <= templates

@@ -1,0 +1,82 @@
+"""Unit tests for the n-gram series and UCI-like correlation workloads."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import ExactExecutor
+from repro.sqlparser.checker import check_sql
+from repro.sqlparser.parser import parse_query
+from repro.workloads.ngram import (
+    figure1_query_ranges,
+    make_ngram_catalog,
+    make_ngram_table,
+    ngram_range_query,
+)
+from repro.workloads.uci import (
+    adjacent_correlations,
+    correlation_histogram,
+    correlation_summaries,
+    make_uci_like_datasets,
+)
+
+
+class TestNgram:
+    def test_table_shape(self):
+        table = make_ngram_table(num_weeks=20, rows_per_week=50, seed=1)
+        assert table.num_rows == 1_000
+        weeks = np.asarray(table.column("week"))
+        assert weeks.min() == 1 and weeks.max() == 20
+
+    def test_weekly_totals_are_smooth(self):
+        table = make_ngram_table(num_weeks=60, rows_per_week=100, seed=2)
+        weeks = np.asarray(table.column("week"))
+        counts = np.asarray(table.column("count"))
+        weekly = np.array([counts[weeks == w].sum() for w in range(1, 61)])
+        assert np.corrcoef(weekly[:-1], weekly[1:])[0, 1] > 0.5
+
+    def test_range_query_is_supported_and_correct(self):
+        catalog = make_ngram_catalog(num_weeks=30, rows_per_week=40, seed=3)
+        sql = ngram_range_query(5, 15)
+        assert check_sql(sql).supported
+        result = ExactExecutor(catalog).execute(parse_query(sql))
+        table = catalog.table("tweets")
+        weeks = np.asarray(table.column("week"))
+        counts = np.asarray(table.column("count"))
+        expected = counts[(weeks >= 5) & (weeks <= 15)].sum()
+        assert result.scalar() == pytest.approx(expected)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ngram_range_query(10, 5)
+
+    def test_figure1_ranges(self):
+        ranges = figure1_query_ranges(8, num_weeks=104, seed=4)
+        assert len(ranges) == 8
+        assert all(1 <= low < high <= 104 for low, high in ranges)
+
+
+class TestUCI:
+    def test_sixteen_datasets(self):
+        datasets = make_uci_like_datasets(num_rows=200, seed=1)
+        assert len(datasets) == 16
+        names = {t.name for t in datasets}
+        assert "iris" in names and "spambase" in names
+        for table in datasets:
+            assert 4 <= table.num_columns <= 8
+
+    def test_adjacent_correlations_detect_structure(self):
+        datasets = make_uci_like_datasets(num_rows=400, seed=2)
+        strong = adjacent_correlations(datasets[0])   # low-noise dataset
+        weak = adjacent_correlations(datasets[-1])    # high-noise dataset
+        assert np.mean(strong) > np.mean(weak)
+        assert all(-1.0001 <= value <= 1.0001 for value in strong + weak)
+
+    def test_summaries_and_histogram(self):
+        summaries = correlation_summaries(num_rows=150, seed=3)
+        assert len(summaries) == 16
+        all_correlations = [c for summary in summaries for c in summary.correlations]
+        histogram = correlation_histogram(all_correlations)
+        total_percentage = sum(percentage for _, _, percentage in histogram)
+        assert total_percentage <= 100.0 + 1e-9
+        assert total_percentage > 50.0  # most mass falls inside the default bins
+        assert any(percentage > 0 for low, high, percentage in histogram if low >= 0.3)

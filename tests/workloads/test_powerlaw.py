@@ -1,0 +1,58 @@
+"""Unit tests for the power-law query generator (Figure 6a workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.sqlparser.checker import QueryTypeChecker
+from repro.sqlparser.parser import parse_query
+from repro.workloads.powerlaw import PowerLawQueryGenerator
+from repro.workloads.synthetic import make_synthetic_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_synthetic_table(num_rows=3_000, num_columns=20, categorical_fraction=0.2, seed=0)
+
+
+class TestPowerLawQueryGenerator:
+    def test_generates_parsable_supported_queries(self, table):
+        generator = PowerLawQueryGenerator(table, frequent_fraction=0.2, seed=1)
+        checker = QueryTypeChecker()
+        for sql in generator.generate_sql(30):
+            query = parse_query(sql)
+            assert checker.check(query).supported, sql
+            assert query.table == table.name
+
+    def test_predicate_count(self, table):
+        generator = PowerLawQueryGenerator(table, predicates_per_query=3, seed=2)
+        for generated in generator.generate(20):
+            assert len(generated.predicate_columns) == 3
+
+    def test_low_frequent_fraction_concentrates_columns(self, table):
+        concentrated = PowerLawQueryGenerator(table, frequent_fraction=0.05, seed=3)
+        diverse = PowerLawQueryGenerator(table, frequent_fraction=1.0, seed=3)
+        used_concentrated = {
+            column for q in concentrated.generate(200) for column in q.predicate_columns
+        }
+        used_diverse = {
+            column for q in diverse.generate(200) for column in q.predicate_columns
+        }
+        assert len(used_concentrated) < len(used_diverse)
+
+    def test_access_probabilities_sum_to_one(self):
+        probabilities = PowerLawQueryGenerator._access_probabilities(10, 0.2)
+        assert probabilities.sum() == pytest.approx(1.0)
+        # The frequent prefix shares the same (maximal) probability.
+        assert probabilities[0] == pytest.approx(probabilities[1])
+        assert probabilities[2] < probabilities[1]
+
+    def test_invalid_arguments(self, table):
+        with pytest.raises(ValueError):
+            PowerLawQueryGenerator(table, frequent_fraction=0.0)
+        with pytest.raises(ValueError):
+            PowerLawQueryGenerator(table, predicates_per_query=0)
+
+    def test_deterministic_given_seed(self, table):
+        first = PowerLawQueryGenerator(table, seed=9).generate_sql(10)
+        second = PowerLawQueryGenerator(table, seed=9).generate_sql(10)
+        assert first == second

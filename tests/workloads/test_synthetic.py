@@ -1,0 +1,115 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.snippet import AggregateKind
+from repro.db.schema import ColumnRole
+from repro.workloads.synthetic import (
+    make_gp_snippets,
+    make_sales_table,
+    make_smooth_measure_table,
+    make_synthetic_table,
+)
+
+
+class TestSalesTable:
+    def test_shape_and_schema(self):
+        table = make_sales_table(num_rows=2_000, num_weeks=52, seed=1)
+        assert table.num_rows == 2_000
+        assert table.schema.column("revenue").role is ColumnRole.MEASURE
+        assert table.schema.column("region").is_categorical
+        weeks = np.asarray(table.column("week"))
+        assert weeks.min() >= 1 and weeks.max() <= 52
+
+    def test_deterministic_given_seed(self):
+        first = make_sales_table(num_rows=500, seed=3)
+        second = make_sales_table(num_rows=500, seed=3)
+        np.testing.assert_array_equal(first.column("revenue"), second.column("revenue"))
+
+    def test_revenue_varies_smoothly_with_week(self):
+        """Weekly mean revenue of adjacent weeks should be highly correlated --
+        the inter-tuple covariance Verdict exploits."""
+        table = make_sales_table(num_rows=30_000, num_weeks=80, seed=5)
+        weeks = np.asarray(table.column("week"))
+        revenue = np.asarray(table.column("revenue"))
+        weekly = np.array([revenue[weeks == w].mean() for w in range(1, 81)])
+        adjacent = np.corrcoef(weekly[:-1], weekly[1:])[0, 1]
+        assert adjacent > 0.5
+
+
+class TestSyntheticTable:
+    def test_column_mix(self):
+        table = make_synthetic_table(num_rows=1_000, num_columns=20, categorical_fraction=0.2, seed=2)
+        categorical = [c for c in table.schema if c.is_categorical]
+        numeric_dims = [
+            c for c in table.schema if c.role is ColumnRole.DIMENSION and c.is_numeric
+        ]
+        assert len(categorical) == 4
+        assert len(numeric_dims) == 16
+        assert "measure" in table.schema
+
+    def test_distributions_differ(self):
+        uniform = make_synthetic_table(num_rows=4_000, num_columns=5, distribution="uniform", seed=3)
+        skewed = make_synthetic_table(num_rows=4_000, num_columns=5, distribution="skewed", seed=3)
+        from scipy.stats import skew
+
+        assert abs(skew(np.asarray(skewed.column("measure")))) > abs(
+            skew(np.asarray(uniform.column("measure")))
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_synthetic_table(num_columns=1)
+        with pytest.raises(ValueError):
+            make_synthetic_table(num_rows=100, num_columns=5, distribution="bogus")
+
+    def test_numeric_domain_bounds(self):
+        table = make_synthetic_table(num_rows=2_000, num_columns=10, seed=4)
+        values = np.asarray(table.column("d00"))
+        assert values.min() >= 0.0 and values.max() <= 10.0
+
+
+class TestSmoothMeasureTable:
+    def test_known_correlation_length(self):
+        table = make_smooth_measure_table(num_rows=5_000, length_scale=2.0, noise_std=0.1, seed=6)
+        assert table.num_rows == 5_000
+        positions = np.asarray(table.column("x"))
+        values = np.asarray(table.column("y"))
+        # Bin by position; adjacent bins should correlate strongly for a
+        # length scale much larger than the bin width.
+        bins = np.linspace(0, 10, 41)
+        binned = [values[(positions >= a) & (positions < b)].mean() for a, b in zip(bins[:-1], bins[1:])]
+        binned = np.array(binned)
+        assert np.corrcoef(binned[:-1], binned[1:])[0, 1] > 0.6
+
+
+class TestGPSnippets:
+    def test_snippet_generation(self):
+        snippets, domains, key = make_gp_snippets(num_snippets=30, true_length_scale=1.0, seed=1)
+        assert len(snippets) == 30
+        assert key.kind is AggregateKind.AVG
+        assert all(s.raw_error > 0 for s in snippets)
+        assert all(s.key == key for s in snippets)
+        assert "x" in domains.numeric
+
+    def test_nearby_ranges_have_similar_answers(self):
+        snippets, _, _ = make_gp_snippets(
+            num_snippets=200,
+            true_length_scale=3.0,
+            noise_std=0.05,
+            range_width=(0.5, 1.0),
+            seed=8,
+        )
+        midpoints = np.array([s.region.numeric_ranges[0].midpoint for s in snippets])
+        answers = np.array([s.raw_answer for s in snippets])
+        order = np.argsort(midpoints)
+        close_pairs = []
+        far_pairs = []
+        for i in range(len(snippets) - 1):
+            a, b = order[i], order[i + 1]
+            close_pairs.append(abs(answers[a] - answers[b]))
+        for i in range(0, len(snippets) - 100, 7):
+            a, b = order[i], order[i + 100]
+            far_pairs.append(abs(answers[a] - answers[b]))
+        assert np.mean(close_pairs) < np.mean(far_pairs)

@@ -1,0 +1,79 @@
+"""Unit tests for the TPC-H-like workload generator."""
+
+import pytest
+
+from repro.sqlparser.checker import check_sql
+from repro.workloads.tpch import TPCHWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TPCHWorkload(scale=0.2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def catalog(workload):
+    return workload.build_catalog()
+
+
+class TestSchema:
+    def test_tables_present(self, catalog):
+        for name in ["lineitem", "orders", "part", "supplier", "customer"]:
+            assert catalog.has_table(name)
+        assert catalog.is_fact_table("lineitem")
+        assert len(catalog.foreign_keys("lineitem")) == 3
+
+    def test_scaling(self):
+        small = TPCHWorkload(scale=0.1)
+        large = TPCHWorkload(scale=0.5)
+        assert large.num_lineitem > small.num_lineitem
+        with pytest.raises(ValueError):
+            TPCHWorkload(scale=0)
+
+    def test_foreign_keys_resolve(self, catalog):
+        lineitem = catalog.table("lineitem")
+        orders = catalog.table("orders")
+        assert int(lineitem.column("l_orderkey").max()) < orders.num_rows
+
+
+class TestTemplates:
+    def test_table3_counts(self, workload):
+        """21 of 22 templates have aggregates; 14 are supported (Table 3)."""
+        templates = workload.query_templates()
+        assert len(templates) == 22
+        assert len({t.template_id for t in templates}) == 22
+        with_aggregates = [t for t in templates if t.has_aggregate]
+        assert len(with_aggregates) == 21
+        supported = [t for t in templates if t.expected_supported]
+        assert len(supported) == 14
+
+    def test_checker_agrees_with_expected_support(self, workload):
+        for template in workload.query_templates():
+            result = check_sql(template.sql)
+            assert result.supported == template.expected_supported, (
+                template.template_id,
+                template.sql,
+                result.reasons,
+            )
+
+    def test_supported_templates_execute(self, workload, catalog):
+        from repro.db.executor import ExactExecutor
+        from repro.sqlparser.parser import parse_query
+
+        executor = ExactExecutor(catalog)
+        for template in workload.query_templates():
+            if not template.expected_supported:
+                continue
+            result = executor.execute(parse_query(template.sql))
+            assert result is not None
+
+    def test_generate_queries_count_and_mix(self, workload):
+        queries = workload.generate_queries(num_queries=44, seed=3)
+        assert len(queries) == 44
+        supported = sum(1 for q in queries if q.expected_supported)
+        assert 20 <= supported <= 32  # about 14/22 of the mix
+
+    def test_supported_queries_helper(self, workload):
+        queries = workload.supported_queries(num_queries=10, seed=4)
+        assert len(queries) == 10
+        assert all(q.expected_supported for q in queries)
