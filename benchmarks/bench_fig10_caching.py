@@ -9,7 +9,6 @@ workload contains more novel queries (the cache only helps exact repeats).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from repro.aqp.cache_baseline import CachingEngine

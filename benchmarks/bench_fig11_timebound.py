@@ -8,7 +8,6 @@ engine with Verdict's improved answers computed inside the same budget
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import customer1_runner, emit, tpch_runner
 from repro.experiments.metrics import error_reduction

@@ -11,7 +11,6 @@ bounds stay wider and its violations stay low.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from repro.aqp.online_agg import OnlineAggregationEngine
@@ -21,7 +20,6 @@ from repro.db.catalog import Catalog
 from repro.db.executor import ExactExecutor
 from repro.db.schema import measure
 from repro.experiments.reporting import format_table
-from repro.sqlparser.parser import parse_query
 from repro.workloads.synthetic import make_sales_table
 
 _TRAINING = [

@@ -8,7 +8,6 @@ positive adjacent-value correlation.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import emit
 from repro.experiments.reporting import format_table

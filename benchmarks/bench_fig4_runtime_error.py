@@ -7,7 +7,6 @@ to reproduce: Verdict's curves sit below NoLearn's everywhere.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import customer1_runner, emit, tpch_runner
 from repro.experiments.reporting import format_series

@@ -9,7 +9,6 @@ thousands) coverage is lower -- see EXPERIMENTS.md for the discussion.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import customer1_runner, emit
 from repro.experiments.metrics import bound_violation_rate, percentile

@@ -10,7 +10,6 @@ past queries, and the resulting overhead.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from repro.config import CostModelConfig, SamplingConfig, VerdictConfig

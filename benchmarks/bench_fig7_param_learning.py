@@ -9,7 +9,6 @@ number of past snippets grows.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from repro.config import VerdictConfig

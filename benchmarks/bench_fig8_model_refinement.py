@@ -7,7 +7,6 @@ error bound should shrink monotonically (the Figure 1 narrative).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import emit
 from repro.config import CostModelConfig, SamplingConfig, VerdictConfig

@@ -9,8 +9,6 @@ stays controlled because bad model-based answers are replaced by raw answers.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from benchmarks.common import emit
 from repro.config import VerdictConfig

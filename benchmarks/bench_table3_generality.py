@@ -6,7 +6,6 @@ query type checker and reports the same three columns as Table 3.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import emit
 from repro.experiments.reporting import format_table
@@ -20,7 +19,6 @@ def _table3_rows():
     customer1 = Customer1Workload(num_rows=2_000, seed=3)
     trace = customer1.generate_trace(num_queries=400, supported_fraction=0.737, seed=9)
     customer_results = [check_sql(query.sql) for query in trace]
-    customer_aggregate = [r for r in customer_results if r.has_aggregate or not r.supported]
     customer_supported = sum(1 for r in customer_results if r.supported)
 
     tpch = TPCHWorkload(scale=0.05, seed=3)

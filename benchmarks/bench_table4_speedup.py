@@ -12,7 +12,6 @@ large error reductions.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import customer1_runner, emit, tpch_runner
 from repro.experiments.metrics import error_reduction, speedup

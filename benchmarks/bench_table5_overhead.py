@@ -8,7 +8,6 @@ The paper reports ~10 ms (0.02%--0.48% of total time).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.common import customer1_runner, emit
 from repro.experiments.reporting import format_table

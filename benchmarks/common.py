@@ -8,7 +8,6 @@ regenerated rows/series are printed and also written to
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 from repro.config import CostModelConfig, SamplingConfig, VerdictConfig

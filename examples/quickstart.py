@@ -60,7 +60,7 @@ def main() -> None:
     print(
         f"\nActual error: raw {abs(final.raw_value - truth):.2f} vs "
         f"improved {abs(final.value - truth):.2f} "
-        f"(improved bound is never larger than the raw bound -- Theorem 1)."
+        "(improved bound is never larger than the raw bound -- Theorem 1)."
     )
 
 

@@ -53,23 +53,26 @@ def _iter_group_masks(table: Table, mask: np.ndarray, group_columns: tuple[str, 
 def _estimate_cell(
     aggregate: ast.Aggregate,
     name: str,
-    table: Table,
     group_mask: np.ndarray,
     scanned_rows: int,
     population_size: int,
+    measure_values: np.ndarray | None,
+    fallback_std: float,
 ) -> AggregateEstimate:
-    """Form the estimate for one (group, aggregate) cell."""
+    """Form the estimate for one (group, aggregate) cell.
+
+    ``measure_values`` is the aggregate argument evaluated over the *whole*
+    scanned table (``None`` for ``*`` aggregates); :func:`estimate_answer`
+    evaluates it once per answer and every group-by cell reuses it, instead
+    of re-evaluating the measure expression per cell.
+    """
     selected = int(group_mask.sum())
     freq = freq_estimate(selected, scanned_rows)
     count = count_estimate(selected, scanned_rows, population_size)
 
     avg: Estimate | None = None
-    if not aggregate.is_star:
-        all_values = np.asarray(
-            evaluate_expression(aggregate.argument, table), dtype=np.float64
-        )
-        fallback_std = float(all_values.std(ddof=0)) if len(all_values) else 1.0
-        avg = avg_estimate(all_values[group_mask], fallback_std=fallback_std or 1.0)
+    if measure_values is not None:
+        avg = avg_estimate(measure_values[group_mask], fallback_std=fallback_std or 1.0)
 
     function = aggregate.function
     if function is ast.AggregateFunction.FREQ:
@@ -86,12 +89,10 @@ def _estimate_cell(
     elif function in (ast.AggregateFunction.MIN, ast.AggregateFunction.MAX):
         # Sample-based engines cannot bound MIN/MAX errors (Section 2.5); the
         # value is reported with a conservative error of the selected spread.
-        if avg is None or selected == 0:
+        if measure_values is None or selected == 0:
             value, error = 0.0, 0.0
         else:
-            values = np.asarray(
-                evaluate_expression(aggregate.argument, table), dtype=np.float64
-            )[group_mask]
+            values = measure_values[group_mask]
             value = float(values.min() if function is ast.AggregateFunction.MIN else values.max())
             error = float(values.std(ddof=0)) if len(values) > 1 else abs(value)
     else:  # pragma: no cover - exhaustive over the enum
@@ -143,20 +144,35 @@ def estimate_answer(
     aggregate_names = tuple(item.output_name for item in aggregate_items)
     group_columns = tuple(column.name for column in query.group_by)
 
+    # Evaluate every aggregate's measure expression once over the scanned
+    # table; each group-by cell then just indexes into the shared array.
+    measures: dict[str, tuple[np.ndarray | None, float]] = {}
+    for item in aggregate_items:
+        if item.expression.is_star:
+            measures[item.output_name] = (None, 1.0)
+        else:
+            values = np.asarray(
+                evaluate_expression(item.expression.argument, scanned_table),
+                dtype=np.float64,
+            )
+            fallback_std = float(values.std(ddof=0)) if len(values) else 1.0
+            measures[item.output_name] = (values, fallback_std)
+
     mask = evaluate_predicate(query.where, scanned_table)
     rows: list[AQPRow] = []
     for group_values, group_mask in _iter_group_masks(scanned_table, mask, group_columns):
-        estimates = {
-            item.output_name: _estimate_cell(
+        estimates = {}
+        for item in aggregate_items:
+            measure_values, fallback_std = measures[item.output_name]
+            estimates[item.output_name] = _estimate_cell(
                 item.expression,
                 item.output_name,
-                scanned_table,
                 group_mask,
                 scanned_rows=scanned_rows,
                 population_size=population_size,
+                measure_values=measure_values,
+                fallback_std=fallback_std,
             )
-            for item in aggregate_items
-        }
         rows.append(AQPRow(group_values=group_values, estimates=estimates))
 
     if query.having is not None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+import numpy as np
+
 from repro.aqp.evaluation import estimate_answer
 from repro.aqp.types import AQPAnswer
 from repro.config import CostModelConfig, SamplingConfig
@@ -43,7 +45,15 @@ class OnlineAggregationEngine:
     # ------------------------------------------------------------------ public
 
     def run(self, query: ast.Query) -> Iterator[AQPAnswer]:
-        """Yield cumulative approximate answers, one per processed batch."""
+        """Yield cumulative approximate answers, one per processed batch.
+
+        The dimension joins are computed *incrementally*: each batch joins
+        only its newly scanned sample rows and appends them to the joined
+        prefix of the previous batches.  The foreign-key join is row-wise and
+        order-preserving, so the concatenation equals joining the whole
+        prefix -- but the per-batch cost is O(batch) instead of O(prefix),
+        keeping late batches as cheap as early ones.
+        """
         if not self.catalog.has_table(query.table):
             raise AQPError(f"unknown table {query.table!r}")
         sample = self.samples.sample_for(query.table)
@@ -52,6 +62,7 @@ class OnlineAggregationEngine:
 
         elapsed = 0.0
         previous_rows = 0
+        joined: Table | None = None
         for batch_number, (rows, prefix) in enumerate(sample.iter_batch_prefixes(), start=1):
             first_batch = batch_number == 1
             report = self.io.charge_query(
@@ -60,8 +71,12 @@ class OnlineAggregationEngine:
                 include_planning=first_batch,
             )
             elapsed += report.total_seconds
+            if joined is None or not query.joins:
+                joined = self._apply_joins(query, prefix)
+            else:
+                delta = prefix.take(np.arange(previous_rows, rows))
+                joined = joined.append(self._apply_joins(query, delta))
             previous_rows = rows
-            joined = self._apply_joins(query, prefix)
             yield estimate_answer(
                 query=query,
                 scanned_table=joined,

@@ -15,7 +15,7 @@ the normal-quantile confidence multiplier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.sqlparser import ast

@@ -12,7 +12,7 @@ The defaults follow the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 
@@ -45,6 +45,29 @@ class VerdictConfig:
     min_past_snippets:
         Inference is skipped (raw answers are passed through) until the
         synopsis holds at least this many snippets for the aggregate function.
+    batched_inference:
+        The ``inference.batched`` flag.  When True (default) all cells of a
+        group-by answer that share an aggregate function are conditioned in a
+        single blocked matrix solve (one ``cho_solve`` on an ``(n, m)``
+        cross-covariance block) instead of a Python loop of per-cell scalar
+        solves.  Turning it off restores the legacy scalar path; the two are
+        numerically equivalent (property-tested to 1e-8) so the flag exists
+        for debugging and for the ablation benchmark
+        ``benchmarks/bench_batched_inference.py``.
+    incremental_updates:
+        When True (default) the prepared Cholesky factorisation of each
+        aggregate function is *extended* in O(n^2 k) when k snippets are
+        appended to the synopsis (rank-k factor update, see
+        :mod:`repro.core.linalg`) instead of being rebuilt from scratch in
+        O(n^3).  Evictions, data-append adjustments and re-training still
+        trigger a full refactorisation.  The signal variance ``sigma_g^2``
+        and the diagonal jitter are frozen at their last full-factorisation
+        values between rebuilds (the prior mean is refreshed on every
+        extension).
+    incremental_rebuild_ratio:
+        A full refactorisation is forced once the snippets appended since the
+        last full factorisation exceed this fraction of its size, so the
+        frozen ``sigma_g^2`` never drifts far from the analytic estimate.
     jitter:
         Diagonal jitter added to covariance matrices before inversion for
         numerical stability.
@@ -72,6 +95,9 @@ class VerdictConfig:
     enable_model_validation: bool = True
     conservative_validation: bool = True
     min_past_snippets: int = 1
+    batched_inference: bool = True
+    incremental_updates: bool = True
+    incremental_rebuild_ratio: float = 0.5
     jitter: float = 1e-9
     calibrate_model_variance: bool = True
     learn_length_scales: bool = True
@@ -91,6 +117,8 @@ class VerdictConfig:
             raise ValueError("jitter must be non-negative")
         if self.min_past_snippets < 0:
             raise ValueError("min_past_snippets must be non-negative")
+        if self.incremental_rebuild_ratio <= 0.0:
+            raise ValueError("incremental_rebuild_ratio must be positive")
 
     def with_options(self, **changes: Any) -> "VerdictConfig":
         """Return a copy of this configuration with the given fields replaced."""

@@ -10,6 +10,9 @@ The core package implements the paper's contribution:
 * :mod:`repro.core.covariance` -- covariances between snippet answers
   (Section 4.1, Appendix F.2),
 * :mod:`repro.core.prior` -- analytic prior mean / variance (Appendix F.3),
+* :mod:`repro.core.linalg` -- shared dense linear algebra: jittered and
+  blocked Cholesky solves plus the rank-k factor extension behind batched
+  and incremental inference,
 * :mod:`repro.core.learning` -- correlation-parameter learning (Appendix A),
 * :mod:`repro.core.inference` -- maximum-entropy (Gaussian) inference
   (Section 3, Equations 4/5 and 11/12),
@@ -21,14 +24,20 @@ The core package implements the paper's contribution:
 
 from repro.core.regions import AttributeDomains, CategoricalConstraint, NumericRange, Region
 from repro.core.snippet import AggregateKind, Snippet, SnippetKey
-from repro.core.synopsis import QuerySynopsis
+from repro.core.synopsis import QuerySynopsis, SynopsisDelta
 from repro.core.kernel import se_double_integral, se_kernel, se_single_integral
 from repro.core.covariance import AggregateModel, SnippetCovariance
 from repro.core.prior import estimate_prior
 from repro.core.learning import LearnedParameters, learn_length_scales
 from repro.core.inference import GaussianInference, InferenceResult, PreparedInference
 from repro.core.validation import ValidationDecision, validate_model_answer
-from repro.core.append import AppendAdjustment, append_adjustment, apply_append_adjustment
+from repro.core.append import (
+    AppendAdjustment,
+    ColumnMoments,
+    adjustment_from_moments,
+    append_adjustment,
+    apply_append_adjustment,
+)
 from repro.core.engine import ImprovedEstimate, VerdictAnswer, VerdictEngine
 
 __all__ = [
@@ -40,6 +49,7 @@ __all__ = [
     "Snippet",
     "SnippetKey",
     "QuerySynopsis",
+    "SynopsisDelta",
     "se_kernel",
     "se_single_integral",
     "se_double_integral",
@@ -54,6 +64,8 @@ __all__ = [
     "ValidationDecision",
     "validate_model_answer",
     "AppendAdjustment",
+    "ColumnMoments",
+    "adjustment_from_moments",
     "append_adjustment",
     "apply_append_adjustment",
     "ImprovedEstimate",

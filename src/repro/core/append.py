@@ -38,6 +38,99 @@ class AppendAdjustment:
             raise ValueError("appended_fraction must be in [0, 1]")
 
 
+@dataclass(frozen=True)
+class ColumnMoments:
+    """First and second moments of one measure column.
+
+    Lemma 3's adjustment only needs the mean and (population) variance of the
+    old and appended measure values.  Precomputing them once per *attribute*
+    lets :meth:`repro.core.engine.VerdictEngine.register_append` adjust every
+    aggregate function sharing that attribute (AVG keys differing only in
+    their residual-predicate signature) without rescanning the column.
+    """
+
+    count: int
+    mean: float
+    variance: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "ColumnMoments":
+        """Moments of a (possibly empty) value array."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            return cls(count=0, mean=0.0, variance=0.0)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            variance=float(array.var(ddof=0)),
+        )
+
+    @classmethod
+    def empty(cls) -> "ColumnMoments":
+        """Moments of no values (used for FREQ and missing-column keys)."""
+        return cls(count=0, mean=0.0, variance=0.0)
+
+
+def adjustment_from_moments(
+    old: ColumnMoments,
+    new: ColumnMoments,
+    old_count: int,
+    new_count: int,
+    kind: AggregateKind = AggregateKind.AVG,
+) -> AppendAdjustment:
+    """Lemma 3's adjustment from precomputed column moments.
+
+    Same contract as :func:`append_adjustment`, but consuming
+    :class:`ColumnMoments` so that the per-column scan is paid once per
+    attribute rather than once per aggregate function.
+
+    Parameters
+    ----------
+    old / new:
+        Moments of the measure attribute in the original relation and in the
+        appended tuples (``ColumnMoments.empty()`` for FREQ keys).
+    old_count / new_count:
+        ``|r|`` and ``|r_a|``.
+    kind:
+        AVG adjustments shift by the mean value difference; FREQ adjustments
+        carry no shift but still inflate the error in proportion to the
+        appended fraction.
+
+    Raises
+    ------
+    ValueError
+        If either row count is negative.
+    """
+    if old_count < 0 or new_count < 0:
+        raise ValueError("row counts must be non-negative")
+    total = old_count + new_count
+    if total == 0 or new_count == 0:
+        return AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=0.0)
+    ratio = new_count / total
+
+    if kind is AggregateKind.FREQ:
+        # Appended tuples can shift up to the appended fraction of the mass
+        # into or out of any region; use that as a conservative spread.
+        eta = ratio
+        return AppendAdjustment(
+            answer_shift=0.0,
+            extra_variance=(ratio * eta) ** 2,
+            appended_fraction=ratio,
+        )
+
+    if old.count == 0 or new.count == 0:
+        return AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=ratio)
+    mu = new.mean - old.mean
+    # eta^2: variance of the value difference; approximated by the sum of the
+    # two populations' variances (independent draws).
+    eta2 = new.variance + old.variance
+    return AppendAdjustment(
+        answer_shift=mu * ratio,
+        extra_variance=(ratio**2) * eta2,
+        appended_fraction=ratio,
+    )
+
+
 def append_adjustment(
     old_values: np.ndarray,
     new_values: np.ndarray,
@@ -60,35 +153,12 @@ def append_adjustment(
         carry no shift but still inflate the error in proportion to the
         appended fraction.
     """
-    if old_count < 0 or new_count < 0:
-        raise ValueError("row counts must be non-negative")
-    total = old_count + new_count
-    if total == 0 or new_count == 0:
-        return AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=0.0)
-    ratio = new_count / total
-
-    if kind is AggregateKind.FREQ:
-        # Appended tuples can shift up to the appended fraction of the mass
-        # into or out of any region; use that as a conservative spread.
-        eta = ratio
-        return AppendAdjustment(
-            answer_shift=0.0,
-            extra_variance=(ratio * eta) ** 2,
-            appended_fraction=ratio,
-        )
-
-    old = np.asarray(old_values, dtype=np.float64)
-    new = np.asarray(new_values, dtype=np.float64)
-    if len(old) == 0 or len(new) == 0:
-        return AppendAdjustment(answer_shift=0.0, extra_variance=0.0, appended_fraction=ratio)
-    mu = float(new.mean() - old.mean())
-    # eta^2: variance of the value difference; approximated by the sum of the
-    # two populations' variances (independent draws).
-    eta2 = float(new.var(ddof=0) + old.var(ddof=0))
-    shift = mu * ratio
-    extra_variance = (ratio**2) * eta2
-    return AppendAdjustment(
-        answer_shift=shift, extra_variance=extra_variance, appended_fraction=ratio
+    return adjustment_from_moments(
+        ColumnMoments.from_values(old_values),
+        ColumnMoments.from_values(new_values),
+        old_count,
+        new_count,
+        kind=kind,
     )
 
 

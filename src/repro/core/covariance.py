@@ -30,8 +30,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core import linalg
 from repro.core.kernel import se_average_factor
-from repro.core.regions import AttributeDomains, CategoricalConstraint, NumericRange, Region
+from repro.core.regions import AttributeDomains, CategoricalConstraint, Region
 from repro.core.snippet import Snippet, SnippetKey
 from repro.errors import InferenceError
 
@@ -112,6 +113,10 @@ class SnippetCovariance:
                 ]
             )
             result *= self._categorical_factor(row_sets, col_sets)
+        if symmetric:
+            # Exact symmetry for the factorisation downstream; the matrix is
+            # symmetric by construction up to float accumulation order.
+            result = linalg.symmetrize(result)
         return result
 
     def factor_vector(self, rows: Sequence[Snippet], new: Snippet) -> np.ndarray:
@@ -120,7 +125,44 @@ class SnippetCovariance:
 
     def self_factor(self, snippet: Snippet) -> float:
         """The snippet's own (prior) factor -- the diagonal entry."""
-        return float(self.factor_matrix([snippet])[0, 0])
+        return float(self.factor_diagonal([snippet])[0])
+
+    def factor_diagonal(self, snippets: Sequence[Snippet]) -> np.ndarray:
+        """Self-factors of every snippet, without forming the full matrix.
+
+        This is the diagonal of ``factor_matrix(snippets)`` computed in
+        O(m) (after range deduplication) rather than O(m^2); batched
+        inference needs exactly the diagonal for the prior variances of the
+        new snippets.
+        """
+        result = np.ones(len(snippets), dtype=np.float64)
+        if len(snippets) == 0:
+            return result
+
+        for name, _domain in sorted(self.domains.numeric.items()):
+            length_scale = self.model.length_scale(name, self.domains)
+            ranges = [self._numeric_range(snippet.region, name) for snippet in snippets]
+            distinct, index = self._dedup_ranges(ranges)
+            lows = np.array([bounds[0] for bounds in distinct], dtype=np.float64)
+            highs = np.array([bounds[1] for bounds in distinct], dtype=np.float64)
+            base = np.asarray(
+                se_average_factor(lows, highs, lows, highs, length_scale),
+                dtype=np.float64,
+            )
+            result *= base[index]
+
+        for name, _domain in sorted(self.domains.categorical.items()):
+            sets = [self._categorical_constraint(snippet.region, name) for snippet in snippets]
+            constraints, index = self._dedup_constraints(sets)
+            factors = np.array(
+                [
+                    constraint.intersection_size(constraint) / max(constraint.size, 1) ** 2
+                    for constraint in constraints
+                ],
+                dtype=np.float64,
+            )
+            result *= factors[index]
+        return result
 
     # ---------------------------------------------------------------- per-type
 
@@ -145,6 +187,16 @@ class SnippetCovariance:
         domain = self.domains.categorical[name]
         return CategoricalConstraint(name=name, values=None, domain_size=domain.size)
 
+    @staticmethod
+    def _dedup_ranges(
+        ranges: Sequence[tuple[float, float]],
+    ) -> tuple[list[tuple[float, float]], np.ndarray]:
+        distinct: dict[tuple[float, float], int] = {}
+        index = np.empty(len(ranges), dtype=np.int64)
+        for position, bounds in enumerate(ranges):
+            index[position] = distinct.setdefault(bounds, len(distinct))
+        return list(distinct), index
+
     def _numeric_factor(
         self,
         row_ranges: Sequence[tuple[float, float]],
@@ -156,22 +208,45 @@ class SnippetCovariance:
         Snippets in a workload reuse a small number of distinct ranges per
         attribute (most commonly the full domain), so factors are computed on
         the distinct ranges and scattered back, keeping the cost independent
-        of the number of snippet pairs in the common case.
+        of the number of snippet pairs in the common case.  Rows and columns
+        are deduplicated *separately*, so a rectangular block (the hot case:
+        an ``(n, k)`` cross block against a few appended or new snippets)
+        costs O(distinct_rows x distinct_cols) kernel evaluations rather
+        than the square of the union.
         """
-        distinct: dict[tuple[float, float], int] = {}
-        row_index = np.empty(len(row_ranges), dtype=np.int64)
-        col_index = np.empty(len(col_ranges), dtype=np.int64)
-        for target, ranges in ((row_index, row_ranges), (col_index, col_ranges)):
-            for position, bounds in enumerate(ranges):
-                identifier = distinct.setdefault(bounds, len(distinct))
-                target[position] = identifier
-        lows = np.array([bounds[0] for bounds in distinct], dtype=np.float64)
-        highs = np.array([bounds[1] for bounds in distinct], dtype=np.float64)
+        row_distinct, row_index = self._dedup_ranges(row_ranges)
+        if col_ranges is row_ranges:
+            col_distinct, col_index = row_distinct, row_index
+        else:
+            col_distinct, col_index = self._dedup_ranges(col_ranges)
+        row_lows = np.array([bounds[0] for bounds in row_distinct], dtype=np.float64)
+        row_highs = np.array([bounds[1] for bounds in row_distinct], dtype=np.float64)
+        col_lows = np.array([bounds[0] for bounds in col_distinct], dtype=np.float64)
+        col_highs = np.array([bounds[1] for bounds in col_distinct], dtype=np.float64)
         base = se_average_factor(
-            lows[:, None], highs[:, None], lows[None, :], highs[None, :], length_scale
+            row_lows[:, None],
+            row_highs[:, None],
+            col_lows[None, :],
+            col_highs[None, :],
+            length_scale,
         )
         base = np.asarray(base, dtype=np.float64)
         return base[np.ix_(row_index, col_index)]
+
+    @staticmethod
+    def _dedup_constraints(
+        sets: Sequence[CategoricalConstraint],
+    ) -> tuple[list[CategoricalConstraint], np.ndarray]:
+        distinct: dict[frozenset | None, int] = {}
+        constraints: list[CategoricalConstraint] = []
+        index = np.empty(len(sets), dtype=np.int64)
+        for position, constraint in enumerate(sets):
+            identity = constraint.values
+            if identity not in distinct:
+                distinct[identity] = len(constraints)
+                constraints.append(constraint)
+            index[position] = distinct[identity]
+        return constraints, index
 
     def _categorical_factor(
         self,
@@ -179,21 +254,14 @@ class SnippetCovariance:
         col_sets: Sequence[CategoricalConstraint],
     ) -> np.ndarray:
         """Normalised intersection factors, deduplicated by distinct value set."""
-        distinct: dict[frozenset | None, int] = {}
-        constraints: list[CategoricalConstraint] = []
-        row_index = np.empty(len(row_sets), dtype=np.int64)
-        col_index = np.empty(len(col_sets), dtype=np.int64)
-        for target, sets in ((row_index, row_sets), (col_index, col_sets)):
-            for position, constraint in enumerate(sets):
-                identity = constraint.values
-                if identity not in distinct:
-                    distinct[identity] = len(constraints)
-                    constraints.append(constraint)
-                target[position] = distinct[identity]
-        count = len(constraints)
-        base = np.empty((count, count), dtype=np.float64)
-        for i, first in enumerate(constraints):
-            for j, second in enumerate(constraints):
+        row_constraints, row_index = self._dedup_constraints(row_sets)
+        if col_sets is row_sets:
+            col_constraints, col_index = row_constraints, row_index
+        else:
+            col_constraints, col_index = self._dedup_constraints(col_sets)
+        base = np.empty((len(row_constraints), len(col_constraints)), dtype=np.float64)
+        for i, first in enumerate(row_constraints):
+            for j, second in enumerate(col_constraints):
                 denominator = max(first.size, 1) * max(second.size, 1)
                 base[i, j] = first.intersection_size(second) / denominator
         return base[np.ix_(row_index, col_index)]

@@ -23,18 +23,20 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence, Union
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Callable, Iterator, Union
 
 from repro.aqp.online_agg import OnlineAggregationEngine
 from repro.aqp.time_bound import TimeBoundEngine
 from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow
 from repro.config import VerdictConfig
-from repro.core.append import append_adjustment, apply_append_adjustment
+from repro.core.append import (
+    ColumnMoments,
+    adjustment_from_moments,
+    apply_append_adjustment,
+)
 from repro.core.covariance import AggregateModel
-from repro.core.inference import GaussianInference, InferenceResult, PreparedInference
+from repro.core.inference import GaussianInference, PreparedInference
 from repro.core.learning import LearnedParameters, learn_length_scales
 from repro.core.prior import estimate_prior
 from repro.core.regions import AttributeDomains, Region, RegionBuilder
@@ -234,6 +236,25 @@ class VerdictEngine:
 
         The synopsis is *not* updated; callers that want learning should use
         :meth:`execute` or call :meth:`record` with the final raw answer.
+
+        Parameters
+        ----------
+        query:
+            SQL text or an already-parsed :class:`repro.sqlparser.ast.Query`.
+
+        Yields
+        ------
+        One :class:`VerdictAnswer` per raw (online-aggregation batch) answer;
+        unsupported queries yield pass-through answers with
+        ``supported=False``.
+
+        Raises
+        ------
+        repro.errors.SQLSyntaxError
+            If ``query`` is SQL text that does not parse.
+        repro.errors.AQPError
+            If the underlying AQP engine cannot answer the query (for
+            example an unknown table).
         """
         parsed, check = self.check(query)
         for raw in self.aqp.run(parsed):
@@ -252,6 +273,32 @@ class VerdictEngine:
         satisfying answer is included) or ``max_batches`` have been processed.
         The final raw answer's snippets are added to the synopsis when
         ``record`` is True and the query is supported.
+
+        Parameters
+        ----------
+        query:
+            SQL text or an already-parsed :class:`repro.sqlparser.ast.Query`.
+        stop:
+            Optional early-stopping predicate evaluated on each improved
+            answer (for example an error-bound target); the answer that
+            satisfies it is kept and iteration stops.
+        max_batches:
+            Optional cap on the number of online-aggregation batches.
+        record:
+            Whether the final raw answer's snippets are added to the query
+            synopsis (step 4 of Figure 2).  Recording is skipped for
+            unsupported queries regardless of this flag.
+
+        Returns
+        -------
+        The list of improved answers, one per processed batch, in order.
+
+        Raises
+        ------
+        repro.errors.SQLSyntaxError
+            If ``query`` is SQL text that does not parse.
+        repro.errors.AQPError
+            If the underlying AQP engine cannot answer the query.
         """
         parsed, check = self.check(query)
         answers: list[VerdictAnswer] = []
@@ -322,8 +369,18 @@ class VerdictEngine:
         improved_rows: list[dict[str, ImprovedEstimate]] = [
             {} for _ in range(len(raw.rows))
         ]
-        for plan in plans:
-            improved_rows[plan.row_index][plan.name] = self._improve_cell(plan, domains, raw)
+        if self.config.batched_inference:
+            batched = self._improve_snippets_batched(plans)
+            for index, plan in enumerate(plans):
+                improved_rows[plan.row_index][plan.name] = self._assemble_cell(
+                    plan,
+                    raw,
+                    batched.get((index, "avg")),
+                    batched.get((index, "freq")),
+                )
+        else:
+            for plan in plans:
+                improved_rows[plan.row_index][plan.name] = self._improve_cell(plan, raw)
 
         rows: list[VerdictRow] = []
         for row_index, raw_row in enumerate(raw.rows):
@@ -346,9 +403,28 @@ class VerdictEngine:
     def record(self, query: ast.Query, raw: AQPAnswer) -> int:
         """Add the raw snippets of a processed query to the synopsis.
 
-        Returns the number of snippets added.  Only supported queries should
-        be recorded (Section 2.2: the class of queries that can be improved is
-        the class that can improve others).
+        This is step 4 of Figure 2's workflow: the final raw answer of a
+        finished query is decomposed into AVG / FREQ snippets and stored so
+        that *future* queries can be improved by it.  Only supported queries
+        should be recorded (Section 2.2: the class of queries that can be
+        improved is the class that can improve others).
+
+        With incremental updates enabled (the default), recording does not
+        discard the prepared covariance factorisations: the next
+        :meth:`process_answer` extends each affected factor with just the
+        appended snippets (O(n^2 k)), so the system gets *faster* as it
+        learns rather than re-paying the O(n^3) factorisation per query.
+
+        Parameters
+        ----------
+        query:
+            The parsed query whose answer is being recorded.
+        raw:
+            The final raw AQP answer of that query.
+
+        Returns
+        -------
+        The number of snippets added to the synopsis.
         """
         domains = self.domains_for(query.table)
         plans = self._build_cell_plans(query, raw, domains)
@@ -358,15 +434,41 @@ class VerdictEngine:
                 if snippet is not None:
                     self.synopsis.add(snippet)
                     added += 1
-        if added:
-            # Prepared factorisations are stale once the synopsis changes.
+        if added and not self.config.incremental_updates:
+            # Legacy behaviour: prepared factorisations are dropped wholesale
+            # and rebuilt from scratch on the next query.
             self._prepared.clear()
         return added
 
     # ---------------------------------------------------------------- training
 
     def train(self, learn_length_scales_flag: bool | None = None) -> dict[SnippetKey, LearnedParameters]:
-        """Offline step (Algorithm 1): learn parameters and refresh factorisations."""
+        """Offline step (Algorithm 1): learn parameters and refresh factorisations.
+
+        Learns the per-aggregate correlation length scales from the synopsis
+        (Appendix A) -- or falls back to the domain-width defaults -- and then
+        rebuilds every prepared covariance factorisation from scratch.  A
+        full rebuild (not a rank-k extension) is correct here because new
+        length scales change every covariance entry; it also re-estimates the
+        signal variance ``sigma_g^2`` that the incremental path keeps frozen
+        between trainings.
+
+        Parameters
+        ----------
+        learn_length_scales_flag:
+            Overrides ``config.learn_length_scales`` for this call when not
+            ``None``.
+
+        Returns
+        -------
+        A mapping from each aggregate function's key to its learned
+        parameters.
+
+        Raises
+        ------
+        repro.errors.LearningError
+            If the likelihood optimisation fails irrecoverably.
+        """
         learn = (
             self.config.learn_length_scales
             if learn_length_scales_flag is None
@@ -417,9 +519,32 @@ class VerdictEngine:
     ) -> int:
         """Append new tuples to a table and adjust the synopsis (Appendix D).
 
-        Returns the number of snippets adjusted.  Passing ``adjust=False``
-        reproduces the "no adjustment" ablation of Figure 12: the data grows
-        but past snippets keep their stale answers and errors.
+        Every snippet of the table has its answer shifted and its error
+        inflated per Lemma 3 (computed from per-attribute column moments, one
+        scan per measure attribute).  The adjustment changes every
+        observation-noise entry, so the affected factorisations are marked
+        dirty and fully rebuilt on next use -- this is one of the mutations
+        the rank-k incremental path deliberately does not cover.
+
+        Parameters
+        ----------
+        table_name:
+            The fact table receiving the appended tuples.
+        appended:
+            The new tuples (schema-compatible with the existing table).
+        adjust:
+            Passing ``False`` reproduces the "no adjustment" ablation of
+            Figure 12: the data grows but past snippets keep their stale
+            answers and errors.
+
+        Returns
+        -------
+        The number of snippets adjusted.
+
+        Raises
+        ------
+        repro.errors.TableError
+            If the appended table's schema does not match.
         """
         old_table = self.catalog.table(table_name)
         old_count = old_table.num_rows
@@ -434,18 +559,27 @@ class VerdictEngine:
         if not adjust:
             return 0
 
+        # AVG keys differing only in their residual signature share a measure
+        # attribute; compute each attribute's moments once instead of
+        # rescanning the old and appended columns per aggregate function.
+        moments: dict[str, tuple[ColumnMoments, ColumnMoments]] = {}
+        empty = ColumnMoments.empty()
         adjusted = 0
         for key in self.synopsis.keys():
             if key.table != table_name:
                 continue
             if key.kind is AggregateKind.AVG and key.attribute and appended.has_column(key.attribute):
-                old_values = np.asarray(old_table.column(key.attribute), dtype=np.float64)
-                new_values = np.asarray(appended.column(key.attribute), dtype=np.float64)
+                attribute = key.attribute
+                if attribute not in moments:
+                    moments[attribute] = (
+                        ColumnMoments.from_values(old_table.column(attribute)),
+                        ColumnMoments.from_values(appended.column(attribute)),
+                    )
+                old_moments, new_moments = moments[attribute]
             else:
-                old_values = np.array([], dtype=np.float64)
-                new_values = np.array([], dtype=np.float64)
-            adjustment = append_adjustment(
-                old_values, new_values, old_count, new_count, kind=key.kind
+                old_moments, new_moments = empty, empty
+            adjustment = adjustment_from_moments(
+                old_moments, new_moments, old_count, new_count, kind=key.kind
             )
             adjusted += self.synopsis.transform(
                 key, lambda snippet: apply_append_adjustment(snippet, adjustment)
@@ -456,22 +590,61 @@ class VerdictEngine:
     # ------------------------------------------------------------------ helpers
 
     def _prepared_for(self, key: SnippetKey) -> PreparedInference | None:
+        """The factorised model of one aggregate function, kept current.
+
+        A cached factorisation whose synopsis version is stale is first
+        offered the appended-snippet delta (rank-k Cholesky extension,
+        O(n^2 k)); only when the delta is unknown, contains non-append
+        mutations, or crosses the rebuild threshold does the O(n^3) full
+        factorisation run.
+        """
+        version = self.synopsis.version
         cached = self._prepared.get(key)
-        if cached is not None and cached.synopsis_version == self.synopsis.version:
+        if cached is not None and cached.synopsis_version == version:
             return cached
+        if cached is not None and self.config.incremental_updates:
+            extended = self._extend_prepared(key, cached, version)
+            if extended is not None:
+                self._prepared[key] = extended
+                return extended
         snippets = self.synopsis.snippets_for(key)
         if len(snippets) < self.config.min_past_snippets or not snippets:
+            self._prepared.pop(key, None)
             return None
         prepared = self.inference.prepare(
             key,
             snippets,
             self.model_for(key),
             self.domains_for(key.table),
-            synopsis_version=self.synopsis.version,
+            synopsis_version=version,
         )
         if prepared is not None:
             self._prepared[key] = prepared
         return prepared
+
+    def _extend_prepared(
+        self, key: SnippetKey, cached: PreparedInference, version: int
+    ) -> PreparedInference | None:
+        """Try to bring a stale factorisation current by rank-k extension.
+
+        Returns ``None`` when the synopsis delta cannot be applied
+        incrementally (unknown delta, eviction/adjustment on this key, or
+        enough appends accumulated that the frozen ``sigma_g^2`` should be
+        re-estimated -- see ``VerdictConfig.incremental_rebuild_ratio``).
+        """
+        delta = self.synopsis.changes_since(cached.synopsis_version)
+        if delta is None or key in delta.dirty:
+            return None
+        appended = delta.appended.get(key, [])
+        if not appended:
+            # Other aggregate functions changed; this factorisation is intact.
+            cached.synopsis_version = version
+            return cached
+        base = max(cached.base_size, 1)
+        total_appended = cached.appended_since_base + len(appended)
+        if total_appended > self.config.incremental_rebuild_ratio * base:
+            return None
+        return self.inference.extend(cached, appended, synopsis_version=version)
 
     def _build_cell_plans(
         self, query: ast.Query, raw: AQPAnswer, domains: AttributeDomains
@@ -543,11 +716,76 @@ class VerdictEngine:
                 raw_error=float(internal.freq_error),
             )
 
-    def _improve_cell(
-        self, plan: _CellPlan, domains: AttributeDomains, raw: AQPAnswer
+    def _improve_snippets_batched(
+        self, plans: list[_CellPlan]
+    ) -> dict[tuple[int, str], tuple[float, float, bool, str]]:
+        """Improve every snippet of every cell plan, batched per aggregate key.
+
+        All snippets sharing one aggregate function (typically every cell of
+        a group-by answer) are conditioned in a single blocked matrix solve
+        (:meth:`GaussianInference.infer_batch`); model validation then runs
+        per cell on the vectorised results.  Returns a mapping from
+        ``(plan index, "avg" | "freq")`` to the ``(value, error, improved,
+        reason)`` tuple that :meth:`_assemble_cell` consumes.
+        """
+        jobs: dict[SnippetKey, list[tuple[int, str, Snippet]]] = {}
+        for index, plan in enumerate(plans):
+            for role, snippet in (("avg", plan.avg_snippet), ("freq", plan.freq_snippet)):
+                if snippet is not None:
+                    jobs.setdefault(snippet.key, []).append((index, role, snippet))
+
+        results: dict[tuple[int, str], tuple[float, float, bool, str]] = {}
+        for key, entries in jobs.items():
+            prepared = self._prepared_for(key)
+            if prepared is None:
+                for index, role, snippet in entries:
+                    results[(index, role)] = (
+                        snippet.raw_answer,
+                        snippet.raw_error,
+                        False,
+                        "empty synopsis",
+                    )
+                continue
+            inferred = self.inference.infer_batch(
+                prepared, [snippet for _, _, snippet in entries]
+            )
+            self.synopsis.mark_used(
+                key, [past.snippet_id for past in prepared.snippets]
+            )
+            for (index, role, snippet), result in zip(entries, inferred):
+                decision = validate_model_answer(
+                    result,
+                    key.kind,
+                    validation_confidence=self.config.validation_confidence,
+                    enabled=self.config.enable_model_validation,
+                    conservative=self.config.conservative_validation,
+                )
+                improved = decision.accepted and decision.improved_error < snippet.raw_error
+                results[(index, role)] = (
+                    decision.improved_answer,
+                    decision.improved_error,
+                    improved,
+                    decision.reason,
+                )
+        return results
+
+    def _improve_cell(self, plan: _CellPlan, raw: AQPAnswer) -> ImprovedEstimate:
+        """Legacy scalar path: improve one cell's snippets one at a time."""
+        return self._assemble_cell(
+            plan,
+            raw,
+            self._improve_snippet(plan.avg_snippet),
+            self._improve_snippet(plan.freq_snippet),
+        )
+
+    def _assemble_cell(
+        self,
+        plan: _CellPlan,
+        raw: AQPAnswer,
+        avg_result: tuple[float, float, bool, str] | None,
+        freq_result: tuple[float, float, bool, str] | None,
     ) -> ImprovedEstimate:
-        avg_result = self._improve_snippet(plan.avg_snippet)
-        freq_result = self._improve_snippet(plan.freq_snippet)
+        """Recombine improved AVG / FREQ snippets into the user-facing cell."""
         population = raw.population_size
         function = plan.function
 

@@ -24,13 +24,13 @@ answers converted to densities (see :mod:`repro.core.prior`).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve
 
 from repro.config import VerdictConfig
+from repro.core import linalg
 from repro.core.covariance import AggregateModel, SnippetCovariance
 from repro.core.prior import (
     PriorEstimate,
@@ -42,7 +42,6 @@ from repro.core.prior import (
 )
 from repro.core.regions import AttributeDomains
 from repro.core.snippet import Snippet, SnippetKey
-from repro.errors import InferenceError
 
 _MIN_VARIANCE = 1e-18
 
@@ -90,6 +89,15 @@ class PreparedInference:
     honest (Figure 5) without changing the inference structure; Theorem 1 is
     unaffected because the improved error remains a precision-weighted
     combination with the raw error.
+
+    Incremental growth: ``jitter`` is the absolute diagonal regularisation of
+    the current factor, ``inverse_diagonal`` is ``diag(Sigma_n^{-1})`` (kept
+    only when calibration is enabled) and ``base_size`` is the snippet count
+    at the last *full* factorisation.  :meth:`GaussianInference.extend`
+    appends rows/columns to ``cho`` in O(n^2 k) via
+    :func:`repro.core.linalg.extend_cholesky`, keeping ``sigma2`` and
+    ``jitter`` frozen until the next full rebuild (see
+    ``VerdictConfig.incremental_updates``).
     """
 
     key: SnippetKey
@@ -104,10 +112,19 @@ class PreparedInference:
     alpha: np.ndarray
     calibration: float = 1.0
     synopsis_version: int = -1
+    jitter: float = 0.0
+    inverse_diagonal: np.ndarray | None = None
+    base_size: int = 0
 
     @property
     def size(self) -> int:
         return len(self.snippets)
+
+    @property
+    def appended_since_base(self) -> int:
+        """Snippets appended by :meth:`GaussianInference.extend` since the
+        last full factorisation."""
+        return self.size - self.base_size
 
 
 class GaussianInference:
@@ -152,18 +169,16 @@ class GaussianInference:
             dtype=np.float64,
         )
         matrix = sigma2 * factors + np.diag(noise)
-        jitter = self.config.jitter * max(float(np.mean(np.diag(matrix))), 1.0)
-        matrix[np.diag_indices_from(matrix)] += jitter
-
-        try:
-            cho = cho_factor(matrix, lower=True)
-        except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
-            raise InferenceError(f"covariance matrix is not positive definite: {exc}")
+        cho, jitter = linalg.robust_cholesky(matrix, self.config.jitter)
         centered = observations - prior.mean
-        alpha = cho_solve(cho, centered)
+        alpha = linalg.solve_factored(cho, centered)
         if self.config.calibrate_model_variance:
-            calibration = _loo_calibration(cho, alpha, len(past))
+            inverse_diagonal = np.clip(
+                np.diag(linalg.solve_factored(cho, np.eye(len(past)))), 1e-300, None
+            )
+            calibration = _loo_calibration(alpha, inverse_diagonal)
         else:
+            inverse_diagonal = None
             calibration = 1.0
         return PreparedInference(
             key=key,
@@ -178,6 +193,111 @@ class GaussianInference:
             alpha=alpha,
             calibration=calibration,
             synopsis_version=synopsis_version,
+            jitter=jitter,
+            inverse_diagonal=inverse_diagonal,
+            base_size=len(past),
+        )
+
+    def extend(
+        self,
+        prepared: PreparedInference,
+        new_snippets: Sequence[Snippet],
+        synopsis_version: int = -1,
+    ) -> PreparedInference | None:
+        """Rank-k extension of a prepared factorisation with appended snippets.
+
+        Where :meth:`prepare` re-runs the O(n^3) factorisation, this appends
+        ``k`` rows/columns to the existing Cholesky factor in O(n^2 k) via
+        the block identity of :func:`repro.core.linalg.extend_cholesky`, so
+        recording a query's snippets makes the *next* query cheaper instead
+        of slower -- the scalability promise of database learning.
+
+        The signal variance ``sigma_g^2`` and the absolute diagonal jitter
+        are frozen at their last full-factorisation values (they scale the
+        whole matrix, so refreshing them would invalidate the factor); the
+        prior mean, the dual weights ``alpha``, the inverse diagonal and the
+        leave-one-out calibration are all refreshed exactly.
+
+        Parameters
+        ----------
+        prepared:
+            The factorisation to extend (not modified).
+        new_snippets:
+            Snippets appended to the synopsis since ``prepared`` was built.
+        synopsis_version:
+            Version stamp of the synopsis after the appends.
+
+        Returns
+        -------
+        A new :class:`PreparedInference`, or ``None`` when the extension is
+        numerically unsafe (the caller then falls back to :meth:`prepare`).
+        """
+        fresh = list(new_snippets)
+        if not fresh:
+            return prepared
+        domains = prepared.covariance.domains
+        cross = prepared.sigma2 * prepared.covariance.factor_matrix(
+            prepared.snippets, fresh
+        )
+        corner_factors = prepared.covariance.factor_matrix(fresh)
+        new_noise = np.array(
+            [observation_error(snippet, domains) ** 2 for snippet in fresh],
+            dtype=np.float64,
+        )
+        corner = prepared.sigma2 * corner_factors + np.diag(new_noise)
+        corner[np.diag_indices_from(corner)] += prepared.jitter
+        try:
+            cho, schur = linalg.extend_cholesky(prepared.cho, cross, corner)
+        except np.linalg.LinAlgError:
+            return None
+
+        new_observations = np.array(
+            [observation_value(snippet, domains) for snippet in fresh], dtype=np.float64
+        )
+        observations = np.concatenate([prepared.observations, new_observations])
+        noise = np.concatenate([prepared.noise_variances, new_noise])
+        mean = float(observations.mean())
+        prior = PriorEstimate(
+            mean=mean, variance=prepared.prior.variance, count=len(observations)
+        )
+        centered = observations - mean
+        alpha = linalg.solve_factored(cho, centered)
+        if prepared.inverse_diagonal is not None:
+            # The extended factor's bottom-left block is S^T with S = L^{-1}B,
+            # already computed by extend_cholesky; reuse it for the inverse
+            # diagonal instead of re-solving from scratch.
+            half_solved = cho[0][prepared.size :, : prepared.size].T
+            inverse_diagonal = np.clip(
+                linalg.extend_inverse_diagonal(
+                    prepared.cho,
+                    prepared.inverse_diagonal,
+                    cross,
+                    schur,
+                    half_solved=half_solved,
+                ),
+                1e-300,
+                None,
+            )
+            calibration = _loo_calibration(alpha, inverse_diagonal)
+        else:
+            inverse_diagonal = None
+            calibration = 1.0
+        return PreparedInference(
+            key=prepared.key,
+            snippets=prepared.snippets + fresh,
+            covariance=prepared.covariance,
+            prior=prior,
+            sigma2=prepared.sigma2,
+            observations=observations,
+            noise_variances=noise,
+            centered=centered,
+            cho=cho,
+            alpha=alpha,
+            calibration=calibration,
+            synopsis_version=synopsis_version,
+            jitter=prepared.jitter,
+            inverse_diagonal=inverse_diagonal,
+            base_size=prepared.base_size,
         )
 
     # ------------------------------------------------------------------- infer
@@ -208,7 +328,7 @@ class GaussianInference:
         kappa2 = prepared.sigma2 * prepared.covariance.self_factor(new_snippet)
 
         gp_mean = prepared.prior.mean + float(cross @ prepared.alpha)
-        solved = cho_solve(prepared.cho, cross)
+        solved = linalg.solve_factored(prepared.cho, cross)
         gamma2 = kappa2 - float(cross @ solved)
         gamma2 = min(max(gamma2, _MIN_VARIANCE), max(kappa2, _MIN_VARIANCE))
         # Leave-one-out variance calibration (see PreparedInference docstring).
@@ -228,6 +348,95 @@ class GaussianInference:
             raw_error=raw_error,
             past_snippets_used=prepared.size,
         )
+
+    def infer_batch(
+        self,
+        prepared: PreparedInference | None,
+        new_snippets: Sequence[Snippet],
+    ) -> list[InferenceResult]:
+        """Batched Equations (11) / (12) for all cells of a group-by answer.
+
+        Numerically equivalent to calling :meth:`infer` once per snippet (the
+        property tests hold the two to 1e-8), but all ``m`` cells sharing one
+        aggregate function are conditioned with a single ``(n, m)`` blocked
+        solve on the prepared factor instead of ``m`` scalar solves -- one
+        BLAS call instead of a Python loop, which is what makes wide group-by
+        queries cheap (see ``benchmarks/bench_batched_inference.py``).
+
+        Parameters
+        ----------
+        prepared:
+            The factorised past-snippet model, or ``None`` (raw answers are
+            then passed through unchanged).
+        new_snippets:
+            The new snippets to condition; all must share ``prepared.key``'s
+            aggregate function.
+
+        Returns
+        -------
+        One :class:`InferenceResult` per input snippet, in order.
+        """
+        news = list(new_snippets)
+        if prepared is None or prepared.size == 0 or not news:
+            return [
+                InferenceResult(
+                    model_answer=snippet.raw_answer,
+                    model_error=snippet.raw_error,
+                    gp_mean=snippet.raw_answer,
+                    gp_error=snippet.raw_error,
+                    raw_answer=snippet.raw_answer,
+                    raw_error=snippet.raw_error,
+                    past_snippets_used=0,
+                )
+                for snippet in news
+            ]
+
+        domains = prepared.covariance.domains
+        observed = np.array(
+            [observation_value(snippet, domains) for snippet in news], dtype=np.float64
+        )
+        observed_errors = np.array(
+            [observation_error(snippet, domains) for snippet in news], dtype=np.float64
+        )
+        observed_variances = observed_errors**2
+
+        # (n, m) cross-covariance block and one blocked solve for all cells.
+        cross = prepared.sigma2 * prepared.covariance.factor_matrix(
+            prepared.snippets, news
+        )
+        kappa2 = prepared.sigma2 * prepared.covariance.factor_diagonal(news)
+        gp_means = prepared.prior.mean + cross.T @ prepared.alpha
+        solved = linalg.solve_factored(prepared.cho, cross)
+        gamma2 = kappa2 - np.einsum("ij,ij->j", cross, solved)
+        gamma2 = np.clip(gamma2, _MIN_VARIANCE, np.maximum(kappa2, _MIN_VARIANCE))
+        gamma2 *= prepared.calibration
+
+        results: list[InferenceResult] = []
+        for index, snippet in enumerate(news):
+            model_obs, model_var = _combine(
+                float(gp_means[index]),
+                float(gamma2[index]),
+                float(observed[index]),
+                float(observed_variances[index]),
+            )
+            results.append(
+                InferenceResult(
+                    model_answer=answer_from_observation(model_obs, snippet, domains),
+                    model_error=error_from_observation(
+                        math.sqrt(model_var), snippet, domains
+                    ),
+                    gp_mean=answer_from_observation(
+                        float(gp_means[index]), snippet, domains
+                    ),
+                    gp_error=error_from_observation(
+                        math.sqrt(float(gamma2[index])), snippet, domains
+                    ),
+                    raw_answer=snippet.raw_answer,
+                    raw_error=snippet.raw_error,
+                    past_snippets_used=prepared.size,
+                )
+            )
+        return results
 
     def infer_direct(
         self,
@@ -272,8 +481,17 @@ class GaussianInference:
             dtype=np.float64,
         )
         sigma_observed = sigma2 * factors + np.diag(noise)
-        jitter = self.config.jitter * max(float(np.mean(np.diag(sigma_observed))), 1.0)
-        sigma_observed[np.diag_indices_from(sigma_observed)] += jitter
+        # Regularise the *past* block only, with the same jitter scale the
+        # block form applies in :meth:`prepare`.  Scaling by the mean diagonal
+        # of the full joint and adding it to every entry -- as an earlier
+        # revision did -- leaks a jitter proportional to the (large) signal
+        # variance into the new snippet's (possibly tiny) observation noise,
+        # which inflates the direct conditional variance and makes the two
+        # algebraically-identical forms disagree (caught by the property test
+        # ``test_block_form_equals_direct_conditioning``).
+        past_block = sigma_observed[: n_plus_1 - 1, : n_plus_1 - 1]
+        jitter = linalg.jitter_value(np.diag(past_block), self.config.jitter)
+        past_block[np.diag_indices_from(past_block)] += jitter
 
         # Cross covariances between the observed variables and the exact
         # answer of the new snippet: Equation (6) -- the noise term vanishes.
@@ -306,7 +524,7 @@ class GaussianInference:
         )
 
 
-def _loo_calibration(cho: tuple[np.ndarray, bool], alpha: np.ndarray, size: int) -> float:
+def _loo_calibration(alpha: np.ndarray, inverse_diagonal: np.ndarray) -> float:
     """Variance-inflation factor from standardised leave-one-out residuals.
 
     For a Gaussian model with covariance ``K`` (including observation noise)
@@ -319,13 +537,15 @@ def _loo_calibration(cho: tuple[np.ndarray, bool], alpha: np.ndarray, size: int)
     by that factor.  The factor is never allowed below one (deflating would
     risk overconfidence) and is capped to keep a single outlier from blowing
     up every interval.
+
+    Takes ``diag(K^{-1})`` rather than the factor so the caller can maintain
+    the diagonal incrementally (O(n^2 k) per extension) instead of inverting
+    from scratch (O(n^3)).
     """
+    size = len(alpha)
     if size < 3:
         return 1.0
-    identity = np.eye(size)
-    inverse = cho_solve(cho, identity)
-    diagonal = np.clip(np.diag(inverse), 1e-300, None)
-    standardized_squared = (alpha**2) / diagonal
+    standardized_squared = (alpha**2) / inverse_diagonal
     calibration = float(np.mean(standardized_squared))
     if not math.isfinite(calibration):
         return 1.0

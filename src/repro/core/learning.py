@@ -24,19 +24,19 @@ random restarts since the likelihood is not convex.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve
 from scipy.optimize import minimize
 
 from repro.config import VerdictConfig
+from repro.core import linalg
 from repro.core.covariance import AggregateModel, SnippetCovariance
 from repro.core.prior import estimate_prior, observation_error, observation_value
 from repro.core.regions import AttributeDomains
 from repro.core.snippet import Snippet, SnippetKey
-from repro.errors import LearningError
+from repro.errors import InferenceError, LearningError
 
 _LOG_2PI = math.log(2.0 * math.pi)
 
@@ -83,19 +83,17 @@ def negative_log_likelihood(
         [observation_error(snippet, domains) ** 2 for snippet in past], dtype=np.float64
     )
     matrix = sigma2 * factors + np.diag(noise)
-    matrix[np.diag_indices_from(matrix)] += jitter * max(
-        float(np.mean(np.diag(matrix))), 1.0
-    )
+    linalg.add_jitter(matrix, jitter)
     observations = np.array(
         [observation_value(snippet, domains) for snippet in past], dtype=np.float64
     )
     centered = observations - prior.mean
     try:
-        cho = cho_factor(matrix, lower=True)
-    except np.linalg.LinAlgError:
+        cho, _ = linalg.robust_cholesky(matrix, 0.0, max_attempts=1)
+    except InferenceError:
         return float("inf")
-    alpha = cho_solve(cho, centered)
-    log_det = 2.0 * float(np.sum(np.log(np.diag(cho[0]))))
+    alpha = linalg.solve_factored(cho, centered)
+    log_det = linalg.log_determinant(cho)
     value = 0.5 * float(centered @ alpha) + 0.5 * log_det + 0.5 * len(past) * _LOG_2PI
     if not math.isfinite(value):
         return float("inf")

@@ -14,7 +14,7 @@ resolution) so that FREQ covariances do not collapse to zero.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Union
 
 import numpy as np

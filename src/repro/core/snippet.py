@@ -18,7 +18,7 @@ are never formed.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.regions import Region
 

@@ -10,24 +10,59 @@ which is why its memory footprint stays tiny (Section 8.5).
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.core.snippet import Snippet, SnippetKey
 from repro.errors import SynopsisError
 
 
-class QuerySynopsis:
-    """Bounded, LRU-evicted store of past query snippets grouped by key."""
+@dataclass(frozen=True)
+class SynopsisDelta:
+    """What changed between two synopsis versions.
 
-    def __init__(self, capacity_per_key: int = 2_000):
+    ``appended`` maps each aggregate function to the snippets appended (in
+    order) since the base version; ``dirty`` holds the keys that underwent a
+    non-append mutation (eviction, data-append adjustment, clear) and whose
+    prepared factorisations therefore cannot be extended incrementally.
+    """
+
+    appended: dict[SnippetKey, list[Snippet]]
+    dirty: frozenset[SnippetKey]
+
+
+class QuerySynopsis:
+    """Bounded, LRU-evicted store of past query snippets grouped by key.
+
+    Every mutation bumps :attr:`version` and is recorded in a bounded change
+    log, so the inference layer can ask :meth:`changes_since` for the delta
+    between the version it factorised and the current one and extend its
+    Cholesky factor with just the appended snippets (O(n^2 k)) instead of
+    rebuilding it (O(n^3)).
+    """
+
+    _APPEND = "append"
+    _DIRTY = "dirty"
+
+    def __init__(self, capacity_per_key: int = 2_000, change_log_limit: int | None = None):
         if capacity_per_key <= 0:
             raise SynopsisError("capacity_per_key must be positive")
+        if change_log_limit is not None and change_log_limit <= 0:
+            raise SynopsisError("change_log_limit must be positive")
         self.capacity_per_key = capacity_per_key
         self._groups: dict[SnippetKey, OrderedDict[int, Snippet]] = {}
         self._next_id = 0
         self._sequence = 0
         self._version = 0
+        # (version, event kind, key, snippet-or-None), oldest first.  Bounded:
+        # deltas older than the retained window report as unknown and callers
+        # fall back to a full rebuild.
+        self._log: deque[tuple[int, str, SnippetKey, Snippet | None]] = deque()
+        if change_log_limit is None:
+            change_log_limit = max(4 * capacity_per_key, 1_024)
+        self._log_limit = change_log_limit
+        self._log_floor = 0
 
     # ----------------------------------------------------------------- content
 
@@ -42,9 +77,14 @@ class QuerySynopsis:
         self._next_id += 1
         group[stored.snippet_id] = stored
         group.move_to_end(stored.snippet_id)
+        evicted = False
         while len(group) > self.capacity_per_key:
             group.popitem(last=False)
+            evicted = True
         self._version += 1
+        self._record(self._APPEND, stored.key, stored)
+        if evicted:
+            self._record(self._DIRTY, stored.key)
         return stored
 
     def add_all(self, snippets: Iterable[Snippet]) -> list[Snippet]:
@@ -81,11 +121,14 @@ class QuerySynopsis:
 
     def clear(self, key: SnippetKey | None = None) -> None:
         """Drop all snippets (for one key, or everywhere)."""
+        affected = list(self._groups) if key is None else [key]
         if key is None:
             self._groups.clear()
         else:
             self._groups.pop(key, None)
         self._version += 1
+        for dirty_key in affected:
+            self._record(self._DIRTY, dirty_key)
 
     # ---------------------------------------------------------------- mutation
 
@@ -104,11 +147,54 @@ class QuerySynopsis:
                 raise SynopsisError("transform must not change a snippet's key")
             group[snippet_id] = updated.with_identity(snippet_id, snippet.sequence)
         self._version += 1
+        self._record(self._DIRTY, key)
         return len(group)
 
     def transform_all(self, function: Callable[[Snippet], Snippet]) -> int:
         """Apply ``function`` to every snippet of every key."""
         return sum(self.transform(key, function) for key in list(self._groups))
+
+    # -------------------------------------------------------------- change log
+
+    def _record(
+        self, kind: str, key: SnippetKey, snippet: Snippet | None = None
+    ) -> None:
+        """Append one event to the bounded change log."""
+        self._log.append((self._version, kind, key, snippet))
+        while len(self._log) > self._log_limit:
+            trimmed_version, _, _, _ = self._log.popleft()
+            # Deltas based before the trimmed event are no longer complete.
+            self._log_floor = max(self._log_floor, trimmed_version)
+
+    def changes_since(self, version: int) -> SynopsisDelta | None:
+        """The delta between ``version`` and the current state.
+
+        Returns ``None`` when ``version`` predates the retained change-log
+        window (or the synopsis itself), in which case the caller must treat
+        everything as changed and rebuild from scratch.  Appends that land on
+        a key which later turns dirty within the same delta are reported only
+        through ``dirty`` -- an extension would bake evicted or transformed
+        snippets into the factor.
+        """
+        if version < self._log_floor or version > self._version:
+            return None
+        # The log is version-sorted; walk backwards and stop at the first
+        # already-seen event, so the cost is O(delta) rather than O(log).
+        recent: list[tuple[str, SnippetKey, Snippet | None]] = []
+        for event_version, kind, key, snippet in reversed(self._log):
+            if event_version <= version:
+                break
+            recent.append((kind, key, snippet))
+        appended: dict[SnippetKey, list[Snippet]] = {}
+        dirty: set[SnippetKey] = set()
+        for kind, key, snippet in reversed(recent):
+            if kind == self._APPEND and snippet is not None:
+                appended.setdefault(key, []).append(snippet)
+            else:
+                dirty.add(key)
+        for key in dirty:
+            appended.pop(key, None)
+        return SynopsisDelta(appended=appended, dirty=frozenset(dirty))
 
     # ------------------------------------------------------------------ stats
 

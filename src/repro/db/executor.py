@@ -14,7 +14,7 @@ clauses expressed over output column names.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

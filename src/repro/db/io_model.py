@@ -16,7 +16,7 @@ engines scan the number of rows they claim to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import CostModelConfig
 

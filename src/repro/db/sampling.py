@@ -14,7 +14,7 @@ catalog.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -22,7 +22,6 @@ import numpy as np
 from repro.config import SamplingConfig
 from repro.db.catalog import Catalog
 from repro.db.table import Table
-from repro.errors import TableError
 
 
 @dataclass

@@ -9,7 +9,6 @@ Appendix D), and cheap row-count queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np

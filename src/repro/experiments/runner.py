@@ -32,7 +32,6 @@ from repro.db.catalog import Catalog
 from repro.db.executor import ExactExecutor, QueryResult
 from repro.experiments.metrics import actual_relative_error
 from repro.sqlparser import ast
-from repro.sqlparser.parser import parse_query
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ experiment aggregates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sqlparser import ast
 

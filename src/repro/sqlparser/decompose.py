@@ -14,8 +14,8 @@ improved answers are computed only for those snippets (Section 2.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Union
+from dataclasses import dataclass
+from typing import Sequence, Union
 
 from repro.sqlparser import ast
 

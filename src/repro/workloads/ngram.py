@@ -28,7 +28,6 @@ def make_ngram_table(
 ) -> Table:
     """Per-tweet n-gram occurrence counts with a smooth weekly trend."""
     rng = np.random.default_rng(seed)
-    num_rows = num_weeks * rows_per_week
     weeks = np.repeat(np.arange(1, num_weeks + 1), rows_per_week).astype(np.float64)
     trend = base_count + _smooth_signal(
         weeks, rng, length_scale=num_weeks / 6.0, amplitude=seasonal_amplitude

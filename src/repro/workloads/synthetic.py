@@ -10,7 +10,7 @@ ranges are correlated.
 from __future__ import annotations
 
 import math
-from typing import Literal, Sequence
+from typing import Literal
 
 import numpy as np
 
@@ -19,7 +19,6 @@ from repro.core.snippet import AggregateKind, Snippet, SnippetKey
 from repro.db.schema import (
     Column,
     ColumnKind,
-    ColumnRole,
     Schema,
     categorical_dimension,
     measure,

@@ -288,7 +288,7 @@ class TPCHWorkload:
         region = str(rng.choice(_REGIONS))
         brand = str(rng.choice(_PART_BRANDS))
         shipmode = str(rng.choice(_SHIP_MODES))
-        priority = f"{int(rng.integers(1, 6))}-PRIORITY"
+        _priority = f"{int(rng.integers(1, 6))}-PRIORITY"  # draw kept: preserves RNG stream
         size = int(rng.integers(1, 40))
 
         supported: list[tuple[int, str]] = [

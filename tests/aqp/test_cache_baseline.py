@@ -59,7 +59,7 @@ class TestCachingEngine:
         for answer in caching_engine.run(query):
             break
         # A later full run should replace the cache entry with a better one.
-        full = caching_engine.final_answer(query)
+        caching_engine.final_answer(query)
         assert caching_engine.cache_size == 1
 
     def test_catalog_passthrough(self, caching_engine, sales_catalog):

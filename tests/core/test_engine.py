@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro.aqp.online_agg import OnlineAggregationEngine
-from repro.config import SamplingConfig, VerdictConfig
+from repro.config import VerdictConfig
 from repro.core.engine import VerdictEngine
 from repro.core.snippet import AggregateKind
 from repro.db.schema import measure
-from repro.db.table import Table
 from repro.sqlparser.parser import parse_query
 from tests.conftest import train_verdict
 

@@ -1,6 +1,5 @@
 """Unit tests for the maximum-entropy inference (Section 3, Theorem 1)."""
 
-import numpy as np
 import pytest
 
 from repro.config import VerdictConfig

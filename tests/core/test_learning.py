@@ -1,6 +1,5 @@
 """Unit tests for correlation-parameter learning (Appendix A)."""
 
-import pytest
 
 from repro.config import VerdictConfig
 from repro.core.learning import (

@@ -7,12 +7,10 @@ from repro.core.regions import (
     CategoricalConstraint,
     CategoricalDomain,
     NumericDomain,
-    NumericRange,
     Region,
     RegionBuilder,
 )
 from repro.errors import ReproError
-from repro.sqlparser import ast
 from repro.sqlparser.parser import parse_query
 
 

@@ -1,6 +1,5 @@
 """Unit tests for model validation (Appendix B)."""
 
-import pytest
 
 from repro.core.inference import InferenceResult
 from repro.core.snippet import AggregateKind

@@ -1,7 +1,6 @@
 """Integration test for the data-append scenario (Appendix D, Figure 12)."""
 
 import numpy as np
-import pytest
 
 from repro.aqp.online_agg import OnlineAggregationEngine
 from repro.config import SamplingConfig, VerdictConfig

@@ -1,6 +1,5 @@
 """Unit tests for the power-law query generator (Figure 6a workloads)."""
 
-import numpy as np
 import pytest
 
 from repro.sqlparser.checker import QueryTypeChecker
