@@ -1,0 +1,272 @@
+"""Vectorized query-execution kernel vs the legacy row-loop path.
+
+Measures the end-to-end query latency of the factorized group-by kernel
+(:mod:`repro.db.groupby`), the hoisted-measure exact executor, the NumPy
+foreign-key join match, and the denormalization cache against the retained
+pre-kernel implementations, on the reference workload of the perf issue:
+100k rows, 50 groups, 3 aggregates.
+
+Every timed pair also cross-checks that both paths return *identical*
+answers (values and group order), so the benchmark doubles as an
+equivalence smoke test.
+
+Run as a script to (re)generate the committed JSON artifacts::
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py
+
+which writes ``benchmarks/results/query_engine.json`` and the repo-root
+perf-trajectory datapoint ``BENCH_query_engine.json``.  CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py --smoke
+
+on tiny sizes and fails if the vectorized path is slower than legacy.
+It can also run under pytest:  pytest benchmarks/bench_query_engine.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.aqp.evaluation import estimate_answer
+from repro.db.catalog import Catalog, match_foreign_keys
+from repro.db.executor import ExactExecutor
+from repro.db.schema import (
+    Schema,
+    categorical_dimension,
+    key,
+    measure,
+    numeric_dimension,
+)
+from repro.db.table import Table
+from repro.sqlparser.parser import parse_query
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GROUP_QUERY = (
+    "SELECT region, SUM(revenue), AVG(discount), COUNT(*) "
+    "FROM sales WHERE week >= 5 GROUP BY region"
+)
+JOIN_QUERY = (
+    "SELECT region, SUM(revenue), AVG(discount), COUNT(*) FROM sales "
+    "JOIN stores ON store_id = store_id WHERE week >= 5 GROUP BY region"
+)
+
+
+def make_workload(num_rows: int, num_groups: int, num_stores: int, seed: int = 7):
+    """The benchmark star schema: a sales fact table plus a store dimension."""
+    rng = np.random.default_rng(seed)
+    sales = Table(
+        "sales",
+        Schema.of(
+            [
+                categorical_dimension("region"),
+                numeric_dimension("week"),
+                key("store_id"),
+                measure("revenue"),
+                measure("discount"),
+            ]
+        ),
+        {
+            "region": [f"region_{i:03d}" for i in rng.integers(0, num_groups, num_rows)],
+            "week": rng.integers(1, 53, num_rows),
+            "store_id": rng.integers(0, num_stores, num_rows),
+            "revenue": rng.normal(100.0, 20.0, num_rows),
+            "discount": rng.uniform(0.0, 1.0, num_rows),
+        },
+    )
+    stores = Table(
+        "stores",
+        Schema.of([key("store_id"), categorical_dimension("state")]),
+        {
+            "store_id": np.arange(num_stores, dtype=np.int64),
+            "state": [f"state_{i % 17}" for i in range(num_stores)],
+        },
+    )
+    catalog = Catalog.of([sales, stores], fact_tables=["sales"])
+    catalog.add_foreign_key("sales", "store_id", "stores", "store_id")
+    return catalog, sales
+
+
+def best_of(repeats: int, function, *args):
+    """Minimum wall-clock seconds of ``repeats`` calls (returns last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def assert_identical_results(vectorized, legacy) -> None:
+    assert [r.group_values for r in vectorized.rows] == [
+        r.group_values for r in legacy.rows
+    ], "group order diverged between vectorized and legacy paths"
+    for new_row, old_row in zip(vectorized.rows, legacy.rows):
+        assert new_row.aggregates == old_row.aggregates, "aggregate values diverged"
+
+
+def assert_identical_answers(vectorized, legacy) -> None:
+    assert [r.group_values for r in vectorized.rows] == [
+        r.group_values for r in legacy.rows
+    ]
+    for new_row, old_row in zip(vectorized.rows, legacy.rows):
+        for name in new_row.estimates:
+            assert new_row.estimates[name].value == old_row.estimates[name].value
+            assert new_row.estimates[name].error == old_row.estimates[name].error
+
+
+def legacy_match_foreign_keys(left_keys: np.ndarray, right_keys: np.ndarray) -> np.ndarray:
+    """The pre-kernel join match: Python dict build + per-key list probe."""
+    index: dict[object, int] = {}
+    for row_index, right_key in enumerate(right_keys):
+        if right_key not in index:
+            index[right_key] = row_index
+    return np.asarray([index.get(k, -1) for k in left_keys], dtype=np.int64)
+
+
+def run_benchmark(num_rows: int, num_groups: int, repeats: int) -> dict:
+    num_stores = max(num_groups * 20, 100)
+    catalog, sales = make_workload(num_rows, num_groups, num_stores)
+    group_query = parse_query(GROUP_QUERY)
+    join_query = parse_query(JOIN_QUERY)
+
+    vectorized = ExactExecutor(catalog, vectorized=True)
+    legacy = ExactExecutor(catalog, vectorized=False)
+
+    # -- exact group-by aggregation (the headline workload) ------------------
+    vectorized.execute(group_query)  # warm the column-encoding memo
+    legacy_seconds, legacy_result = best_of(repeats, legacy.execute, group_query)
+    vector_seconds, vector_result = best_of(repeats, vectorized.execute, group_query)
+    assert_identical_results(vector_result, legacy_result)
+    exact_groupby = {
+        "legacy_seconds": legacy_seconds,
+        "vectorized_seconds": vector_seconds,
+        "speedup": legacy_seconds / max(vector_seconds, 1e-12),
+        "groups": len(vector_result.rows),
+    }
+
+    # -- AQP estimation over the same scan -----------------------------------
+    scanned = len(sales)
+    aqp_legacy_seconds, aqp_legacy = best_of(
+        repeats,
+        lambda: estimate_answer(
+            group_query, sales, scanned, scanned, scanned, 0.0, vectorized=False
+        ),
+    )
+    aqp_vector_seconds, aqp_vector = best_of(
+        repeats,
+        lambda: estimate_answer(
+            group_query, sales, scanned, scanned, scanned, 0.0, vectorized=True
+        ),
+    )
+    assert_identical_answers(aqp_vector, aqp_legacy)
+    aqp_estimate = {
+        "legacy_seconds": aqp_legacy_seconds,
+        "vectorized_seconds": aqp_vector_seconds,
+        "speedup": aqp_legacy_seconds / max(aqp_vector_seconds, 1e-12),
+    }
+
+    # -- foreign-key join match ----------------------------------------------
+    left_keys = sales.column("store_id")
+    right_keys = catalog.table("stores").column("store_id")
+    join_legacy_seconds, legacy_matches = best_of(
+        repeats, legacy_match_foreign_keys, left_keys, right_keys
+    )
+    join_vector_seconds, vector_matches = best_of(
+        repeats, match_foreign_keys, left_keys, right_keys
+    )
+    assert np.array_equal(legacy_matches, vector_matches), "join matches diverged"
+    join_match = {
+        "legacy_seconds": join_legacy_seconds,
+        "vectorized_seconds": join_vector_seconds,
+        "speedup": join_legacy_seconds / max(join_vector_seconds, 1e-12),
+    }
+
+    # -- denormalization cache ------------------------------------------------
+    def denormalize_cold():
+        catalog.join_cache.clear()
+        return catalog.denormalize(join_query)
+
+    cold_seconds, cold_table = best_of(repeats, denormalize_cold)
+    catalog.denormalize(join_query)  # warm
+    warm_seconds, warm_table = best_of(repeats, catalog.denormalize, join_query)
+    assert len(cold_table) == len(warm_table)
+    denorm_cache = {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / max(warm_seconds, 1e-12),
+    }
+
+    return {
+        "benchmark": "query_engine",
+        "description": (
+            "Factorized group-by kernel, hoisted measure evaluation, NumPy "
+            "foreign-key join match, and denormalization cache vs the retained "
+            "legacy row-loop execution path.  Both paths are asserted to "
+            "produce identical answers before timings are reported."
+        ),
+        "workload": {
+            "num_rows": num_rows,
+            "num_groups": num_groups,
+            "num_aggregates": 3,
+            "repeats": repeats,
+        },
+        "exact_groupby": exact_groupby,
+        "aqp_estimate": aqp_estimate,
+        "join_match": join_match,
+        "denormalization_cache": denorm_cache,
+    }
+
+
+def test_query_engine_smoke():
+    """Pytest entry: tiny workload, vectorized must not be slower than legacy."""
+    payload = run_benchmark(num_rows=5_000, num_groups=10, repeats=3)
+    assert payload["exact_groupby"]["speedup"] > 1.0
+    assert payload["aqp_estimate"]["speedup"] > 1.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload; exit non-zero if the kernel is slower than legacy",
+    )
+    parser.add_argument("--rows", type=int, default=100_000)
+    parser.add_argument("--groups", type=int, default=50)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    if args.smoke:
+        payload = run_benchmark(num_rows=5_000, num_groups=10, repeats=3)
+        print(json.dumps(payload, indent=2))
+        slower = [
+            section
+            for section in ("exact_groupby", "aqp_estimate")
+            if payload[section]["speedup"] <= 1.0
+        ]
+        if slower:
+            print(f"FAIL: vectorized path slower than legacy in: {', '.join(slower)}")
+            return 1
+        print("smoke OK: vectorized path faster than legacy on all sections")
+        return 0
+
+    payload = run_benchmark(num_rows=args.rows, num_groups=args.groups, repeats=args.repeats)
+    text = json.dumps(payload, indent=2) + "\n"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "query_engine.json").write_text(text)
+    (REPO_ROOT / "BENCH_query_engine.json").write_text(text)
+    print(text)
+    print(f"wrote {RESULTS_DIR / 'query_engine.json'} and {REPO_ROOT / 'BENCH_query_engine.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

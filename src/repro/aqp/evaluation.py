@@ -5,6 +5,12 @@ thing once they have decided how many sample rows to scan: evaluate the query
 predicate and group-by over the scanned (and dimension-joined) sample prefix,
 then form CLT estimates for every (group, aggregate) cell.  This module holds
 that shared logic.
+
+Grouping runs through the factorized kernel of :mod:`repro.db.groupby`
+(``vectorized=False`` restores the original per-group boolean-mask loop for
+comparison): the group partition is computed once, each measure array is
+gathered into segment order once, and every cell's estimate is formed from
+its contiguous slice.
 """
 
 from __future__ import annotations
@@ -20,59 +26,45 @@ from repro.aqp.estimators import (
 )
 from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow, InternalEstimates
 from repro.db.expressions import evaluate_expression, evaluate_predicate
-from repro.db.executor import _evaluate_row_predicate, _normalize_value
+from repro.db.groupby import factorize, iter_groups_legacy
+from repro.db.having import compile_row_predicate
 from repro.db.table import Table
 from repro.sqlparser import ast
 
 
 def _iter_group_masks(table: Table, mask: np.ndarray, group_columns: tuple[str, ...]):
-    """Yield (group values, group mask) pairs, in first-seen order."""
+    """Yield (group values, group mask) pairs, in first-seen order.
+
+    The retained legacy path: one full-length boolean mask per group.
+    """
     if not group_columns:
         yield (), mask
         return
-    selected_indices = np.flatnonzero(mask)
-    if len(selected_indices) == 0:
-        return
-    columns = [table.column(name) for name in group_columns]
-    groups: dict[tuple, list[int]] = {}
-    order: list[tuple] = []
-    for index in selected_indices:
-        key = tuple(_normalize_value(column[index]) for column in columns)
-        bucket = groups.get(key)
-        if bucket is None:
-            groups[key] = [int(index)]
-            order.append(key)
-        else:
-            bucket.append(int(index))
-    for key in order:
-        group_mask = np.zeros(len(table), dtype=bool)
-        group_mask[np.asarray(groups[key], dtype=np.int64)] = True
-        yield key, group_mask
+    yield from iter_groups_legacy(table, mask, group_columns)
 
 
 def _estimate_cell(
     aggregate: ast.Aggregate,
     name: str,
-    group_mask: np.ndarray,
+    selected: int,
     scanned_rows: int,
     population_size: int,
-    measure_values: np.ndarray | None,
+    group_values: np.ndarray | None,
     fallback_std: float,
 ) -> AggregateEstimate:
     """Form the estimate for one (group, aggregate) cell.
 
-    ``measure_values`` is the aggregate argument evaluated over the *whole*
-    scanned table (``None`` for ``*`` aggregates); :func:`estimate_answer`
-    evaluates it once per answer and every group-by cell reuses it, instead
-    of re-evaluating the measure expression per cell.
+    ``group_values`` is the aggregate argument restricted to this group's
+    selected rows (``None`` for ``*`` aggregates); :func:`estimate_answer`
+    evaluates each measure expression once per answer and gathers it per
+    group, instead of re-evaluating the expression per cell.
     """
-    selected = int(group_mask.sum())
     freq = freq_estimate(selected, scanned_rows)
     count = count_estimate(selected, scanned_rows, population_size)
 
     avg: Estimate | None = None
-    if measure_values is not None:
-        avg = avg_estimate(measure_values[group_mask], fallback_std=fallback_std or 1.0)
+    if group_values is not None:
+        avg = avg_estimate(group_values, fallback_std=fallback_std or 1.0)
 
     function = aggregate.function
     if function is ast.AggregateFunction.FREQ:
@@ -89,12 +81,19 @@ def _estimate_cell(
     elif function in (ast.AggregateFunction.MIN, ast.AggregateFunction.MAX):
         # Sample-based engines cannot bound MIN/MAX errors (Section 2.5); the
         # value is reported with a conservative error of the selected spread.
-        if measure_values is None or selected == 0:
+        if group_values is None or selected == 0:
             value, error = 0.0, 0.0
         else:
-            values = measure_values[group_mask]
-            value = float(values.min() if function is ast.AggregateFunction.MIN else values.max())
-            error = float(values.std(ddof=0)) if len(values) > 1 else abs(value)
+            value = float(
+                group_values.min()
+                if function is ast.AggregateFunction.MIN
+                else group_values.max()
+            )
+            error = (
+                float(group_values.std(ddof=0))
+                if len(group_values) > 1
+                else abs(value)
+            )
     else:  # pragma: no cover - exhaustive over the enum
         raise ValueError(f"unknown aggregate function {function}")
 
@@ -120,6 +119,7 @@ def estimate_answer(
     population_size: int,
     elapsed_seconds: float,
     batches_processed: int = 0,
+    vectorized: bool = True,
 ) -> AQPAnswer:
     """Build an :class:`AQPAnswer` from an already-joined sample prefix.
 
@@ -139,6 +139,9 @@ def estimate_answer(
         Cumulative model time charged so far for this query.
     batches_processed:
         How many online-aggregation batches the prefix covers.
+    vectorized:
+        Route grouping through the factorized kernel (default); ``False``
+        keeps the per-group boolean-mask loop for equivalence benchmarks.
     """
     aggregate_items = [item for item in query.select if item.is_aggregate]
     aggregate_names = tuple(item.output_name for item in aggregate_items)
@@ -160,23 +163,67 @@ def estimate_answer(
 
     mask = evaluate_predicate(query.where, scanned_table)
     rows: list[AQPRow] = []
-    for group_values, group_mask in _iter_group_masks(scanned_table, mask, group_columns):
+
+    def build_row(
+        group_values: tuple,
+        selected: int,
+        slicer,
+    ) -> AQPRow:
         estimates = {}
         for item in aggregate_items:
             measure_values, fallback_std = measures[item.output_name]
             estimates[item.output_name] = _estimate_cell(
                 item.expression,
                 item.output_name,
-                group_mask,
+                selected=selected,
                 scanned_rows=scanned_rows,
                 population_size=population_size,
-                measure_values=measure_values,
+                group_values=None if measure_values is None else slicer(item.output_name),
                 fallback_std=fallback_std,
             )
-        rows.append(AQPRow(group_values=group_values, estimates=estimates))
+        return AQPRow(group_values=group_values, estimates=estimates)
+
+    if vectorized and group_columns:
+        grouped = factorize(scanned_table, mask, group_columns)
+        if grouped is not None:
+            # Gather each measure into group-segment order once per answer.
+            taken = {
+                name: None if values is None else grouped.take(values)
+                for name, (values, _) in measures.items()
+            }
+            starts, ends = grouped.starts, grouped.ends
+            for group, key in enumerate(grouped.keys):
+                begin, end = starts[group], ends[group]
+                rows.append(
+                    build_row(
+                        key,
+                        int(grouped.counts[group]),
+                        lambda name, begin=begin, end=end: taken[name][begin:end],
+                    )
+                )
+    else:
+        for group_values, group_mask in _iter_group_masks(
+            scanned_table, mask, group_columns
+        ):
+            selected = int(group_mask.sum())
+            rows.append(
+                build_row(
+                    group_values,
+                    selected,
+                    lambda name, group_mask=group_mask: measures[name][0][group_mask],
+                )
+            )
 
     if query.having is not None:
-        rows = [row for row in rows if _having_matches(query, row)]
+        matches = compile_row_predicate(query.having, query)
+        rows = [
+            row
+            for row in rows
+            if matches(
+                row.group_values,
+                {name: est.value for name, est in row.estimates.items()},
+            )
+        ]
 
     return AQPAnswer(
         query=query,
@@ -189,15 +236,3 @@ def estimate_answer(
         elapsed_seconds=elapsed_seconds,
         batches_processed=batches_processed,
     )
-
-
-def _having_matches(query: ast.Query, row: AQPRow) -> bool:
-    """Apply the HAVING clause to estimated values (subset/superset error is
-    possible and expected -- Section 2.2)."""
-    from repro.db.executor import ResultRow
-
-    result_row = ResultRow(
-        group_values=row.group_values,
-        aggregates={name: est.value for name, est in row.estimates.items()},
-    )
-    return _evaluate_row_predicate(query.having, query, result_row)

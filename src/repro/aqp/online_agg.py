@@ -36,11 +36,13 @@ class OnlineAggregationEngine:
         sampling: SamplingConfig | None = None,
         cost_model: CostModelConfig | None = None,
         sample_store: SampleStore | None = None,
+        vectorized: bool = True,
     ):
         self.catalog = catalog
         self.sampling = sampling or SamplingConfig()
         self.samples = sample_store or SampleStore(catalog, self.sampling)
         self.io = IOSimulator(cost_model)
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------ public
 
@@ -53,6 +55,12 @@ class OnlineAggregationEngine:
         order-preserving, so the concatenation equals joining the whole
         prefix -- but the per-batch cost is O(batch) instead of O(prefix),
         keeping late batches as cheap as early ones.
+
+        Joined batch prefixes are additionally memoised in the catalog's
+        denormalization cache, keyed by (sample identity, prefix rows, join
+        clauses): later queries with the same joins skip the join work
+        entirely.  Sample invalidation (after a data append) issues a fresh
+        sample identity, so stale prefixes can never be served.
         """
         if not self.catalog.has_table(query.table):
             raise AQPError(f"unknown table {query.table!r}")
@@ -71,11 +79,20 @@ class OnlineAggregationEngine:
                 include_planning=first_batch,
             )
             elapsed += report.total_seconds
-            if joined is None or not query.joins:
-                joined = self._apply_joins(query, prefix)
+            if not query.joins:
+                joined = prefix
             else:
-                delta = prefix.take(np.arange(previous_rows, rows))
-                joined = joined.append(self._apply_joins(query, delta))
+                prefix_token = (sample.cache_token, rows)
+                cached = self.catalog.cached_join(prefix_token, query.joins)
+                if cached is not None:
+                    joined = cached
+                elif joined is None:
+                    joined = self._apply_joins(query, prefix)
+                    self.catalog.store_join(prefix_token, query.joins, joined)
+                else:
+                    delta = prefix.take(np.arange(previous_rows, rows))
+                    joined = joined.append(self._apply_joins(query, delta))
+                    self.catalog.store_join(prefix_token, query.joins, joined)
             previous_rows = rows
             yield estimate_answer(
                 query=query,
@@ -85,6 +102,7 @@ class OnlineAggregationEngine:
                 population_size=population_size,
                 elapsed_seconds=elapsed,
                 batches_processed=batch_number,
+                vectorized=self.vectorized,
             )
 
     def execute(

@@ -32,11 +32,13 @@ class TimeBoundEngine:
         sampling: SamplingConfig | None = None,
         cost_model: CostModelConfig | None = None,
         sample_store: SampleStore | None = None,
+        vectorized: bool = True,
     ):
         self.catalog = catalog
         self.sampling = sampling or SamplingConfig()
         self.samples = sample_store or SampleStore(catalog, self.sampling)
         self.io = IOSimulator(cost_model)
+        self.vectorized = vectorized
 
     def execute(self, query: ast.Query, time_budget_s: float) -> AQPAnswer:
         """Answer ``query`` within (model-time) ``time_budget_s`` seconds."""
@@ -56,9 +58,11 @@ class TimeBoundEngine:
         rows = self.io.rows_for_budget(time_budget_s, unsampled_rows=unsampled_rows)
         rows = max(1, min(rows, sample.sample_size))
         prefix = sample.prefix(rows)
-        joined = prefix
-        for join_clause in query.joins:
-            joined = self.catalog.join(joined, join_clause)
+        # Sample-prefix joins are memoised in the catalog's denormalization
+        # cache; repeated budgets on the same sample skip the join entirely.
+        joined = self.catalog.join_all(
+            prefix, query.joins, cache_token=(sample.cache_token, rows)
+        )
 
         report = self.io.charge_query(rows_scanned=rows, unsampled_rows=unsampled_rows)
         return estimate_answer(
@@ -69,6 +73,7 @@ class TimeBoundEngine:
             population_size=population_size,
             elapsed_seconds=report.total_seconds,
             batches_processed=1,
+            vectorized=self.vectorized,
         )
 
     @property

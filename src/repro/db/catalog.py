@@ -7,12 +7,22 @@ tables, and the paper's discussion is phrased over the denormalised table.
 The catalog keeps that metadata and provides denormalisation: joining a fact
 table with dimension tables along declared foreign keys to produce the wide
 table every other component operates on.
+
+Joins are matched with NumPy (sorted-unique + searchsorted) instead of a
+per-row Python dict probe, and the catalog carries a bounded
+*denormalization cache*: joined results are memoised under a key combining
+the base-table identity (catalog table name + version, or an engine-supplied
+token such as a sample prefix), the join clauses, and the versions of every
+dimension table involved.  ``replace_table`` bumps the table's version and
+drops every cached entry, so the data-append path (Appendix D) can never
+observe a stale join.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Hashable, Iterable
 
 import numpy as np
 
@@ -33,6 +43,67 @@ class ForeignKey:
     dimension_column: str
 
 
+def match_foreign_keys(left_keys: np.ndarray, right_keys: np.ndarray) -> np.ndarray:
+    """For each left key, the row index of its first match in ``right_keys``.
+
+    Returns an int64 array aligned with ``left_keys``; ``-1`` marks keys with
+    no match.  Numeric keys are matched by sorted-unique + ``searchsorted``;
+    object-dtype keys fall back to a hash probe.
+    """
+    if len(right_keys) == 0:
+        return np.full(len(left_keys), -1, dtype=np.int64)
+    if left_keys.dtype != object and right_keys.dtype != object:
+        uniques, first_rows = np.unique(right_keys, return_index=True)
+        positions = np.searchsorted(uniques, left_keys)
+        positions = np.minimum(positions, len(uniques) - 1)
+        matched = uniques[positions] == left_keys
+        return np.where(matched, first_rows[positions], -1).astype(np.int64)
+    index: dict[object, int] = {}
+    for row_index, key in enumerate(right_keys):
+        if key not in index:
+            index[key] = row_index
+    return np.asarray([index.get(key, -1) for key in left_keys], dtype=np.int64)
+
+
+class JoinCache:
+    """Bounded memo of joined tables keyed by arbitrary hashable keys.
+
+    Keys embed the identity *and version* of every input (see
+    :meth:`Catalog.denormalize` and the AQP engines' prefix tokens), so a
+    stale entry can only be reached through a stale key; eviction is LRU, so
+    hot entries (e.g. ground-truth denormalizations hit on every query)
+    survive bursts of one-off prefix joins.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Table] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Table | None:
+        table = self._entries.get(key)
+        if table is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return table
+
+    def put(self, key: Hashable, table: Table) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = table
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class Catalog:
     """A collection of named tables with star-schema metadata."""
 
@@ -40,6 +111,8 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._fact_tables: set[str] = set()
         self._foreign_keys: list[ForeignKey] = []
+        self._versions: dict[str, int] = {}
+        self.join_cache = JoinCache()
 
     # ----------------------------------------------------------------- tables
 
@@ -48,14 +121,21 @@ class Catalog:
         if table.name in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self._versions[table.name] = 0
         if fact:
             self._fact_tables.add(table.name)
 
     def replace_table(self, table: Table) -> None:
-        """Replace an existing table's contents (used for data appends)."""
+        """Replace an existing table's contents (used for data appends).
+
+        Bumps the table's version and invalidates the denormalization cache:
+        any cached join involving the old contents becomes unreachable.
+        """
         if table.name not in self._tables:
             raise CatalogError(f"table {table.name!r} does not exist")
         self._tables[table.name] = table
+        self._versions[table.name] += 1
+        self.join_cache.clear()
 
     def table(self, name: str) -> Table:
         try:
@@ -68,6 +148,11 @@ class Catalog:
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    def table_version(self, name: str) -> int:
+        """Monotonic version of a table's contents (bumped by appends)."""
+        self.table(name)
+        return self._versions[name]
 
     def fact_tables(self) -> list[str]:
         return sorted(self._fact_tables)
@@ -123,13 +208,7 @@ class Catalog:
         left_keys = base.column(left_name)
         right_keys = dimension.column(right_name)
 
-        index: dict[object, int] = {}
-        for row_index, key in enumerate(right_keys):
-            if key not in index:
-                index[key] = row_index
-        matches = np.asarray(
-            [index.get(key, -1) for key in left_keys], dtype=np.int64
-        )
+        matches = match_foreign_keys(left_keys, right_keys)
         keep = matches >= 0
         base_kept = base.filter(keep)
         dimension_rows = matches[keep]
@@ -145,26 +224,89 @@ class Catalog:
             existing.add(column.name)
         return Table(base.name, Schema(tuple(merged_schema_columns)), merged_columns)
 
+    def join_all(
+        self,
+        base: Table,
+        joins: tuple[ast.JoinClause, ...],
+        cache_token: Hashable | None = None,
+    ) -> Table:
+        """Apply a sequence of joins to ``base``, optionally memoised.
+
+        ``cache_token`` identifies the base table's contents (e.g. a sample
+        prefix token plus row count); when given, the joined result is cached
+        under (token, joins, dimension versions) and reused on repeat calls.
+        """
+        if not joins:
+            return base
+        if cache_token is not None:
+            cached = self.cached_join(cache_token, joins)
+            if cached is not None:
+                return cached
+        joined = base
+        for join_clause in joins:
+            joined = self.join(joined, join_clause)
+        if cache_token is not None:
+            self.store_join(cache_token, joins, joined)
+        return joined
+
+    def cached_join(
+        self, cache_token: Hashable, joins: tuple[ast.JoinClause, ...]
+    ) -> Table | None:
+        """Look up a previously stored join of the base identified by the token."""
+        return self.join_cache.get((cache_token, joins, self._dimension_versions(joins)))
+
+    def store_join(
+        self, cache_token: Hashable, joins: tuple[ast.JoinClause, ...], table: Table
+    ) -> None:
+        """Memoise a joined table under the base token + joins + dim versions."""
+        self.join_cache.put((cache_token, joins, self._dimension_versions(joins)), table)
+
     def denormalize(self, query: ast.Query) -> Table:
-        """Apply every join in ``query`` to its base table, in order."""
+        """Apply every join in ``query`` to its base table, in order.
+
+        Repeated denormalisations of the same (table version, join clauses)
+        pair are served from the denormalization cache.
+        """
         table = self.table(query.table)
-        for join_clause in query.joins:
-            table = self.join(table, join_clause)
-        return table
+        if not query.joins:
+            return table
+        token = ("denorm", query.table, self._versions[query.table])
+        return self.join_all(table, query.joins, cache_token=token)
+
+    def _dimension_versions(self, joins: tuple[ast.JoinClause, ...]) -> tuple[int, ...]:
+        return tuple(self._versions.get(join.table, -1) for join in joins)
 
     def _resolve_join_columns(
         self, base: Table, dimension: Table, join_clause: ast.JoinClause
     ) -> tuple[str, str]:
-        """Figure out which side of the ON clause refers to the base table."""
+        """Figure out which side of the ON clause refers to the base table.
+
+        When both orientations resolve (each column name exists in both
+        tables), the qualified table names in the AST break the tie: a column
+        qualified with the dimension table's name belongs to the dimension
+        side, any other qualifier to the base side.
+        """
         left, right = join_clause.left_column, join_clause.right_column
-        candidates = [(left.name, right.name), (right.name, left.name)]
-        for base_column, dimension_column in candidates:
-            if base.has_column(base_column) and dimension.has_column(dimension_column):
-                return base_column, dimension_column
-        raise CatalogError(
-            f"cannot resolve join ON {left.qualified} = {right.qualified} between "
-            f"{base.name!r} and {dimension.name!r}"
-        )
+        candidates = [(left, right), (right, left)]
+        resolvable = [
+            (base_ref, dimension_ref)
+            for base_ref, dimension_ref in candidates
+            if base.has_column(base_ref.name) and dimension.has_column(dimension_ref.name)
+        ]
+        if not resolvable:
+            raise CatalogError(
+                f"cannot resolve join ON {left.qualified} = {right.qualified} between "
+                f"{base.name!r} and {dimension.name!r}"
+            )
+        for base_ref, dimension_ref in resolvable:
+            dimension_side_ok = dimension_ref.table in (None, dimension.name)
+            base_side_ok = base_ref.table != dimension.name
+            if dimension_side_ok and base_side_ok:
+                return base_ref.name, dimension_ref.name
+        # Qualifiers contradict both orientations; keep the historical
+        # behaviour of trusting the first resolvable candidate.
+        base_ref, dimension_ref = resolvable[0]
+        return base_ref.name, dimension_ref.name
 
     # --------------------------------------------------------------- metadata
 

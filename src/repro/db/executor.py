@@ -9,6 +9,14 @@ Supported evaluation: denormalising fact-dimension joins, conjunctive (and,
 for completeness, disjunctive) predicates, group-by over stored or derived
 attributes, the aggregates SUM / COUNT / AVG / MIN / MAX / FREQ, and HAVING
 clauses expressed over output column names.
+
+Group-by execution runs through the factorized kernel of
+:mod:`repro.db.groupby` by default: every measure expression is evaluated
+once per query and all (group, aggregate) cells are computed by segment
+reductions in one pass over the selected rows.  ``ExactExecutor(catalog,
+vectorized=False)`` restores the original per-row loop (one full-length
+boolean mask and one measure evaluation per group), which the property tests
+and the query-engine benchmark compare against.
 """
 
 from __future__ import annotations
@@ -20,11 +28,18 @@ import numpy as np
 
 from repro.db.catalog import Catalog
 from repro.db.expressions import evaluate_expression, evaluate_predicate
+from repro.db.groupby import factorize, iter_groups_legacy, normalize_value, segment_aggregate
+from repro.db.having import compile_row_predicate, evaluate_row_predicate
 from repro.db.table import Table
 from repro.errors import ExpressionError
 from repro.sqlparser import ast
 
 Value = Union[int, float, str]
+
+# Backwards-compatible aliases: these helpers historically lived here and are
+# now shared via repro.db.groupby / repro.db.having.
+_normalize_value = normalize_value
+_evaluate_row_predicate = evaluate_row_predicate
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,12 @@ class QueryResult:
         return len(self.rows)
 
 
+# Aggregate functions that never evaluate their argument: COUNT(col) counts
+# rows without touching col (which may not even be numeric), FREQ(*) is a
+# row fraction.
+_COUNTING_FUNCTIONS = (ast.AggregateFunction.COUNT, ast.AggregateFunction.FREQ)
+
+
 def compute_aggregate(
     aggregate: ast.Aggregate,
     table: Table,
@@ -80,7 +101,26 @@ def compute_aggregate(
     predicate).
     """
     selected = int(mask.sum())
-    function = aggregate.function
+    values = None
+    if (
+        selected > 0
+        and not aggregate.is_star
+        and aggregate.function not in _COUNTING_FUNCTIONS
+    ):
+        values = np.asarray(
+            evaluate_expression(aggregate.argument, table), dtype=np.float64
+        )
+    return _scalar_aggregate(aggregate.function, values, mask, selected, total_rows)
+
+
+def _scalar_aggregate(
+    function: ast.AggregateFunction,
+    values: np.ndarray | None,
+    mask: np.ndarray,
+    selected: int,
+    total_rows: int,
+) -> float:
+    """The no-GROUP-BY cell of one aggregate, from a pre-evaluated measure."""
     if function is ast.AggregateFunction.COUNT:
         return float(selected)
     if function is ast.AggregateFunction.FREQ:
@@ -91,24 +131,35 @@ def compute_aggregate(
         # SQL semantics: SUM/AVG/MIN/MAX over an empty set is NULL; the
         # experiments treat it as 0 so error metrics stay well defined.
         return 0.0
-    values = np.asarray(evaluate_expression(aggregate.argument, table), dtype=np.float64)
-    values = values[mask]
-    if function is ast.AggregateFunction.SUM:
-        return float(values.sum())
-    if function is ast.AggregateFunction.AVG:
-        return float(values.mean())
-    if function is ast.AggregateFunction.MIN:
-        return float(values.min())
-    if function is ast.AggregateFunction.MAX:
-        return float(values.max())
+    if function in (
+        ast.AggregateFunction.SUM,
+        ast.AggregateFunction.AVG,
+        ast.AggregateFunction.MIN,
+        ast.AggregateFunction.MAX,
+    ):
+        assert values is not None
+        chosen = values[mask]
+        if function is ast.AggregateFunction.SUM:
+            return float(chosen.sum())
+        if function is ast.AggregateFunction.AVG:
+            return float(chosen.mean())
+        if function is ast.AggregateFunction.MIN:
+            return float(chosen.min())
+        return float(chosen.max())
     raise ExpressionError(f"unknown aggregate function {function}")
 
 
 class ExactExecutor:
-    """Executes queries exactly against a catalog (or a single wide table)."""
+    """Executes queries exactly against a catalog (or a single wide table).
 
-    def __init__(self, catalog: Catalog):
+    ``vectorized=True`` (the default) routes group-by aggregation through the
+    factorized kernel; ``vectorized=False`` keeps the original per-row loop
+    for comparison benchmarks and equivalence tests.
+    """
+
+    def __init__(self, catalog: Catalog, vectorized: bool = True):
         self.catalog = catalog
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------ public
 
@@ -133,26 +184,74 @@ class ExactExecutor:
         group_columns = tuple(column.name for column in query.group_by)
 
         result = QueryResult(group_columns=group_columns, aggregate_names=aggregate_names)
-        if not group_columns:
-            aggregates = {
-                item.output_name: compute_aggregate(item.expression, table, mask, total)
-                for item in aggregate_items
-            }
-            result.rows.append(ResultRow(group_values=(), aggregates=aggregates))
-        else:
-            for group_values, group_mask in self._iter_groups(table, mask, group_columns):
+        if self.vectorized:
+            # Each measure expression is evaluated once per query and every
+            # group cell below indexes into the shared array.  Evaluation is
+            # deferred until a non-empty selection needs it, matching the
+            # legacy path (COUNT/FREQ never touch their argument; SUM/AVG/
+            # MIN/MAX over an empty selection return 0.0 without evaluating).
+            def measure_for(item: ast.SelectItem) -> np.ndarray | None:
+                expression = item.expression
+                if expression.is_star or expression.function in _COUNTING_FUNCTIONS:
+                    return None
+                return np.asarray(
+                    evaluate_expression(expression.argument, table), dtype=np.float64
+                )
+
+            if not group_columns:
+                selected = int(mask.sum())
                 aggregates = {
-                    item.output_name: compute_aggregate(
-                        item.expression, table, group_mask, total
+                    item.output_name: _scalar_aggregate(
+                        item.expression.function,
+                        measure_for(item) if selected else None,
+                        mask,
+                        selected,
+                        total,
                     )
                     for item in aggregate_items
                 }
-                result.rows.append(
-                    ResultRow(group_values=group_values, aggregates=aggregates)
-                )
+                result.rows.append(ResultRow(group_values=(), aggregates=aggregates))
+            else:
+                grouped = factorize(table, mask, group_columns)
+                if grouped is not None:
+                    cells = {
+                        item.output_name: segment_aggregate(
+                            item.expression.function,
+                            grouped,
+                            measure_for(item),
+                            total,
+                        )
+                        for item in aggregate_items
+                    }
+                    for group, key in enumerate(grouped.keys):
+                        aggregates = {
+                            name: float(values[group]) for name, values in cells.items()
+                        }
+                        result.rows.append(
+                            ResultRow(group_values=key, aggregates=aggregates)
+                        )
+        else:
+            if not group_columns:
+                aggregates = {
+                    item.output_name: compute_aggregate(item.expression, table, mask, total)
+                    for item in aggregate_items
+                }
+                result.rows.append(ResultRow(group_values=(), aggregates=aggregates))
+            else:
+                for group_values, group_mask in self._iter_groups(table, mask, group_columns):
+                    aggregates = {
+                        item.output_name: compute_aggregate(
+                            item.expression, table, group_mask, total
+                        )
+                        for item in aggregate_items
+                    }
+                    result.rows.append(
+                        ResultRow(group_values=group_values, aggregates=aggregates)
+                    )
         if query.having is not None:
+            matches = compile_row_predicate(query.having, query)
             result.rows = [
-                row for row in result.rows if self._having_matches(query, row)
+                row for row in result.rows if matches(row.group_values, row.aggregates)
             ]
         return result
 
@@ -161,97 +260,8 @@ class ExactExecutor:
     def _iter_groups(
         self, table: Table, mask: np.ndarray, group_columns: Sequence[str]
     ):
-        """Yield (group value tuple, boolean mask) pairs in first-seen order."""
-        selected_indices = np.flatnonzero(mask)
-        if len(selected_indices) == 0:
-            return
-        columns = [table.column(name) for name in group_columns]
-        groups: dict[tuple[Value, ...], list[int]] = {}
-        order: list[tuple[Value, ...]] = []
-        for index in selected_indices:
-            key = tuple(_normalize_value(column[index]) for column in columns)
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [int(index)]
-                order.append(key)
-            else:
-                bucket.append(int(index))
-        for key in order:
-            group_mask = np.zeros(len(table), dtype=bool)
-            group_mask[np.asarray(groups[key], dtype=np.int64)] = True
-            yield key, group_mask
+        """Yield (group value tuple, boolean mask) pairs in first-seen order.
 
-    def _having_matches(self, query: ast.Query, row: ResultRow) -> bool:
-        """Evaluate a HAVING predicate against one output row.
-
-        Column references in HAVING are resolved against output names: group
-        columns first, then aggregate output names / aliases.
+        The retained legacy grouping loop (see :mod:`repro.db.groupby`).
         """
-        return _evaluate_row_predicate(query.having, query, row)
-
-
-def _normalize_value(value: object) -> Value:
-    """Convert NumPy scalars into plain Python values for hashable group keys."""
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    return value  # type: ignore[return-value]
-
-
-def _row_value(query: ast.Query, row: ResultRow, name: str) -> Value:
-    if name in row.aggregates:
-        return row.aggregates[name]
-    group_names = [column.name for column in query.group_by]
-    if name in group_names:
-        return row.group_values[group_names.index(name)]
-    raise ExpressionError(f"HAVING references unknown output column {name!r}")
-
-
-def _evaluate_row_predicate(
-    predicate: ast.Predicate | None, query: ast.Query, row: ResultRow
-) -> bool:
-    if predicate is None:
-        return True
-    if isinstance(predicate, ast.And):
-        return all(_evaluate_row_predicate(p, query, row) for p in predicate.predicates)
-    if isinstance(predicate, ast.Or):
-        return any(_evaluate_row_predicate(p, query, row) for p in predicate.predicates)
-    if isinstance(predicate, ast.Not):
-        return not _evaluate_row_predicate(predicate.predicate, query, row)
-    if isinstance(predicate, ast.Comparison):
-        left, op, right = predicate.left, predicate.op, predicate.right
-        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
-            left, right = right, left
-            op = {
-                ast.ComparisonOp.LT: ast.ComparisonOp.GT,
-                ast.ComparisonOp.LE: ast.ComparisonOp.GE,
-                ast.ComparisonOp.GT: ast.ComparisonOp.LT,
-                ast.ComparisonOp.GE: ast.ComparisonOp.LE,
-            }.get(op, op)
-        if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.Literal):
-            raise ExpressionError("HAVING comparisons must be column vs literal")
-        actual = _row_value(query, row, left.name)
-        expected = right.value
-        if op is ast.ComparisonOp.EQ:
-            return actual == expected
-        if op is ast.ComparisonOp.NE:
-            return actual != expected
-        if op is ast.ComparisonOp.LT:
-            return actual < expected
-        if op is ast.ComparisonOp.LE:
-            return actual <= expected
-        if op is ast.ComparisonOp.GT:
-            return actual > expected
-        if op is ast.ComparisonOp.GE:
-            return actual >= expected
-    if isinstance(predicate, ast.InPredicate):
-        actual = _row_value(query, row, predicate.column.name)
-        matched = actual in set(predicate.values)
-        return not matched if predicate.negated else matched
-    if isinstance(predicate, ast.BetweenPredicate):
-        actual = _row_value(query, row, predicate.column.name)
-        return predicate.low <= actual <= predicate.high
-    raise ExpressionError(
-        f"unsupported HAVING predicate of type {type(predicate).__name__}"
-    )
+        yield from iter_groups_legacy(table, mask, group_columns)

@@ -14,7 +14,8 @@ catalog.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -41,6 +42,10 @@ class TableSample:
     batch_offsets:
         Cumulative row offsets delimiting batches; ``batch_offsets[i]`` is the
         number of sample rows contained in the first ``i`` batches.
+    sample_id:
+        Process-unique id of this sample's contents.  Rebuilt/invalidated
+        samples get a fresh id, so join-cache keys derived from
+        :attr:`cache_token` can never alias stale data.
     """
 
     table_name: str
@@ -48,6 +53,12 @@ class TableSample:
     population_size: int
     sample_ratio: float
     batch_offsets: tuple[int, ...]
+    sample_id: int = field(default_factory=itertools.count().__next__)
+
+    @property
+    def cache_token(self) -> tuple[str, str, int]:
+        """Key component identifying this sample in the catalog's join cache."""
+        return ("sample", self.table_name, self.sample_id)
 
     @property
     def sample_size(self) -> int:

@@ -1,8 +1,9 @@
 """Unit tests for the catalog and fact-dimension joins."""
 
+import numpy as np
 import pytest
 
-from repro.db.catalog import Catalog
+from repro.db.catalog import Catalog, JoinCache, match_foreign_keys
 from repro.db.schema import Schema, categorical_dimension, key, measure
 from repro.db.table import Table
 from repro.errors import CatalogError
@@ -114,3 +115,127 @@ class TestJoins:
         )
         joined = catalog.denormalize(query)
         assert sorted(joined.column("label")) == ["a", "b"]
+
+
+class TestMatchForeignKeys:
+    def test_numeric_keys_match_first_occurrence(self):
+        left = np.asarray([3, 1, 7, 3], dtype=np.int64)
+        right = np.asarray([1, 3, 3, 5], dtype=np.int64)
+        # Duplicate right key 3: the first occurrence (row 1) wins, exactly
+        # like the legacy first-write dict index.
+        assert list(match_foreign_keys(left, right)) == [1, 0, -1, 1]
+
+    def test_object_keys_fall_back_to_hash_probe(self):
+        left = np.asarray(["b", "a", "z"], dtype=object)
+        right = np.asarray(["a", "b", "b"], dtype=object)
+        assert list(match_foreign_keys(left, right)) == [1, 0, -1]
+
+    def test_empty_right_side(self):
+        left = np.asarray([1, 2], dtype=np.int64)
+        right = np.asarray([], dtype=np.int64)
+        assert list(match_foreign_keys(left, right)) == [-1, -1]
+
+
+class TestJoinColumnAmbiguity:
+    def make_catalog(self):
+        # Both tables carry BOTH column names, so both ON orientations
+        # resolve and only the qualifiers can disambiguate.
+        fact = Table(
+            "fact",
+            Schema.of([key("a"), key("b"), measure("m")]),
+            {"a": [0, 1, 2], "b": [9, 9, 9], "m": [1.0, 2.0, 3.0]},
+        )
+        dim = Table(
+            "dim",
+            Schema.of([key("a"), key("b"), categorical_dimension("label")]),
+            {"a": [5, 6, 7], "b": [0, 1, 2], "label": ["x", "y", "z"]},
+        )
+        return Catalog.of([fact, dim], fact_tables=["fact"])
+
+    def test_qualified_orientation_preferred(self):
+        catalog = self.make_catalog()
+        # fact.a matches dim.b (0, 1, 2); the first candidate orientation
+        # (left column -> base side) would wrongly join fact.b to dim.a and
+        # produce an empty result.
+        clause = ast.JoinClause(
+            table="dim",
+            left_column=ast.ColumnRef("b", table="dim"),
+            right_column=ast.ColumnRef("a", table="fact"),
+        )
+        joined = catalog.join(catalog.table("fact"), clause)
+        assert joined.num_rows == 3
+        assert list(joined.column("label")) == ["x", "y", "z"]
+
+    def test_unqualified_ambiguity_keeps_first_candidate(self):
+        catalog = self.make_catalog()
+        clause = ast.JoinClause(
+            table="dim",
+            left_column=ast.ColumnRef("a"),
+            right_column=ast.ColumnRef("b"),
+        )
+        # Without qualifiers the historical orientation (left -> base) wins.
+        joined = catalog.join(catalog.table("fact"), clause)
+        assert list(joined.column("label")) == ["x", "y", "z"]
+
+
+class TestDenormalizationCache:
+    def test_repeated_denormalize_hits_cache(self, star_catalog):
+        query = parse_query(
+            "SELECT AVG(amount) FROM orders JOIN stores ON store_id = store_id"
+        )
+        first = star_catalog.denormalize(query)
+        hits_before = star_catalog.join_cache.hits
+        second = star_catalog.denormalize(query)
+        assert second is first
+        assert star_catalog.join_cache.hits == hits_before + 1
+
+    def test_replace_table_invalidates(self, star_catalog):
+        query = parse_query(
+            "SELECT AVG(amount) FROM orders JOIN stores ON store_id = store_id"
+        )
+        first = star_catalog.denormalize(query)
+        assert first.num_rows == 6
+        orders = star_catalog.table("orders")
+        star_catalog.replace_table(orders.head(3))
+        assert star_catalog.table_version("orders") == 1
+        refreshed = star_catalog.denormalize(query)
+        assert refreshed is not first
+        assert refreshed.num_rows == 3
+
+    def test_queries_without_joins_bypass_cache(self, star_catalog):
+        query = parse_query("SELECT AVG(amount) FROM orders")
+        assert star_catalog.denormalize(query) is star_catalog.table("orders")
+        assert len(star_catalog.join_cache) == 0
+
+    def test_join_all_with_token_memoises(self, star_catalog):
+        query = parse_query(
+            "SELECT AVG(amount) FROM orders JOIN stores ON store_id = store_id"
+        )
+        base = star_catalog.table("orders").head(4)
+        joined = star_catalog.join_all(base, query.joins, cache_token=("prefix", 4))
+        again = star_catalog.join_all(base, query.joins, cache_token=("prefix", 4))
+        assert again is joined
+        # Without a token nothing is cached or served.
+        fresh = star_catalog.join_all(base, query.joins)
+        assert fresh is not joined
+
+    def test_cache_eviction_is_bounded(self):
+        cache = JoinCache(capacity=2)
+        table = Table("x", Schema.of([measure("m")]), {"m": [1.0]})
+        for index in range(5):
+            cache.put(("key", index), table)
+        assert len(cache) == 2
+        assert cache.get(("key", 4)) is table
+        assert cache.get(("key", 0)) is None
+
+    def test_eviction_is_lru_not_fifo(self):
+        # A hot entry (hit between inserts) must survive a burst of one-off
+        # insertions that would evict it under FIFO.
+        cache = JoinCache(capacity=2)
+        table = Table("x", Schema.of([measure("m")]), {"m": [1.0]})
+        cache.put("hot", table)
+        cache.put("cold", table)
+        assert cache.get("hot") is table  # refresh recency
+        cache.put("newer", table)  # evicts "cold", not "hot"
+        assert cache.get("hot") is table
+        assert cache.get("cold") is None
