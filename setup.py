@@ -1,12 +1,42 @@
-"""Legacy setup shim.
+"""Packaging metadata for the Verdict (SIGMOD'17 database learning) repro.
 
-The environment used for the offline reproduction ships setuptools without the
-``wheel`` package, so PEP 517 editable installs fail with "invalid command
-'bdist_wheel'".  Keeping a setup.py lets ``pip install -e . --no-build-isolation
---no-use-pep517`` (and plain ``python setup.py develop``) work offline; all
-real metadata lives in ``pyproject.toml``.
+All dependency and package metadata lives here, and CI installs the project
+with ``pip install -e .[test]`` -- so the dependency list CI runs against can
+never drift from what the package declares.
+
+The offline reproduction environment ships setuptools without the ``wheel``
+package, where PEP 517 editable installs fail with "invalid command
+'bdist_wheel'"; there, use::
+
+    pip install -e . --no-build-isolation --no-use-pep517
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="verdict-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Database Learning: Toward a Database that Becomes "
+        "Smarter Every Time' (Park, Tajik, Cafarella, Mozafari; SIGMOD 2017)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+        "lint": [
+            "ruff",
+        ],
+    },
+)

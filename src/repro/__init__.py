@@ -55,8 +55,17 @@ from repro.core import (
     VerdictEngine,
 )
 from repro.sqlparser import parse_query, QueryTypeChecker
+from repro.serve import (
+    QueryPlanner,
+    Route,
+    ServedAnswer,
+    ServiceBudget,
+    ServiceMetrics,
+    SynopsisStore,
+    VerdictService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "VerdictConfig",
@@ -92,6 +101,13 @@ __all__ = [
     "AttributeDomains",
     "parse_query",
     "QueryTypeChecker",
+    "QueryPlanner",
+    "Route",
+    "ServedAnswer",
+    "ServiceBudget",
+    "ServiceMetrics",
+    "SynopsisStore",
+    "VerdictService",
     "quickstart_catalog",
 ]
 

@@ -10,6 +10,7 @@ charged once (they are not sampled), and every batch adds its scan cost.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterator
 
 import numpy as np
@@ -25,6 +26,26 @@ from repro.errors import AQPError
 from repro.sqlparser import ast
 
 StopCondition = Callable[[AQPAnswer], bool]
+
+
+def budget_hopeless(
+    answer: AQPAnswer, bound: float, max_relative_error: float | None
+) -> bool:
+    """Whether refining ``answer`` to the full sample provably misses the budget.
+
+    The CLT error bound shrinks as ``1/sqrt(rows scanned)``, so the bound the
+    *full* sample can achieve is about ``bound * sqrt(scanned / total)``.
+    When even that exceeds ``max_relative_error``, further batches are wasted
+    work and the caller should escalate to a better engine.  Shared by
+    :meth:`OnlineAggregationEngine.execute_with_budget` and the serving
+    layer's learned route.
+    """
+    if max_relative_error is None:
+        return False
+    if answer.sample_size <= 0 or not 0 < answer.rows_scanned < answer.sample_size:
+        return False
+    achievable = bound * math.sqrt(answer.rows_scanned / answer.sample_size)
+    return achievable > max_relative_error
 
 
 class OnlineAggregationEngine:
@@ -125,6 +146,54 @@ class OnlineAggregationEngine:
             if max_batches is not None and answer.batches_processed >= max_batches:
                 break
         return answers
+
+    def execute_with_budget(
+        self,
+        query: ast.Query,
+        max_relative_error: float | None = None,
+        max_latency_s: float | None = None,
+        confidence_multiplier: float = 1.96,
+        give_up_when_hopeless: bool = False,
+    ) -> AQPAnswer:
+        """Budget-aware execution: refine only as far as the budget requires.
+
+        Batches are processed until the mean relative error *bound* (at the
+        given confidence multiplier) drops to ``max_relative_error``, the
+        cumulative model time reaches ``max_latency_s``, or the sample is
+        exhausted -- whichever happens first.  This is the engine-selection
+        hook the serving layer's planner uses: the cheapest answer that still
+        meets the caller's budget.
+
+        With ``give_up_when_hopeless`` the refinement also stops as soon as
+        the error budget is provably unreachable: the CLT bound shrinks as
+        ``1/sqrt(rows)``, so the bound achievable on the *full* sample is
+        about ``bound * sqrt(rows_scanned / sample_size)``.  When even that
+        exceeds the budget, further batches are wasted work and the caller
+        should escalate to a better engine instead.
+
+        Returns the last processed answer (callers check whether it actually
+        meets the budget).
+
+        Raises
+        ------
+        repro.errors.AQPError
+            If the query references an unknown table or produces no answers.
+        """
+
+        def stop(answer: AQPAnswer) -> bool:
+            bound = answer.mean_relative_error_bound(confidence_multiplier)
+            if max_relative_error is not None and bound <= max_relative_error:
+                return True
+            if max_latency_s is not None and answer.elapsed_seconds >= max_latency_s:
+                return True
+            if give_up_when_hopeless and budget_hopeless(answer, bound, max_relative_error):
+                return True
+            return False
+
+        answers = self.execute(query, stop=stop)
+        if not answers:
+            raise AQPError("online aggregation produced no answers")
+        return answers[-1]
 
     def final_answer(self, query: ast.Query) -> AQPAnswer:
         """The most accurate answer (after scanning the whole sample)."""

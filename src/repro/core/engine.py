@@ -35,7 +35,7 @@ from repro.core.append import (
     adjustment_from_moments,
     apply_append_adjustment,
 )
-from repro.core.covariance import AggregateModel
+from repro.core.covariance import AggregateModel, SnippetCovariance
 from repro.core.inference import GaussianInference, PreparedInference
 from repro.core.learning import LearnedParameters, learn_length_scales
 from repro.core.prior import estimate_prior
@@ -186,6 +186,13 @@ class VerdictEngine:
         self.queries_processed = 0
         self.queries_improved = 0
         self.total_overhead_seconds = 0.0
+        # Bumped on learned-state mutations the synopsis version alone cannot
+        # express: training, model overrides, and the materialisation or
+        # rank-k extension of a prepared factorisation.  The persistent store
+        # writes a full snapshot when it changes (a delta record could not
+        # reproduce the same floating-point factor bits), and appends cheap
+        # delta records when only the synopsis grew.
+        self.state_epoch = 0
 
     # ----------------------------------------------------------------- domains
 
@@ -222,6 +229,8 @@ class VerdictEngine:
             self._domains_cache.clear()
         else:
             self._domains_cache.pop(fact_table, None)
+        if self._prepared:
+            self.state_epoch += 1
         self._prepared.clear()
 
     # ------------------------------------------------------------------- query
@@ -494,6 +503,7 @@ class VerdictEngine:
         self._prepared.clear()
         for key in self.synopsis.keys():
             self._prepared_for(key)
+        self.state_epoch += 1
         return results
 
     def set_model(self, key: SnippetKey, model: AggregateModel) -> None:
@@ -504,6 +514,7 @@ class VerdictEngine:
         """
         self._models[key] = model
         self._prepared.pop(key, None)
+        self.state_epoch += 1
 
     def model_for(self, key: SnippetKey) -> AggregateModel:
         model = self._models.get(key)
@@ -585,6 +596,7 @@ class VerdictEngine:
                 key, lambda snippet: apply_append_adjustment(snippet, adjustment)
             )
         self._prepared.clear()
+        self.state_epoch += 1
         return adjusted
 
     # ------------------------------------------------------------------ helpers
@@ -605,11 +617,14 @@ class VerdictEngine:
         if cached is not None and self.config.incremental_updates:
             extended = self._extend_prepared(key, cached, version)
             if extended is not None:
+                if extended is not cached:
+                    self.state_epoch += 1
                 self._prepared[key] = extended
                 return extended
         snippets = self.synopsis.snippets_for(key)
         if len(snippets) < self.config.min_past_snippets or not snippets:
-            self._prepared.pop(key, None)
+            if self._prepared.pop(key, None) is not None:
+                self.state_epoch += 1
             return None
         prepared = self.inference.prepare(
             key,
@@ -620,6 +635,7 @@ class VerdictEngine:
         )
         if prepared is not None:
             self._prepared[key] = prepared
+            self.state_epoch += 1
         return prepared
 
     def _extend_prepared(
@@ -862,6 +878,114 @@ class VerdictEngine:
         estimates = {name: _raw_passthrough(est) for name, est in row.estimates.items()}
         return VerdictRow(group_values=row.group_values, estimates=estimates)
 
+    # ------------------------------------------------------------ serialization
+
+    def state_dict(self, include_prepared: bool = True) -> dict:
+        """JSON-safe snapshot of everything the engine has learned.
+
+        Captures the query synopsis (with identities and LRU order), the
+        learned correlation models, and -- when ``include_prepared`` is True
+        (the default) -- the prepared covariance factorisations themselves.
+        Persisting the factors matters for exactness: a factor grown by
+        rank-k extension differs in its floating-point bits from one rebuilt
+        from scratch, so restoring the arrays (rather than re-preparing) is
+        what makes a reloaded engine answer *identically* to the one that
+        never stopped.  Factors prepared at an older synopsis version are
+        kept too: the snapshot carries the synopsis change log, so a restored
+        engine extends them incrementally exactly as the running one would.
+        """
+        from repro.core.serialize import STATE_FORMAT_VERSION
+
+        state: dict = {
+            "format": STATE_FORMAT_VERSION,
+            "synopsis": self.synopsis.state_dict(),
+            "models": [
+                {"key": key.to_state(), "length_scales": dict(model.length_scales)}
+                for key, model in self._models.items()
+            ],
+            "counters": {
+                "queries_processed": self.queries_processed,
+                "queries_improved": self.queries_improved,
+                "total_overhead_seconds": self.total_overhead_seconds,
+                "state_epoch": self.state_epoch,
+            },
+            "prepared": [],
+        }
+        if include_prepared:
+            for prepared in self._prepared.values():
+                state["prepared"].append(_prepared_state(prepared))
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the learned state captured by :meth:`state_dict`.
+
+        The catalog is *not* part of the state: the caller is responsible for
+        constructing the engine over the same data, and attribute domains are
+        re-derived from it (deterministically, so factor computations match).
+        """
+        from repro.core.serialize import STATE_FORMAT_VERSION
+
+        if state.get("format") != STATE_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported engine state format {state.get('format')!r} "
+                f"(expected {STATE_FORMAT_VERSION})"
+            )
+        self.synopsis = QuerySynopsis.from_state(state["synopsis"])
+        self._models = {}
+        for model_state in state["models"]:
+            key = SnippetKey.from_state(model_state["key"])
+            self._models[key] = AggregateModel(
+                key=key, length_scales=dict(model_state["length_scales"])
+            )
+        counters = state["counters"]
+        self.queries_processed = counters["queries_processed"]
+        self.queries_improved = counters["queries_improved"]
+        self.total_overhead_seconds = counters["total_overhead_seconds"]
+        self.state_epoch = counters["state_epoch"]
+        self._domains_cache.clear()
+        self._prepared = {}
+        for prepared_state in state["prepared"]:
+            prepared = self._prepared_from_state(prepared_state)
+            if prepared is not None:
+                self._prepared[prepared.key] = prepared
+
+    def _prepared_from_state(self, state: dict) -> PreparedInference | None:
+        """Rebuild one prepared factorisation; ``None`` when unresolvable."""
+        from repro.core.prior import PriorEstimate
+        from repro.core.serialize import decode_array
+
+        key = SnippetKey.from_state(state["key"])
+        by_id = {s.snippet_id: s for s in self.synopsis.snippets_for(key)}
+        snippets = []
+        for snippet_id in state["snippet_ids"]:
+            snippet = by_id.get(snippet_id)
+            if snippet is None:
+                return None  # snapshot/factor mismatch; rebuild lazily instead
+            snippets.append(snippet)
+        covariance = SnippetCovariance(self.domains_for(key.table), self.model_for(key))
+        prior_state = state["prior"]
+        return PreparedInference(
+            key=key,
+            snippets=snippets,
+            covariance=covariance,
+            prior=PriorEstimate(
+                mean=prior_state["mean"],
+                variance=prior_state["variance"],
+                count=prior_state["count"],
+            ),
+            sigma2=state["sigma2"],
+            observations=decode_array(state["observations"]),
+            noise_variances=decode_array(state["noise_variances"]),
+            centered=decode_array(state["centered"]),
+            cho=(decode_array(state["cho_matrix"]), state["cho_lower"]),
+            alpha=decode_array(state["alpha"]),
+            calibration=state["calibration"],
+            synopsis_version=state["synopsis_version"],
+            jitter=state["jitter"],
+            inverse_diagonal=decode_array(state["inverse_diagonal"]),
+            base_size=state["base_size"],
+        )
+
     # --------------------------------------------------------------- statistics
 
     def synopsis_size(self) -> int:
@@ -874,6 +998,33 @@ class VerdictEngine:
             total += prepared.size * prepared.size * 8
             total += prepared.size * 3 * 8
         return total
+
+
+def _prepared_state(prepared: PreparedInference) -> dict:
+    """JSON-safe state of one prepared factorisation (exact array payloads)."""
+    from repro.core.serialize import encode_array
+
+    return {
+        "key": prepared.key.to_state(),
+        "snippet_ids": [snippet.snippet_id for snippet in prepared.snippets],
+        "prior": {
+            "mean": prepared.prior.mean,
+            "variance": prepared.prior.variance,
+            "count": prepared.prior.count,
+        },
+        "sigma2": prepared.sigma2,
+        "observations": encode_array(prepared.observations),
+        "noise_variances": encode_array(prepared.noise_variances),
+        "centered": encode_array(prepared.centered),
+        "cho_matrix": encode_array(prepared.cho[0]),
+        "cho_lower": bool(prepared.cho[1]),
+        "alpha": encode_array(prepared.alpha),
+        "calibration": prepared.calibration,
+        "synopsis_version": prepared.synopsis_version,
+        "jitter": prepared.jitter,
+        "inverse_diagonal": encode_array(prepared.inverse_diagonal),
+        "base_size": prepared.base_size,
+    }
 
 
 def _raw_passthrough(estimate: AggregateEstimate) -> ImprovedEstimate:

@@ -75,6 +75,14 @@ class NumericRange:
     def midpoint(self) -> float:
         return 0.5 * (self.low + self.high)
 
+    def to_state(self) -> dict:
+        """JSON-safe state (exact: floats round-trip bit-for-bit)."""
+        return {"name": self.name, "low": self.low, "high": self.high}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NumericRange":
+        return cls(name=state["name"], low=state["low"], high=state["high"])
+
 
 @dataclass(frozen=True)
 class CategoricalConstraint:
@@ -103,6 +111,25 @@ class CategoricalConstraint:
         if other.values is None:
             return len(self.values)
         return len(self.values & other.values)
+
+    def to_state(self) -> dict:
+        """JSON-safe state; ``values`` keeps a deterministic order."""
+        from repro.core.serialize import encode_values
+
+        return {
+            "name": self.name,
+            "values": None if self.values is None else encode_values(self.values),
+            "domain_size": self.domain_size,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CategoricalConstraint":
+        values = state["values"]
+        return cls(
+            name=state["name"],
+            values=None if values is None else frozenset(values),
+            domain_size=state["domain_size"],
+        )
 
 
 class AttributeDomains:
@@ -216,6 +243,29 @@ class Region:
         return {r.name for r in self.numeric_ranges} | {
             c.name for c in self.categorical_constraints
         }
+
+    def to_state(self) -> dict:
+        """JSON-safe state used by the persistent synopsis store."""
+        return {
+            "numeric_ranges": [r.to_state() for r in self.numeric_ranges],
+            "categorical_constraints": [
+                c.to_state() for c in self.categorical_constraints
+            ],
+            "residual": sorted(self.residual),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Region":
+        return cls(
+            numeric_ranges=tuple(
+                NumericRange.from_state(r) for r in state["numeric_ranges"]
+            ),
+            categorical_constraints=tuple(
+                CategoricalConstraint.from_state(c)
+                for c in state["categorical_constraints"]
+            ),
+            residual=frozenset(state["residual"]),
+        )
 
     def volume(self, domains: AttributeDomains) -> float:
         """Volume of the region over *constrained* attributes only.

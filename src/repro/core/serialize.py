@@ -1,0 +1,67 @@
+"""Exact JSON-safe serialisation helpers for the persistent synopsis store.
+
+The serving layer persists learned state (the query synopsis, learned
+correlation parameters, and prepared covariance factorisations) so a
+restarted service resumes *exactly* as smart as it stopped.  "Exactly" is
+meant bit-for-bit: a reloaded engine must produce answers identical to the
+never-stopped one, which rules out any lossy round-trip.
+
+* Python floats survive ``json`` round-trips exactly (the encoder emits the
+  shortest string that parses back to the same IEEE-754 double), so scalar
+  statistics are stored as plain JSON numbers.
+* NumPy arrays are stored as base64 of their raw little-endian bytes together
+  with dtype and shape (:func:`encode_array` / :func:`decode_array`), which is
+  both exact and compact -- factor matrices dominate snapshot size and base64
+  beats a JSON list of floats by ~4x.
+* Snippet regions may constrain categorical attributes with mixed value types
+  (ints from numeric IN-lists, strings from categorical equality); frozensets
+  are stored as sorted lists with a type-aware order so equal sets always
+  serialise identically (:func:`encode_values`).
+
+All functions here are dependency-free building blocks; the composition into
+snapshot files lives in :mod:`repro.serve.store`.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Iterable, Union
+
+import numpy as np
+
+Value = Union[int, float, str]
+
+#: Bumped when the on-disk layout of encoded state changes incompatibly.
+STATE_FORMAT_VERSION = 1
+
+
+def encode_array(array: np.ndarray | None) -> dict[str, Any] | None:
+    """Encode a NumPy array as ``{dtype, shape, data}`` with base64 payload."""
+    if array is None:
+        return None
+    contiguous = np.ascontiguousarray(array)
+    little = contiguous.astype(contiguous.dtype.newbyteorder("<"), copy=False)
+    return {
+        "dtype": contiguous.dtype.str.lstrip("<>=|"),
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(little.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(state: dict[str, Any] | None) -> np.ndarray | None:
+    """Inverse of :func:`encode_array` (byte-exact)."""
+    if state is None:
+        return None
+    dtype = np.dtype(state["dtype"]).newbyteorder("<")
+    array = np.frombuffer(base64.b64decode(state["data"]), dtype=dtype)
+    return array.reshape(tuple(state["shape"])).astype(dtype.newbyteorder("="), copy=True)
+
+
+def encode_values(values: Iterable[Value]) -> list[Value]:
+    """Deterministically ordered list for a set of mixed-type values."""
+    return sorted(values, key=lambda value: (type(value).__name__, repr(value)))
+
+
+def decode_values(values: Iterable[Value]) -> list[Value]:
+    """Inverse of :func:`encode_values` (list back to the caller's container)."""
+    return list(values)

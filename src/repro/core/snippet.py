@@ -51,6 +51,24 @@ class SnippetKey:
             return f"AVG({self.attribute}) on {self.table}"
         return f"FREQ(*) on {self.table}"
 
+    def to_state(self) -> dict:
+        """JSON-safe state used by the persistent synopsis store."""
+        return {
+            "kind": self.kind.value,
+            "table": self.table,
+            "attribute": self.attribute,
+            "residual": sorted(self.residual),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SnippetKey":
+        return cls(
+            kind=AggregateKind(state["kind"]),
+            table=state["table"],
+            attribute=state["attribute"],
+            residual=frozenset(state["residual"]),
+        )
+
 
 @dataclass(frozen=True)
 class Snippet:
@@ -95,3 +113,25 @@ class Snippet:
             raise ValueError("extra_variance must be non-negative")
         new_error = (self.raw_error**2 + extra_variance) ** 0.5
         return replace(self, raw_answer=self.raw_answer + answer_shift, raw_error=new_error)
+
+    def to_state(self) -> dict:
+        """JSON-safe state (exact float round-trip, identity included)."""
+        return {
+            "key": self.key.to_state(),
+            "region": self.region.to_state(),
+            "raw_answer": self.raw_answer,
+            "raw_error": self.raw_error,
+            "snippet_id": self.snippet_id,
+            "sequence": self.sequence,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Snippet":
+        return cls(
+            key=SnippetKey.from_state(state["key"]),
+            region=Region.from_state(state["region"]),
+            raw_answer=state["raw_answer"],
+            raw_error=state["raw_error"],
+            snippet_id=state["snippet_id"],
+            sequence=state["sequence"],
+        )

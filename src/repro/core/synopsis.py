@@ -91,6 +91,32 @@ class QuerySynopsis:
         """Insert several snippets and return the stored copies."""
         return [self.add(snippet) for snippet in snippets]
 
+    def restore(self, snippet: Snippet) -> Snippet:
+        """Re-insert a snippet that already carries its synopsis identity.
+
+        Used by the persistent store when replaying a delta log: the logged
+        snippets keep the ids and LRU sequence numbers assigned by the
+        original :meth:`add` calls, so a replayed synopsis converges to the
+        same ids, versions, and group order as the process that wrote the
+        log.  Internal counters are advanced past the restored identity.
+        """
+        if snippet.snippet_id < 0 or snippet.sequence < 0:
+            raise SynopsisError("restore() requires a snippet with assigned identity")
+        group = self._groups.setdefault(snippet.key, OrderedDict())
+        group[snippet.snippet_id] = snippet
+        group.move_to_end(snippet.snippet_id)
+        self._next_id = max(self._next_id, snippet.snippet_id + 1)
+        self._sequence = max(self._sequence, snippet.sequence)
+        evicted = False
+        while len(group) > self.capacity_per_key:
+            group.popitem(last=False)
+            evicted = True
+        self._version += 1
+        self._record(self._APPEND, snippet.key, snippet)
+        if evicted:
+            self._record(self._DIRTY, snippet.key)
+        return snippet
+
     def snippets_for(self, key: SnippetKey) -> list[Snippet]:
         """Past snippets for one aggregate function, oldest-used first."""
         group = self._groups.get(key)
@@ -195,6 +221,77 @@ class QuerySynopsis:
         for key in dirty:
             appended.pop(key, None)
         return SynopsisDelta(appended=appended, dirty=frozenset(dirty))
+
+    # ----------------------------------------------------------- serialization
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full synopsis state.
+
+        Group order (the LRU order), snippet identities, and the bounded
+        change log are all preserved exactly.  Persisting the log matters for
+        exact resumption: a restored engine holding a factorisation prepared
+        at an older synopsis version can then still answer
+        :meth:`changes_since` for that version and *extend* the factor
+        incrementally -- the same O(n^2 k) path, producing the same
+        floating-point bits, as the process that never stopped.
+        """
+        return {
+            "capacity_per_key": self.capacity_per_key,
+            "change_log_limit": self._log_limit,
+            "next_id": self._next_id,
+            "sequence": self._sequence,
+            "version": self._version,
+            "log_floor": self._log_floor,
+            "groups": [
+                {
+                    "key": key.to_state(),
+                    "snippets": [snippet.to_state() for snippet in group.values()],
+                }
+                for key, group in self._groups.items()
+            ],
+            "log": [
+                {
+                    "version": version,
+                    "kind": kind,
+                    "key": key.to_state(),
+                    "snippet": None if snippet is None else snippet.to_state(),
+                }
+                for version, kind, key, snippet in self._log
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuerySynopsis":
+        """Rebuild a synopsis from :meth:`state_dict` output."""
+        synopsis = cls(
+            capacity_per_key=state["capacity_per_key"],
+            change_log_limit=state["change_log_limit"],
+        )
+        for group_state in state["groups"]:
+            key = SnippetKey.from_state(group_state["key"])
+            group: OrderedDict[int, Snippet] = OrderedDict()
+            for snippet_state in group_state["snippets"]:
+                snippet = Snippet.from_state(snippet_state)
+                if snippet.key != key:
+                    raise SynopsisError("snapshot group key does not match its snippets")
+                group[snippet.snippet_id] = snippet
+            synopsis._groups[key] = group
+        synopsis._next_id = state["next_id"]
+        synopsis._sequence = state["sequence"]
+        synopsis._version = state["version"]
+        synopsis._log_floor = state["log_floor"]
+        for event in state["log"]:
+            synopsis._log.append(
+                (
+                    event["version"],
+                    event["kind"],
+                    SnippetKey.from_state(event["key"]),
+                    None
+                    if event["snippet"] is None
+                    else Snippet.from_state(event["snippet"]),
+                )
+            )
+        return synopsis
 
     # ------------------------------------------------------------------ stats
 

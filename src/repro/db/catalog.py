@@ -20,6 +20,7 @@ observe a stale join.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable
@@ -78,30 +79,38 @@ class JoinCache:
     def __init__(self, capacity: int = 64):
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Table] = OrderedDict()
+        # The serving layer hits this cache from concurrent reader threads;
+        # LRU bookkeeping mutates the OrderedDict even on reads, so every
+        # operation takes this (uncontended-cheap) lock.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable) -> Table | None:
-        table = self._entries.get(key)
-        if table is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-            self._entries.move_to_end(key)
-        return table
+        with self._lock:
+            table = self._entries.get(key)
+            if table is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return table
 
     def put(self, key: Hashable, table: Table) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = table
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = table
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class Catalog:
@@ -112,6 +121,7 @@ class Catalog:
         self._fact_tables: set[str] = set()
         self._foreign_keys: list[ForeignKey] = []
         self._versions: dict[str, int] = {}
+        self._catalog_version = 0
         self.join_cache = JoinCache()
 
     # ----------------------------------------------------------------- tables
@@ -122,6 +132,7 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
         self._versions[table.name] = 0
+        self._catalog_version += 1
         if fact:
             self._fact_tables.add(table.name)
 
@@ -135,6 +146,7 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} does not exist")
         self._tables[table.name] = table
         self._versions[table.name] += 1
+        self._catalog_version += 1
         self.join_cache.clear()
 
     def table(self, name: str) -> Table:
@@ -153,6 +165,16 @@ class Catalog:
         """Monotonic version of a table's contents (bumped by appends)."""
         self.table(name)
         return self._versions[name]
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic version of the whole catalog's contents.
+
+        Bumped whenever any table is added or replaced; the serving layer's
+        answer cache keys embed it so an answer computed before a data append
+        can never be served afterwards.
+        """
+        return self._catalog_version
 
     def fact_tables(self) -> list[str]:
         return sorted(self._fact_tables)

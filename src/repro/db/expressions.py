@@ -8,7 +8,8 @@ sampling-based AQP engines, which apply the same predicates to sample rows.
 
 from __future__ import annotations
 
-import fnmatch
+import re
+from functools import lru_cache
 from typing import Union
 
 import numpy as np
@@ -129,12 +130,36 @@ def evaluate_predicate(predicate: ast.Predicate | None, table: Table) -> np.ndar
         return (values >= float(predicate.low)) & (values <= float(predicate.high))
     if isinstance(predicate, ast.LikePredicate):
         column = table.column(predicate.column.name)
-        pattern = predicate.pattern.replace("%", "*").replace("_", "?")
-        mask = np.asarray(
-            [fnmatch.fnmatch(str(v), pattern) for v in column], dtype=bool
+        regex = _like_regex(predicate.pattern)
+        # LIKE columns are categorical: matching the few distinct values and
+        # scattering back beats running the regex once per row (the paper's
+        # Customer1-style traces made per-row matching the hottest path of
+        # exact execution).
+        uniques, inverse = np.unique(column.astype(str), return_inverse=True)
+        unique_mask = np.asarray(
+            [regex.fullmatch(value) is not None for value in uniques], dtype=bool
         )
+        mask = unique_mask[inverse]
         return ~mask if predicate.negated else mask
     raise ExpressionError(f"cannot evaluate predicate of type {type(predicate).__name__}")
+
+
+@lru_cache(maxsize=256)
+def _like_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern: ``%`` -> ``.*``, ``_`` -> ``.``.
+
+    Every other character is matched literally (unlike ``fnmatch``, which
+    would give ``[...]`` glob semantics SQL LIKE does not have).
+    """
+    parts = []
+    for character in pattern:
+        if character == "%":
+            parts.append(".*")
+        elif character == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(character))
+    return re.compile("".join(parts), re.DOTALL)
 
 
 def _evaluate_comparison(predicate: ast.Comparison, table: Table) -> np.ndarray:

@@ -15,6 +15,7 @@ catalog.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -140,13 +141,17 @@ class SampleStore:
         self.catalog = catalog
         self.config = config or SamplingConfig()
         self._samples: dict[str, TableSample] = {}
+        # Concurrent readers of the serving layer may request the same
+        # not-yet-built sample; the lock makes the build-once guarantee hold.
+        self._lock = threading.Lock()
 
     def sample_for(self, table_name: str) -> TableSample:
         """Return (building and caching if needed) the sample of a fact table."""
-        if table_name not in self._samples:
-            table = self.catalog.table(table_name)
-            self._samples[table_name] = build_table_sample(table, self.config)
-        return self._samples[table_name]
+        with self._lock:
+            if table_name not in self._samples:
+                table = self.catalog.table(table_name)
+                self._samples[table_name] = build_table_sample(table, self.config)
+            return self._samples[table_name]
 
     def has_sample(self, table_name: str) -> bool:
         return table_name in self._samples or self.catalog.has_table(table_name)
@@ -157,14 +162,16 @@ class SampleStore:
         Must be called after a data append so that subsequent queries sample
         from the updated table.
         """
-        if table_name is None:
-            self._samples.clear()
-        else:
-            self._samples.pop(table_name, None)
+        with self._lock:
+            if table_name is None:
+                self._samples.clear()
+            else:
+                self._samples.pop(table_name, None)
 
     def rebuild(self, table_name: str, seed: int | None = None) -> TableSample:
         """Force-rebuild the sample of one table with an optional new seed."""
         table = self.catalog.table(table_name)
         sample = build_table_sample(table, self.config, seed=seed)
-        self._samples[table_name] = sample
+        with self._lock:
+            self._samples[table_name] = sample
         return sample

@@ -63,3 +63,11 @@ class LearningError(ReproError):
 
 class SynopsisError(ReproError):
     """The query synopsis was used inconsistently."""
+
+
+class StoreError(ReproError):
+    """The persistent synopsis store is missing, corrupt, or incompatible."""
+
+
+class ServiceError(ReproError):
+    """The serving layer was misused (closed service, bad budget, ...)."""

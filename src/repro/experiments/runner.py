@@ -309,6 +309,141 @@ def actual_error_at_time(profile: Sequence[ProfilePoint], time_budget_s: float) 
     return chosen.actual_relative_error
 
 
+# --------------------------------------------------------------------------- #
+# Serving-mode replay
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ServeReplayReport:
+    """Outcome of replaying a query trace through a :class:`VerdictService`."""
+
+    queries: int
+    failures: int
+    wall_seconds: float
+    queries_per_second: float
+    metrics: dict
+
+
+def replay_trace_through_service(
+    service,
+    queries: Sequence[Union[str, ast.Query]],
+    budget=None,
+    record: bool = False,
+) -> ServeReplayReport:
+    """Replay a trace through a service's worker pool and report throughput.
+
+    Every query is submitted to the service's bounded worker pool, so the
+    measured wall-clock throughput reflects the concurrency the service
+    actually provides.  Per-route latency histograms accumulate in
+    ``service.metrics`` (returned in the report as a plain dict).
+
+    Parameters
+    ----------
+    service:
+        A started :class:`repro.serve.service.VerdictService`.
+    queries:
+        The trace to replay, in order of submission.
+    budget:
+        Optional :class:`repro.serve.planner.ServiceBudget` applied to every
+        request.
+    record:
+        Whether served queries are recorded into the synopsis (off by
+        default: replay measures serving, not ingestion).
+    """
+    import time as _time
+
+    from repro.errors import ReproError
+
+    futures = []
+    started = _time.perf_counter()
+    for query in queries:
+        futures.append(service.submit(query, budget, record))
+    failures = 0
+    for future in futures:
+        try:
+            future.result()
+        except ReproError:
+            failures += 1
+    wall = _time.perf_counter() - started
+    served = len(queries) - failures
+    return ServeReplayReport(
+        queries=len(queries),
+        failures=failures,
+        wall_seconds=wall,
+        queries_per_second=served / wall if wall > 0 else 0.0,
+        metrics=service.metrics.as_dict(),
+    )
+
+
+def _serve_main(argv: Sequence[str] | None = None) -> int:
+    """CLI: replay a Customer1 trace through a live ``VerdictService``.
+
+    ``python -m repro.experiments.runner --serve`` builds the Customer1-like
+    workload, ingests the first half of its trace (record + train), then
+    replays the second half through the concurrent service and prints the
+    per-route serving metrics.
+    """
+    import argparse
+    import json
+
+    from repro.config import CostModelConfig as _CostModel
+    from repro.serve import ServiceBudget, SynopsisStore, VerdictService
+    from repro.workloads.customer1 import Customer1Workload
+
+    parser = argparse.ArgumentParser(description=_serve_main.__doc__)
+    parser.add_argument("--serve", action="store_true", help="run the serving replay")
+    parser.add_argument("--rows", type=int, default=20_000, help="fact table rows")
+    parser.add_argument("--queries", type=int, default=60, help="trace length")
+    parser.add_argument("--workers", type=int, default=4, help="service worker threads")
+    parser.add_argument(
+        "--error-budget", type=float, default=0.05, help="max relative error bound"
+    )
+    parser.add_argument(
+        "--store-dir", default=None, help="persist learned state to this directory"
+    )
+    args = parser.parse_args(argv)
+    if not args.serve:
+        parser.error("this entry point only implements --serve")
+
+    workload = Customer1Workload(num_rows=args.rows, seed=21)
+    catalog = workload.build_catalog()
+    sampling = SamplingConfig(sample_ratio=0.2, num_batches=5, seed=1)
+    store = SynopsisStore(args.store_dir) if args.store_dir else None
+    service = VerdictService(
+        catalog,
+        store=store,
+        sampling=sampling,
+        cost_model=_CostModel.scaled_for(int(args.rows * sampling.sample_ratio)),
+        config=VerdictConfig(learn_length_scales=False),
+        max_workers=args.workers,
+    )
+    trace = workload.generate_trace(num_queries=args.queries, seed=22)
+    split = len(trace) // 2
+    with service:
+        for query in trace[:split]:
+            service.record_answer(query.sql)
+        service.train()
+        report = replay_trace_through_service(
+            service,
+            [query.sql for query in trace[split:]],
+            budget=ServiceBudget.interactive(args.error_budget),
+        )
+    print(
+        json.dumps(
+            {
+                "queries": report.queries,
+                "failures": report.failures,
+                "wall_seconds": report.wall_seconds,
+                "queries_per_second": report.queries_per_second,
+                "metrics": report.metrics,
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
 def aggregate_profile_by_batch(
     results: Iterable[QueryRunResult], engine: str = "verdict"
 ) -> list[ProfilePoint]:
@@ -335,3 +470,9 @@ def aggregate_profile_by_batch(
             )
         )
     return aggregated
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke runs
+    import sys
+
+    sys.exit(_serve_main())

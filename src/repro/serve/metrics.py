@@ -1,0 +1,160 @@
+"""Serving metrics: per-route counters and latency histograms.
+
+The serving layer records, for every request, which route answered it
+(cached / learned / online aggregation / exact), whether the budget was met,
+and both the wall-clock and model-time latency.  Metrics are exposed as a
+plain dict (:meth:`ServiceMetrics.as_dict`) consumed by the experiment
+runner's ``--serve`` mode and by ``benchmarks/bench_serving.py``.
+
+Latencies are tracked two ways:
+
+* a fixed set of log-spaced histogram buckets (cheap, mergeable, what a
+  production system would export to a metrics backend);
+* a bounded reservoir of raw samples per route, from which p50/p99 are
+  computed exactly while the reservoir has not overflowed and approximately
+  (uniform reservoir sampling, deterministic seed) afterwards.
+
+All methods are thread-safe; a single lock suffices because every operation
+is a few appends and integer increments.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from bisect import bisect_left
+
+#: Histogram bucket upper bounds, in seconds (log-spaced, "+Inf" implied).
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00032,
+    0.001,
+    0.0032,
+    0.01,
+    0.032,
+    0.1,
+    0.32,
+    1.0,
+    3.2,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with an exact-quantile reservoir."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS, reservoir_size: int = 8192):
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last bucket = +Inf
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self._reservoir: list[float] = []
+        self._reservoir_size = reservoir_size
+        self._random = random.Random(0)
+
+    def observe(self, seconds: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(seconds)
+        else:
+            slot = self._random.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = seconds
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the observed latencies, 0.0 if empty."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.mean_seconds,
+            "p50_s": self.quantile(0.50),
+            "p99_s": self.quantile(0.99),
+            "max_s": self.max_seconds,
+            "buckets": {
+                f"le_{bound:g}": count
+                for bound, count in zip(self.buckets, self.bucket_counts)
+            }
+            | {"le_inf": self.bucket_counts[-1]},
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe per-route serving metrics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._routes: dict[str, dict] = {}
+
+    def _route_entry(self, route: str) -> dict:
+        entry = self._routes.get(route)
+        if entry is None:
+            entry = {
+                "requests": 0,
+                "budget_met": 0,
+                "fallbacks": 0,
+                "model_seconds": 0.0,
+                "wall": LatencyHistogram(),
+            }
+            self._routes[route] = entry
+        return entry
+
+    def observe(
+        self,
+        route: str,
+        wall_seconds: float,
+        model_seconds: float = 0.0,
+        budget_met: bool = True,
+        fallback: bool = False,
+    ) -> None:
+        """Record one served request.
+
+        ``fallback`` marks requests where an earlier (cheaper) route was
+        attempted but could not meet the budget, so this route's latency
+        includes the abandoned attempt.
+        """
+        with self._lock:
+            entry = self._route_entry(route)
+            entry["requests"] += 1
+            if budget_met:
+                entry["budget_met"] += 1
+            if fallback:
+                entry["fallbacks"] += 1
+            entry["model_seconds"] += model_seconds
+            entry["wall"].observe(wall_seconds)
+
+    def requests(self, route: str | None = None) -> int:
+        with self._lock:
+            if route is not None:
+                entry = self._routes.get(route)
+                return entry["requests"] if entry else 0
+            return sum(entry["requests"] for entry in self._routes.values())
+
+    def as_dict(self) -> dict:
+        """Snapshot of all counters and histograms as plain data."""
+        with self._lock:
+            routes = {
+                route: {
+                    "requests": entry["requests"],
+                    "budget_met": entry["budget_met"],
+                    "fallbacks": entry["fallbacks"],
+                    "model_seconds": entry["model_seconds"],
+                    "wall_latency": entry["wall"].as_dict(),
+                }
+                for route, entry in sorted(self._routes.items())
+            }
+            total = sum(entry["requests"] for entry in self._routes.values())
+            return {"total_requests": total, "routes": routes}

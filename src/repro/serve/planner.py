@@ -1,0 +1,210 @@
+"""Budget-aware query planning: route each request to the cheapest engine.
+
+Every request arrives with a :class:`ServiceBudget` (maximum relative error
+bound, maximum model-time latency).  The :class:`QueryPlanner` inspects the
+parsed query, the supported-class check, and the current synopsis, and emits
+an ordered list of :class:`RouteDecision`\\ s -- cheapest first -- for the
+service to try:
+
+1. **cached** -- a previously computed answer whose synopsis/catalog versions
+   are still current and whose error bound fits the budget (checked by the
+   service, which owns the cache);
+2. **learned** -- online aggregation improved by Verdict's inference: the
+   first sample batch usually already meets a loose error budget because the
+   synopsis tightens the bound (the paper's Figure 4 effect), making this the
+   cheapest non-cached route on a warm service;
+3. **online_agg** -- plain online aggregation, refining batch by batch until
+   the raw CLT bound meets the budget (works for supported *and* unsupported
+   aggregate queries);
+4. **exact** -- the exact executor: always correct, always the most
+   expensive (a full denormalised scan under the IO cost model).
+
+Cost estimates use the same deterministic IO cost model the AQP engines
+charge, so "cheapest" is well-defined and reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.aqp.estimators import confidence_multiplier
+from repro.core.engine import VerdictEngine
+from repro.errors import ServiceError
+from repro.sqlparser import ast
+from repro.sqlparser.checker import CheckResult
+
+
+class Route(str, enum.Enum):
+    """The four ways the serving layer can answer a request."""
+
+    CACHED = "cached"
+    LEARNED = "learned"
+    ONLINE_AGG = "online_agg"
+    EXACT = "exact"
+
+
+@dataclass(frozen=True)
+class ServiceBudget:
+    """Per-request error / latency budget.
+
+    Parameters
+    ----------
+    max_relative_error:
+        Largest acceptable mean relative error *bound* (at the service's
+        confidence level).  ``0.0`` demands an exact answer; ``None`` means
+        any approximation is acceptable (best effort, cheapest route wins).
+    max_latency_s:
+        Largest acceptable latency in *model* seconds (the deterministic IO
+        cost model's clock, not wall time).  ``None`` means unbounded.
+    """
+
+    max_relative_error: float | None = None
+    max_latency_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_relative_error is not None and self.max_relative_error < 0:
+            raise ServiceError("max_relative_error must be non-negative")
+        if self.max_latency_s is not None and self.max_latency_s <= 0:
+            raise ServiceError("max_latency_s must be positive")
+
+    @property
+    def requires_exact(self) -> bool:
+        return self.max_relative_error is not None and self.max_relative_error == 0.0
+
+    def error_met(self, relative_error_bound: float) -> bool:
+        """Whether an answer with this error bound satisfies the budget."""
+        if self.max_relative_error is None:
+            return True
+        return relative_error_bound <= self.max_relative_error
+
+    @classmethod
+    def exact(cls, max_latency_s: float | None = None) -> "ServiceBudget":
+        """A budget demanding the exact answer."""
+        return cls(max_relative_error=0.0, max_latency_s=max_latency_s)
+
+    @classmethod
+    def interactive(
+        cls, max_relative_error: float = 0.05, max_latency_s: float | None = None
+    ) -> "ServiceBudget":
+        """A typical dashboard budget: 5% error bound, optional latency cap."""
+        return cls(max_relative_error=max_relative_error, max_latency_s=max_latency_s)
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One planned route with the planner's reasoning and cost estimate."""
+
+    route: Route
+    reason: str
+    estimated_seconds: float
+
+
+class QueryPlanner:
+    """Plans the route order for one request given its budget."""
+
+    def __init__(self, engine: VerdictEngine, confidence: float = 0.95):
+        self.engine = engine
+        self.confidence = confidence
+        self.multiplier = confidence_multiplier(confidence)
+
+    # ------------------------------------------------------------------ public
+
+    def plan(
+        self, query: ast.Query, check: CheckResult, budget: ServiceBudget
+    ) -> list[RouteDecision]:
+        """Ordered route preference (cheapest first) for one request.
+
+        The cached route is not planned here: the service consults its answer
+        cache before calling the planner (a hit needs no plan at all).
+        """
+        exact_cost = self.estimated_exact_seconds(query)
+        if budget.requires_exact:
+            return [
+                RouteDecision(
+                    route=Route.EXACT,
+                    reason="budget demands an exact answer",
+                    estimated_seconds=exact_cost,
+                )
+            ]
+
+        decisions: list[RouteDecision] = []
+        batch_cost = self.estimated_first_batch_seconds(query)
+        if check.supported:
+            ready = self.synopsis_snippets_for(query.table)
+            if ready > 0:
+                decisions.append(
+                    RouteDecision(
+                        route=Route.LEARNED,
+                        reason=(
+                            f"synopsis holds {ready} snippets for {query.table!r}; "
+                            "inference tightens the first-batch bound"
+                        ),
+                        estimated_seconds=batch_cost,
+                    )
+                )
+        # Online aggregation stays in the plan even when the learned route
+        # precedes it, as the fallback for inference *errors* -- but the
+        # service skips it whenever the learned route produced an answer:
+        # the improved bound is never larger than the raw bound (Theorem 1),
+        # so a budget the learned route missed cannot be met by re-refining
+        # the same raw answers without inference.
+        decisions.append(
+            RouteDecision(
+                route=Route.ONLINE_AGG,
+                reason=(
+                    "online aggregation refines the raw CLT bound batch by batch"
+                    if budget.max_relative_error is not None
+                    else "no error budget given; cheapest raw approximation"
+                ),
+                estimated_seconds=batch_cost,
+            )
+        )
+        decisions.append(
+            RouteDecision(
+                route=Route.EXACT,
+                reason="fallback: exact scan always meets any error budget",
+                estimated_seconds=exact_cost,
+            )
+        )
+        return decisions
+
+    # --------------------------------------------------------------- estimates
+
+    def synopsis_snippets_for(self, table: str) -> int:
+        """How many past snippets the synopsis holds for one fact table."""
+        synopsis = self.engine.synopsis
+        threshold = max(self.engine.config.min_past_snippets, 1)
+        total = 0
+        for key in synopsis.keys():
+            if key.table == table:
+                count = synopsis.count(key)
+                if count >= threshold:
+                    total += count
+        return total
+
+    def estimated_exact_seconds(self, query: ast.Query) -> float:
+        """Model seconds for an exact answer: a full denormalised scan."""
+        catalog = self.engine.catalog
+        rows = catalog.cardinality(query.table) if catalog.has_table(query.table) else 0
+        dimension_rows = sum(
+            catalog.cardinality(join.table)
+            for join in query.joins
+            if catalog.has_table(join.table)
+        )
+        return self.engine.aqp.cost_model.query_seconds(rows + dimension_rows)
+
+    def estimated_first_batch_seconds(self, query: ast.Query) -> float:
+        """Model seconds for the cheapest approximate answer (one batch)."""
+        aqp = self.engine.aqp
+        catalog = self.engine.catalog
+        if not catalog.has_table(query.table):
+            return aqp.cost_model.query_seconds(0)
+        sample = aqp.samples.sample_for(query.table)
+        batch_rows = sample.rows_after_batches(1)
+        dimension_rows = sum(
+            catalog.cardinality(join.table)
+            for join in query.joins
+            if catalog.has_table(join.table)
+        )
+        return aqp.cost_model.query_seconds(batch_rows + dimension_rows)

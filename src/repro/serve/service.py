@@ -1,0 +1,672 @@
+"""Thread-safe serving front door for concurrent Verdict queries.
+
+:class:`VerdictService` turns the single-threaded :class:`VerdictEngine`
+into a long-running, concurrent query service:
+
+* a bounded worker pool (:meth:`VerdictService.submit`) so callers can fire
+  many requests at once;
+* per-fact-table reader/writer locks so reads of one table proceed in
+  parallel while ``append`` / ``record`` / ``train`` on that table get
+  exclusive access -- a request therefore always observes either the
+  pre-append or the post-append state, never a mixture (no torn answers);
+* a short engine mutex serialising the inference step and every mutation of
+  the shared learned state (the synopsis and prepared factorisations are
+  shared across tables, so the per-table locks alone cannot protect them);
+* a bounded answer cache whose entries embed the synopsis version and the
+  catalog version at store time -- any record, train, or append makes every
+  older entry unreachable, so a cache hit can never serve stale data;
+* a :class:`~repro.serve.store.SynopsisStore` hook: learned state is
+  restored at start-up, flushed periodically after mutations, and written
+  out as a full snapshot on graceful shutdown.
+
+Locking discipline (to stay deadlock-free):
+
+1. a request thread holds at most one table lock at a time;
+2. the engine mutex is only acquired while already holding a table lock (or
+   no lock at all) and nothing else is acquired under it;
+3. ``train`` acquires all table write locks in sorted name order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Union
+
+from repro.aqp.estimators import confidence_multiplier
+from repro.aqp.online_agg import OnlineAggregationEngine, budget_hopeless
+from repro.aqp.time_bound import TimeBoundEngine
+from repro.aqp.types import AQPAnswer
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.core.engine import VerdictAnswer, VerdictEngine
+from repro.db.catalog import Catalog
+from repro.db.executor import ExactExecutor
+from repro.db.table import Table
+from repro.errors import ReproError, ServiceError
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.planner import QueryPlanner, Route, RouteDecision, ServiceBudget
+from repro.serve.store import SynopsisStore
+from repro.sqlparser import ast
+from repro.sqlparser.checker import CheckResult
+
+Value = Union[int, float, str]
+
+
+# --------------------------------------------------------------------------- #
+# Answers
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ServedRow:
+    """One output row of a served answer."""
+
+    group_values: tuple[Value, ...]
+    values: dict[str, float]
+    errors: dict[str, float]
+
+
+@dataclass(frozen=True)
+class ServedAnswer:
+    """What the service returns for one request."""
+
+    sql: str
+    route: Route
+    rows: tuple[ServedRow, ...]
+    relative_error_bound: float
+    model_seconds: float
+    wall_seconds: float
+    supported: bool
+    budget_met: bool = True
+    from_cache: bool = False
+    recorded: bool = False
+    batches_processed: int = 0
+
+    def scalar(self) -> float:
+        """The single value of a one-row, one-aggregate answer."""
+        if len(self.rows) != 1 or len(self.rows[0].values) != 1:
+            raise ValueError("scalar() requires a single-cell answer")
+        return next(iter(self.rows[0].values.values()))
+
+    def by_group(self) -> dict[tuple[Value, ...], ServedRow]:
+        return {row.group_values: row for row in self.rows}
+
+
+@dataclass
+class _CacheEntry:
+    answer: ServedAnswer
+    synopsis_version: int
+    catalog_version: int
+
+
+# --------------------------------------------------------------------------- #
+# Reader/writer lock
+# --------------------------------------------------------------------------- #
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock.
+
+    Multiple readers proceed concurrently; a writer waits for active readers
+    to drain and blocks new readers while waiting, so appends cannot be
+    starved by a stream of queries.  Non-reentrant by design -- the service's
+    locking discipline never re-acquires.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._active_readers -= 1
+                if not self._active_readers:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._condition:
+            self._writers_waiting += 1
+            while self._active_readers or self._writer_active:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+# --------------------------------------------------------------------------- #
+# Service
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _ServiceState:
+    """Mutable bits guarded by the service's small internal locks."""
+
+    cache: "OrderedDict" = field(default_factory=lambda: OrderedDict())
+    mutations_since_flush: int = 0
+
+
+class VerdictService:
+    """Concurrent, budget-aware, persistent front door to a Verdict engine.
+
+    Parameters
+    ----------
+    catalog:
+        The database catalog to serve.
+    store:
+        Optional persistent synopsis store.  When given, previously persisted
+        learned state is restored at construction, mutations are flushed
+        every ``flush_every`` learned-state changes, and :meth:`close` writes
+        a final full snapshot.
+    config, sampling, cost_model:
+        Forwarded to the underlying engines.
+    max_workers:
+        Size of the worker pool serving :meth:`submit`.
+    confidence:
+        Confidence level for reported error bounds and budget checks.
+    default_budget:
+        Budget applied when a request does not carry one (default: best
+        effort -- cheapest route, no error requirement).
+    record_queries:
+        Whether served supported queries are recorded into the synopsis
+        (step 4 of Figure 2).  Can be overridden per request.
+    cache_capacity:
+        Maximum number of answers kept in the answer cache.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        store: SynopsisStore | None = None,
+        config: VerdictConfig | None = None,
+        sampling: SamplingConfig | None = None,
+        cost_model: CostModelConfig | None = None,
+        max_workers: int = 4,
+        confidence: float = 0.95,
+        default_budget: ServiceBudget | None = None,
+        record_queries: bool = True,
+        flush_every: int = 8,
+        cache_capacity: int = 1_024,
+        vectorized: bool = True,
+    ):
+        if max_workers <= 0:
+            raise ServiceError("max_workers must be positive")
+        if cache_capacity <= 0:
+            raise ServiceError("cache_capacity must be positive")
+        self.catalog = catalog
+        self.aqp = OnlineAggregationEngine(
+            catalog, sampling=sampling, cost_model=cost_model, vectorized=vectorized
+        )
+        self.time_bound = TimeBoundEngine(
+            catalog,
+            sampling=sampling,
+            cost_model=cost_model,
+            sample_store=self.aqp.samples,
+            vectorized=vectorized,
+        )
+        self.engine = VerdictEngine(
+            catalog, self.aqp, config=config, time_bound_engine=self.time_bound
+        )
+        self.exact = ExactExecutor(catalog, vectorized=vectorized)
+        self.planner = QueryPlanner(self.engine, confidence=confidence)
+        self.metrics = ServiceMetrics()
+        self.store = store
+        self.confidence = confidence
+        self.multiplier = confidence_multiplier(confidence)
+        self.default_budget = default_budget or ServiceBudget()
+        self.record_queries = record_queries
+        self.flush_every = max(flush_every, 1)
+        self.cache_capacity = cache_capacity
+
+        self._state = _ServiceState()
+        self._cache_lock = threading.Lock()
+        # Serialises inference and every mutation of the learned state; see
+        # the module docstring for the locking discipline.
+        self._engine_lock = threading.Lock()
+        self._table_locks: dict[str, ReadWriteLock] = {}
+        self._table_locks_guard = threading.Lock()
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="verdict-serve"
+        )
+        self.restored = bool(store is not None and store.load_into(self.engine))
+
+    # ------------------------------------------------------------------ public
+
+    def query(
+        self,
+        sql: Union[str, ast.Query],
+        budget: ServiceBudget | None = None,
+        record: bool | None = None,
+    ) -> ServedAnswer:
+        """Answer one request within its budget, via the cheapest able route.
+
+        Thread-safe; may be called from any thread (the worker pool uses this
+        method too).  Raises :class:`ServiceError` when the service is closed
+        and propagates parse errors to the caller.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        budget = budget or self.default_budget
+        should_record = self.record_queries if record is None else record
+        started = time.perf_counter()
+
+        # The cache is keyed by the request itself (SQL text or parsed
+        # query), checked *before* parsing: a hit costs a dict probe and two
+        # version comparisons, not a parse.
+        cached = self._cache_lookup(sql, budget)
+        if cached is not None:
+            wall = time.perf_counter() - started
+            answer = replace(
+                cached, route=Route.CACHED, from_cache=True, wall_seconds=wall,
+                recorded=False,
+            )
+            self.metrics.observe(
+                Route.CACHED.value, wall, model_seconds=0.0, budget_met=True
+            )
+            return answer
+
+        parsed, check = self.engine.check(sql)
+        decisions = self.planner.plan(parsed, check, budget)
+        best: ServedAnswer | None = None
+        best_raw: AQPAnswer | None = None
+        best_versions: tuple[int, int] | None = None
+        learned_answered = False
+        fallback = False
+        for decision in decisions:
+            if decision.route is Route.ONLINE_AGG and learned_answered:
+                # Dominated: the learned route already refined the same raw
+                # answers with inference, whose bound is never larger
+                # (Theorem 1).  Online aggregation only runs as the fallback
+                # when inference itself *errored*.
+                continue
+            if (
+                best is not None
+                and budget.max_latency_s is not None
+                and decision.estimated_seconds > budget.max_latency_s
+            ):
+                # Escalating would blow the latency budget; keep best effort.
+                continue
+            try:
+                candidate, raw, versions = self._execute_route(
+                    decision, parsed, check, budget
+                )
+            except ReproError:
+                continue
+            if decision.route is Route.LEARNED:
+                learned_answered = True
+            if best is None or candidate.relative_error_bound < best.relative_error_bound:
+                best, best_raw, best_versions = candidate, raw, versions
+            if budget.error_met(candidate.relative_error_bound):
+                break
+            fallback = True
+        if best is None or best_versions is None:
+            raise ServiceError(f"no route could answer {parsed.text or sql!r}")
+
+        budget_met = budget.error_met(best.relative_error_bound) and (
+            budget.max_latency_s is None or best.model_seconds <= budget.max_latency_s
+        )
+        recorded = False
+        cache_versions = best_versions
+        if should_record and check.supported and best_raw is not None:
+            recorded, pre_version, post_versions = self._record(parsed, best_raw)
+            if recorded and (pre_version, post_versions[1]) == best_versions:
+                # Recording this answer's own snippets is the only mutation
+                # since execution, and it does not invalidate the answer:
+                # stamp the entry with the post-record versions so repeats
+                # hit.  Any *interleaved* mutation leaves the execution-time
+                # stamp in place, making the entry born-stale (never served).
+                cache_versions = post_versions
+        wall = time.perf_counter() - started
+        answer = replace(
+            best, wall_seconds=wall, budget_met=budget_met, recorded=recorded
+        )
+        self._cache_store(sql, answer, cache_versions)
+        self.metrics.observe(
+            answer.route.value,
+            wall,
+            model_seconds=answer.model_seconds,
+            budget_met=budget_met,
+            fallback=fallback,
+        )
+        return answer
+
+    def submit(
+        self,
+        sql: Union[str, ast.Query],
+        budget: ServiceBudget | None = None,
+        record: bool | None = None,
+    ) -> Future:
+        """Queue a request on the worker pool; returns a ``Future``."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        return self._pool.submit(self.query, sql, budget, record)
+
+    def append(self, table_name: str, appended: Table, adjust: bool = True) -> int:
+        """Append tuples to a fact table with exclusive access (Appendix D).
+
+        Blocks until in-flight reads of the table drain; returns the number
+        of synopsis snippets adjusted.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        with self._table_lock(table_name).write():
+            with self._engine_lock:
+                adjusted = self.engine.register_append(table_name, appended, adjust=adjust)
+        self._note_mutation()
+        return adjusted
+
+    def train(self, learn: bool | None = None) -> None:
+        """Run the offline step (Algorithm 1) with exclusive access."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        locks = [self._table_lock(name) for name in sorted(self.catalog.fact_tables())]
+        self._train_locked(locks, 0, learn)
+        self._note_mutation()
+
+    def record_answer(self, sql: Union[str, ast.Query]) -> bool:
+        """Run a query to completion and record its snippets (training aid).
+
+        Unlike :meth:`query`, the full sample is always scanned so the
+        recorded snippets carry the tightest raw errors -- this is what the
+        trace-ingestion phase of the experiments uses.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        parsed, check = self.engine.check(sql)
+        if not check.supported:
+            return False
+        with self._table_lock(parsed.table).read():
+            raw = self.aqp.final_answer(parsed)
+        recorded, _, _ = self._record(parsed, raw)
+        return recorded
+
+    def flush(self) -> str:
+        """Flush learned state to the store (``"noop"`` without a store)."""
+        if self.store is None:
+            return "noop"
+        with self._engine_lock:
+            return self.store.flush(self.engine)
+
+    def close(self) -> None:
+        """Graceful shutdown: drain workers, snapshot the learned state.
+
+        The final write is always a *full snapshot* (not a delta): it
+        captures the prepared factorisations bit-for-bit, which is what makes
+        a restarted service answer byte-identically to one that never
+        stopped.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        if self.store is not None:
+            with self._engine_lock:
+                self.store.save_snapshot(self.engine)
+
+    def __enter__(self) -> "VerdictService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def cache_size(self) -> int:
+        with self._cache_lock:
+            return len(self._state.cache)
+
+    # ------------------------------------------------------------------ routes
+
+    def _execute_route(
+        self,
+        decision: RouteDecision,
+        parsed: ast.Query,
+        check: CheckResult,
+        budget: ServiceBudget,
+    ) -> tuple[ServedAnswer, AQPAnswer | None, tuple[int, int]]:
+        """Run one route; returns (answer, raw, versions-at-execution).
+
+        The (synopsis, catalog) version pair is captured while the table
+        read lock is still held, so it is consistent with the data the
+        answer was computed over -- a mutation racing in after the lock is
+        released cannot tag this answer as fresher than it is.
+        """
+        lock = self._table_lock(parsed.table)
+        with lock.read():
+            if decision.route is Route.LEARNED:
+                answer, raw = self._run_learned(parsed, check, budget)
+            elif decision.route is Route.ONLINE_AGG:
+                answer, raw = self._run_online_agg(parsed, check, budget)
+            elif decision.route is Route.EXACT:
+                answer, raw = self._run_exact(parsed, check, decision)
+            else:
+                raise ServiceError(f"unexpected route {decision.route}")
+            versions = (self.engine.synopsis.version, self.catalog.catalog_version)
+            return answer, raw, versions
+
+    def _run_learned(
+        self, parsed: ast.Query, check: CheckResult, budget: ServiceBudget
+    ) -> tuple[ServedAnswer, AQPAnswer]:
+        improved: VerdictAnswer | None = None
+        raw: AQPAnswer | None = None
+        for raw in self.aqp.run(parsed):
+            with self._engine_lock:
+                improved = self.engine.process_answer(parsed, raw, check)
+            bound = improved.mean_relative_error_bound(self.multiplier)
+            if budget.max_relative_error is None:
+                break  # best effort: the first improved batch is the answer
+            if bound <= budget.max_relative_error:
+                break
+            if (
+                budget.max_latency_s is not None
+                and improved.elapsed_seconds >= budget.max_latency_s
+            ):
+                break
+            if budget_hopeless(raw, bound, budget.max_relative_error):
+                break  # provably cannot reach the budget; escalate instead
+        if improved is None or raw is None:
+            raise ServiceError("online aggregation produced no answers")
+        rows = tuple(
+            ServedRow(
+                group_values=row.group_values,
+                values={name: est.value for name, est in row.estimates.items()},
+                errors={
+                    name: self.multiplier * est.error
+                    for name, est in row.estimates.items()
+                },
+            )
+            for row in improved.rows
+        )
+        answer = ServedAnswer(
+            sql=parsed.text or "",
+            route=Route.LEARNED,
+            rows=rows,
+            relative_error_bound=improved.mean_relative_error_bound(self.multiplier),
+            model_seconds=improved.elapsed_seconds,
+            wall_seconds=0.0,
+            supported=check.supported,
+            batches_processed=raw.batches_processed,
+        )
+        return answer, raw
+
+    def _run_online_agg(
+        self, parsed: ast.Query, check: CheckResult, budget: ServiceBudget
+    ) -> tuple[ServedAnswer, AQPAnswer]:
+        if budget.max_relative_error is None and budget.max_latency_s is None:
+            raw = self.aqp.first_answer(parsed)
+        else:
+            raw = self.aqp.execute_with_budget(
+                parsed,
+                max_relative_error=budget.max_relative_error,
+                max_latency_s=budget.max_latency_s,
+                confidence_multiplier=self.multiplier,
+                give_up_when_hopeless=True,
+            )
+        rows = tuple(
+            ServedRow(
+                group_values=row.group_values,
+                values={name: est.value for name, est in row.estimates.items()},
+                errors={
+                    name: self.multiplier * est.error
+                    for name, est in row.estimates.items()
+                },
+            )
+            for row in raw.rows
+        )
+        answer = ServedAnswer(
+            sql=parsed.text or "",
+            route=Route.ONLINE_AGG,
+            rows=rows,
+            relative_error_bound=raw.mean_relative_error_bound(self.multiplier),
+            model_seconds=raw.elapsed_seconds,
+            wall_seconds=0.0,
+            supported=check.supported,
+            batches_processed=raw.batches_processed,
+        )
+        return answer, raw
+
+    def _run_exact(
+        self, parsed: ast.Query, check: CheckResult, decision: RouteDecision
+    ) -> tuple[ServedAnswer, None]:
+        result = self.exact.execute(parsed)
+        rows = tuple(
+            ServedRow(
+                group_values=row.group_values,
+                values=dict(row.aggregates),
+                errors={name: 0.0 for name in row.aggregates},
+            )
+            for row in result.rows
+        )
+        answer = ServedAnswer(
+            sql=parsed.text or "",
+            route=Route.EXACT,
+            rows=rows,
+            relative_error_bound=0.0,
+            model_seconds=decision.estimated_seconds,
+            wall_seconds=0.0,
+            supported=check.supported,
+        )
+        return answer, None
+
+    # ----------------------------------------------------------------- writes
+
+    def _record(
+        self, parsed: ast.Query, raw: AQPAnswer
+    ) -> tuple[bool, int, tuple[int, int]]:
+        """Record a raw answer's snippets; returns version bookkeeping.
+
+        The return value is ``(recorded, synopsis version immediately before
+        the record, (synopsis, catalog) versions immediately after)`` -- the
+        caller uses it to decide whether its own record was the *only*
+        mutation since it executed (and its cache entry may carry the
+        post-record stamp) or something else interleaved.
+        """
+        with self._table_lock(parsed.table).write():
+            with self._engine_lock:
+                pre_version = self.engine.synopsis.version
+                added = self.engine.record(parsed, raw)
+                post_versions = (
+                    self.engine.synopsis.version,
+                    self.catalog.catalog_version,
+                )
+        if added:
+            self._note_mutation()
+        return added > 0, pre_version, post_versions
+
+    def _train_locked(
+        self, locks: list[ReadWriteLock], index: int, learn: bool | None
+    ) -> None:
+        """Acquire all table write locks (sorted order) then train."""
+        if index == len(locks):
+            with self._engine_lock:
+                self.engine.train(learn)
+            return
+        with locks[index].write():
+            self._train_locked(locks, index + 1, learn)
+
+    def _note_mutation(self) -> None:
+        if self.store is None:
+            return
+        with self._cache_lock:
+            self._state.mutations_since_flush += 1
+            should_flush = self._state.mutations_since_flush >= self.flush_every
+            if should_flush:
+                self._state.mutations_since_flush = 0
+        if should_flush:
+            self.flush()
+
+    # ------------------------------------------------------------------- cache
+
+    def _cache_lookup(
+        self, request: Union[str, ast.Query], budget: ServiceBudget
+    ) -> ServedAnswer | None:
+        with self._cache_lock:
+            entry: _CacheEntry | None = self._state.cache.get(request)
+            if entry is None:
+                return None
+            stale = (
+                entry.synopsis_version != self.engine.synopsis.version
+                or entry.catalog_version != self.catalog.catalog_version
+            )
+            if stale:
+                del self._state.cache[request]
+                return None
+            if not budget.error_met(entry.answer.relative_error_bound):
+                return None
+            self._state.cache.move_to_end(request)
+            return entry.answer
+
+    def _cache_store(
+        self,
+        request: Union[str, ast.Query],
+        answer: ServedAnswer,
+        versions: tuple[int, int],
+    ) -> None:
+        """Store an answer stamped with the versions it was computed under.
+
+        ``versions`` must be captured at execution (or post-own-record) time,
+        never read here: a mutation racing in between execution and this call
+        would otherwise stamp a pre-mutation answer as current.
+        """
+        with self._cache_lock:
+            self._state.cache[request] = _CacheEntry(
+                answer=answer,
+                synopsis_version=versions[0],
+                catalog_version=versions[1],
+            )
+            self._state.cache.move_to_end(request)
+            while len(self._state.cache) > self.cache_capacity:
+                self._state.cache.popitem(last=False)
+
+    # ------------------------------------------------------------------- locks
+
+    def _table_lock(self, table_name: str) -> ReadWriteLock:
+        with self._table_locks_guard:
+            lock = self._table_locks.get(table_name)
+            if lock is None:
+                lock = ReadWriteLock()
+                self._table_locks[table_name] = lock
+            return lock

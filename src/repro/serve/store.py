@@ -1,0 +1,260 @@
+"""Persistent synopsis store: snapshots plus an incremental delta log.
+
+The paper's promise is a database that "becomes smarter every time" -- which
+is only meaningful if the learned state survives the process.  The store
+persists a :class:`repro.core.engine.VerdictEngine`'s learned state (query
+synopsis, learned correlation parameters, prepared covariance factorisations)
+to a directory so a restarted service resumes *exactly* as smart as it
+stopped.
+
+Layout (all JSON, human-inspectable)::
+
+    <directory>/
+        snapshot.json    full engine state (atomic: tmp file + os.replace)
+        deltas.jsonl     one record per flush of appended-only changes
+
+Write path
+----------
+:meth:`SynopsisStore.flush` asks the synopsis for the delta since the last
+persisted version (reusing the engine's own ``changes_since`` change log):
+
+* appends only           -> one JSONL record appended to ``deltas.jsonl``;
+* anything else dirty    -> full snapshot (evictions, data-append
+  adjustments, and re-training all rewrite state a delta cannot express);
+* delta log too long     -> full snapshot (*compaction*: the log is folded
+  into ``snapshot.json`` and truncated).
+
+Snapshot rotation is atomic -- the new snapshot is written to a temporary
+file, fsynced, and ``os.replace``d over the old one, after which the delta
+log is truncated (also via replace).  A crash between the two leaves a
+snapshot plus a log of records that predate it; replay skips them by
+version.
+
+Read path
+---------
+:meth:`SynopsisStore.load_into` restores the snapshot into an engine and
+replays delta records in order.  Logged snippets carry the identities and
+LRU sequence numbers originally assigned, so the replayed synopsis converges
+to the same ids, versions, and group order as the writer -- and because the
+snapshot also carries the synopsis change log, factorisations prepared at an
+older version are *extended* (rank-k, same floating-point bits) rather than
+rebuilt.  Inference results before and after a reload are byte-identical,
+which the property tests in ``tests/serve/test_store.py`` assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.engine import VerdictEngine
+from repro.core.serialize import STATE_FORMAT_VERSION
+from repro.core.snippet import Snippet
+from repro.errors import StoreError
+
+SNAPSHOT_FILE = "snapshot.json"
+DELTA_FILE = "deltas.jsonl"
+
+
+class SynopsisStore:
+    """Durable snapshots + deltas of a Verdict engine's learned state.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the snapshot and delta-log files (created on first
+        write).
+    compact_after:
+        Number of delta records after which the next flush folds the log
+        into a fresh snapshot.
+    include_factors:
+        Whether snapshots include the prepared covariance factorisations.
+        Including them (default) makes restarts byte-exact and avoids an
+        O(n^3) re-factorisation on first use, at the cost of larger
+        snapshot files (O(n^2) floats per aggregate function).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        compact_after: int = 256,
+        include_factors: bool = True,
+    ):
+        if compact_after <= 0:
+            raise StoreError("compact_after must be positive")
+        self.directory = Path(directory)
+        self.compact_after = compact_after
+        self.include_factors = include_factors
+        self.snapshots_written = 0
+        self.deltas_written = 0
+        self._persisted_version: int | None = None
+        self._persisted_epoch: int | None = None
+        self._delta_records = self._count_delta_records()
+
+    # ------------------------------------------------------------------- paths
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_FILE
+
+    @property
+    def delta_path(self) -> Path:
+        return self.directory / DELTA_FILE
+
+    def exists(self) -> bool:
+        """Whether a snapshot is present to restore from."""
+        return self.snapshot_path.is_file()
+
+    @property
+    def delta_log_length(self) -> int:
+        """Number of delta records currently in the log."""
+        return self._delta_records
+
+    # -------------------------------------------------------------------- read
+
+    def load_into(self, engine: VerdictEngine) -> bool:
+        """Restore the persisted state into ``engine``.
+
+        Returns ``True`` when a snapshot was found and loaded, ``False`` when
+        the store is empty (a fresh service).  Raises :class:`StoreError` on
+        a corrupt or incompatible snapshot, or on a delta log that does not
+        follow on from the snapshot (a version gap).
+        """
+        if not self.exists():
+            return False
+        try:
+            snapshot = json.loads(self.snapshot_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(f"unreadable snapshot {self.snapshot_path}: {error}") from error
+        if snapshot.get("format") != STATE_FORMAT_VERSION:
+            raise StoreError(
+                f"snapshot format {snapshot.get('format')!r} is not supported "
+                f"(expected {STATE_FORMAT_VERSION})"
+            )
+        engine.load_state_dict(snapshot["engine"])
+        self._replay_deltas(engine)
+        self._persisted_version = engine.synopsis.version
+        self._persisted_epoch = engine.state_epoch
+        return True
+
+    def _replay_deltas(self, engine: VerdictEngine) -> None:
+        """Apply delta records newer than the restored snapshot, in order."""
+        if not self.delta_path.is_file():
+            self._delta_records = 0
+            return
+        records = 0
+        valid_lines: list[str] = []
+        torn = False
+        for line_number, line in enumerate(
+            self.delta_path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line from a crash mid-append: everything before
+                # it replayed fine, so stop here rather than fail the load.
+                torn = True
+                break
+            valid_lines.append(line)
+            records += 1
+            current = engine.synopsis.version
+            if record["version"] <= current:
+                continue  # already folded into the snapshot
+            if record["base_version"] != current:
+                raise StoreError(
+                    f"delta log record {line_number} expects synopsis version "
+                    f"{record['base_version']} but the restored state is at {current}"
+                )
+            for snippet_state in record["snippets"]:
+                engine.synopsis.restore(Snippet.from_state(snippet_state))
+        if torn:
+            # Truncate the log to the valid prefix.  Leaving the torn tail in
+            # place would make the next flush append onto it, merging two
+            # records into one unparsable line and silently losing every
+            # later record on the following restart.
+            self._atomic_write(
+                self.delta_path, "".join(line + "\n" for line in valid_lines)
+            )
+        self._delta_records = records
+
+    # ------------------------------------------------------------------- write
+
+    def flush(self, engine: VerdictEngine) -> str:
+        """Persist everything that changed since the last flush.
+
+        Returns ``"noop"`` (nothing changed), ``"delta"`` (appended-only
+        changes went to the delta log), or ``"snapshot"`` (a full snapshot
+        was written -- first flush, non-append mutations, training, or
+        compaction).
+        """
+        version = engine.synopsis.version
+        epoch = engine.state_epoch
+        if self._persisted_version is None or self._persisted_epoch != epoch:
+            return self.save_snapshot(engine)
+        if version == self._persisted_version:
+            return "noop"
+        delta = engine.synopsis.changes_since(self._persisted_version)
+        if delta is None or delta.dirty:
+            return self.save_snapshot(engine)
+        if self._delta_records >= self.compact_after:
+            return self.save_snapshot(engine)
+
+        appended = [
+            snippet for snippets in delta.appended.values() for snippet in snippets
+        ]
+        # The per-key lists lose the global append order; the LRU sequence
+        # numbers assigned at add() time recover it exactly.
+        appended.sort(key=lambda snippet: snippet.sequence)
+        record = {
+            "base_version": self._persisted_version,
+            "version": version,
+            "snippets": [snippet.to_state() for snippet in appended],
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.delta_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._persisted_version = version
+        self._delta_records += 1
+        self.deltas_written += 1
+        return "delta"
+
+    def save_snapshot(self, engine: VerdictEngine) -> str:
+        """Write a full snapshot atomically and truncate the delta log."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": STATE_FORMAT_VERSION,
+            "engine": engine.state_dict(include_prepared=self.include_factors),
+        }
+        self._atomic_write(self.snapshot_path, json.dumps(payload))
+        self._atomic_write(self.delta_path, "")
+        self._persisted_version = engine.synopsis.version
+        self._persisted_epoch = engine.state_epoch
+        self._delta_records = 0
+        self.snapshots_written += 1
+        return "snapshot"
+
+    def compact(self, engine: VerdictEngine) -> str:
+        """Fold the delta log into a fresh snapshot immediately."""
+        return self.save_snapshot(engine)
+
+    # ----------------------------------------------------------------- helpers
+
+    def _count_delta_records(self) -> int:
+        if not self.delta_path.is_file():
+            return 0
+        return sum(1 for line in self.delta_path.read_text().splitlines() if line.strip())
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        """Write-then-rename so readers never observe a partial file."""
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)

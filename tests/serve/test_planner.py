@@ -1,0 +1,122 @@
+"""Route-planning tests: budgets, preference order, and cost estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aqp.online_agg import OnlineAggregationEngine
+from repro.config import SamplingConfig, VerdictConfig
+from repro.core.engine import VerdictEngine
+from repro.db.catalog import Catalog
+from repro.errors import ServiceError
+from repro.serve.planner import QueryPlanner, Route, ServiceBudget
+from repro.workloads.synthetic import make_sales_table
+
+
+@pytest.fixture()
+def planner_setup():
+    table = make_sales_table(num_rows=2_000, num_weeks=52, seed=9)
+    catalog = Catalog()
+    catalog.add_table(table, fact=True)
+    aqp = OnlineAggregationEngine(
+        catalog, sampling=SamplingConfig(sample_ratio=0.25, num_batches=4, seed=2)
+    )
+    engine = VerdictEngine(catalog, aqp, config=VerdictConfig(learn_length_scales=False))
+    return engine, QueryPlanner(engine)
+
+
+def plan_routes(planner, engine, sql, budget):
+    parsed, check = engine.check(sql)
+    return [d.route for d in planner.plan(parsed, check, budget)]
+
+
+class TestServiceBudget:
+    def test_exact_budget(self):
+        budget = ServiceBudget.exact()
+        assert budget.requires_exact
+        assert budget.error_met(0.0)
+        assert not budget.error_met(0.001)
+
+    def test_interactive_budget(self):
+        budget = ServiceBudget.interactive(0.05)
+        assert not budget.requires_exact
+        assert budget.error_met(0.04)
+        assert not budget.error_met(0.06)
+
+    def test_no_error_budget_accepts_anything(self):
+        assert ServiceBudget().error_met(10.0)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceBudget(max_relative_error=-0.1)
+        with pytest.raises(ServiceError):
+            ServiceBudget(max_latency_s=0.0)
+
+
+class TestRoutePlanning:
+    def test_exact_budget_plans_exact_only(self, planner_setup):
+        engine, planner = planner_setup
+        routes = plan_routes(
+            planner, engine, "SELECT COUNT(*) FROM sales", ServiceBudget.exact()
+        )
+        assert routes == [Route.EXACT]
+
+    def test_cold_synopsis_plans_online_agg_then_exact(self, planner_setup):
+        engine, planner = planner_setup
+        routes = plan_routes(
+            planner,
+            engine,
+            "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 20",
+            ServiceBudget.interactive(0.1),
+        )
+        assert routes == [Route.ONLINE_AGG, Route.EXACT]
+
+    def test_warm_synopsis_plans_learned_first(self, planner_setup):
+        engine, planner = planner_setup
+        for low in (1, 15, 30):
+            sql = f"SELECT AVG(revenue) FROM sales WHERE week >= {low} AND week <= {low + 14}"
+            parsed, _ = engine.check(sql)
+            engine.record(parsed, engine.aqp.final_answer(parsed))
+        routes = plan_routes(
+            planner,
+            engine,
+            "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 40",
+            ServiceBudget.interactive(0.1),
+        )
+        # Online aggregation stays planned as the inference-error fallback;
+        # the service skips it whenever the learned route answered (its
+        # improved bound dominates the raw bound, Theorem 1).
+        assert routes == [Route.LEARNED, Route.ONLINE_AGG, Route.EXACT]
+
+    def test_unsupported_query_never_plans_learned(self, planner_setup):
+        engine, planner = planner_setup
+        routes = plan_routes(
+            planner,
+            engine,
+            "SELECT MAX(revenue) FROM sales WHERE week >= 1 AND week <= 20",
+            ServiceBudget.interactive(0.1),
+        )
+        assert Route.LEARNED not in routes
+        assert routes[-1] is Route.EXACT
+
+    def test_estimates_order_cheap_to_expensive(self, planner_setup):
+        engine, planner = planner_setup
+        parsed, check = engine.check(
+            "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 20"
+        )
+        decisions = planner.plan(parsed, check, ServiceBudget.interactive(0.1))
+        costs = [d.estimated_seconds for d in decisions]
+        assert costs == sorted(costs)
+        # The exact fallback pays a full-table scan; approximations pay one
+        # sample batch.
+        assert costs[-1] > costs[0]
+
+    def test_synopsis_snippet_counts_respect_table(self, planner_setup):
+        engine, planner = planner_setup
+        assert planner.synopsis_snippets_for("sales") == 0
+        parsed, _ = engine.check(
+            "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 30"
+        )
+        engine.record(parsed, engine.aqp.final_answer(parsed))
+        assert planner.synopsis_snippets_for("sales") > 0
+        assert planner.synopsis_snippets_for("other_table") == 0

@@ -1,0 +1,397 @@
+"""Concurrency and correctness tests for the serving front door.
+
+The hammer tests drive :class:`VerdictService` from many threads mixing
+reads with ``record``/``append`` and assert the two serving invariants:
+
+* **no torn answers** -- an exact COUNT(*) always equals the table's row
+  count at *some* append boundary, never a value in between;
+* **no stale cache** -- after an append, a cached answer computed over the
+  old data is never served again.
+
+The restart test is the ISSUE 3 acceptance criterion: a service restarted
+from its synopsis store answers a trace identically to the service that
+never stopped.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingConfig, VerdictConfig
+from repro.db.catalog import Catalog
+from repro.errors import ServiceError
+from repro.serve import ReadWriteLock, ServiceBudget, SynopsisStore, VerdictService
+from repro.serve.planner import Route
+from repro.workloads.customer1 import Customer1Workload
+from repro.workloads.synthetic import make_sales_table
+
+SAMPLING = SamplingConfig(sample_ratio=0.25, num_batches=4, seed=2)
+CONFIG = VerdictConfig(learn_length_scales=False)
+
+
+def build_service(num_rows: int = 3_000, store=None, **kwargs) -> VerdictService:
+    table = make_sales_table(num_rows=num_rows, num_weeks=52, seed=9)
+    catalog = Catalog()
+    catalog.add_table(table, fact=True)
+    return VerdictService(
+        catalog, store=store, sampling=SAMPLING, config=CONFIG, **kwargs
+    )
+
+
+def customer1_service(num_rows: int = 6_000, store=None, **kwargs):
+    workload = Customer1Workload(num_rows=num_rows, seed=5)
+    service = VerdictService(
+        workload.build_catalog(),
+        store=store,
+        sampling=SAMPLING,
+        config=CONFIG,
+        **kwargs,
+    )
+    return workload, service
+
+
+class TestBasicServing:
+    def test_exact_budget_routes_to_exact(self):
+        with build_service() as service:
+            answer = service.query("SELECT COUNT(*) FROM sales", budget=ServiceBudget.exact())
+            assert answer.route is Route.EXACT
+            assert answer.scalar() == 3_000.0
+            assert answer.relative_error_bound == 0.0
+            assert answer.budget_met
+
+    def test_repeat_query_hits_cache(self):
+        with build_service(record_queries=False) as service:
+            sql = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 30"
+            first = service.query(sql)
+            again = service.query(sql)
+            assert not first.from_cache
+            assert again.from_cache
+            assert again.route is Route.CACHED
+            assert again.rows == first.rows
+            assert service.metrics.requests(Route.CACHED.value) == 1
+
+    def test_recording_makes_learned_route_available(self):
+        with build_service() as service:
+            for low in (1, 12, 25, 38):
+                service.record_answer(
+                    f"SELECT AVG(revenue) FROM sales WHERE week >= {low} AND week <= {low + 14}"
+                )
+            service.train()
+            answer = service.query(
+                "SELECT AVG(revenue) FROM sales WHERE week >= 8 AND week <= 33",
+                budget=ServiceBudget.interactive(0.5),
+                record=False,
+            )
+            assert answer.route is Route.LEARNED
+            assert answer.budget_met
+
+    def test_submit_runs_on_worker_pool(self):
+        with build_service(max_workers=2, record_queries=False) as service:
+            futures = [
+                service.submit("SELECT COUNT(*) FROM sales", ServiceBudget.exact())
+                for _ in range(8)
+            ]
+            values = {future.result().scalar() for future in futures}
+            assert values == {3_000.0}
+
+    def test_closed_service_rejects_requests(self):
+        service = build_service()
+        service.close()
+        with pytest.raises(ServiceError):
+            service.query("SELECT COUNT(*) FROM sales")
+        with pytest.raises(ServiceError):
+            service.submit("SELECT COUNT(*) FROM sales")
+        service.close()  # idempotent
+
+    def test_unsupported_query_is_still_served(self):
+        with build_service() as service:
+            answer = service.query(
+                "SELECT MAX(revenue) FROM sales WHERE week >= 2 AND week <= 50"
+            )
+            assert not answer.supported
+            assert answer.rows
+
+
+class TestCacheInvalidation:
+    def test_append_invalidates_cached_exact_count(self):
+        with build_service() as service:
+            sql = "SELECT COUNT(*) FROM sales"
+            before = service.query(sql, budget=ServiceBudget.exact())
+            assert before.scalar() == 3_000.0
+            assert service.query(sql, budget=ServiceBudget.exact()).from_cache
+            service.append("sales", make_sales_table(num_rows=500, num_weeks=52, seed=3))
+            after = service.query(sql, budget=ServiceBudget.exact())
+            assert not after.from_cache
+            assert after.scalar() == 3_500.0
+
+    def test_record_invalidates_cached_learned_answer(self):
+        with build_service(record_queries=False) as service:
+            sql = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 30"
+            service.query(sql)
+            assert service.query(sql).from_cache
+            service.record_answer(
+                "SELECT AVG(revenue) FROM sales WHERE week >= 10 AND week <= 40"
+            )
+            assert not service.query(sql).from_cache
+
+    def test_tighter_budget_bypasses_looser_cached_answer(self):
+        with build_service(record_queries=False) as service:
+            sql = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 30"
+            loose = service.query(sql, budget=ServiceBudget(max_relative_error=0.5))
+            assert loose.relative_error_bound > 0.0
+            exact = service.query(sql, budget=ServiceBudget.exact())
+            assert not exact.from_cache
+            assert exact.route is Route.EXACT
+
+    def test_cache_entry_stamped_with_execution_versions(self):
+        """An answer computed before a mutation must never be cached as
+        current: the version stamp is captured under the table read lock at
+        execution time, not read at store time."""
+        with build_service(record_queries=False) as service:
+            sql = "SELECT COUNT(*) FROM sales"
+            parsed, check = service.engine.check(sql)
+            decision = service.planner.plan(parsed, check, ServiceBudget.exact())[0]
+            _, _, versions = service._execute_route(
+                decision, parsed, check, ServiceBudget.exact()
+            )
+            # A mutation lands between execution and the cache store.
+            service.append("sales", make_sales_table(num_rows=100, num_weeks=52, seed=4))
+            assert versions[1] != service.catalog.catalog_version
+            # The served answer reflects post-append data, not a stale entry.
+            answer = service.query(sql, budget=ServiceBudget.exact())
+            assert answer.scalar() == 3_100.0
+
+    def test_cache_capacity_is_bounded(self):
+        with build_service(record_queries=False, cache_capacity=4) as service:
+            for low in range(10):
+                service.query(
+                    f"SELECT COUNT(*) FROM sales WHERE week >= {low + 1}",
+                    budget=ServiceBudget.exact(),
+                )
+            assert service.cache_size() <= 4
+
+
+class TestConcurrencyHammer:
+    def test_no_torn_answers_under_concurrent_appends(self):
+        """Exact COUNT(*) must always equal a row count at an append boundary."""
+        service = build_service(max_workers=4)
+        base_rows = 3_000
+        batch_rows = 250
+        num_appends = 4
+        valid_counts = {
+            float(base_rows + i * batch_rows) for i in range(num_appends + 1)
+        }
+        observed: list[float] = []
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    answer = service.query(
+                        "SELECT COUNT(*) FROM sales",
+                        budget=ServiceBudget.exact(),
+                        record=False,
+                    )
+                    observed.append(answer.scalar())
+                except Exception as error:  # pragma: no cover - fails the test
+                    errors.append(error)
+                    return
+
+        def mixed_reader():
+            queries = [
+                "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 30",
+                "SELECT COUNT(*) FROM sales WHERE week >= 10 AND week <= 45",
+            ]
+            index = 0
+            while not stop.is_set():
+                try:
+                    service.query(queries[index % 2], record=(index % 3 == 0))
+                    index += 1
+                except Exception as error:  # pragma: no cover - fails the test
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)] + [
+            threading.Thread(target=mixed_reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(num_appends):
+                service.append(
+                    "sales", make_sales_table(num_rows=batch_rows, num_weeks=52, seed=40 + i)
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        service.close()
+        assert not errors, errors
+        assert observed, "readers never completed a query"
+        torn = [count for count in observed if count not in valid_counts]
+        assert torn == [], f"torn COUNT(*) answers observed: {torn}"
+
+    def test_cache_never_serves_stale_post_append_count(self):
+        """Interleaved cached reads and appends: a count served after append
+        ``i`` completed must reflect at least append ``i``."""
+        service = build_service(max_workers=4)
+        sql = "SELECT COUNT(*) FROM sales"
+        floor = 3_000.0
+        errors: list[Exception] = []
+        floor_lock = threading.Lock()
+        stop = threading.Event()
+
+        def reader():
+            nonlocal floor
+            while not stop.is_set():
+                try:
+                    with floor_lock:
+                        current_floor = floor
+                    answer = service.query(sql, budget=ServiceBudget.exact(), record=False)
+                    if answer.scalar() < current_floor:
+                        raise AssertionError(
+                            f"stale answer {answer.scalar()} < floor {current_floor}"
+                        )
+                except Exception as error:  # pragma: no cover - fails the test
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(4):
+                service.append(
+                    "sales", make_sales_table(num_rows=100, num_weeks=52, seed=60 + i)
+                )
+                with floor_lock:
+                    floor = 3_000.0 + (i + 1) * 100.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        service.close()
+        assert not errors, errors
+
+    def test_concurrent_identical_queries_agree(self):
+        with build_service(max_workers=4, record_queries=False) as service:
+            sql = "SELECT AVG(revenue) FROM sales WHERE week >= 3 AND week <= 48"
+            futures = [service.submit(sql) for _ in range(16)]
+            answers = [future.result() for future in futures]
+            values = {answer.scalar() for answer in answers}
+            assert len(values) == 1
+            assert any(answer.from_cache for answer in answers[1:]) or len(answers) == 1
+
+
+class TestRestartEquivalence:
+    def test_restarted_service_matches_never_stopped_service(self, tmp_path):
+        """ISSUE 3 acceptance: restart from the store, then replay the same
+        trace on both services -- answers must be identical."""
+        budget = ServiceBudget.interactive(0.1)
+        workload, continuous = customer1_service()
+        _, stopping = customer1_service(store=SynopsisStore(tmp_path))
+
+        trace = workload.generate_trace(num_queries=30, seed=8)
+        ingest = [q.sql for q in trace[:15]]
+        replay = [q.sql for q in trace[15:]]
+
+        for service in (continuous, stopping):
+            for sql in ingest:
+                service.record_answer(sql)
+            service.train()
+            for sql in ingest[:4]:
+                service.query(sql, budget=budget, record=True)
+
+        stopping.close()
+        _, restarted = customer1_service(store=SynopsisStore(tmp_path))
+        assert restarted.restored
+        assert len(restarted.engine.synopsis) == len(continuous.engine.synopsis)
+
+        for sql in replay:
+            expected = continuous.query(sql, budget=budget, record=True)
+            actual = restarted.query(sql, budget=budget, record=True)
+            assert actual.route == expected.route
+            assert actual.rows == expected.rows
+            assert actual.relative_error_bound == expected.relative_error_bound
+        continuous.close()
+        restarted.close()
+
+    def test_shutdown_flushes_store_and_restart_restores(self, tmp_path):
+        store = SynopsisStore(tmp_path)
+        with build_service(store=store) as service:
+            for low in (1, 15, 30):
+                service.record_answer(
+                    f"SELECT AVG(revenue) FROM sales WHERE week >= {low} AND week <= {low + 12}"
+                )
+            service.train()
+            recorded = len(service.engine.synopsis)
+        assert store.exists()
+        reborn = build_service(store=SynopsisStore(tmp_path))
+        assert reborn.restored
+        assert len(reborn.engine.synopsis) == recorded
+        reborn.close()
+
+
+class TestReadWriteLock:
+    def test_readers_are_concurrent_and_writers_exclusive(self):
+        lock = ReadWriteLock()
+        active = {"readers": 0, "writers": 0}
+        peak = {"readers": 0}
+        violations: list[str] = []
+        guard = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def read():
+            barrier.wait()
+            with lock.read():
+                with guard:
+                    active["readers"] += 1
+                    peak["readers"] = max(peak["readers"], active["readers"])
+                    if active["writers"]:
+                        violations.append("reader overlapped writer")
+                import time
+
+                time.sleep(0.02)
+                with guard:
+                    active["readers"] -= 1
+
+        def write():
+            barrier.wait()
+            with lock.write():
+                with guard:
+                    active["writers"] += 1
+                    if active["readers"] or active["writers"] > 1:
+                        violations.append("writer overlapped")
+                import time
+
+                time.sleep(0.01)
+                with guard:
+                    active["writers"] -= 1
+
+        threads = [threading.Thread(target=read) for _ in range(3)] + [
+            threading.Thread(target=write)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert violations == []
+        assert peak["readers"] >= 2, "readers never ran concurrently"
+
+
+def test_served_answer_group_rows_match_exact(tmp_path):
+    """Grouped answers keep group identities across routes."""
+    workload, service = customer1_service()
+    with service:
+        answer = service.query(
+            "SELECT region, SUM(revenue) FROM sales "
+            "JOIN dim_store ON store_key = store_key GROUP BY region",
+            budget=ServiceBudget.exact(),
+        )
+        groups = {row.group_values[0] for row in answer.rows}
+        assert groups == {f"region_{i}" for i in range(8)}
+        assert all(np.isfinite(list(row.values.values())).all() for row in answer.rows)
