@@ -11,6 +11,12 @@ Grouping runs through the factorized kernel of :mod:`repro.db.groupby`
 comparison): the group partition is computed once, each measure array is
 gathered into segment order once, and every cell's estimate is formed from
 its contiguous slice.
+
+Predicate evaluation over the scanned prefix runs through the partitioned
+scan driver (:mod:`repro.db.scan`): sample prefixes are zero-copy slice
+views of the full sample, so their partitions, zone maps, and string
+dictionaries are shared across batches, and selective predicates skip
+partitions by zone map exactly as the exact executor does.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow, InternalEstima
 from repro.db.expressions import evaluate_expression, evaluate_predicate
 from repro.db.groupby import factorize, iter_groups_legacy
 from repro.db.having import compile_row_predicate
+from repro.db.scan import scan_selected
 from repro.db.table import Table
 from repro.sqlparser import ast
 
@@ -161,7 +168,6 @@ def estimate_answer(
             fallback_std = float(values.std(ddof=0)) if len(values) else 1.0
             measures[item.output_name] = (values, fallback_std)
 
-    mask = evaluate_predicate(query.where, scanned_table)
     rows: list[AQPRow] = []
 
     def build_row(
@@ -183,25 +189,41 @@ def estimate_answer(
             )
         return AQPRow(group_values=group_values, estimates=estimates)
 
-    if vectorized and group_columns:
-        grouped = factorize(scanned_table, mask, group_columns)
-        if grouped is not None:
-            # Gather each measure into group-segment order once per answer.
-            taken = {
-                name: None if values is None else grouped.take(values)
-                for name, (values, _) in measures.items()
-            }
-            starts, ends = grouped.starts, grouped.ends
-            for group, key in enumerate(grouped.keys):
-                begin, end = starts[group], ends[group]
-                rows.append(
-                    build_row(
-                        key,
-                        int(grouped.counts[group]),
-                        lambda name, begin=begin, end=end: taken[name][begin:end],
+    if vectorized:
+        # Partitioned, pruned scan over the (slice-view) prefix; the merge
+        # order of the scan driver keeps the selection identical to a
+        # whole-prefix evaluation.
+        selected, _ = scan_selected(scanned_table, query.where)
+        if group_columns:
+            grouped = factorize(
+                scanned_table, None, group_columns, selected_indices=selected
+            )
+            if grouped is not None:
+                # Gather each measure into group-segment order once per answer.
+                taken = {
+                    name: None if values is None else grouped.take(values)
+                    for name, (values, _) in measures.items()
+                }
+                starts, ends = grouped.starts, grouped.ends
+                for group, key in enumerate(grouped.keys):
+                    begin, end = starts[group], ends[group]
+                    rows.append(
+                        build_row(
+                            key,
+                            int(grouped.counts[group]),
+                            lambda name, begin=begin, end=end: taken[name][begin:end],
+                        )
                     )
+        else:
+            rows.append(
+                build_row(
+                    (),
+                    len(selected),
+                    lambda name, selected=selected: measures[name][0][selected],
                 )
+            )
     else:
+        mask = evaluate_predicate(query.where, scanned_table)
         for group_values, group_mask in _iter_group_masks(
             scanned_table, mask, group_columns
         ):

@@ -13,8 +13,6 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterator
 
-import numpy as np
-
 from repro.aqp.evaluation import estimate_answer
 from repro.aqp.types import AQPAnswer
 from repro.config import CostModelConfig, SamplingConfig
@@ -111,7 +109,11 @@ class OnlineAggregationEngine:
                     joined = self._apply_joins(query, prefix)
                     self.catalog.store_join(prefix_token, query.joins, joined)
                 else:
-                    delta = prefix.take(np.arange(previous_rows, rows))
+                    # Zero-copy view of the newly scanned batch; the append
+                    # records lineage, so the grown prefix reuses the prior
+                    # prefix's partitions/dictionaries and only builds state
+                    # for the new tail partitions.
+                    delta = prefix.slice_rows(previous_rows, rows)
                     joined = joined.append(self._apply_joins(query, delta))
                     self.catalog.store_join(prefix_token, query.joins, joined)
             previous_rows = rows

@@ -560,8 +560,10 @@ class VerdictEngine:
         old_table = self.catalog.table(table_name)
         old_count = old_table.num_rows
         new_count = appended.num_rows
-        updated = old_table.append(appended.renamed(table_name))
-        self.catalog.replace_table(updated)
+        # append_rows keeps the cached denormalizations (extended by the
+        # delta join) and the appended table reuses the old table's partition
+        # zone maps and dictionaries -- only new partitions are built.
+        self.catalog.append_rows(table_name, appended)
         self.aqp.samples.invalidate(table_name)
         if self.time_bound is not None:
             self.time_bound.samples.invalidate(table_name)

@@ -158,7 +158,17 @@ class AttributeDomains:
         the domain width divided by the number of distinct values (capped at
         ``max_resolution_distinct``); categorical attributes get their number
         of distinct values.  Key columns are never included.
+
+        Numeric min/max bounds and categorical distinct counts come from the
+        partition layer's zone maps and string dictionaries
+        (:mod:`repro.db.partition`), which appends extend incrementally.
+        The numeric *distinct count* feeding the resolution is still an
+        ``np.unique`` pass over the column (its exact value has no
+        partition-level summary), so a domain rebuild is cheaper after this
+        change but not O(appended rows).
         """
+        from repro.db import partition
+
         roles = set(include_roles)
         numeric: dict[str, NumericDomain] = {}
         categorical: dict[str, CategoricalDomain] = {}
@@ -169,12 +179,20 @@ class AttributeDomains:
             if len(values) == 0:
                 continue
             if column.is_categorical:
-                distinct = len(set(values.tolist()))
+                distinct = partition.distinct_count(table, column.name)
                 categorical[column.name] = CategoricalDomain(column.name, max(distinct, 1))
             else:
                 numeric_values = np.asarray(values, dtype=np.float64)
-                low = float(numeric_values.min())
-                high = float(numeric_values.max())
+                bounds = None
+                if not partition.numeric_has_nan(table, column.name):
+                    bounds = partition.numeric_bounds(table, column.name)
+                if bounds is not None:
+                    low, high = bounds
+                else:
+                    # NaN-bearing columns keep the historical NaN-propagating
+                    # min/max (zone maps are NaN-ignoring by design).
+                    low = float(numeric_values.min())
+                    high = float(numeric_values.max())
                 distinct = min(len(np.unique(numeric_values)), max_resolution_distinct)
                 if high > low and distinct > 1:
                     resolution = (high - low) / (distinct - 1)

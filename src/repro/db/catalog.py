@@ -108,6 +108,21 @@ class JoinCache:
         with self._lock:
             self._entries.clear()
 
+    def entries_for_token(self, cache_token: Hashable) -> list[tuple[Hashable, Table]]:
+        """Entries whose key's base-table token equals ``cache_token``.
+
+        Keys are ``(cache_token, joins, dimension_versions)`` tuples (see
+        :class:`Catalog`); the data-append path uses this to find the cached
+        denormalizations of a table's *previous* contents so it can extend
+        them with the delta join instead of recomputing from scratch.
+        """
+        with self._lock:
+            return [
+                (key, table)
+                for key, table in self._entries.items()
+                if isinstance(key, tuple) and len(key) == 3 and key[0] == cache_token
+            ]
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -137,10 +152,12 @@ class Catalog:
             self._fact_tables.add(table.name)
 
     def replace_table(self, table: Table) -> None:
-        """Replace an existing table's contents (used for data appends).
+        """Replace an existing table's contents with *arbitrary* new contents.
 
         Bumps the table's version and invalidates the denormalization cache:
-        any cached join involving the old contents becomes unreachable.
+        any cached join involving the old contents becomes unreachable.  For
+        appends, prefer :meth:`append_rows`, which keeps (and extends) the
+        cached denormalizations instead of dropping them.
         """
         if table.name not in self._tables:
             raise CatalogError(f"table {table.name!r} does not exist")
@@ -148,6 +165,40 @@ class Catalog:
         self._versions[table.name] += 1
         self._catalog_version += 1
         self.join_cache.clear()
+
+    def append_rows(self, name: str, delta: Table) -> Table:
+        """Append ``delta``'s rows to table ``name`` (the data-append path).
+
+        Unlike :meth:`replace_table` this does *not* invalidate the
+        denormalization cache.  An append only adds rows, so every cached
+        denormalization of the old contents is still a correct prefix: the
+        delta rows are joined on their own (O(delta), the foreign-key join is
+        row-wise and order-preserving) and appended to the cached table,
+        which is then stored under the new table version.  The appended
+        table's partition zone maps and string dictionaries are likewise
+        extended rather than rebuilt (append lineage, see
+        :mod:`repro.db.partition`) -- appends only add new partitions.
+
+        Returns the updated (appended) table now registered in the catalog.
+        """
+        old = self.table(name)
+        old_version = self._versions[name]
+        updated = old.append(delta.renamed(name))
+        self._tables[name] = updated
+        self._versions[name] = old_version + 1
+        self._catalog_version += 1
+
+        old_token = ("denorm", name, old_version)
+        new_token = ("denorm", name, old_version + 1)
+        for key, cached in self.join_cache.entries_for_token(old_token):
+            _, joins, dimension_versions = key
+            if dimension_versions != self._dimension_versions(joins):
+                continue  # a dimension changed since; let it rebuild lazily
+            delta_joined = delta.renamed(name)
+            for join_clause in joins:
+                delta_joined = self.join(delta_joined, join_clause)
+            self.store_join(new_token, joins, cached.append(delta_joined))
+        return updated
 
     def table(self, name: str) -> Table:
         try:

@@ -17,6 +17,15 @@ reductions in one pass over the selected rows.  ``ExactExecutor(catalog,
 vectorized=False)`` restores the original per-row loop (one full-length
 boolean mask and one measure evaluation per group), which the property tests
 and the query-engine benchmark compare against.
+
+Scans run through the partitioned storage layer by default
+(``partitioned=True``): predicate evaluation is morsel-driven per partition
+with zone-map pruning (:mod:`repro.db.scan`), optionally on ``num_threads``
+worker threads, and measure expressions are evaluated only over the selected
+rows.  The merge discipline of the scan driver keeps every answer
+byte-identical to the single-threaded unpartitioned path;
+``partitioned=False`` restores the whole-table scan for comparison, and the
+scan benchmark (``benchmarks/bench_scan.py``) measures the difference.
 """
 
 from __future__ import annotations
@@ -27,9 +36,14 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.db.catalog import Catalog
-from repro.db.expressions import evaluate_expression, evaluate_predicate
+from repro.db.expressions import (
+    evaluate_expression,
+    evaluate_expression_at,
+    evaluate_predicate,
+)
 from repro.db.groupby import factorize, iter_groups_legacy, normalize_value, segment_aggregate
 from repro.db.having import compile_row_predicate, evaluate_row_predicate
+from repro.db.scan import ScanCounters, ScanReport, scan_selected
 from repro.db.table import Table
 from repro.errors import ExpressionError
 from repro.sqlparser import ast
@@ -149,17 +163,71 @@ def _scalar_aggregate(
     raise ExpressionError(f"unknown aggregate function {function}")
 
 
+def _scalar_aggregate_selected(
+    function: ast.AggregateFunction,
+    values_selected: np.ndarray | None,
+    selected: int,
+    total_rows: int,
+) -> float:
+    """The no-GROUP-BY cell of one aggregate from selected-row measures.
+
+    ``values_selected`` is the measure evaluated at the selected rows in
+    ascending row order -- element-identical to ``values[mask]`` of
+    :func:`_scalar_aggregate`, so the reductions are bit-identical.
+    """
+    if function is ast.AggregateFunction.COUNT:
+        return float(selected)
+    if function is ast.AggregateFunction.FREQ:
+        if total_rows <= 0:
+            return 0.0
+        return float(selected) / float(total_rows)
+    if selected == 0:
+        return 0.0
+    if function in (
+        ast.AggregateFunction.SUM,
+        ast.AggregateFunction.AVG,
+        ast.AggregateFunction.MIN,
+        ast.AggregateFunction.MAX,
+    ):
+        assert values_selected is not None
+        if function is ast.AggregateFunction.SUM:
+            return float(values_selected.sum())
+        if function is ast.AggregateFunction.AVG:
+            return float(values_selected.mean())
+        if function is ast.AggregateFunction.MIN:
+            return float(values_selected.min())
+        return float(values_selected.max())
+    raise ExpressionError(f"unknown aggregate function {function}")
+
+
 class ExactExecutor:
     """Executes queries exactly against a catalog (or a single wide table).
 
     ``vectorized=True`` (the default) routes group-by aggregation through the
     factorized kernel; ``vectorized=False`` keeps the original per-row loop
     for comparison benchmarks and equivalence tests.
+
+    ``partitioned=True`` (the default, vectorized only) evaluates predicates
+    morsel-by-morsel with zone-map pruning and restricts measure evaluation
+    to the selected rows; ``num_threads > 1`` scans surviving partitions on a
+    thread pool.  Results are byte-identical in every configuration.  Scan
+    accounting accumulates in :attr:`scan_counters`, and the report of the
+    most recent scan is kept in :attr:`last_scan_report`.
     """
 
-    def __init__(self, catalog: Catalog, vectorized: bool = True):
+    def __init__(
+        self,
+        catalog: Catalog,
+        vectorized: bool = True,
+        partitioned: bool = True,
+        num_threads: int = 1,
+    ):
         self.catalog = catalog
         self.vectorized = vectorized
+        self.partitioned = partitioned
+        self.num_threads = max(1, int(num_threads))
+        self.scan_counters = ScanCounters()
+        self.last_scan_report: ScanReport | None = None
 
     # ------------------------------------------------------------------ public
 
@@ -178,41 +246,54 @@ class ExactExecutor:
         actually scanned.
         """
         total = len(table) if total_rows is None else total_rows
-        mask = evaluate_predicate(query.where, table)
         aggregate_items = [item for item in query.select if item.is_aggregate]
         aggregate_names = tuple(item.output_name for item in aggregate_items)
         group_columns = tuple(column.name for column in query.group_by)
 
         result = QueryResult(group_columns=group_columns, aggregate_names=aggregate_names)
         if self.vectorized:
-            # Each measure expression is evaluated once per query and every
-            # group cell below indexes into the shared array.  Evaluation is
-            # deferred until a non-empty selection needs it, matching the
-            # legacy path (COUNT/FREQ never touch their argument; SUM/AVG/
-            # MIN/MAX over an empty selection return 0.0 without evaluating).
+            # The scan driver returns the selected row indices directly:
+            # zone maps skip partitions no row of which can match, and with
+            # ``num_threads > 1`` surviving morsels are evaluated in
+            # parallel.  Merge order is partition order, so the selection is
+            # identical to a whole-table evaluation.
+            if self.partitioned:
+                selected, report = scan_selected(
+                    table, query.where, self.num_threads, self.scan_counters
+                )
+                self.last_scan_report = report
+            else:
+                selected = np.flatnonzero(evaluate_predicate(query.where, table))
+            num_selected = len(selected)
+
+            # Each measure expression is evaluated once per query -- and only
+            # at the selected rows, so measure work is proportional to what
+            # the pruned scan kept.  Evaluation is deferred until a non-empty
+            # selection needs it, matching the legacy path (COUNT/FREQ never
+            # touch their argument; SUM/AVG/MIN/MAX over an empty selection
+            # return 0.0 without evaluating).
             def measure_for(item: ast.SelectItem) -> np.ndarray | None:
                 expression = item.expression
                 if expression.is_star or expression.function in _COUNTING_FUNCTIONS:
                     return None
                 return np.asarray(
-                    evaluate_expression(expression.argument, table), dtype=np.float64
+                    evaluate_expression_at(expression.argument, table, selected),
+                    dtype=np.float64,
                 )
 
             if not group_columns:
-                selected = int(mask.sum())
                 aggregates = {
-                    item.output_name: _scalar_aggregate(
+                    item.output_name: _scalar_aggregate_selected(
                         item.expression.function,
-                        measure_for(item) if selected else None,
-                        mask,
-                        selected,
+                        measure_for(item) if num_selected else None,
+                        num_selected,
                         total,
                     )
                     for item in aggregate_items
                 }
                 result.rows.append(ResultRow(group_values=(), aggregates=aggregates))
             else:
-                grouped = factorize(table, mask, group_columns)
+                grouped = factorize(table, None, group_columns, selected_indices=selected)
                 if grouped is not None:
                     cells = {
                         item.output_name: segment_aggregate(
@@ -220,6 +301,7 @@ class ExactExecutor:
                             grouped,
                             measure_for(item),
                             total,
+                            values_are_selected=True,
                         )
                         for item in aggregate_items
                     }
@@ -231,6 +313,7 @@ class ExactExecutor:
                             ResultRow(group_values=key, aggregates=aggregates)
                         )
         else:
+            mask = evaluate_predicate(query.where, table)
             if not group_columns:
                 aggregates = {
                     item.output_name: compute_aggregate(item.expression, table, mask, total)

@@ -4,16 +4,26 @@ Scalar expressions (columns, literals, arithmetic over them) evaluate to NumPy
 arrays aligned with the table rows; predicates evaluate to boolean masks.
 The evaluator is shared by the exact executor (ground truth) and by the
 sampling-based AQP engines, which apply the same predicates to sample rows.
+
+Predicates over categorical (object-dtype) columns evaluate through the
+table's dictionary encoding (:mod:`repro.db.partition`): the predicate is
+applied once per *distinct value* (memoised per table and predicate leaf)
+and the per-distinct booleans are gathered through the int64 code array --
+replacing the historical per-row Python list comprehensions.  The per-row
+loops are retained as ``_comparison_mask`` / ``_in_mask_legacy`` /
+``_between_mask_legacy``: they remain the fallback for non-column operands
+and the reference implementations the property tests compare against.
 """
 
 from __future__ import annotations
 
 import re
 from functools import lru_cache
-from typing import Union
+from typing import Callable, Hashable, Union
 
 import numpy as np
 
+from repro.db.partition import ColumnDictionary, column_dictionary
 from repro.db.table import Table
 from repro.errors import ExpressionError
 from repro.sqlparser import ast
@@ -34,6 +44,47 @@ def evaluate_expression(expression: ast.Expression, table: Table) -> np.ndarray:
     if isinstance(expression, ast.BinaryOp):
         left = np.asarray(evaluate_expression(expression.left, table), dtype=np.float64)
         right = np.asarray(evaluate_expression(expression.right, table), dtype=np.float64)
+        if expression.op == "+":
+            return left + right
+        if expression.op == "-":
+            return left - right
+        if expression.op == "*":
+            return left * right
+        if expression.op == "/":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                result = np.divide(left, right)
+            return np.where(np.isfinite(result), result, 0.0)
+        raise ExpressionError(f"unknown arithmetic operator {expression.op!r}")
+    raise ExpressionError(f"cannot evaluate expression of type {type(expression).__name__}")
+
+
+def evaluate_expression_at(
+    expression: ast.Expression, table: Table, indices: np.ndarray
+) -> np.ndarray:
+    """Evaluate a scalar expression at the given row indices only.
+
+    Element-identical to ``evaluate_expression(expression, table)[indices]``
+    (every operation is elementwise), but the work is proportional to
+    ``len(indices)`` -- the partitioned executor uses this so measure
+    evaluation scales with the rows a pruned scan kept, not the table size.
+    """
+    if isinstance(expression, ast.ColumnRef):
+        if not table.has_column(expression.name):
+            raise ExpressionError(
+                f"unknown column {expression.name!r} in table {table.name!r}"
+            )
+        return table.column(expression.name)[indices]
+    if isinstance(expression, ast.Literal):
+        return np.full(len(indices), expression.value)
+    if isinstance(expression, ast.Star):
+        raise ExpressionError("'*' can only appear inside COUNT(*) / FREQ(*)")
+    if isinstance(expression, ast.BinaryOp):
+        left = np.asarray(
+            evaluate_expression_at(expression.left, table, indices), dtype=np.float64
+        )
+        right = np.asarray(
+            evaluate_expression_at(expression.right, table, indices), dtype=np.float64
+        )
         if expression.op == "+":
             return left + right
         if expression.op == "-":
@@ -85,6 +136,117 @@ def _comparison_mask(
     raise ExpressionError(f"unknown comparison operator {op}")
 
 
+# --------------------------------------------------------------------------- #
+# Dictionary-encoded categorical predicates
+# --------------------------------------------------------------------------- #
+
+
+def _scalar_comparison(op: ast.ComparisonOp, literal: object) -> Callable[[object], bool]:
+    """Per-value semantics of ``value <op> literal`` (legacy row semantics)."""
+    if op is ast.ComparisonOp.EQ:
+        return lambda v: v == literal
+    if op is ast.ComparisonOp.NE:
+        return lambda v: v != literal
+    if op is ast.ComparisonOp.LT:
+        return lambda v: v < literal
+    if op is ast.ComparisonOp.LE:
+        return lambda v: v <= literal
+    if op is ast.ComparisonOp.GT:
+        return lambda v: v > literal
+    if op is ast.ComparisonOp.GE:
+        return lambda v: v >= literal
+    raise ExpressionError(f"unknown comparison operator {op}")
+
+
+def leaf_match_key(leaf: ast.Predicate) -> Hashable | None:
+    """A value-derived cache key for one categorical predicate leaf.
+
+    Two structurally equal leaves (same operator and literals) share the key,
+    so repeated queries reuse the memoised per-distinct-value evaluation.
+    Returns ``None`` for leaves this module cannot evaluate per-value.
+    """
+    if isinstance(leaf, ast.Comparison) and isinstance(leaf.right, ast.Literal):
+        return ("cmp", leaf.op, leaf.right.value)
+    if isinstance(leaf, ast.InPredicate):
+        return ("in", leaf.values, leaf.negated)
+    if isinstance(leaf, ast.BetweenPredicate):
+        return ("between", leaf.low, leaf.high)
+    if isinstance(leaf, ast.LikePredicate):
+        return ("like", leaf.pattern, leaf.negated)
+    return None
+
+
+def _leaf_match_function(leaf: ast.Predicate) -> Callable[[object], bool]:
+    """The per-distinct-value evaluation of one leaf, negation included."""
+    if isinstance(leaf, ast.Comparison):
+        assert isinstance(leaf.right, ast.Literal)
+        return _scalar_comparison(leaf.op, leaf.right.value)
+    if isinstance(leaf, ast.InPredicate):
+        allowed = set(leaf.values)
+        if leaf.negated:
+            return lambda v: v not in allowed
+        return lambda v: v in allowed
+    if isinstance(leaf, ast.BetweenPredicate):
+        low, high = leaf.low, leaf.high
+        return lambda v: low <= v <= high
+    if isinstance(leaf, ast.LikePredicate):
+        regex = _like_regex(leaf.pattern)
+        if leaf.negated:
+            return lambda v: regex.fullmatch(str(v)) is None
+        return lambda v: regex.fullmatch(str(v)) is not None
+    raise ExpressionError(f"cannot evaluate leaf of type {type(leaf).__name__}")
+
+
+def distinct_match_mask(dictionary: ColumnDictionary, leaf: ast.Predicate) -> np.ndarray:
+    """Boolean mask over the dictionary's distinct values satisfying ``leaf``.
+
+    Memoised in the dictionary's ``match_cache`` (shared by every slice view
+    of the same table), so a morsel-parallel scan pays the per-distinct
+    evaluation once per table and query, not once per partition.
+    """
+    key = leaf_match_key(leaf)
+    if key is not None:
+        cached = dictionary.match_cache.get(key)
+        if cached is not None:
+            return cached
+    match = _leaf_match_function(leaf)
+    mask = np.fromiter(
+        (bool(match(value)) for value in dictionary.values),
+        dtype=bool,
+        count=len(dictionary.values),
+    )
+    if key is not None:
+        dictionary.match_cache[key] = mask
+    return mask
+
+
+def _categorical_leaf_mask(table: Table, name: str, leaf: ast.Predicate) -> np.ndarray:
+    """Row mask of one categorical leaf: per-distinct evaluation + code gather."""
+    dictionary = column_dictionary(table, name)
+    if dictionary.num_distinct == 0:
+        return np.zeros(len(table), dtype=bool)
+    return distinct_match_mask(dictionary, leaf)[dictionary.codes]
+
+
+# Ablation switch for the retained per-row reference paths: the scan
+# benchmark times the pre-dictionary per-row loops through the same executor
+# by flipping this off.  Not thread-safe; only flip it in single-threaded
+# benchmark/test code.
+_dictionary_predicates_enabled = True
+
+
+def set_dictionary_predicates(enabled: bool) -> bool:
+    """Toggle dictionary-encoded categorical predicates; returns the old value."""
+    global _dictionary_predicates_enabled
+    previous = _dictionary_predicates_enabled
+    _dictionary_predicates_enabled = enabled
+    return previous
+
+
+def _use_dictionary(column: np.ndarray) -> bool:
+    return column.dtype == object and _dictionary_predicates_enabled
+
+
 def evaluate_predicate(predicate: ast.Predicate | None, table: Table) -> np.ndarray:
     """Evaluate a predicate to a boolean mask over ``table`` rows.
 
@@ -109,8 +271,13 @@ def evaluate_predicate(predicate: ast.Predicate | None, table: Table) -> np.ndar
         return _evaluate_comparison(predicate, table)
     if isinstance(predicate, ast.InPredicate):
         column = table.column(predicate.column.name)
-        allowed = set(predicate.values)
+        if _use_dictionary(column):
+            # Dictionary path: membership decided once per distinct value
+            # (negation folded into the per-value function), gathered via codes.
+            return _categorical_leaf_mask(table, predicate.column.name, predicate)
         if column.dtype == object:
+            # Retained per-row reference path (pre-dictionary).
+            allowed = set(predicate.values)
             mask = np.asarray([v in allowed for v in column], dtype=bool)
         else:
             numeric_allowed = np.asarray(
@@ -121,6 +288,8 @@ def evaluate_predicate(predicate: ast.Predicate | None, table: Table) -> np.ndar
         return ~mask if predicate.negated else mask
     if isinstance(predicate, ast.BetweenPredicate):
         column = table.column(predicate.column.name)
+        if _use_dictionary(column):
+            return _categorical_leaf_mask(table, predicate.column.name, predicate)
         if column.dtype == object:
             values = column.astype(object)
             return np.asarray(
@@ -130,11 +299,12 @@ def evaluate_predicate(predicate: ast.Predicate | None, table: Table) -> np.ndar
         return (values >= float(predicate.low)) & (values <= float(predicate.high))
     if isinstance(predicate, ast.LikePredicate):
         column = table.column(predicate.column.name)
+        if _use_dictionary(column):
+            # LIKE columns are categorical: matching the few distinct values
+            # (memoised per table + pattern) and scattering back through the
+            # dictionary codes beats running the regex once per row.
+            return _categorical_leaf_mask(table, predicate.column.name, predicate)
         regex = _like_regex(predicate.pattern)
-        # LIKE columns are categorical: matching the few distinct values and
-        # scattering back beats running the regex once per row (the paper's
-        # Customer1-style traces made per-row matching the hottest path of
-        # exact execution).
         uniques, inverse = np.unique(column.astype(str), return_inverse=True)
         unique_mask = np.asarray(
             [regex.fullmatch(value) is not None for value in uniques], dtype=bool
@@ -170,7 +340,14 @@ def _evaluate_comparison(predicate: ast.Comparison, table: Table) -> np.ndarray:
         op = _flip(op)
     if isinstance(right, ast.Literal):
         if isinstance(left, ast.ColumnRef):
-            return _comparison_mask(table.column(left.name), op, right.value)
+            column = table.column(left.name)
+            if _use_dictionary(column):
+                # Dictionary path: the comparison runs once per distinct
+                # value instead of once per row (the normalised leaf keeps
+                # the original literal, so semantics match the legacy loop).
+                normalised = ast.Comparison(left=left, op=op, right=right)
+                return _categorical_leaf_mask(table, left.name, normalised)
+            return _comparison_mask(column, op, right.value)
         values = evaluate_expression(left, table)
         return _comparison_mask(np.asarray(values, dtype=np.float64), op, right.value)
     # column-vs-column (or expression-vs-expression) comparison

@@ -87,6 +87,12 @@ class GroupedSelection:
         order.
     counts:
         Number of selected rows per group.
+    order:
+        The permutation of the *selected* rows that produced
+        ``sorted_indices``: ``sorted_indices = selected_indices[order]``.
+        Arrays aligned with the selected rows (e.g. measures evaluated only
+        over the selected subset of a pruned scan) are gathered into segment
+        order with it (:meth:`take_selected`).
     """
 
     keys: list[tuple[Value, ...]]
@@ -94,6 +100,7 @@ class GroupedSelection:
     starts: np.ndarray
     ends: np.ndarray
     counts: np.ndarray
+    order: np.ndarray | None = None
 
     @property
     def num_groups(self) -> int:
@@ -117,6 +124,17 @@ class GroupedSelection:
         as ``values[group_mask]`` would.
         """
         return values[self.sorted_indices]
+
+    def take_selected(self, values_selected: np.ndarray) -> np.ndarray:
+        """Gather values *aligned with the selected rows* into segment order.
+
+        ``values_selected[i]`` must correspond to the ``i``-th selected row in
+        ascending row order (``table.take(selected_indices)`` alignment); the
+        result is element-identical to :meth:`take` over the full-length
+        array, so downstream reductions stay bit-identical.
+        """
+        assert self.order is not None, "factorize() did not record the order"
+        return values_selected[self.order]
 
 
 def _encode_hashed(values) -> tuple[np.ndarray, int]:
@@ -164,28 +182,52 @@ def _encode_column(values: np.ndarray) -> tuple[np.ndarray, int]:
 
 
 def _column_codes(table: Table, name: str) -> tuple[np.ndarray, int]:
-    """The memoised whole-column encoding of one group column."""
+    """The memoised whole-column encoding of one group column.
+
+    Contiguous slice views (``Table.slice_rows``, e.g. sample batch prefixes
+    and scan morsels) reuse the parent table's encoding by slicing its code
+    array: any injective encoding partitions the slice's rows identically,
+    and group keys/order are derived from the values, not the codes.
+    """
     per_table = _column_codes_cache.get(table)
     if per_table is None:
         per_table = {}
         _column_codes_cache[table] = per_table
     entry = per_table.get(name)
     if entry is None:
-        entry = _encode_column(table.column(name))
+        from repro.db.partition import slice_parent
+
+        sliced = slice_parent(table)
+        if sliced is not None:
+            parent, start, stop = sliced
+            parent_codes, size = _column_codes(parent, name)
+            entry = (parent_codes[start:stop], size)
+        else:
+            entry = _encode_column(table.column(name))
         per_table[name] = entry
     return entry
 
 
 def factorize(
-    table: Table, mask: np.ndarray, group_columns: Sequence[str]
+    table: Table,
+    mask: np.ndarray | None,
+    group_columns: Sequence[str],
+    selected_indices: np.ndarray | None = None,
 ) -> GroupedSelection | None:
     """Factorize the rows of ``table`` selected by ``mask`` into groups.
 
     Returns ``None`` when no rows are selected (no groups -- the legacy
     iterator yielded nothing in that case).  ``group_columns`` must be
     non-empty; the scalar (no GROUP BY) case never reaches the kernel.
+
+    ``selected_indices`` (ascending row indices) may be passed instead of a
+    mask -- the partitioned scan driver already has them, and skipping the
+    full-length ``flatnonzero`` keeps grouped execution proportional to the
+    selected rows.
     """
-    selected_indices = np.flatnonzero(mask)
+    if selected_indices is None:
+        assert mask is not None
+        selected_indices = np.flatnonzero(mask)
     num_selected = len(selected_indices)
     if num_selected == 0:
         return None
@@ -231,6 +273,7 @@ def factorize(
         starts=starts,
         ends=ends,
         counts=ends - starts,
+        order=order,
     )
 
 
@@ -239,6 +282,7 @@ def segment_aggregate(
     grouped: GroupedSelection,
     values: np.ndarray | None,
     total_rows: int,
+    values_are_selected: bool = False,
 ) -> np.ndarray:
     """All groups' values of one aggregate function, in group order.
 
@@ -247,6 +291,11 @@ def segment_aggregate(
     and each group's reduction runs over its contiguous slice -- the same
     NumPy reduction over the same operand sequence as the legacy per-group
     ``values[mask]`` calls, so results are bit-identical.
+
+    With ``values_are_selected`` the measure was evaluated only over the
+    selected rows (ascending row order) -- the partitioned executor does this
+    so measure evaluation is proportional to the rows a pruned scan kept --
+    and is gathered through the recorded selection permutation instead.
     """
     counts = grouped.counts
     if function is ast.AggregateFunction.COUNT:
@@ -257,7 +306,10 @@ def segment_aggregate(
         return counts.astype(np.float64) / float(total_rows)
     if values is None:
         raise ExpressionError(f"aggregate {function} requires an argument")
-    taken = grouped.take(np.asarray(values, dtype=np.float64))
+    if values_are_selected:
+        taken = grouped.take_selected(np.asarray(values, dtype=np.float64))
+    else:
+        taken = grouped.take(np.asarray(values, dtype=np.float64))
     starts, ends = grouped.starts, grouped.ends
     out = np.empty(grouped.num_groups, dtype=np.float64)
     if function is ast.AggregateFunction.SUM:

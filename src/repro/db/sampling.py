@@ -55,6 +55,7 @@ class TableSample:
     sample_ratio: float
     batch_offsets: tuple[int, ...]
     sample_id: int = field(default_factory=itertools.count().__next__)
+    _prefix_views: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def cache_token(self) -> tuple[str, str, int]:
@@ -78,9 +79,19 @@ class TableSample:
         return self.batch_offsets[batches - 1]
 
     def prefix(self, rows: int) -> Table:
-        """The first ``rows`` rows of the (already shuffled) sample."""
+        """The first ``rows`` rows of the (already shuffled) sample.
+
+        Prefixes are zero-copy slice views of the sample, memoised per row
+        count: repeated batches return the *same* table instance, so derived
+        state (partition zone maps, string dictionaries, group-by encodings)
+        is shared across queries and batches instead of rebuilt per call.
+        """
         rows = max(0, min(rows, self.sample_size))
-        return self.sample.head(rows)
+        view = self._prefix_views.get(rows)
+        if view is None:
+            view = self.sample.slice_rows(0, rows)
+            self._prefix_views[rows] = view
+        return view
 
     def prefix_for_batches(self, batches: int) -> Table:
         """The sample prefix covered by the first ``batches`` batches."""

@@ -1,0 +1,381 @@
+"""Morsel-driven partitioned scans with zone-map pruning.
+
+This is the scan driver sitting between the predicate evaluator and the
+execution engines.  Given a table and a predicate it:
+
+1. consults the per-partition zone maps (:mod:`repro.db.partition`) to decide
+   which partitions *may* contain matching rows -- selective predicates over
+   clustered data skip most partitions without touching their arrays;
+2. evaluates the predicate per surviving partition, each morsel being a
+   zero-copy row slice, optionally on a thread pool (NumPy kernels release
+   the GIL);
+3. merges the per-partition selected row indices **in partition order**, so
+   the selection is byte-identical to evaluating the predicate over the whole
+   table in one pass, regardless of thread scheduling.
+
+Pruning is conservative: a partition is skipped only when its zone map
+*proves* no row can match.  ``NOT`` nodes and comparisons over derived
+expressions never prune.  Every scan is accounted in (thread-safe) scan
+counters exposed through ``repro.serve.metrics`` and the experiment reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.expressions import _flip, distinct_match_mask, evaluate_predicate
+from repro.db.partition import (
+    TablePartitions,
+    column_dictionary,
+    table_partitions,
+)
+from repro.db.table import Table
+from repro.sqlparser import ast
+
+# --------------------------------------------------------------------------- #
+# Scan accounting
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """Partition accounting of one scan."""
+
+    partitions_total: int
+    partitions_scanned: int
+    partitions_pruned: int
+    rows_total: int
+    rows_scanned: int
+
+
+class ScanCounters:
+    """Thread-safe cumulative partition/pruning counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.scans = 0
+        self.partitions_total = 0
+        self.partitions_scanned = 0
+        self.partitions_pruned = 0
+        self.rows_total = 0
+        self.rows_scanned = 0
+
+    def record(self, report: ScanReport) -> None:
+        with self._lock:
+            self.scans += 1
+            self.partitions_total += report.partitions_total
+            self.partitions_scanned += report.partitions_scanned
+            self.partitions_pruned += report.partitions_pruned
+            self.rows_total += report.rows_total
+            self.rows_scanned += report.rows_scanned
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            scanned = self.partitions_scanned
+            total = self.partitions_total
+            return {
+                "scans": self.scans,
+                "partitions_total": total,
+                "partitions_scanned": scanned,
+                "partitions_pruned": self.partitions_pruned,
+                "rows_total": self.rows_total,
+                "rows_scanned": self.rows_scanned,
+                "prune_fraction": (self.partitions_pruned / total) if total else 0.0,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.scans = 0
+            self.partitions_total = 0
+            self.partitions_scanned = 0
+            self.partitions_pruned = 0
+            self.rows_total = 0
+            self.rows_scanned = 0
+
+
+#: Process-wide counters every scan records into (per-component counters can
+#: be layered on top by passing an explicit ``counters`` argument).
+GLOBAL_SCAN_COUNTERS = ScanCounters()
+
+
+def scan_counters_snapshot() -> dict:
+    """Snapshot of the process-wide scan counters (for metrics/reports)."""
+    return GLOBAL_SCAN_COUNTERS.snapshot()
+
+
+# --------------------------------------------------------------------------- #
+# Zone-map pruning
+# --------------------------------------------------------------------------- #
+
+
+def _leaf_maybe_vec(
+    leaf: ast.Predicate, table: Table, partitions: TablePartitions
+) -> np.ndarray:
+    """Per-partition may-match of one predicate leaf, vectorized over zones.
+
+    NaN rows never satisfy ordered comparisons or ``=`` but always satisfy
+    ``!=`` (NumPy semantics, matching the evaluator); all-NaN partitions
+    carry ``nan`` bounds, so every ordered comparison against them is False
+    and they prune out automatically.
+    """
+    count = partitions.num_partitions
+    maybe_all = np.ones(count, dtype=bool)
+
+    if isinstance(leaf, ast.Comparison):
+        left, op, right = leaf.left, leaf.op, leaf.right
+        if isinstance(left, ast.Literal) and not isinstance(right, ast.Literal):
+            left, right = right, left
+            op = _flip(op)
+        if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal)):
+            return maybe_all
+        name, literal = left.name, right.value
+        if _is_categorical(partitions, name):
+            return _categorical_maybe_vec(
+                table, name, ast.Comparison(left=left, op=op, right=right), partitions
+            )
+        stats = partitions.numeric_stats(name)
+        if stats is None or isinstance(literal, str):
+            # Unknown column or string literal vs numeric column: the
+            # evaluator falls back to per-row object comparisons; no pruning.
+            return maybe_all
+        lows, highs, has_nan = stats
+        value = float(literal)
+        if op is ast.ComparisonOp.EQ:
+            return (lows <= value) & (highs >= value)
+        if op is ast.ComparisonOp.NE:
+            # nan != value is True, so all-NaN partitions stay in ([nan] bounds).
+            return has_nan | (lows != value) | (highs != value)
+        if op is ast.ComparisonOp.LT:
+            return lows < value
+        if op is ast.ComparisonOp.LE:
+            return lows <= value
+        if op is ast.ComparisonOp.GT:
+            return highs > value
+        if op is ast.ComparisonOp.GE:
+            return highs >= value
+        return maybe_all
+
+    if isinstance(leaf, ast.InPredicate):
+        name = leaf.column.name
+        if _is_categorical(partitions, name):
+            return _categorical_maybe_vec(table, name, leaf, partitions)
+        stats = partitions.numeric_stats(name)
+        if stats is None:
+            return maybe_all
+        lows, highs, has_nan = stats
+        numeric_allowed = [float(v) for v in leaf.values if isinstance(v, (int, float))]
+        if leaf.negated:
+            # NaN rows satisfy NOT IN; a partition is excluded only when it
+            # is constant, NaN-free, and that constant is in the list.
+            constant = (lows == highs) & ~has_nan
+            hit = np.zeros(count, dtype=bool)
+            for value in numeric_allowed:
+                hit |= constant & (lows == value)
+            return ~hit
+        hit = np.zeros(count, dtype=bool)
+        for value in numeric_allowed:
+            hit |= (lows <= value) & (value <= highs)
+        return hit
+
+    if isinstance(leaf, ast.BetweenPredicate):
+        name = leaf.column.name
+        if _is_categorical(partitions, name):
+            return _categorical_maybe_vec(table, name, leaf, partitions)
+        stats = partitions.numeric_stats(name)
+        if stats is None or isinstance(leaf.low, str) or isinstance(leaf.high, str):
+            return maybe_all
+        lows, highs, _ = stats
+        return (highs >= float(leaf.low)) & (lows <= float(leaf.high))
+
+    if isinstance(leaf, ast.LikePredicate):
+        name = leaf.column.name
+        if _is_categorical(partitions, name):
+            return _categorical_maybe_vec(table, name, leaf, partitions)
+        return maybe_all
+
+    return maybe_all
+
+
+def _is_categorical(partitions: TablePartitions, name: str) -> bool:
+    return bool(partitions.zone_maps) and name in partitions.zone_maps[0].categorical
+
+
+def _categorical_maybe_vec(
+    table: Table, name: str, leaf: ast.Predicate, partitions: TablePartitions
+) -> np.ndarray:
+    """A categorical partition may match iff it holds any matching code.
+
+    The per-distinct match mask is memoised per table and leaf, so checking P
+    partitions costs one pass over the distinct values plus P set probes.
+    """
+    match = distinct_match_mask(column_dictionary(table, name), leaf)
+    matching = _matching_code_set(match)
+    return np.asarray(
+        [
+            not matching.isdisjoint(zone_map.categorical[name])
+            for zone_map in partitions.zone_maps
+        ],
+        dtype=bool,
+    )
+
+
+def _matching_code_set(match: np.ndarray) -> frozenset:
+    """frozenset of matching codes, cached on the mask array via identity."""
+    cached = _code_set_cache.get(id(match))
+    if cached is not None and cached[0] is match:
+        return cached[1]
+    codes = frozenset(np.flatnonzero(match).tolist())
+    _code_set_cache[id(match)] = (match, codes)
+    if len(_code_set_cache) > 256:
+        _code_set_cache.clear()
+    return codes
+
+
+_code_set_cache: dict[int, tuple[np.ndarray, frozenset]] = {}
+
+
+def partition_maybe_mask(
+    predicate: ast.Predicate | None, table: Table, partitions: TablePartitions
+) -> np.ndarray:
+    """Per-partition boolean array: True where the partition must be scanned.
+
+    Conservative: a partition is marked False only when its zone map proves
+    no row can match.  ``AND`` intersects children, ``OR`` unions them, and
+    ``NOT`` never prunes (zone maps only bound the positive side, so the
+    complement can never be proven empty).
+    """
+    if predicate is None:
+        return np.ones(partitions.num_partitions, dtype=bool)
+    if isinstance(predicate, ast.And):
+        maybe = np.ones(partitions.num_partitions, dtype=bool)
+        for child in predicate.predicates:
+            maybe &= partition_maybe_mask(child, table, partitions)
+        return maybe
+    if isinstance(predicate, ast.Or):
+        maybe = np.zeros(partitions.num_partitions, dtype=bool)
+        for child in predicate.predicates:
+            maybe |= partition_maybe_mask(child, table, partitions)
+        return maybe
+    if isinstance(predicate, ast.Not):
+        return np.ones(partitions.num_partitions, dtype=bool)
+    return _leaf_maybe_vec(predicate, table, partitions)
+
+
+# --------------------------------------------------------------------------- #
+# Morsel-driven scan
+# --------------------------------------------------------------------------- #
+
+_pool_lock = threading.Lock()
+_pools: dict[int, ThreadPoolExecutor] = {}
+
+
+def _pool_for(num_threads: int) -> ThreadPoolExecutor:
+    """A shared thread pool per parallelism degree (created once, reused)."""
+    with _pool_lock:
+        pool = _pools.get(num_threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=num_threads, thread_name_prefix=f"scan{num_threads}"
+            )
+            _pools[num_threads] = pool
+        return pool
+
+
+def estimate_scan_rows(table: Table, predicate: ast.Predicate | None) -> int:
+    """Zone-map-only estimate of the rows a pruned scan must touch.
+
+    Used by the serving planner's cost model: the exact route's cost is a
+    scan of the *surviving* partitions, not of the whole table.
+    """
+    partitions = table_partitions(table)
+    if predicate is None:
+        return partitions.num_rows
+    maybe = partition_maybe_mask(predicate, table, partitions)
+    return int(
+        sum(end - start for (start, end), flag in zip(partitions.bounds, maybe) if flag)
+    )
+
+
+def scan_selected(
+    table: Table,
+    predicate: ast.Predicate | None,
+    num_threads: int = 1,
+    counters: ScanCounters | None = None,
+) -> tuple[np.ndarray, ScanReport]:
+    """Selected row indices of ``predicate`` over ``table``, pruned + parallel.
+
+    Returns the ascending row indices satisfying the predicate -- exactly
+    ``np.flatnonzero(evaluate_predicate(predicate, table))``, computed by
+    evaluating only the partitions whose zone maps may match.  Per-partition
+    morsels run on a shared thread pool when ``num_threads > 1``; partial
+    results are merged in partition order, so the output (and everything
+    downstream) is byte-identical to the single-threaded path.
+    """
+    partitions = table_partitions(table)
+    report: ScanReport
+    if len(table) == 0:
+        selected = np.zeros(0, dtype=np.int64)
+        report = ScanReport(0, 0, 0, 0, 0)
+    elif predicate is None:
+        selected = np.arange(len(table), dtype=np.int64)
+        report = ScanReport(
+            partitions.num_partitions,
+            partitions.num_partitions,
+            0,
+            partitions.num_rows,
+            partitions.num_rows,
+        )
+    else:
+        maybe = partition_maybe_mask(predicate, table, partitions)
+        survivors = [
+            (start, end)
+            for (start, end), flag in zip(partitions.bounds, maybe)
+            if flag
+        ]
+
+        def scan_one(bounds: tuple[int, int]) -> np.ndarray:
+            start, end = bounds
+            morsel = table.slice_rows(start, end)
+            mask = evaluate_predicate(predicate, morsel)
+            local = np.flatnonzero(mask)
+            local += start
+            return local
+
+        if num_threads > 1 and len(survivors) > 1:
+            pool = _pool_for(num_threads)
+            parts = list(pool.map(scan_one, survivors))
+        else:
+            parts = [scan_one(bounds) for bounds in survivors]
+        if parts:
+            selected = np.concatenate(parts)
+        else:
+            selected = np.zeros(0, dtype=np.int64)
+        scanned_rows = sum(end - start for start, end in survivors)
+        report = ScanReport(
+            partitions_total=partitions.num_partitions,
+            partitions_scanned=len(survivors),
+            partitions_pruned=partitions.num_partitions - len(survivors),
+            rows_total=partitions.num_rows,
+            rows_scanned=scanned_rows,
+        )
+    (counters or GLOBAL_SCAN_COUNTERS).record(report)
+    if counters is not None:
+        GLOBAL_SCAN_COUNTERS.record(report)
+    return selected, report
+
+
+def scan_mask(
+    table: Table,
+    predicate: ast.Predicate | None,
+    num_threads: int = 1,
+    counters: ScanCounters | None = None,
+) -> tuple[np.ndarray, ScanReport]:
+    """Full-length boolean mask variant of :func:`scan_selected`."""
+    selected, report = scan_selected(table, predicate, num_threads, counters)
+    mask = np.zeros(len(table), dtype=bool)
+    mask[selected] = True
+    return mask, report

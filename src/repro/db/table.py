@@ -132,6 +132,27 @@ class Table:
             raise TableError("head count must be non-negative")
         return self.take(np.arange(min(count, self._length)))
 
+    def slice_rows(self, start: int, stop: int) -> "Table":
+        """Return a zero-copy view of the contiguous row range ``[start, stop)``.
+
+        Column arrays are NumPy slices of this table's arrays (no copy).
+        The view's lineage is recorded so derived state (string dictionaries,
+        group-by encodings) is shared with the parent instead of rebuilt --
+        this is what makes per-partition morsels and per-batch sample
+        prefixes cheap (see :mod:`repro.db.partition`).
+        """
+        start = max(0, min(int(start), self._length))
+        stop = max(start, min(int(stop), self._length))
+        view = Table.__new__(Table)
+        view.name = self.name
+        view.schema = self.schema
+        view._data = {name: array[start:stop] for name, array in self._data.items()}
+        view._length = stop - start
+        from repro.db.partition import note_slice
+
+        note_slice(self, view, start, stop)
+        return view
+
     def select(self, names: Sequence[str]) -> "Table":
         """Return a new table containing only the named columns, in order."""
         columns = tuple(self.schema.column(name) for name in names)
@@ -187,7 +208,11 @@ class Table:
             name: np.concatenate([self._data[name], other._data[name]])
             for name in self.schema.names()
         }
-        return Table(self.name, self.schema, columns)
+        appended = Table(self.name, self.schema, columns)
+        from repro.db.partition import note_append
+
+        note_append(self, appended)
+        return appended
 
     # ------------------------------------------------------------- conversions
 

@@ -193,6 +193,23 @@ class ExperimentRunner:
         )
         return baseline_point, verdict_point
 
+    # ---------------------------------------------------------------- counters
+
+    def scan_report(self) -> dict:
+        """Partition/pruning counters: this runner's exact scans + process totals.
+
+        ``exact_executor`` covers the ground-truth scans this runner issued;
+        ``process`` is the process-wide accumulation across every engine
+        (exact, online aggregation, serving), the same counters
+        ``repro.serve.metrics.ServiceMetrics`` snapshots.
+        """
+        from repro.db.scan import scan_counters_snapshot
+
+        return {
+            "exact_executor": self.exact.scan_counters.snapshot(),
+            "process": scan_counters_snapshot(),
+        }
+
     # ----------------------------------------------------------------- helpers
 
     def _exact_for(self, query: ast.Query) -> QueryResult:

@@ -24,6 +24,8 @@ import random
 import threading
 from bisect import bisect_left
 
+from repro.db.scan import scan_counters_snapshot
+
 #: Histogram bucket upper bounds, in seconds (log-spaced, "+Inf" implied).
 DEFAULT_BUCKETS = (
     0.0001,
@@ -93,11 +95,40 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Thread-safe per-route serving metrics."""
+    """Thread-safe per-route serving metrics.
+
+    Besides the per-route counters and latency histograms, the snapshot
+    includes the partitioned-scan accounting (partitions scanned vs skipped
+    by zone-map pruning, :mod:`repro.db.scan`).  The counters are
+    **process-wide** scans observed since this metrics object was created --
+    in the common one-service-per-process deployment that is the service's
+    own scan activity, but co-resident services/runners all contribute to
+    the same totals (per-executor attribution lives on
+    ``ExactExecutor.scan_counters``).
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
         self._routes: dict[str, dict] = {}
+        self._scan_baseline = scan_counters_snapshot()
+
+    def scan_snapshot(self) -> dict:
+        """Process-wide partition/pruning counters since this object's birth."""
+        current = scan_counters_snapshot()
+        delta = {
+            key: current[key] - self._scan_baseline[key]
+            for key in (
+                "scans",
+                "partitions_total",
+                "partitions_scanned",
+                "partitions_pruned",
+                "rows_total",
+                "rows_scanned",
+            )
+        }
+        total = delta["partitions_total"]
+        delta["prune_fraction"] = (delta["partitions_pruned"] / total) if total else 0.0
+        return delta
 
     def _route_entry(self, route: str) -> dict:
         entry = self._routes.get(route)
@@ -157,4 +188,4 @@ class ServiceMetrics:
                 for route, entry in sorted(self._routes.items())
             }
             total = sum(entry["requests"] for entry in self._routes.values())
-            return {"total_requests": total, "routes": routes}
+        return {"total_requests": total, "routes": routes, "scan": self.scan_snapshot()}

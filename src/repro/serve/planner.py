@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.aqp.estimators import confidence_multiplier
 from repro.core.engine import VerdictEngine
+from repro.db.scan import estimate_scan_rows
 from repro.errors import ServiceError
 from repro.sqlparser import ast
 from repro.sqlparser.checker import CheckResult
@@ -184,9 +185,21 @@ class QueryPlanner:
         return total
 
     def estimated_exact_seconds(self, query: ast.Query) -> float:
-        """Model seconds for an exact answer: a full denormalised scan."""
+        """Model seconds for an exact answer: a *pruned* denormalised scan.
+
+        The exact executor scans partition-wise and skips partitions whose
+        zone maps prove no row can match (:mod:`repro.db.scan`), so the cost
+        estimate charges only the rows of the surviving partitions -- a
+        selective predicate over clustered data makes the exact route far
+        cheaper than a full scan, and the planner's route ordering sees that.
+        Predicates over joined dimension attributes prune conservatively
+        (they are not resolvable on the fact table alone).
+        """
         catalog = self.engine.catalog
-        rows = catalog.cardinality(query.table) if catalog.has_table(query.table) else 0
+        if catalog.has_table(query.table):
+            rows = estimate_scan_rows(catalog.table(query.table), query.where)
+        else:
+            rows = 0
         dimension_rows = sum(
             catalog.cardinality(join.table)
             for join in query.joins

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.db.catalog import Catalog, JoinCache, match_foreign_keys
-from repro.db.schema import Schema, categorical_dimension, key, measure
+from repro.db.schema import (
+    ColumnKind,
+    Schema,
+    categorical_dimension,
+    key,
+    measure,
+    numeric_dimension,
+)
 from repro.db.table import Table
 from repro.errors import CatalogError
 from repro.sqlparser import ast
@@ -239,3 +246,76 @@ class TestDenormalizationCache:
         cache.put("newer", table)  # evicts "cold", not "hot"
         assert cache.get("hot") is table
         assert cache.get("cold") is None
+
+
+class TestAppendRows:
+    """Satellite: appends extend cached denormalizations instead of clearing."""
+
+    def _denorm_query(self):
+        return parse_query(
+            "SELECT AVG(amount) FROM orders JOIN stores ON store_id = store_id"
+        )
+
+    def _delta(self):
+        return Table(
+            "orders",
+            Schema.of(
+                [
+                    numeric_dimension("day", ColumnKind.INT),
+                    key("store_id"),
+                    measure("amount"),
+                ]
+            ),
+            {"day": [7, 8], "store_id": [1, 0], "amount": [70.0, 80.0]},
+        )
+
+    def test_append_rows_updates_table_and_versions(self, star_catalog):
+        before_version = star_catalog.catalog_version
+        updated = star_catalog.append_rows("orders", self._delta())
+        assert star_catalog.table("orders") is updated
+        assert updated.num_rows == 8
+        assert star_catalog.table_version("orders") == 1
+        assert star_catalog.catalog_version == before_version + 1
+
+    def test_append_extends_cached_denormalization(self, star_catalog):
+        query = self._denorm_query()
+        cached_before = star_catalog.denormalize(query)
+        assert cached_before.num_rows == 6
+        star_catalog.append_rows("orders", self._delta())
+        hits_before = star_catalog.join_cache.hits
+        extended = star_catalog.denormalize(query)
+        # Served from the cache entry written by append_rows: no re-join.
+        assert star_catalog.join_cache.hits == hits_before + 1
+        assert extended.num_rows == 8
+        # The extension equals a from-scratch denormalization of the new table.
+        star_catalog.join_cache.clear()
+        recomputed = star_catalog.denormalize(query)
+        assert extended.column_names() == recomputed.column_names()
+        for name in extended.column_names():
+            assert extended.column(name).tolist() == recomputed.column(name).tolist()
+
+    def test_append_without_cached_join_is_lazy(self, star_catalog):
+        star_catalog.append_rows("orders", self._delta())
+        assert star_catalog.denormalize(self._denorm_query()).num_rows == 8
+
+    def test_append_reuses_prefix_partitions(self, star_catalog):
+        from repro.db.partition import table_partitions
+
+        old = star_catalog.table("orders")
+        before = table_partitions(old, partition_rows=3)
+        star_catalog.append_rows("orders", self._delta())
+        after = table_partitions(star_catalog.table("orders"))
+        assert after.partition_rows == 3
+        # 6 old rows / 3 = 2 full partitions reused verbatim, 1 new built.
+        assert after.zone_maps[0] is before.zone_maps[0]
+        assert after.zone_maps[1] is before.zone_maps[1]
+        assert after.num_partitions == 3
+
+    def test_stale_dimension_version_skips_extension(self, star_catalog):
+        query = self._denorm_query()
+        star_catalog.denormalize(query)
+        stores = star_catalog.table("stores")
+        star_catalog.replace_table(stores)  # bump dim version, clear cache
+        star_catalog.append_rows("orders", self._delta())
+        # No crash, and a fresh denormalization is still correct.
+        assert star_catalog.denormalize(query).num_rows == 8

@@ -1,0 +1,203 @@
+"""Unit tests for the partitioned storage layer (zone maps, dictionaries)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import partition
+from repro.db.partition import (
+    column_dictionary,
+    distinct_count,
+    numeric_bounds,
+    numeric_has_nan,
+    table_partitions,
+)
+from repro.db.schema import (
+    ColumnKind,
+    Schema,
+    categorical_dimension,
+    measure,
+    numeric_dimension,
+)
+from repro.db.table import Table
+
+
+def make_table(num_rows: int, name: str = "t") -> Table:
+    schema = Schema.of(
+        [
+            numeric_dimension("week", ColumnKind.INT),
+            categorical_dimension("region"),
+            measure("revenue"),
+        ]
+    )
+    return Table(
+        name,
+        schema,
+        {
+            "week": np.arange(num_rows, dtype=np.int64),
+            "region": [f"r{i % 5}" for i in range(num_rows)],
+            "revenue": np.arange(num_rows, dtype=np.float64) * 0.5,
+        },
+    )
+
+
+class TestPartitionBounds:
+    def test_non_dividing_row_count(self):
+        table = make_table(103)
+        parts = table_partitions(table, partition_rows=16)
+        assert parts.num_partitions == 7
+        assert parts.bounds[0] == (0, 16)
+        assert parts.bounds[-1] == (96, 103)
+        assert sum(end - start for start, end in parts.bounds) == 103
+
+    def test_exactly_dividing_row_count(self):
+        table = make_table(64)
+        parts = table_partitions(table, partition_rows=16)
+        assert parts.num_partitions == 4
+        assert parts.bounds[-1] == (48, 64)
+
+    def test_empty_table(self):
+        table = make_table(0)
+        parts = table_partitions(table, partition_rows=16)
+        assert parts.num_partitions == 0
+        assert parts.bounds == ()
+
+    def test_memoised_per_instance(self):
+        table = make_table(50)
+        assert table_partitions(table, partition_rows=8) is table_partitions(table)
+
+
+class TestZoneMaps:
+    def test_numeric_min_max(self):
+        table = make_table(40)
+        parts = table_partitions(table, partition_rows=10)
+        zone = parts.zone_maps[1].numeric["week"]
+        assert (zone.low, zone.high) == (10.0, 19.0)
+        zone = parts.zone_maps[3].numeric["revenue"]
+        assert (zone.low, zone.high) == (15.0, 19.5)
+        assert not zone.has_nan
+
+    def test_nan_aware_zones(self):
+        schema = Schema.of([measure("x")])
+        table = Table(
+            "nans",
+            schema,
+            {"x": [1.0, float("nan"), 3.0, float("nan"), float("nan"), float("nan")]},
+        )
+        parts = table_partitions(table, partition_rows=3)
+        first = parts.zone_maps[0].numeric["x"]
+        assert (first.low, first.high, first.has_nan) == (1.0, 3.0, True)
+        second = parts.zone_maps[1].numeric["x"]
+        assert second.all_nan and second.has_nan
+
+    def test_categorical_code_sets(self):
+        table = make_table(10)  # regions cycle r0..r4
+        parts = table_partitions(table, partition_rows=5)
+        dictionary = column_dictionary(table, "region")
+        for zone_map in parts.zone_maps:
+            assert zone_map.categorical["region"] == frozenset(range(5))
+        assert dictionary.values == ["r0", "r1", "r2", "r3", "r4"]
+
+
+class TestColumnDictionary:
+    def test_first_seen_codes(self):
+        schema = Schema.of([categorical_dimension("c")])
+        table = Table("d", schema, {"c": ["b", "a", "b", "c", "a"]})
+        dictionary = column_dictionary(table, "c")
+        assert dictionary.values == ["b", "a", "c"]
+        assert dictionary.codes.tolist() == [0, 1, 0, 2, 1]
+        assert dictionary.code_for("c") == 2
+        assert dictionary.code_for("missing") is None
+
+    def test_append_extends_without_renumbering(self):
+        schema = Schema.of([categorical_dimension("c")])
+        table = Table("d", schema, {"c": ["b", "a"]})
+        base_dictionary = column_dictionary(table, "c")
+        appended = table.append(Table("d", schema, {"c": ["z", "a"]}))
+        extended = column_dictionary(appended, "c")
+        assert extended.values[:2] == base_dictionary.values
+        assert extended.codes[:2].tolist() == base_dictionary.codes.tolist()
+        assert extended.codes.tolist() == [0, 1, 2, 1]
+
+    def test_slice_view_shares_dictionary(self):
+        table = make_table(30)
+        parent = column_dictionary(table, "region")
+        view = table.slice_rows(10, 20)
+        sliced = column_dictionary(view, "region")
+        assert sliced.values is parent.values
+        assert sliced.index is parent.index
+        assert sliced.match_cache is parent.match_cache
+        assert sliced.codes.tolist() == parent.codes[10:20].tolist()
+
+
+class TestAppendReuse:
+    def test_full_prefix_partitions_reused(self):
+        table = make_table(32)
+        before = table_partitions(table, partition_rows=8)
+        appended = table.append(make_table(20))
+        after = table_partitions(appended)
+        assert after.partition_rows == 8
+        assert after.num_partitions == 7  # 52 rows / 8
+        # The four full prefix partitions keep their zone maps verbatim.
+        for index in range(4):
+            assert after.zone_maps[index] is before.zone_maps[index]
+
+    def test_partial_tail_partition_rebuilt(self):
+        table = make_table(30)  # last partition 24..30 is partial
+        before = table_partitions(table, partition_rows=8)
+        appended = table.append(make_table(10))
+        after = table_partitions(appended)
+        assert [after.zone_maps[i] is before.zone_maps[i] for i in range(3)] == [True] * 3
+        assert after.zone_maps[3] is not before.zone_maps[3]
+        # Rebuilt tail covers the merged rows: weeks 24..29 from the old
+        # table plus weeks 0..1 from the appended rows.
+        zone = after.zone_maps[3].numeric["week"]
+        assert (zone.low, zone.high) == (0.0, 29.0)
+        assert after.bounds[-1] == (32, 40)
+
+    def test_append_zone_maps_match_fresh_build(self):
+        table = make_table(30)
+        table_partitions(table, partition_rows=8)
+        appended = table.append(make_table(10))
+        reused = table_partitions(appended)
+        fresh = Table("t", appended.schema, appended.to_dict())
+        rebuilt = table_partitions(fresh, partition_rows=8)
+        assert reused.bounds == rebuilt.bounds
+        for left, right in zip(reused.zone_maps, rebuilt.zone_maps):
+            assert left.numeric == right.numeric
+            assert left.categorical == right.categorical
+
+
+class TestTableStats:
+    def test_numeric_bounds_merge(self):
+        table = make_table(100)
+        table_partitions(table, partition_rows=16)
+        assert numeric_bounds(table, "week") == (0.0, 99.0)
+        assert numeric_bounds(table, "revenue") == (0.0, 49.5)
+
+    def test_numeric_bounds_all_nan(self):
+        table = Table("n", Schema.of([measure("x")]), {"x": [float("nan")] * 4})
+        assert numeric_bounds(table, "x") is None
+        assert numeric_has_nan(table, "x")
+
+    def test_distinct_count(self):
+        table = make_table(100)
+        assert distinct_count(table, "region") == 5
+
+    def test_has_nan_false_for_clean_column(self):
+        table = make_table(10)
+        assert not numeric_has_nan(table, "revenue")
+
+
+class TestLineageRegistry:
+    def test_slice_parent_exposed(self):
+        table = make_table(20)
+        view = table.slice_rows(5, 15)
+        parent, start, stop = partition.slice_parent(view)
+        assert parent is table and (start, stop) == (5, 15)
+
+    def test_slice_bounds_clamped(self):
+        table = make_table(10)
+        view = table.slice_rows(-5, 99)
+        assert len(view) == 10
+        assert view.column("week").tolist() == table.column("week").tolist()

@@ -1,0 +1,262 @@
+"""Property-based equivalence of the partitioned scan layer.
+
+The partitioned, pruned, (optionally) multi-threaded execution path must be
+**byte-identical** to the retained legacy paths:
+
+* ``scan_selected`` == ``np.flatnonzero(evaluate_predicate(...))`` for every
+  predicate shape, row count (including counts that do not divide the
+  partition size), NaN placement, and append history;
+* ``ExactExecutor(partitioned=True, num_threads=k)`` == the legacy
+  ``vectorized=False`` row loop for whole query results (group order, key
+  tuples, aggregate floats);
+* dictionary-encoded categorical predicates == the retained per-row loops;
+* repeated multi-threaded scans of the same query are deterministic
+  (the thread-pool hammer).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.db.catalog import Catalog
+from repro.db.executor import ExactExecutor
+from repro.db.expressions import _comparison_mask, evaluate_predicate
+from repro.db.partition import table_partitions
+from repro.db.scan import scan_selected
+from repro.db.schema import (
+    ColumnKind,
+    Schema,
+    categorical_dimension,
+    measure,
+    numeric_dimension,
+)
+from repro.db.table import Table
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+
+REGIONS = ["east", "west", "north", "sd"]
+
+CONDITIONS = [
+    "week >= 6",
+    "week < 3",
+    "week = 4",
+    "week <> 4",
+    "region = 'east'",
+    "region <> 'east'",
+    "region = 'absent'",
+    "region IN ('east', 'sd')",
+    "region NOT IN ('east', 'sd')",
+    "region LIKE '%s%'",
+    "region NOT LIKE 'e___'",
+    "region BETWEEN 'a' AND 'n'",
+    "m BETWEEN -10 AND 10",
+    "week IN (0, 7, 99)",
+    "week >= 2 AND region = 'west'",
+    "week < 1 OR week > 8 OR region = 'north'",
+    "NOT week = 3",
+    "week > 100",  # prunes everything
+    "m + week > 5",  # derived expression: never prunes, still correct
+]
+
+QUERIES = [
+    "SELECT COUNT(*), FREQ(*) FROM t WHERE {cond}",
+    "SELECT SUM(m), AVG(m), MIN(m), MAX(m) FROM t WHERE {cond}",
+    "SELECT region, SUM(m), COUNT(*) FROM t WHERE {cond} GROUP BY region",
+    "SELECT week, region, AVG(m) FROM t WHERE {cond} GROUP BY week, region",
+]
+
+
+def build_table(weeks, regions, measures) -> Table:
+    schema = Schema.of(
+        [
+            numeric_dimension("week", ColumnKind.INT),
+            categorical_dimension("region"),
+            measure("m"),
+        ]
+    )
+    return Table("t", schema, {"week": weeks, "region": regions, "m": measures})
+
+
+def assert_results_identical(left, right):
+    assert [r.group_values for r in left.rows] == [r.group_values for r in right.rows]
+    for new_row, old_row in zip(left.rows, right.rows):
+        for name in new_row.aggregates:
+            a, b = new_row.aggregates[name], old_row.aggregates[name]
+            assert a == b or (math.isnan(a) and math.isnan(b)), (name, a, b)
+
+
+table_inputs = st.integers(min_value=0, max_value=120).flatmap(
+    lambda rows: st.tuples(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=rows, max_size=rows
+        ),
+        st.lists(st.sampled_from(REGIONS), min_size=rows, max_size=rows),
+        st.lists(
+            st.sampled_from([-4.5, 0.0, 1.25, 3.0, 88.0, float("nan")]),
+            min_size=rows,
+            max_size=rows,
+        ),
+    )
+)
+
+
+class TestScanSelectionEquivalence:
+    @given(
+        data=table_inputs,
+        partition_rows=st.sampled_from([3, 7, 16]),
+        condition=st.sampled_from(CONDITIONS),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_selected_indices_match_legacy_mask(self, data, partition_rows, condition):
+        weeks, regions, measures = data
+        table = build_table(weeks, regions, measures)
+        table_partitions(table, partition_rows=partition_rows)
+        predicate = parse_query(f"SELECT COUNT(*) FROM t WHERE {condition}").where
+        selected, report = scan_selected(table, predicate)
+        expected = np.flatnonzero(evaluate_predicate(predicate, table))
+        assert np.array_equal(selected, expected)
+        assert report.rows_scanned <= report.rows_total
+        assert report.partitions_scanned + report.partitions_pruned == report.partitions_total
+
+
+class TestExecutorEquivalence:
+    @given(
+        data=table_inputs,
+        partition_rows=st.sampled_from([4, 9, 32]),
+        condition=st.sampled_from(CONDITIONS),
+        query_template=st.sampled_from(QUERIES),
+        num_threads=st.sampled_from([1, 4]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_partitioned_equals_legacy_row_loop(
+        self, data, partition_rows, condition, query_template, num_threads
+    ):
+        weeks, regions, measures = data
+        table = build_table(weeks, regions, measures)
+        table_partitions(table, partition_rows=partition_rows)
+        catalog = Catalog.of([table], fact_tables=["t"])
+        query = parse_query(query_template.format(cond=condition))
+
+        partitioned = ExactExecutor(
+            catalog, vectorized=True, partitioned=True, num_threads=num_threads
+        )
+        legacy = ExactExecutor(catalog, vectorized=False, partitioned=False)
+        assert_results_identical(partitioned.execute(query), legacy.execute(query))
+
+    @given(data=table_inputs, condition=st.sampled_from(CONDITIONS))
+    @settings(max_examples=40, deadline=None)
+    def test_append_mid_trace_stays_identical(self, data, condition):
+        weeks, regions, measures = data
+        table = build_table(weeks, regions, measures)
+        table_partitions(table, partition_rows=8)
+        catalog = Catalog.of([table], fact_tables=["t"])
+        query = parse_query(f"SELECT region, SUM(m), COUNT(*) FROM t WHERE {condition} GROUP BY region")
+        partitioned = ExactExecutor(catalog, partitioned=True)
+        legacy = ExactExecutor(catalog, vectorized=False, partitioned=False)
+        assert_results_identical(partitioned.execute(query), legacy.execute(query))
+        # Append (reusing prefix partitions) and compare again.
+        delta = build_table(weeks[: len(weeks) // 2], regions[: len(weeks) // 2], measures[: len(weeks) // 2])
+        catalog.append_rows("t", delta)
+        assert_results_identical(partitioned.execute(query), legacy.execute(query))
+
+
+class TestDictionaryPredicateEquivalence:
+    """Satellite: dictionary-code comparisons == the retained per-row loops."""
+
+    object_columns = st.lists(
+        st.sampled_from(["east", "west", "", "e", 3, 7.5, None, float("nan")]),
+        min_size=0,
+        max_size=60,
+    )
+
+    @given(values=object_columns, literal=st.sampled_from(["east", "", 3, 7.5]))
+    @settings(max_examples=80, deadline=None)
+    def test_equality_mask_identical(self, values, literal):
+        schema = Schema.of([categorical_dimension("c")])
+        table = Table("t", schema, {"c": values})
+        column = table.column("c")
+        for op in (ast.ComparisonOp.EQ, ast.ComparisonOp.NE):
+            legacy = _comparison_mask(column, op, literal)
+            predicate = ast.Comparison(
+                left=ast.ColumnRef(name="c"), op=op, right=ast.Literal(value=literal)
+            )
+            new = evaluate_predicate(predicate, table)
+            assert np.array_equal(new, legacy)
+
+    @given(values=object_columns)
+    @settings(max_examples=60, deadline=None)
+    def test_in_list_mask_identical(self, values):
+        schema = Schema.of([categorical_dimension("c")])
+        table = Table("t", schema, {"c": values})
+        allowed = ("east", 3, "")
+        for negated in (False, True):
+            legacy = np.asarray([v in set(allowed) for v in table.column("c")], dtype=bool)
+            if negated:
+                legacy = ~legacy
+            predicate = ast.InPredicate(
+                column=ast.ColumnRef(name="c"), values=allowed, negated=negated
+            )
+            assert np.array_equal(evaluate_predicate(predicate, table), legacy)
+
+    @given(
+        values=st.lists(st.sampled_from(REGIONS + ["zz", "aaa"]), max_size=60),
+        low=st.sampled_from(["a", "e", "n"]),
+        high=st.sampled_from(["f", "w", "zzz"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_between_mask_identical(self, values, low, high):
+        schema = Schema.of([categorical_dimension("c")])
+        table = Table("t", schema, {"c": values})
+        legacy = np.asarray([low <= v <= high for v in table.column("c")], dtype=bool)
+        predicate = ast.BetweenPredicate(column=ast.ColumnRef(name="c"), low=low, high=high)
+        assert np.array_equal(evaluate_predicate(predicate, table), legacy)
+
+    @given(
+        values=st.lists(st.sampled_from(REGIONS + ["", "easter"]), max_size=60),
+        pattern=st.sampled_from(["e%", "%st", "_est", "%s%", "east", "%"]),
+        negated=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_like_mask_identical(self, values, pattern, negated):
+        from repro.db.expressions import _like_regex
+
+        schema = Schema.of([categorical_dimension("c")])
+        table = Table("t", schema, {"c": values})
+        regex = _like_regex(pattern)
+        legacy = np.asarray(
+            [regex.fullmatch(str(v)) is not None for v in table.column("c")], dtype=bool
+        )
+        if negated:
+            legacy = ~legacy
+        predicate = ast.LikePredicate(
+            column=ast.ColumnRef(name="c"), pattern=pattern, negated=negated
+        )
+        assert np.array_equal(evaluate_predicate(predicate, table), legacy)
+
+
+class TestThreadPoolDeterminism:
+    def test_hammer_repeated_parallel_scans_identical(self):
+        rng = np.random.default_rng(3)
+        rows = 5000
+        table = build_table(
+            np.sort(rng.integers(0, 10, rows)).tolist(),
+            [REGIONS[i] for i in rng.integers(0, len(REGIONS), rows)],
+            rng.normal(0.0, 10.0, rows).tolist(),
+        )
+        table_partitions(table, partition_rows=256)
+        catalog = Catalog.of([table], fact_tables=["t"])
+        query = parse_query(
+            "SELECT region, SUM(m), AVG(m), COUNT(*) FROM t "
+            "WHERE week >= 4 AND region <> 'sd' GROUP BY region"
+        )
+        reference = ExactExecutor(catalog, vectorized=False, partitioned=False).execute(query)
+        executor = ExactExecutor(catalog, partitioned=True, num_threads=4)
+        predicate = query.where
+        first_selected, _ = scan_selected(table, predicate, num_threads=4)
+        for _ in range(25):
+            selected, _ = scan_selected(table, predicate, num_threads=4)
+            assert np.array_equal(selected, first_selected)
+            assert_results_identical(executor.execute(query), reference)
