@@ -1,0 +1,279 @@
+"""Correlation-parameter learning: workspace + analytic gradients vs legacy.
+
+Measures the learning fast path (``VerdictConfig.learning_fast_path``) on a
+100-snippet / 3-numeric-attribute workload with two categorical dimensions
+(the Customer1-style mixed schema).  The fast path
+
+* builds a :class:`repro.core.learning.LikelihoodWorkspace` once per
+  ``learn_length_scales`` call -- deduplicated per-attribute distinct-range
+  arrays, the constant categorical factor matrices, the noise diagonal,
+  centred observations and the analytic prior -- so each objective
+  evaluation only recomputes the per-attribute numeric factors on distinct
+  ranges; and
+* hands L-BFGS-B the *analytic* likelihood gradient (the
+  ``0.5 tr((K^-1 - aa^T) dK/dtheta)`` identity over the separable product
+  kernel), one factorisation per optimiser step instead of the ``d + 1``
+  finite-difference objective evaluations scipy needs without a Jacobian.
+
+The legacy baseline is the pre-workspace path (rebuild every covariance
+piece from the snippet list per evaluation, no Jacobian), re-enabled via
+``learning_fast_path=False``.
+
+Before any timing, the benchmark asserts correctness: the workspace NLL
+must agree with the reference ``negative_log_likelihood`` to 1e-12 at probe
+scales (it is bit-identical in practice), and the learned length scales of
+the two paths must agree within 1% per attribute.
+
+Run as a script to (re)generate the committed JSON artifacts::
+
+    PYTHONPATH=src python benchmarks/bench_learning.py
+
+which writes ``benchmarks/results/learning.json`` and the repo-root
+perf-trajectory datapoint ``BENCH_learning.json``.  CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_learning.py --smoke
+
+on a smaller workload and fails if the fast path is slower than the legacy
+path or the learned scales diverge.  It can also run under pytest:
+pytest benchmarks/bench_learning.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import VerdictConfig
+from repro.core.learning import (
+    LikelihoodWorkspace,
+    constrained_numeric_attributes,
+    learn_length_scales,
+    negative_log_likelihood,
+)
+from repro.workloads.synthetic import make_gp_snippets, make_gp_snippets_multi
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The headline workload: ground-truth per-attribute length scales of the
+#: separable product kernel, plus two categorical dimensions whose factors
+#: are length-scale independent (the workspace precomputes them; the legacy
+#: path rebuilds them every evaluation).
+TRUE_SCALES = {"x0": 2.0, "x1": 1.0, "x2": 4.0}
+CATEGORICAL = {"region": 12, "category": 8}
+#: Probe scales for the NLL-equivalence assertion (workspace vs reference).
+PROBES = [(0.5, 0.5, 0.5), (2.0, 1.0, 4.0), (8.0, 0.2, 1.0), (0.1, 9.0, 3.3)]
+
+
+def make_workload(num_snippets: int, seed: int = 11):
+    return make_gp_snippets_multi(
+        num_snippets,
+        TRUE_SCALES,
+        categorical_sizes=CATEGORICAL,
+        noise_std=0.15,
+        seed=seed,
+    )
+
+
+def best_of(repeats: int, function, *args):
+    """Minimum wall-clock seconds of ``repeats`` calls (returns last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def assert_identical_learning(snippets, domains, key, fast_config, legacy_config):
+    """The correctness gate run before any timing.
+
+    1. Workspace NLL == reference NLL (to 1e-12) at every probe point.
+    2. Fast-path and legacy-path learned scales agree within 1% per
+       attribute.
+
+    Returns the two learned results and the worst observed deviations.
+    """
+    attributes = constrained_numeric_attributes(snippets, domains)
+    workspace = LikelihoodWorkspace(key, snippets, domains, attributes)
+    worst_nll = 0.0
+    for probe in PROBES:
+        theta = np.log(np.asarray(probe[: len(attributes)], dtype=np.float64))
+        scales = {
+            name: float(np.exp(value)) for name, value in zip(attributes, theta)
+        }
+        reference = negative_log_likelihood(scales, key, snippets, domains)
+        fast = workspace.nll(theta)
+        deviation = abs(fast - reference) / max(1.0, abs(reference))
+        worst_nll = max(worst_nll, deviation)
+        assert deviation <= 1e-12, (
+            f"workspace NLL diverged from the reference at {scales}: "
+            f"{fast} vs {reference}"
+        )
+
+    fast_learned = learn_length_scales(key, snippets, domains, fast_config)
+    legacy_learned = learn_length_scales(key, snippets, domains, legacy_config)
+    worst_scale = 0.0
+    for name in attributes:
+        fast_scale = fast_learned.length_scales[name]
+        legacy_scale = legacy_learned.length_scales[name]
+        deviation = abs(fast_scale - legacy_scale) / abs(legacy_scale)
+        worst_scale = max(worst_scale, deviation)
+        assert deviation <= 0.01, (
+            f"learned scale for {name!r} diverged: fast {fast_scale} vs "
+            f"legacy {legacy_scale} ({deviation:.2%})"
+        )
+    return fast_learned, legacy_learned, worst_nll, worst_scale
+
+
+def run_benchmark(num_snippets: int, repeats: int) -> dict:
+    snippets, domains, key = make_workload(num_snippets)
+    fast_config = VerdictConfig(
+        learning_restarts=2, max_learning_snippets=num_snippets
+    )
+    legacy_config = fast_config.with_options(learning_fast_path=False)
+
+    fast_learned, legacy_learned, worst_nll, worst_scale = assert_identical_learning(
+        snippets, domains, key, fast_config, legacy_config
+    )
+
+    fast_seconds, _ = best_of(
+        repeats, learn_length_scales, key, snippets, domains, fast_config
+    )
+    legacy_seconds, _ = best_of(
+        repeats, learn_length_scales, key, snippets, domains, legacy_config
+    )
+    warm_seconds, _ = best_of(
+        repeats,
+        lambda: learn_length_scales(
+            key,
+            snippets,
+            domains,
+            fast_config,
+            warm_start=fast_learned.length_scales,
+        ),
+    )
+
+    # Figure 7 end-to-end: the paper's parameter-recovery sweep (single
+    # attribute, 20/50/100 past snippets, three seeds per cell) timed under
+    # both paths -- the wall-clock reduction of
+    # ``benchmarks/bench_fig7_param_learning.py``.
+    def fig7_sweep(config: VerdictConfig) -> float:
+        started = time.perf_counter()
+        for true_scale in (0.5, 1.0, 2.0):
+            for count in (20, 50, 100):
+                for seed in (1, 2, 3):
+                    fig7_snippets, fig7_domains, fig7_key = make_gp_snippets(
+                        num_snippets=count,
+                        true_length_scale=true_scale,
+                        noise_std=0.15,
+                        seed=seed,
+                    )
+                    learn_length_scales(
+                        fig7_key,
+                        fig7_snippets,
+                        fig7_domains,
+                        config.with_options(max_learning_snippets=count),
+                    )
+        return time.perf_counter() - started
+
+    fig7_fast = fig7_sweep(fast_config)
+    fig7_legacy = fig7_sweep(legacy_config)
+
+    return {
+        "benchmark": "learning",
+        "description": (
+            "Correlation-parameter learning fast path (precomputed "
+            "LikelihoodWorkspace + analytic L-BFGS-B gradients) against the "
+            "legacy rebuild-per-evaluation finite-difference path.  The "
+            "workspace NLL is asserted to match the reference to 1e-12 and "
+            "the learned length scales to 1% before timings are reported."
+        ),
+        "workload": {
+            "num_snippets": num_snippets,
+            "numeric_attributes": sorted(TRUE_SCALES),
+            "true_length_scales": TRUE_SCALES,
+            "categorical_attributes": CATEGORICAL,
+            "learning_restarts": 2,
+            "repeats": repeats,
+        },
+        "equivalence": {
+            "worst_nll_relative_deviation": worst_nll,
+            "worst_scale_relative_deviation": worst_scale,
+            "fast_scales": {
+                name: fast_learned.length_scales[name] for name in sorted(TRUE_SCALES)
+            },
+            "legacy_scales": {
+                name: legacy_learned.length_scales[name]
+                for name in sorted(TRUE_SCALES)
+            },
+        },
+        "learn_length_scales": {
+            "legacy_seconds": legacy_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": legacy_seconds / max(fast_seconds, 1e-12),
+            "warm_start_seconds": warm_seconds,
+            "warm_start_speedup_vs_legacy": legacy_seconds / max(warm_seconds, 1e-12),
+        },
+        "fig7_param_learning": {
+            "legacy_seconds": fig7_legacy,
+            "fast_seconds": fig7_fast,
+            "wall_clock_reduction": fig7_legacy / max(fig7_fast, 1e-12),
+        },
+    }
+
+
+def test_learning_smoke():
+    """Pytest entry: the fast path must not be slower than the legacy path."""
+    payload = run_benchmark(num_snippets=60, repeats=2)
+    assert payload["learn_length_scales"]["speedup"] > 1.0
+    assert payload["fig7_param_learning"]["wall_clock_reduction"] > 1.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller workload; exit non-zero if the fast path is slower",
+    )
+    parser.add_argument("--snippets", type=int, default=100)
+    parser.add_argument("--repeats", type=int, default=7)
+    args = parser.parse_args()
+
+    if args.smoke:
+        payload = run_benchmark(num_snippets=60, repeats=2)
+        print(json.dumps(payload, indent=2))
+        failures = []
+        if payload["learn_length_scales"]["speedup"] <= 1.0:
+            failures.append("fast learn_length_scales slower than the legacy path")
+        if payload["fig7_param_learning"]["wall_clock_reduction"] <= 1.0:
+            failures.append("fig7 sweep slower than the legacy path")
+        if failures:
+            print("FAIL: " + "; ".join(failures))
+            return 1
+        print("smoke OK: learning fast path faster than the legacy path")
+        return 0
+
+    payload = run_benchmark(num_snippets=args.snippets, repeats=args.repeats)
+    text = json.dumps(payload, indent=2) + "\n"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "learning.json").write_text(text)
+    (REPO_ROOT / "BENCH_learning.json").write_text(text)
+    print(text)
+    print(f"wrote {RESULTS_DIR / 'learning.json'} and {REPO_ROOT / 'BENCH_learning.json'}")
+    headline = payload["learn_length_scales"]["speedup"]
+    if headline < 5.0:
+        print(f"WARNING: headline speedup {headline:.2f}x is below the 5x acceptance bar")
+        return 1
+    print(f"headline: {headline:.1f}x (workspace + analytic gradients vs legacy path)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,6 +86,17 @@ class VerdictConfig:
         (keeps the offline step cheap).
     learning_restarts:
         Number of random restarts for the non-convex likelihood maximisation.
+    learning_fast_path:
+        When True (default) length-scale learning evaluates the likelihood
+        through a precomputed :class:`repro.core.learning.LikelihoodWorkspace`
+        (length-scale-independent covariance pieces built once, per-attribute
+        factors recomputed on distinct ranges only) and hands L-BFGS-B the
+        analytic gradient, so each optimiser step costs one factorisation
+        instead of ``d + 1`` finite-difference objective evaluations.  The
+        workspace value is bit-identical to the reference
+        :func:`repro.core.learning.negative_log_likelihood`; the flag exists
+        for debugging and as the baseline of
+        ``benchmarks/bench_learning.py``.
     """
 
     max_snippets_per_query: int = 1_000
@@ -103,6 +114,7 @@ class VerdictConfig:
     learn_length_scales: bool = True
     max_learning_snippets: int = 200
     learning_restarts: int = 2
+    learning_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.max_snippets_per_query <= 0:

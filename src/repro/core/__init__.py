@@ -28,7 +28,11 @@ from repro.core.synopsis import QuerySynopsis, SynopsisDelta
 from repro.core.kernel import se_double_integral, se_kernel, se_single_integral
 from repro.core.covariance import AggregateModel, SnippetCovariance
 from repro.core.prior import estimate_prior
-from repro.core.learning import LearnedParameters, learn_length_scales
+from repro.core.learning import (
+    LearnedParameters,
+    LikelihoodWorkspace,
+    learn_length_scales,
+)
 from repro.core.inference import GaussianInference, InferenceResult, PreparedInference
 from repro.core.validation import ValidationDecision, validate_model_answer
 from repro.core.append import (
@@ -57,6 +61,7 @@ __all__ = [
     "SnippetCovariance",
     "estimate_prior",
     "LearnedParameters",
+    "LikelihoodWorkspace",
     "learn_length_scales",
     "GaussianInference",
     "InferenceResult",

@@ -64,6 +64,47 @@ class AggregateModel:
         return AggregateModel(key=self.key, length_scales=merged)
 
 
+def _intersection_counts(
+    rows: Sequence[CategoricalConstraint], cols: Sequence[CategoricalConstraint]
+) -> np.ndarray:
+    """Pairwise ``intersection_size`` matrix via membership-matrix products.
+
+    Values are indexed in first-seen order (they may mix types, so no sort);
+    the boolean membership matrices multiply into the full count matrix in
+    one BLAS call.  Rows/columns for unconstrained (full-domain) constraints
+    are patched with the other side's size, per
+    :meth:`CategoricalConstraint.intersection_size`.
+    """
+    value_ids: dict = {}
+    for constraint in list(rows) + list(cols):
+        if constraint.values is not None:
+            for value in constraint.values:
+                value_ids.setdefault(value, len(value_ids))
+
+    def membership(constraints: Sequence[CategoricalConstraint]) -> np.ndarray:
+        matrix = np.zeros((len(constraints), max(len(value_ids), 1)), dtype=np.float64)
+        for position, constraint in enumerate(constraints):
+            if constraint.values is not None:
+                for value in constraint.values:
+                    matrix[position, value_ids[value]] = 1.0
+        return matrix
+
+    counts = membership(rows) @ membership(cols).T
+    row_none = np.array([c.values is None for c in rows], dtype=bool)
+    col_none = np.array([c.values is None for c in cols], dtype=bool)
+    if row_none.any():
+        col_sizes = np.array([c.size for c in cols], dtype=np.float64)
+        counts[row_none, :] = col_sizes[None, :]
+    if col_none.any():
+        row_sizes = np.array([c.size for c in rows], dtype=np.float64)
+        counts[:, col_none] = row_sizes[:, None]
+    if row_none.any() and col_none.any():
+        # Both unconstrained: the whole domain intersects itself.
+        domain_sizes = np.array([c.domain_size for c in rows], dtype=np.float64)
+        counts[np.ix_(row_none, col_none)] = domain_sizes[row_none, None]
+    return counts
+
+
 class SnippetCovariance:
     """Computes normalised covariance factors between snippet regions.
 
@@ -154,13 +195,12 @@ class SnippetCovariance:
         for name, _domain in sorted(self.domains.categorical.items()):
             sets = [self._categorical_constraint(snippet.region, name) for snippet in snippets]
             constraints, index = self._dedup_constraints(sets)
-            factors = np.array(
-                [
-                    constraint.intersection_size(constraint) / max(constraint.size, 1) ** 2
-                    for constraint in constraints
-                ],
-                dtype=np.float64,
+            # A constraint's self-intersection is just its size, so the
+            # normalised self-factor is size / max(size, 1)^2.
+            sizes = np.array(
+                [constraint.size for constraint in constraints], dtype=np.float64
             )
+            factors = sizes / np.square(np.maximum(sizes, 1.0))
             result *= factors[index]
         return result
 
@@ -253,15 +293,24 @@ class SnippetCovariance:
         row_sets: Sequence[CategoricalConstraint],
         col_sets: Sequence[CategoricalConstraint],
     ) -> np.ndarray:
-        """Normalised intersection factors, deduplicated by distinct value set."""
+        """Normalised intersection factors, deduplicated by distinct value set.
+
+        Pairwise intersection sizes between the distinct constraints are
+        computed as one membership-matrix product: with ``M`` the boolean
+        (constraint x distinct value) membership matrix, ``M @ M.T`` yields
+        every ``|F_i,k intersect F_j,k|`` at once, replacing the former
+        O(r_1 x r_2) Python double loop over ``frozenset`` intersections.
+        Unconstrained entries (``values is None``, the full domain) are
+        patched afterwards: their intersection with any value set is that
+        set's size, and with another unconstrained entry the domain size.
+        """
         row_constraints, row_index = self._dedup_constraints(row_sets)
         if col_sets is row_sets:
             col_constraints, col_index = row_constraints, row_index
         else:
             col_constraints, col_index = self._dedup_constraints(col_sets)
-        base = np.empty((len(row_constraints), len(col_constraints)), dtype=np.float64)
-        for i, first in enumerate(row_constraints):
-            for j, second in enumerate(col_constraints):
-                denominator = max(first.size, 1) * max(second.size, 1)
-                base[i, j] = first.intersection_size(second) / denominator
+        base = _intersection_counts(row_constraints, col_constraints)
+        row_sizes = np.array([max(c.size, 1) for c in row_constraints], dtype=np.float64)
+        col_sizes = np.array([max(c.size, 1) for c in col_constraints], dtype=np.float64)
+        base /= row_sizes[:, None] * col_sizes[None, :]
         return base[np.ix_(row_index, col_index)]

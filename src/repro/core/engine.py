@@ -159,6 +159,51 @@ class _CellPlan:
 
 
 # --------------------------------------------------------------------------- #
+# Training phases
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _TrainingEntry:
+    """One aggregate function's immutable inputs to a training round."""
+
+    key: SnippetKey
+    snippets: tuple[Snippet, ...]
+    domains: AttributeDomains
+    warm_start: dict[str, float] | None
+
+
+@dataclass(frozen=True)
+class TrainingSnapshot:
+    """Everything :meth:`VerdictEngine.compute_training` needs, captured
+    atomically.
+
+    Snippets are immutable and the lists are copies, so once the snapshot is
+    taken the expensive compute phase can run without any lock on the engine
+    -- this is what lets :class:`repro.serve.service.VerdictService` learn in
+    a background worker while queries keep flowing.
+    """
+
+    learn: bool
+    synopsis_version: int
+    catalog_version: int
+    training_rounds: int
+    entries: tuple[_TrainingEntry, ...]
+
+
+@dataclass(frozen=True)
+class TrainingOutcome:
+    """Learned parameters and refreshed factorisations for one snapshot."""
+
+    learn: bool
+    synopsis_version: int
+    catalog_version: int
+    training_rounds: int
+    results: dict[SnippetKey, LearnedParameters]
+    prepared: dict[SnippetKey, PreparedInference]
+
+
+# --------------------------------------------------------------------------- #
 # Engine
 # --------------------------------------------------------------------------- #
 
@@ -193,6 +238,21 @@ class VerdictEngine:
         # reproduce the same floating-point factor bits), and appends cheap
         # delta records when only the synopsis grew.
         self.state_epoch = 0
+        # Warm-start / skip bookkeeping for the offline step: the full
+        # results of the last applied training round, and the (learn flag,
+        # synopsis version, state epoch) stamp it is valid for.
+        self._learned: dict[SnippetKey, LearnedParameters] = {}
+        self._last_training: dict[SnippetKey, LearnedParameters] | None = None
+        self._trained_marker: tuple[bool, int, int] | None = None
+        # Count of applied training rounds; a snapshot remembers it so a
+        # slow round can detect that another round applied while it computed.
+        self._training_rounds = 0
+        # Bumped only when the correlation *models* change (training applied,
+        # or an explicit override) -- unlike state_epoch, which also moves on
+        # factor materialisation.  The serving layer keys its answer cache on
+        # this, so retraining retires cached answers without a lazy factor
+        # rebuild evicting everything.
+        self.models_version = 0
 
     # ----------------------------------------------------------------- domains
 
@@ -462,6 +522,17 @@ class VerdictEngine:
         signal variance ``sigma_g^2`` that the incremental path keeps frozen
         between trainings.
 
+        The call is organised as three phases -- :meth:`training_snapshot`,
+        :meth:`compute_training`, :meth:`apply_training` -- so a serving
+        layer can run the expensive middle phase off the request path and
+        only hold its engine lock for the cheap snapshot and swap.  Two
+        fast-path shortcuts apply: when nothing relevant changed since the
+        last applied round (same synopsis version, same state epoch, same
+        learn flag) the previous results are returned without recomputation,
+        and when a previous round learned scales for an aggregate function
+        the optimiser warm-starts from them instead of running random
+        restarts.
+
         Parameters
         ----------
         learn_length_scales_flag:
@@ -483,28 +554,158 @@ class VerdictEngine:
             if learn_length_scales_flag is None
             else learn_length_scales_flag
         )
-        results: dict[SnippetKey, LearnedParameters] = {}
+        if self.training_current(learn):
+            return dict(self._last_training or {})
+        snapshot = self.training_snapshot(learn)
+        outcome = self.compute_training(snapshot)
+        return self.apply_training(outcome)
+
+    def training_current(self, learn: bool) -> bool:
+        """Whether the last applied training round still describes this state.
+
+        True only when the synopsis version *and* the state epoch match the
+        stamp recorded when that round was applied -- any record, append
+        adjustment, model override, domain invalidation, or factor
+        materialisation since then breaks the match and forces a real
+        retrain.
+        """
+        return (
+            self._last_training is not None
+            and self._trained_marker == (learn, self.synopsis.version, self.state_epoch)
+        )
+
+    def training_snapshot(
+        self, learn_length_scales_flag: bool | None = None
+    ) -> TrainingSnapshot:
+        """Capture the immutable inputs of one training round (cheap).
+
+        Callers that share the engine across threads must hold their engine
+        lock around this call; the returned snapshot can then be handed to
+        :meth:`compute_training` without any lock.
+        """
+        learn = (
+            self.config.learn_length_scales
+            if learn_length_scales_flag is None
+            else learn_length_scales_flag
+        )
+        entries: list[_TrainingEntry] = []
         for key in self.synopsis.keys():
-            snippets = self.synopsis.snippets_for(key)
-            domains = self.domains_for(key.table)
-            if learn:
-                learned = learn_length_scales(key, snippets, domains, self.config)
+            previous = self._learned.get(key)
+            warm_start = (
+                dict(previous.length_scales)
+                if previous is not None and previous.optimized_attributes
+                else None
+            )
+            entries.append(
+                _TrainingEntry(
+                    key=key,
+                    snippets=tuple(self.synopsis.snippets_for(key)),
+                    domains=self.domains_for(key.table),
+                    warm_start=warm_start,
+                )
+            )
+        return TrainingSnapshot(
+            learn=learn,
+            synopsis_version=self.synopsis.version,
+            catalog_version=self.catalog.catalog_version,
+            training_rounds=self._training_rounds,
+            entries=tuple(entries),
+        )
+
+    def compute_training(self, snapshot: TrainingSnapshot) -> TrainingOutcome:
+        """Run the expensive part of the offline step over a snapshot.
+
+        Pure with respect to the engine's learned state: only the snapshot's
+        snippet tuples and domains are read, so this may run concurrently
+        with queries (and with synopsis growth) on another thread.  The
+        factorisations are prepared at the snapshot's synopsis version;
+        :meth:`apply_training` reconciles them with whatever happened while
+        this ran.
+        """
+        results: dict[SnippetKey, LearnedParameters] = {}
+        prepared: dict[SnippetKey, PreparedInference] = {}
+        for entry in snapshot.entries:
+            snippets = list(entry.snippets)
+            if snapshot.learn:
+                learned = learn_length_scales(
+                    entry.key,
+                    snippets,
+                    entry.domains,
+                    self.config,
+                    warm_start=entry.warm_start,
+                )
             else:
                 learned = LearnedParameters(
-                    key=key,
-                    length_scales=domains.default_length_scales(),
-                    sigma2=estimate_prior(snippets, domains).variance,
-                    log_likelihood=0.0,
+                    key=entry.key,
+                    length_scales=entry.domains.default_length_scales(),
+                    sigma2=estimate_prior(snippets, entry.domains).variance,
                     optimized_attributes=(),
                     converged=False,
                 )
-            results[key] = learned
+            results[entry.key] = learned
+            if snippets and len(snippets) >= self.config.min_past_snippets:
+                factorised = self.inference.prepare(
+                    entry.key,
+                    snippets,
+                    learned.as_model(),
+                    entry.domains,
+                    synopsis_version=snapshot.synopsis_version,
+                )
+                if factorised is not None:
+                    prepared[entry.key] = factorised
+        return TrainingOutcome(
+            learn=snapshot.learn,
+            synopsis_version=snapshot.synopsis_version,
+            catalog_version=snapshot.catalog_version,
+            training_rounds=snapshot.training_rounds,
+            results=results,
+            prepared=prepared,
+        )
+
+    def apply_training(
+        self, outcome: TrainingOutcome
+    ) -> dict[SnippetKey, LearnedParameters]:
+        """Swap a computed training round into the engine (cheap, atomic).
+
+        Callers that share the engine across threads must hold their engine
+        lock.  Models are always installed; a prepared factorisation is
+        installed only when it is still *extendable* to the current synopsis
+        -- the snapshot-to-now delta is known, the key saw no eviction or
+        adjustment, and the catalog did not change underneath it (which would
+        invalidate the attribute domains baked into the factors).  Dropped
+        factorisations rebuild lazily on next use; snippets appended while
+        training ran are folded in by the usual rank-k extension.
+
+        An outcome whose snapshot predates the last *applied* round is
+        discarded (its results are returned but nothing is installed): a
+        slow background round must never overwrite the models of a newer
+        round that completed while it was computing.  The applied-rounds
+        counter (not the synopsis version) carries that ordering -- two
+        rounds can legitimately snapshot the same synopsis version.
+        """
+        if outcome.training_rounds != self._training_rounds:
+            return dict(outcome.results)
+        self._training_rounds += 1
+        self.models_version += 1
+        for key, learned in outcome.results.items():
             self._models[key] = learned.as_model()
+        self._learned.update(outcome.results)
+        delta = self.synopsis.changes_since(outcome.synopsis_version)
         self._prepared.clear()
-        for key in self.synopsis.keys():
-            self._prepared_for(key)
+        if delta is not None and outcome.catalog_version == self.catalog.catalog_version:
+            for key, factorised in outcome.prepared.items():
+                if key not in delta.dirty:
+                    self._prepared[key] = factorised
         self.state_epoch += 1
-        return results
+        self._last_training = dict(outcome.results)
+        # Stamped with the *snapshot's* synopsis version: if the synopsis
+        # advanced while compute ran, the next train() must not skip.
+        self._trained_marker = (
+            outcome.learn,
+            outcome.synopsis_version,
+            self.state_epoch,
+        )
+        return dict(outcome.results)
 
     def set_model(self, key: SnippetKey, model: AggregateModel) -> None:
         """Override the correlation parameters of one aggregate function.
@@ -515,6 +716,7 @@ class VerdictEngine:
         self._models[key] = model
         self._prepared.pop(key, None)
         self.state_epoch += 1
+        self.models_version += 1
 
     def model_for(self, key: SnippetKey) -> AggregateModel:
         model = self._models.get(key)
@@ -944,6 +1146,14 @@ class VerdictEngine:
         self.queries_improved = counters["queries_improved"]
         self.total_overhead_seconds = counters["total_overhead_seconds"]
         self.state_epoch = counters["state_epoch"]
+        # Warm-start / skip bookkeeping is process-local (not persisted): a
+        # restored engine retrains from scratch on its first train().
+        self._learned = {}
+        self._last_training = None
+        self._trained_marker = None
+        # Invalidate any snapshot taken before the load (its round count no
+        # longer matches), without resetting the monotonic counter.
+        self._training_rounds += 1
         self._domains_cache.clear()
         self._prepared = {}
         for prepared_state in state["prepared"]:

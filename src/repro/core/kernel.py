@@ -145,3 +145,81 @@ def se_average_factor(
         factor,
     )
     return np.clip(factor, 0.0, 1.0)
+
+
+def se_average_factor_with_grad(
+    low_1: np.ndarray | float,
+    high_1: np.ndarray | float,
+    low_2: np.ndarray | float,
+    high_2: np.ndarray | float,
+    length_scale: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(f, df/d log l)`` of :func:`se_average_factor` in one pass.
+
+    The factor is computed exactly as :func:`se_average_factor` does (same
+    antiderivative combination, same clamps), and the derivative with respect
+    to the *log* length scale -- the parameterisation the likelihood
+    optimiser works in -- comes from the closed form of
+    :func:`_antiderivative_second_dlog`.  Where a clamp is active (the
+    ``max(integral, 0)`` cancellation guard or the ``[0, 1]`` clip) the
+    derivative is zeroed, so the returned gradient is the exact subgradient
+    of the clamped objective rather than of the unclamped formula.
+
+    Sharing this one entry point between value and gradient keeps the two in
+    lockstep: the likelihood workspace evaluates each per-attribute factor
+    matrix and its derivative with a single set of ``erf`` / ``exp`` terms
+    per distinct-range pair.
+
+    NOTE: the batched path in
+    :meth:`repro.core.learning.LikelihoodWorkspace._variable_factors` inlines
+    this same computation over the flattened grids of *all* attributes at
+    once (per-attribute scalar coefficients, shared ``erf``/``exp``).  Any
+    change to the formula here must be mirrored there; the bit-identity
+    property tests (workspace NLL vs :func:`repro.core.learning
+    .negative_log_likelihood`) fail loudly if the copies drift.
+    """
+    if length_scale <= 0:
+        raise ValueError("length_scale must be positive")
+    a = np.asarray(low_1, dtype=np.float64)
+    b = np.asarray(high_1, dtype=np.float64)
+    c = np.asarray(low_2, dtype=np.float64)
+    d = np.asarray(high_2, dtype=np.float64)
+    width_1 = b - a
+    width_2 = d - c
+    if np.any(width_1 < 0) or np.any(width_2 < 0):
+        raise ValueError("ranges must have non-negative width")
+
+    # One stacked evaluation of the four antiderivative arguments shares the
+    # erf / exp terms between the value and the gradient: with u = t/l,
+    # dG/dl = (sqrt(pi)/2) t erf(u) + l exp(-u^2) (the erf'/exp' chain-rule
+    # terms from u cancel up to the surviving l exp(-u^2)), so G and its
+    # log-derivative differ only by the extra half-Gaussian term,
+    # dG/dlog l = l dG/dl = G + (l^2/2) exp(-u^2).
+    t = np.stack(np.broadcast_arrays(b - c, b - d, a - c, a - d))
+    u = t / length_scale
+    half_gaussian = 0.5 * length_scale**2 * np.exp(-np.square(u))
+    second = 0.5 * _SQRT_PI * length_scale * t * erf(u) + half_gaussian
+    second_dlog = second + half_gaussian
+    raw_integral = second[0] - second[1] - second[2] + second[3]
+    integral = np.maximum(raw_integral, 0.0)
+    gradient = second_dlog[0] - second_dlog[1] - second_dlog[2] + second_dlog[3]
+    gradient = np.where(raw_integral < 0.0, 0.0, gradient)
+
+    denominator = width_1 * width_2
+    safe = np.where(denominator <= 0.0, 1.0, denominator)
+    factor = integral / safe
+    grad = gradient / safe
+
+    degenerate = denominator <= 0.0
+    if np.any(degenerate):
+        midpoint_diff = 0.5 * (a + b) - 0.5 * (c + d)
+        u2 = np.square(midpoint_diff / length_scale)
+        point_kernel = np.exp(-u2)
+        factor = np.where(degenerate, point_kernel, factor)
+        # d/dlog l of exp(-(diff/l)^2) = 2 (diff/l)^2 exp(-(diff/l)^2).
+        grad = np.where(degenerate, 2.0 * u2 * point_kernel, grad)
+
+    clipped = (factor < 0.0) | (factor > 1.0)
+    factor = np.clip(factor, 0.0, 1.0)
+    grad = np.where(clipped, 0.0, grad)
+    return np.asarray(factor, dtype=np.float64), np.asarray(grad, dtype=np.float64)

@@ -101,6 +101,13 @@ class _CacheEntry:
     answer: ServedAnswer
     synopsis_version: int
     catalog_version: int
+    # Correlation-models version at store time: training (foreground or
+    # background) and set_model bump it, so retrained models make every
+    # older entry unreachable even though the synopsis and catalog did not
+    # move.  (Not state_epoch: that also moves on lazy factor
+    # materialisation, which does not affect already-computed answers and
+    # would evict the whole cache for nothing.)
+    models_version: int
 
 
 # --------------------------------------------------------------------------- #
@@ -192,6 +199,12 @@ class VerdictService:
         (step 4 of Figure 2).  Can be overridden per request.
     cache_capacity:
         Maximum number of answers kept in the answer cache.
+    auto_train_every:
+        When set, a background training round (:meth:`train_async`) is
+        kicked off after every ``auto_train_every`` learned-state mutations
+        (records / appends), so correlation parameters track the workload
+        continuously without any caller ever blocking on the O(n^3) learn.
+        ``None`` (the default) disables automatic training.
     """
 
     def __init__(
@@ -208,11 +221,14 @@ class VerdictService:
         flush_every: int = 8,
         cache_capacity: int = 1_024,
         vectorized: bool = True,
+        auto_train_every: int | None = None,
     ):
         if max_workers <= 0:
             raise ServiceError("max_workers must be positive")
         if cache_capacity <= 0:
             raise ServiceError("cache_capacity must be positive")
+        if auto_train_every is not None and auto_train_every <= 0:
+            raise ServiceError("auto_train_every must be positive")
         self.catalog = catalog
         self.aqp = OnlineAggregationEngine(
             catalog, sampling=sampling, cost_model=cost_model, vectorized=vectorized
@@ -249,6 +265,15 @@ class VerdictService:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="verdict-serve"
         )
+        # Background training runs on its own single worker (never on the
+        # request pool, so a long learn cannot starve request slots).
+        self.auto_train_every = auto_train_every
+        self._train_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="verdict-train"
+        )
+        self._train_guard = threading.Lock()
+        self._train_future: Future | None = None
+        self._mutations_since_train = 0
         self.restored = bool(store is not None and store.load_into(self.engine))
 
     # ------------------------------------------------------------------ public
@@ -290,7 +315,7 @@ class VerdictService:
         decisions = self.planner.plan(parsed, check, budget)
         best: ServedAnswer | None = None
         best_raw: AQPAnswer | None = None
-        best_versions: tuple[int, int] | None = None
+        best_versions: tuple[int, int, int] | None = None
         learned_answered = False
         fallback = False
         for decision in decisions:
@@ -330,7 +355,7 @@ class VerdictService:
         cache_versions = best_versions
         if should_record and check.supported and best_raw is not None:
             recorded, pre_version, post_versions = self._record(parsed, best_raw)
-            if recorded and (pre_version, post_versions[1]) == best_versions:
+            if recorded and (pre_version, post_versions[1], post_versions[2]) == best_versions:
                 # Recording this answer's own snippets is the only mutation
                 # since execution, and it does not invalidate the answer:
                 # stamp the entry with the post-record versions so repeats
@@ -377,12 +402,68 @@ class VerdictService:
         return adjusted
 
     def train(self, learn: bool | None = None) -> None:
-        """Run the offline step (Algorithm 1) with exclusive access."""
+        """Run the offline step (Algorithm 1) with exclusive access.
+
+        Blocks the calling thread (and, while the swap runs, every table)
+        until training finishes.  Prefer :meth:`train_async` on a serving
+        path: it performs the same learn off the request path and swaps the
+        results in under the engine lock alone.
+        """
         if self._closed:
             raise ServiceError("service is closed")
         locks = [self._table_lock(name) for name in sorted(self.catalog.fact_tables())]
         self._train_locked(locks, 0, learn)
-        self._note_mutation()
+        # A completed round resets the auto-train mutation counter -- the
+        # counter means "mutations since the last training", whichever path
+        # performed it.
+        with self._cache_lock:
+            self._mutations_since_train = 0
+        self._note_mutation(count_towards_training=False)
+
+    def train_async(self, learn: bool | None = None) -> Future:
+        """Run the offline step in a background worker; returns a ``Future``.
+
+        The expensive O(n^3) likelihood optimisation and covariance
+        factorisation run on a snapshot of the synopsis *without holding any
+        lock*, so concurrent queries (including ones that record new
+        snippets) are never blocked behind training.  The engine lock is
+        held only twice, briefly: once to capture the snapshot and once to
+        swap the learned models and refreshed factorisations in atomically
+        -- a query observes either the pre-train state or the post-train
+        state, never a mixture.  Snippets recorded while training ran are
+        reconciled by the engine's usual rank-k factor extension; a round
+        invalidated by an interleaved append adjustment simply leaves those
+        factorisations to rebuild lazily.
+
+        At most one background round is in flight: calling again while one
+        runs returns the same ``Future``.  The future resolves to the
+        learned-parameters mapping that :meth:`VerdictEngine.train` returns.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        with self._train_guard:
+            future = self._train_future
+            if future is not None and not future.done():
+                return future
+            future = self._train_pool.submit(self._train_in_background, learn)
+            self._train_future = future
+            return future
+
+    def _train_in_background(self, learn: bool | None):
+        learn_flag = (
+            self.engine.config.learn_length_scales if learn is None else learn
+        )
+        with self._engine_lock:
+            if self.engine.training_current(learn_flag):
+                return self.engine.train(learn_flag)
+            snapshot = self.engine.training_snapshot(learn_flag)
+        outcome = self.engine.compute_training(snapshot)  # no locks held
+        with self._engine_lock:
+            results = self.engine.apply_training(outcome)
+        with self._cache_lock:
+            self._mutations_since_train = 0
+        self._note_mutation(count_towards_training=False)
+        return results
 
     def record_answer(self, sql: Union[str, ast.Query]) -> bool:
         """Run a query to completion and record its snippets (training aid).
@@ -420,6 +501,9 @@ class VerdictService:
             return
         self._closed = True
         self._pool.shutdown(wait=True)
+        # Let an in-flight background training round finish (its swap is
+        # cheap) so the shutdown snapshot captures what it learned.
+        self._train_pool.shutdown(wait=True)
         if self.store is not None:
             with self._engine_lock:
                 self.store.save_snapshot(self.engine)
@@ -446,35 +530,49 @@ class VerdictService:
         parsed: ast.Query,
         check: CheckResult,
         budget: ServiceBudget,
-    ) -> tuple[ServedAnswer, AQPAnswer | None, tuple[int, int]]:
+    ) -> tuple[ServedAnswer, AQPAnswer | None, tuple[int, int, int]]:
         """Run one route; returns (answer, raw, versions-at-execution).
 
-        The (synopsis, catalog) version pair is captured while the table
-        read lock is still held, so it is consistent with the data the
-        answer was computed over -- a mutation racing in after the lock is
-        released cannot tag this answer as fresher than it is.
+        The (synopsis, catalog, models) version triple is captured while the
+        table read lock is still held, so it is consistent with the state
+        the answer was computed over -- a mutation racing in after the lock
+        is released cannot tag this answer as fresher than it is.
         """
         lock = self._table_lock(parsed.table)
         with lock.read():
             if decision.route is Route.LEARNED:
-                answer, raw = self._run_learned(parsed, check, budget)
+                # The learned answer depends on the models, which background
+                # training swaps under the engine lock alone (no table
+                # lock), so its models-version stamp must be captured
+                # *inside* the engine lock the inference ran under --
+                # reading it here could tag a pre-train answer as
+                # post-train.
+                answer, raw, models_version = self._run_learned(parsed, check, budget)
             elif decision.route is Route.ONLINE_AGG:
                 answer, raw = self._run_online_agg(parsed, check, budget)
+                models_version = self.engine.models_version
             elif decision.route is Route.EXACT:
                 answer, raw = self._run_exact(parsed, check, decision)
+                models_version = self.engine.models_version
             else:
                 raise ServiceError(f"unexpected route {decision.route}")
-            versions = (self.engine.synopsis.version, self.catalog.catalog_version)
+            versions = (
+                self.engine.synopsis.version,
+                self.catalog.catalog_version,
+                models_version,
+            )
             return answer, raw, versions
 
     def _run_learned(
         self, parsed: ast.Query, check: CheckResult, budget: ServiceBudget
-    ) -> tuple[ServedAnswer, AQPAnswer]:
+    ) -> tuple[ServedAnswer, AQPAnswer, int]:
         improved: VerdictAnswer | None = None
         raw: AQPAnswer | None = None
+        models_version = self.engine.models_version
         for raw in self.aqp.run(parsed):
             with self._engine_lock:
                 improved = self.engine.process_answer(parsed, raw, check)
+                models_version = self.engine.models_version
             bound = improved.mean_relative_error_bound(self.multiplier)
             if budget.max_relative_error is None:
                 break  # best effort: the first improved batch is the answer
@@ -510,7 +608,7 @@ class VerdictService:
             supported=check.supported,
             batches_processed=raw.batches_processed,
         )
-        return answer, raw
+        return answer, raw, models_version
 
     def _run_online_agg(
         self, parsed: ast.Query, check: CheckResult, budget: ServiceBudget
@@ -575,14 +673,14 @@ class VerdictService:
 
     def _record(
         self, parsed: ast.Query, raw: AQPAnswer
-    ) -> tuple[bool, int, tuple[int, int]]:
+    ) -> tuple[bool, int, tuple[int, int, int]]:
         """Record a raw answer's snippets; returns version bookkeeping.
 
         The return value is ``(recorded, synopsis version immediately before
-        the record, (synopsis, catalog) versions immediately after)`` -- the
-        caller uses it to decide whether its own record was the *only*
-        mutation since it executed (and its cache entry may carry the
-        post-record stamp) or something else interleaved.
+        the record, (synopsis, catalog, models) versions immediately
+        after)`` -- the caller uses it to decide whether its own record was
+        the *only* mutation since it executed (and its cache entry may carry
+        the post-record stamp) or something else interleaved.
         """
         with self._table_lock(parsed.table).write():
             with self._engine_lock:
@@ -591,6 +689,7 @@ class VerdictService:
                 post_versions = (
                     self.engine.synopsis.version,
                     self.catalog.catalog_version,
+                    self.engine.models_version,
                 )
         if added:
             self._note_mutation()
@@ -607,16 +706,30 @@ class VerdictService:
         with locks[index].write():
             self._train_locked(locks, index + 1, learn)
 
-    def _note_mutation(self) -> None:
-        if self.store is None:
-            return
+    def _note_mutation(self, count_towards_training: bool = True) -> None:
+        should_flush = False
+        should_train = False
         with self._cache_lock:
-            self._state.mutations_since_flush += 1
-            should_flush = self._state.mutations_since_flush >= self.flush_every
-            if should_flush:
-                self._state.mutations_since_flush = 0
+            if self.store is not None:
+                self._state.mutations_since_flush += 1
+                should_flush = self._state.mutations_since_flush >= self.flush_every
+                if should_flush:
+                    self._state.mutations_since_flush = 0
+            if count_towards_training and self.auto_train_every is not None:
+                self._mutations_since_train += 1
+                should_train = self._mutations_since_train >= self.auto_train_every
+                if should_train:
+                    self._mutations_since_train = 0
         if should_flush:
             self.flush()
+        if should_train:
+            try:
+                self.train_async()
+            except (ServiceError, RuntimeError):
+                # Lost the race with close(): the request that triggered the
+                # auto-train already has its answer, and a closing service
+                # has no use for another round.
+                pass
 
     # ------------------------------------------------------------------- cache
 
@@ -630,6 +743,7 @@ class VerdictService:
             stale = (
                 entry.synopsis_version != self.engine.synopsis.version
                 or entry.catalog_version != self.catalog.catalog_version
+                or entry.models_version != self.engine.models_version
             )
             if stale:
                 del self._state.cache[request]
@@ -643,7 +757,7 @@ class VerdictService:
         self,
         request: Union[str, ast.Query],
         answer: ServedAnswer,
-        versions: tuple[int, int],
+        versions: tuple[int, int, int],
     ) -> None:
         """Store an answer stamped with the versions it was computed under.
 
@@ -656,6 +770,7 @@ class VerdictService:
                 answer=answer,
                 synopsis_version=versions[0],
                 catalog_version=versions[1],
+                models_version=versions[2],
             )
             self._state.cache.move_to_end(request)
             while len(self._state.cache) > self.cache_capacity:

@@ -246,3 +246,106 @@ def make_gp_snippets(
         for snippet, value in zip(snippets, observed)
     ]
     return snippets, domains, key
+
+
+def make_gp_snippets_multi(
+    num_snippets: int,
+    true_length_scales: dict[str, float],
+    domain: tuple[float, float] = (0.0, 10.0),
+    signal_std: float = 2.0,
+    noise_std: float = 0.2,
+    mean: float = 10.0,
+    range_width: tuple[float, float] = (0.5, 3.0),
+    distinct_ranges_per_attribute: int = 15,
+    categorical_sizes: dict[str, int] | None = None,
+    seed: int = 0,
+    table: str = "gp",
+    attribute: str = "y",
+) -> tuple[list[Snippet], AttributeDomains, SnippetKey]:
+    """Multi-attribute variant of :func:`make_gp_snippets`.
+
+    Every snippet constrains each of the ``len(true_length_scales)`` numeric
+    attributes with a range drawn from a small per-attribute pool of
+    ``distinct_ranges_per_attribute`` distinct ranges -- real traces reuse a
+    handful of predicate ranges, which is the structure both the learning
+    workspace and the covariance layer deduplicate on.  When
+    ``categorical_sizes`` maps attribute names to domain sizes, each snippet
+    additionally constrains those categorical attributes with a small random
+    value set (the Customer1-style mixed-schema case; their factors do not
+    depend on the length scales, so the learning workspace precomputes
+    them).  Exact answers are drawn from the separable product-kernel
+    covariance with the *known* per-attribute length scales, so parameter
+    learning has a ground truth to recover.  This is the workload of
+    ``benchmarks/bench_learning.py``.
+    """
+    from repro.core.covariance import AggregateModel, SnippetCovariance
+    from repro.core.regions import CategoricalConstraint, CategoricalDomain
+
+    rng = np.random.default_rng(seed)
+    low, high = domain
+    names = sorted(true_length_scales)
+    categorical_sizes = dict(categorical_sizes or {})
+    key = SnippetKey(kind=AggregateKind.AVG, table=table, attribute=attribute)
+    domains = AttributeDomains(
+        numeric={
+            name: NumericDomain(
+                name=name, low=low, high=high, resolution=(high - low) / 1000.0
+            )
+            for name in names
+        },
+        categorical={
+            name: CategoricalDomain(name=name, size=size)
+            for name, size in categorical_sizes.items()
+        },
+    )
+    pools: dict[str, list[NumericRange]] = {}
+    for name in names:
+        pool = []
+        for _ in range(max(distinct_ranges_per_attribute, 1)):
+            width = rng.uniform(*range_width)
+            start = rng.uniform(low, high - width)
+            pool.append(NumericRange(name, start, start + width))
+        pools[name] = pool
+    snippets: list[Snippet] = []
+    for _ in range(num_snippets):
+        ranges = tuple(
+            pools[name][rng.integers(0, len(pools[name]))] for name in names
+        )
+        constraints = []
+        for name in sorted(categorical_sizes):
+            size = categorical_sizes[name]
+            chosen = rng.choice(size, size=rng.integers(1, max(size // 2, 2)), replace=False)
+            constraints.append(
+                CategoricalConstraint(
+                    name=name,
+                    values=frozenset(f"{name}_{i}" for i in chosen),
+                    domain_size=size,
+                )
+            )
+        region = Region(
+            numeric_ranges=ranges, categorical_constraints=tuple(constraints)
+        )
+        snippets.append(
+            Snippet(key=key, region=region, raw_answer=0.0, raw_error=noise_std)
+        )
+
+    model = AggregateModel(key=key, length_scales=dict(true_length_scales))
+    covariance = SnippetCovariance(domains, model)
+    factors = covariance.factor_matrix(snippets)
+    matrix = (signal_std**2) * factors
+    matrix[np.diag_indices_from(matrix)] += 1e-9
+    exact = rng.multivariate_normal(np.full(num_snippets, mean), matrix)
+    observed = exact + rng.normal(0.0, noise_std, size=num_snippets)
+    return (
+        [
+            Snippet(
+                key=snippet.key,
+                region=snippet.region,
+                raw_answer=float(value),
+                raw_error=noise_std,
+            )
+            for snippet, value in zip(snippets, observed)
+        ],
+        domains,
+        key,
+    )

@@ -121,6 +121,49 @@ class TestCategoricalFactors:
         assert matrix[0, 1] == pytest.approx(matrix[0, 0] / 2.0, rel=1e-6)
 
 
+class TestVectorizedCategoricalFactor:
+    """The membership-matrix path must match pairwise intersection_size."""
+
+    @staticmethod
+    def _random_constraint(rng, universe, domain_size):
+        if rng.random() < 0.25:
+            return CategoricalConstraint(name="c", values=None, domain_size=domain_size)
+        count = int(rng.integers(0, len(universe)))
+        chosen = rng.choice(len(universe), size=count, replace=False)
+        return CategoricalConstraint(
+            name="c",
+            values=frozenset(universe[i] for i in chosen),
+            domain_size=domain_size,
+        )
+
+    def test_matches_pairwise_reference(self):
+        from repro.core.covariance import _intersection_counts
+
+        rng = np.random.default_rng(17)
+        universe = [f"v{i}" for i in range(9)] + [3, 7.5]
+        for _ in range(100):
+            rows = [
+                self._random_constraint(rng, universe, 11)
+                for _ in range(int(rng.integers(1, 7)))
+            ]
+            cols = [
+                self._random_constraint(rng, universe, 11)
+                for _ in range(int(rng.integers(1, 7)))
+            ]
+            counts = _intersection_counts(rows, cols)
+            for i, first in enumerate(rows):
+                for j, second in enumerate(cols):
+                    assert counts[i, j] == first.intersection_size(second)
+
+    def test_factor_diagonal_self_intersection_is_the_size(self, domains, key):
+        constrained = snippet(key, (0.0, 2.0), categories={"a", "b"})
+        unconstrained = snippet(key, (0.0, 2.0))
+        covariance = SnippetCovariance(domains, AggregateModel(key=key))
+        diagonal = covariance.factor_diagonal([constrained, unconstrained])
+        matrix = covariance.factor_matrix([constrained, unconstrained])
+        assert diagonal == pytest.approx(np.diag(matrix))
+
+
 class TestAggregateModel:
     def test_length_scale_fallback_to_domain_width(self, domains, key):
         model = AggregateModel(key=key)

@@ -165,6 +165,127 @@ class TestTraining:
         assert "region" in domains.categorical
 
 
+class TestTrainingFastPath:
+    """Skip logic, warm starts, and the snapshot/compute/apply phases."""
+
+    def test_repeated_train_skips_when_nothing_changed(self, verdict_setup):
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4])
+        first = verdict.train(learn_length_scales_flag=False)
+        epoch = verdict.state_epoch
+        again = verdict.train(learn_length_scales_flag=False)
+        assert again == first
+        assert verdict.state_epoch == epoch  # no state churn on the skip path
+
+    def test_flag_change_defeats_the_skip(self, verdict_setup):
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4])
+        verdict.train(learn_length_scales_flag=False)
+        epoch = verdict.state_epoch
+        verdict.train(learn_length_scales_flag=True)
+        assert verdict.state_epoch > epoch
+
+    def test_recording_defeats_the_skip(self, verdict_setup):
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4])
+        verdict.train(learn_length_scales_flag=False)
+        epoch = verdict.state_epoch
+        parsed, _ = verdict.check(TRAINING_QUERIES[4])
+        verdict.record(parsed, verdict.aqp.final_answer(parsed))
+        verdict.train(learn_length_scales_flag=False)
+        assert verdict.state_epoch > epoch
+
+    def test_set_model_defeats_the_skip(self, verdict_setup):
+        from repro.core.covariance import AggregateModel
+
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4])
+        first = verdict.train(learn_length_scales_flag=True)
+        key = verdict.synopsis.keys()[0]
+        verdict.set_model(key, AggregateModel(key=key, length_scales={"week": 1.0}))
+        second = verdict.train(learn_length_scales_flag=True)
+        # Training overrides the injected model again.
+        assert verdict.model_for(key).length_scales == second[key].length_scales
+        assert first.keys() == second.keys()
+
+    def test_second_train_warm_starts_from_learned_scales(self, verdict_setup):
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4], learn=True)
+        snapshot = verdict.training_snapshot(True)
+        learned_keys = [
+            entry.key for entry in snapshot.entries if entry.warm_start is not None
+        ]
+        trained = verdict._learned
+        assert any(t.optimized_attributes for t in trained.values()) == bool(
+            learned_keys
+        )
+        for entry in snapshot.entries:
+            if entry.warm_start is not None:
+                assert entry.warm_start == dict(trained[entry.key].length_scales)
+
+    def test_phased_training_matches_monolithic_train(self, sales_catalog, fast_sampling):
+        from repro.aqp.online_agg import OnlineAggregationEngine
+        from repro.config import VerdictConfig
+        from repro.core.engine import VerdictEngine
+
+        def build():
+            aqp = OnlineAggregationEngine(sales_catalog, sampling=fast_sampling)
+            config = VerdictConfig(learn_length_scales=True, learning_restarts=1)
+            engine = VerdictEngine(sales_catalog, aqp, config=config)
+            for sql in TRAINING_QUERIES[:4]:
+                parsed, check = engine.check(sql)
+                if check.supported:
+                    engine.record(parsed, engine.aqp.final_answer(parsed))
+            return engine
+
+        monolithic = build()
+        phased = build()
+        expected = monolithic.train()
+        snapshot = phased.training_snapshot()
+        outcome = phased.compute_training(snapshot)
+        actual = phased.apply_training(outcome)
+        assert expected.keys() == actual.keys()
+        for key in expected:
+            assert expected[key].length_scales == actual[key].length_scales
+        for key in monolithic._prepared:
+            assert key in phased._prepared
+            np.testing.assert_array_equal(
+                monolithic._prepared[key].cho[0], phased._prepared[key].cho[0]
+            )
+
+    def test_stale_outcome_never_overwrites_a_newer_round(self, verdict_setup):
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4])
+        old_snapshot = verdict.training_snapshot(False)
+        old_outcome = verdict.compute_training(old_snapshot)
+        # A newer round completes while the old one was (conceptually)
+        # still computing.
+        parsed, _ = verdict.check(TRAINING_QUERIES[4])
+        verdict.record(parsed, verdict.aqp.final_answer(parsed))
+        newer = verdict.train(learn_length_scales_flag=False)
+        marker = verdict._trained_marker
+        models = dict(verdict._models)
+        returned = verdict.apply_training(old_outcome)
+        assert returned.keys() == old_outcome.results.keys()
+        assert verdict._trained_marker == marker  # nothing installed
+        assert verdict._models == models
+        assert verdict._last_training.keys() == newer.keys()
+
+    def test_apply_drops_factorisations_dirtied_while_computing(self, verdict_setup):
+        _, _, verdict, _ = verdict_setup
+        train_verdict(verdict, TRAINING_QUERIES[:4])
+        snapshot = verdict.training_snapshot(False)
+        outcome = verdict.compute_training(snapshot)
+        # A non-append mutation (the Appendix D adjustment) lands on every
+        # key between compute and apply.
+        verdict.synopsis.transform_all(lambda snippet: snippet)
+        results = verdict.apply_training(outcome)
+        assert results
+        assert not verdict._prepared  # stale factors dropped, rebuilt lazily
+        # And the next train must not be skipped (the synopsis moved on).
+        assert not verdict.training_current(False)
+
+
 class TestTimeBound:
     def test_time_bound_requires_engine(self, verdict_setup):
         _, _, verdict, _ = verdict_setup

@@ -1,13 +1,18 @@
 """Unit tests for correlation-parameter learning (Appendix A)."""
 
 
+import numpy as np
+import pytest
+
+import repro.core.learning as learning_module
 from repro.config import VerdictConfig
 from repro.core.learning import (
+    LikelihoodWorkspace,
     constrained_numeric_attributes,
     learn_length_scales,
     negative_log_likelihood,
 )
-from repro.workloads.synthetic import make_gp_snippets
+from repro.workloads.synthetic import make_gp_snippets, make_gp_snippets_multi
 
 
 class TestLikelihood:
@@ -75,3 +80,96 @@ class TestLearnLengthScales:
         model = learned.as_model()
         assert model.key == key
         assert model.length_scales == learned.length_scales
+
+
+class TestFastPath:
+    """The LikelihoodWorkspace objective and the analytic-gradient optimiser."""
+
+    def test_workspace_nll_matches_reference_on_fig7_snippets(self):
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=60, true_length_scale=1.5, seed=7
+        )
+        workspace = LikelihoodWorkspace(key, snippets, domains)
+        for theta in np.log([0.2, 1.0, 1.5, 5.0]):
+            scale = float(np.exp(theta))
+            reference = negative_log_likelihood({"x": scale}, key, snippets, domains)
+            assert abs(workspace.nll([theta]) - reference) <= 1e-12 * max(
+                1.0, abs(reference)
+            )
+
+    def test_fast_and_legacy_paths_learn_the_same_scales(self):
+        snippets, domains, key = make_gp_snippets_multi(
+            60,
+            {"x0": 2.0, "x1": 1.0},
+            categorical_sizes={"region": 6},
+            seed=13,
+            noise_std=0.15,
+        )
+        fast_config = VerdictConfig(learning_restarts=2, max_learning_snippets=60)
+        fast = learn_length_scales(key, snippets, domains, fast_config)
+        legacy = learn_length_scales(
+            key, snippets, domains, fast_config.with_options(learning_fast_path=False)
+        )
+        for name in fast.optimized_attributes:
+            assert fast.length_scales[name] == pytest.approx(
+                legacy.length_scales[name], rel=0.01
+            )
+
+    def test_workspace_handles_fewer_than_two_snippets(self):
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=1, true_length_scale=1.0, seed=0
+        )
+        workspace = LikelihoodWorkspace(key, snippets, domains)
+        value, gradient = workspace.nll_and_grad([0.0])
+        assert value == 0.0
+        assert np.all(gradient == 0.0)
+
+    def test_warm_start_converges_to_the_same_optimum(self):
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=60, true_length_scale=1.5, seed=9
+        )
+        config = VerdictConfig(learning_restarts=2, max_learning_snippets=60)
+        cold = learn_length_scales(key, snippets, domains, config)
+        warm = learn_length_scales(
+            key, snippets, domains, config, warm_start=cold.length_scales
+        )
+        assert warm.length_scales["x"] == pytest.approx(
+            cold.length_scales["x"], rel=1e-3
+        )
+        assert warm.log_likelihood >= cold.log_likelihood - 1e-9
+
+    def test_warm_start_outside_bounds_is_clipped(self):
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=30, true_length_scale=1.0, seed=4
+        )
+        config = VerdictConfig(learning_restarts=1, max_learning_snippets=30)
+        learned = learn_length_scales(
+            key, snippets, domains, config, warm_start={"x": 1e9}
+        )
+        width = domains.numeric["x"].width
+        assert 0 < learned.length_scales["x"] <= 10.0 * width * (1 + 1e-9)
+
+
+class TestLazyLogLikelihood:
+    def test_no_learn_path_defers_the_likelihood_factorisation(self, monkeypatch):
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=30, true_length_scale=1.0, seed=2
+        )
+        calls = {"count": 0}
+        reference = learning_module.negative_log_likelihood
+
+        def counting(*args, **kwargs):
+            calls["count"] += 1
+            return reference(*args, **kwargs)
+
+        monkeypatch.setattr(learning_module, "negative_log_likelihood", counting)
+        learned = learn_length_scales(
+            key, snippets, domains, VerdictConfig(learn_length_scales=False)
+        )
+        assert calls["count"] == 0  # nothing paid up front
+        first = learned.log_likelihood
+        assert calls["count"] == 1
+        assert first == learned.log_likelihood  # cached, not recomputed
+        assert calls["count"] == 1
+        expected = -reference(domains.default_length_scales(), key, snippets, domains)
+        assert first == expected

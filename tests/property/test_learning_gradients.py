@@ -1,0 +1,170 @@
+"""Property tests for the analytic likelihood gradients (Appendix A fast path).
+
+The learning fast path hands L-BFGS-B closed-form derivatives of the
+Eq. 13 negative log-likelihood with respect to the log length scales.  These
+tests check the two layers of that derivation against central finite
+differences of the corresponding *values*:
+
+* the per-attribute kernel derivative ``d se_average_factor / d log l``
+  (the erf/Gaussian antiderivative calculus), across range shapes; and
+* the full workspace gradient (product-kernel structure plus the
+  sigma^2-through-``mean_diagonal`` chain rule), across attribute counts,
+  snippet counts and range pools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernel import se_average_factor, se_average_factor_with_grad
+from repro.core.learning import LikelihoodWorkspace, negative_log_likelihood
+from repro.workloads.synthetic import make_gp_snippets, make_gp_snippets_multi
+
+bounded = st.floats(min_value=-8.0, max_value=8.0, allow_nan=False)
+widths = st.floats(min_value=1e-3, max_value=6.0, allow_nan=False)
+scales = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+
+class TestKernelGradient:
+    @given(low_1=bounded, width_1=widths, low_2=bounded, width_2=widths, scale=scales)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_central_differences(self, low_1, width_1, low_2, width_2, scale):
+        high_1 = low_1 + width_1
+        high_2 = low_2 + width_2
+        factor, gradient = se_average_factor_with_grad(
+            low_1, high_1, low_2, high_2, scale
+        )
+        reference = se_average_factor(low_1, high_1, low_2, high_2, scale)
+        assert float(factor) == float(reference)
+        step = 1e-4
+        plus = se_average_factor(low_1, high_1, low_2, high_2, scale * np.exp(step))
+        minus = se_average_factor(low_1, high_1, low_2, high_2, scale * np.exp(-step))
+        finite_difference = (float(plus) - float(minus)) / (2.0 * step)
+        # The finite-difference *reference* loses precision when the G terms
+        # (order l^2 + l|t|) dwarf the integral (order w1*w2): each value
+        # carries ~eps * G_max / (w1*w2) of cancellation error, amplified by
+        # 1/(2*step).  The analytic gradient has no such term.
+        t_max = max(
+            abs(high_1 - low_2), abs(high_1 - high_2),
+            abs(low_1 - low_2), abs(low_1 - high_2),
+        )
+        g_max = 0.5 * scale**2 + scale * t_max
+        cancellation = (
+            8.0 * np.finfo(float).eps * g_max / (width_1 * width_2) / (2.0 * step)
+        )
+        tolerance = 1e-6 + 10.0 * cancellation + 1e-4 * abs(finite_difference)
+        assert abs(float(gradient) - finite_difference) <= tolerance
+
+    def test_degenerate_width_falls_back_to_point_kernel(self):
+        factor, gradient = se_average_factor_with_grad(1.0, 1.0, 0.0, 2.0, 1.5)
+        assert float(factor) == 1.0  # midpoints coincide
+        assert float(gradient) == 0.0
+        factor, gradient = se_average_factor_with_grad(3.0, 3.0, 0.0, 2.0, 1.5)
+        difference = 3.0 - 1.0
+        expected = np.exp(-((difference / 1.5) ** 2))
+        assert float(factor) == pytest.approx(float(expected))
+        step = 1e-5
+        plus = se_average_factor(3.0, 3.0, 0.0, 2.0, 1.5 * np.exp(step))
+        minus = se_average_factor(3.0, 3.0, 0.0, 2.0, 1.5 * np.exp(-step))
+        assert float(gradient) == pytest.approx(
+            (float(plus) - float(minus)) / (2.0 * step), rel=1e-4
+        )
+
+
+def _central_difference(workspace, theta, index, step=1e-5):
+    offset = np.zeros(len(theta))
+    offset[index] = step
+    return (workspace.nll(theta + offset) - workspace.nll(theta - offset)) / (
+        2.0 * step
+    )
+
+
+class TestWorkspaceGradient:
+    @given(
+        num_attributes=st.integers(min_value=1, max_value=3),
+        num_snippets=st.integers(min_value=5, max_value=40),
+        distinct_ranges=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=50),
+        log_scale=st.floats(min_value=-1.5, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_central_differences(
+        self, num_attributes, num_snippets, distinct_ranges, seed, log_scale
+    ):
+        true_scales = {f"x{i}": 1.0 + 0.5 * i for i in range(num_attributes)}
+        snippets, domains, key = make_gp_snippets_multi(
+            num_snippets,
+            true_scales,
+            distinct_ranges_per_attribute=distinct_ranges,
+            seed=seed,
+        )
+        workspace = LikelihoodWorkspace(key, snippets, domains)
+        rng = np.random.default_rng(seed)
+        theta = log_scale + rng.uniform(-0.3, 0.3, size=num_attributes)
+        value, gradient = workspace.nll_and_grad(theta)
+        assert value == workspace.nll(theta)
+        for index in range(num_attributes):
+            finite_difference = _central_difference(workspace, theta, index)
+            scale = max(1.0, abs(finite_difference), abs(value) * 1e-3)
+            assert gradient[index] == pytest.approx(
+                finite_difference, abs=2e-4 * scale
+            )
+
+    @given(
+        num_snippets=st.integers(min_value=5, max_value=30),
+        seed=st.integers(min_value=0, max_value=30),
+        log_scale=st.floats(min_value=-2.0, max_value=2.2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_with_categorical_constants(self, num_snippets, seed, log_scale):
+        snippets, domains, key = make_gp_snippets_multi(
+            num_snippets,
+            {"x0": 1.5},
+            categorical_sizes={"region": 6},
+            seed=seed,
+        )
+        workspace = LikelihoodWorkspace(key, snippets, domains)
+        theta = np.array([log_scale])
+        _, gradient = workspace.nll_and_grad(theta)
+        finite_difference = _central_difference(workspace, theta, 0)
+        assert gradient[0] == pytest.approx(
+            finite_difference, rel=1e-3, abs=1e-4 * max(1.0, abs(finite_difference))
+        )
+
+
+class TestWorkspaceMatchesReference:
+    def test_bit_identical_on_fig7_snippets(self):
+        """The workspace NLL must equal the legacy path on the Figure 7
+        synthetic snippets (bit-identical; the 1e-12 bound is the contract)."""
+        snippets, domains, key = make_gp_snippets(
+            num_snippets=80, true_length_scale=1.5, seed=3
+        )
+        workspace = LikelihoodWorkspace(key, snippets, domains)
+        assert workspace.attributes == ("x",)
+        for theta in np.log([0.05, 0.3, 1.0, 1.5, 4.0, 9.0]):
+            scale = float(np.exp(theta))
+            reference = negative_log_likelihood({"x": scale}, key, snippets, domains)
+            fast = workspace.nll([theta])
+            assert abs(fast - reference) <= 1e-12 * max(1.0, abs(reference))
+
+    def test_bit_identical_with_mixed_schema(self):
+        snippets, domains, key = make_gp_snippets_multi(
+            50,
+            {"x0": 2.0, "x1": 0.7},
+            categorical_sizes={"region": 9, "kind": 4},
+            seed=5,
+        )
+        workspace = LikelihoodWorkspace(key, snippets, domains)
+        for probe in [(0.4, 0.4), (2.0, 0.7), (7.0, 0.1)]:
+            theta = np.log(np.asarray(probe))
+            length_scales = {
+                name: float(np.exp(value))
+                for name, value in zip(workspace.attributes, theta)
+            }
+            reference = negative_log_likelihood(
+                length_scales, key, snippets, domains
+            )
+            fast = workspace.nll(theta)
+            assert abs(fast - reference) <= 1e-12 * max(1.0, abs(reference))

@@ -287,6 +287,160 @@ class TestConcurrencyHammer:
             assert any(answer.from_cache for answer in answers[1:]) or len(answers) == 1
 
 
+class TestBackgroundTraining:
+    """train_async: off-the-request-path learning with an atomic swap."""
+
+    TRAINING = [
+        "SELECT AVG(revenue) FROM sales WHERE week >= {low} AND week <= {high}".format(
+            low=low, high=low + 14
+        )
+        for low in (1, 8, 16, 25, 33)
+    ]
+
+    def _record_trace(self, service):
+        for sql in self.TRAINING:
+            service.record_answer(sql)
+
+    def test_background_train_matches_synchronous_train(self):
+        background = build_service()
+        synchronous = build_service()
+        try:
+            self._record_trace(background)
+            self._record_trace(synchronous)
+            synchronous.train(learn=True)
+            results = background.train_async(learn=True).result(timeout=60)
+            assert results
+            sync_models = synchronous.engine._models
+            async_models = background.engine._models
+            assert sync_models.keys() == async_models.keys()
+            for key in sync_models:
+                assert sync_models[key].length_scales == pytest.approx(
+                    async_models[key].length_scales
+                )
+        finally:
+            background.close()
+            synchronous.close()
+
+    def test_queries_are_served_while_training_runs(self):
+        """The hammer: with the compute phase artificially stalled, queries
+        must keep completing -- training never blocks the request path."""
+        with build_service(max_workers=2) as service:
+            self._record_trace(service)
+            entered = threading.Event()
+            release = threading.Event()
+            real_compute = service.engine.compute_training
+
+            def stalled_compute(snapshot):
+                entered.set()
+                assert release.wait(timeout=30), "test deadlock"
+                return real_compute(snapshot)
+
+            service.engine.compute_training = stalled_compute
+            try:
+                future = service.train_async(learn=True)
+                assert entered.wait(timeout=30)
+                # Training is now stuck inside its compute phase.  Queries on
+                # every route must still complete promptly.
+                for _ in range(4):
+                    answer = service.query(
+                        "SELECT COUNT(*) FROM sales", budget=ServiceBudget.exact()
+                    )
+                    assert answer.scalar() == 3_000.0
+                learned = service.query(
+                    "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 25",
+                    record=False,
+                )
+                assert learned.rows
+                assert not future.done()
+            finally:
+                release.set()
+            results = future.result(timeout=60)
+            assert results
+            # The swap landed: the learned models are installed.
+            assert service.engine._models.keys() == results.keys()
+
+    def test_concurrent_train_async_returns_the_inflight_future(self):
+        with build_service() as service:
+            self._record_trace(service)
+            release = threading.Event()
+            real_compute = service.engine.compute_training
+
+            def stalled_compute(snapshot):
+                assert release.wait(timeout=30)
+                return real_compute(snapshot)
+
+            service.engine.compute_training = stalled_compute
+            try:
+                first = service.train_async()
+                second = service.train_async()
+                assert first is second
+            finally:
+                release.set()
+            first.result(timeout=60)
+
+    def test_recording_during_training_forces_the_next_round(self):
+        with build_service() as service:
+            self._record_trace(service)
+            service.train_async(learn=False).result(timeout=60)
+            assert service.engine.training_current(False)
+            service.record_answer(
+                "SELECT AVG(revenue) FROM sales WHERE week >= 40 AND week <= 50"
+            )
+            assert not service.engine.training_current(False)
+
+    def test_training_invalidates_cached_answers(self):
+        """Retraining swaps models in, so older cached answers (stamped with
+        the previous state epoch) must never be served again."""
+        with build_service(record_queries=False) as service:
+            self._record_trace(service)
+            service.train()
+            sql = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 25"
+            first = service.query(sql)
+            assert service.query(sql).from_cache  # warm before retraining
+            service.record_answer(
+                "SELECT AVG(revenue) FROM sales WHERE week >= 42 AND week <= 50"
+            )
+            service.train_async(learn=True).result(timeout=60)
+            after = service.query(sql)
+            assert not after.from_cache
+            assert after.route is not Route.CACHED
+            assert first.rows  # the old answer itself was fine, just retired
+
+    def test_auto_train_every_triggers_background_training(self):
+        with build_service(auto_train_every=3) as service:
+            assert service.engine._last_training is None
+            self._record_trace(service)
+            deadline = threading.Event()
+            for _ in range(100):
+                if service.engine._last_training is not None:
+                    break
+                deadline.wait(0.05)
+            assert service.engine._last_training is not None
+
+    def test_close_waits_for_inflight_training(self):
+        service = build_service()
+        self._record_trace(service)
+        release = threading.Event()
+        real_compute = service.engine.compute_training
+        applied = []
+
+        def stalled_compute(snapshot):
+            assert release.wait(timeout=30)
+            outcome = real_compute(snapshot)
+            applied.append(True)
+            return outcome
+
+        service.engine.compute_training = stalled_compute
+        future = service.train_async()
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        assert applied
+        assert future.done()
+
+
 class TestRestartEquivalence:
     def test_restarted_service_matches_never_stopped_service(self, tmp_path):
         """ISSUE 3 acceptance: restart from the store, then replay the same
