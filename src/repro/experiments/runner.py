@@ -393,6 +393,98 @@ def replay_trace_through_service(
     )
 
 
+def replay_trace_through_client(
+    host: str,
+    port: int,
+    tenant: str,
+    queries: Sequence[str],
+    concurrency: int = 8,
+    max_relative_error: float | None = None,
+    max_latency_s: float | None = None,
+    record: bool | None = False,
+    timeout_s: float = 60.0,
+    warmup: bool = True,
+) -> ServeReplayReport:
+    """Replay a trace over the wire: N client threads against a live server.
+
+    The HTTP twin of :func:`replay_trace_through_service`: the same trace,
+    but each query travels through :class:`repro.serve.client.VerdictClient`
+    to a running :class:`repro.serve.http.VerdictHTTPServer`, so the
+    measured throughput includes JSON serialisation, the socket round trip,
+    and admission control.  Queries are dealt round-robin to ``concurrency``
+    threads, each owning one keep-alive client connection (the client is not
+    thread-safe).  Requests shed with 429 are retried by the client's
+    backoff; the report's ``metrics`` carries client-side latencies
+    (seconds) per query index under ``"client_latencies"``.
+
+    With ``warmup`` (the default) every worker establishes its connection
+    with a health probe and the fleet synchronises on a barrier before the
+    clock starts, so the reported throughput measures steady-state serving
+    rather than N simultaneous TCP handshakes.
+    """
+    import threading
+    import time as _time
+
+    from repro.serve.client import ClientError, VerdictClient
+
+    latencies: list[float | None] = [None] * len(queries)
+    failures = [0] * concurrency
+    ready = threading.Barrier(concurrency + 1) if warmup else None
+
+    def worker(worker_index: int) -> None:
+        client = VerdictClient(
+            host=host,
+            port=port,
+            tenant=tenant,
+            timeout_s=timeout_s,
+            seed=worker_index,
+        )
+        with client:
+            if ready is not None:
+                try:
+                    client.health()  # connect + first exchange off the clock
+                finally:
+                    ready.wait(timeout=timeout_s)
+            for index in range(worker_index, len(queries), concurrency):
+                started = _time.perf_counter()
+                try:
+                    client.ask(
+                        queries[index],
+                        max_relative_error=max_relative_error,
+                        max_latency_s=max_latency_s,
+                        record=record,
+                    )
+                except ClientError:
+                    failures[worker_index] += 1
+                    continue
+                latencies[index] = _time.perf_counter() - started
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(concurrency)
+    ]
+    started = _time.perf_counter()
+    for thread in threads:
+        thread.start()
+    if ready is not None:
+        ready.wait(timeout=timeout_s)
+        started = _time.perf_counter()  # every connection is warm: go
+    for thread in threads:
+        thread.join()
+    wall = _time.perf_counter() - started
+    failed = sum(failures)
+    served = len(queries) - failed
+    return ServeReplayReport(
+        queries=len(queries),
+        failures=failed,
+        wall_seconds=wall,
+        queries_per_second=served / wall if wall > 0 else 0.0,
+        metrics={
+            "client_latencies": [value for value in latencies if value is not None],
+            "concurrency": concurrency,
+        },
+    )
+
+
 def _serve_main(argv: Sequence[str] | None = None) -> int:
     """CLI: replay a Customer1 trace through a live ``VerdictService``.
 

@@ -15,9 +15,16 @@ VerdictDB implementation):
   front door: worker pool, per-fact-table reader/writer locks, versioned
   answer cache, graceful shutdown;
 * :mod:`repro.serve.metrics` -- :class:`ServiceMetrics`, per-route counters
-  and latency histograms.
+  and latency histograms;
+* :mod:`repro.serve.http` -- the multi-tenant HTTP/JSON front door
+  (stdlib ``ThreadingHTTPServer``): ask/feedback/metrics/admin endpoints,
+  bounded admission queue with shed-load backpressure, per-tenant state,
+  per-session JSONL audit log (run it with ``python -m repro.serve.http``);
+* :mod:`repro.serve.client` -- :class:`VerdictClient`, the thin blocking
+  HTTP client with retry-on-429 exponential backoff.
 """
 
+from repro.serve.client import VerdictClient
 from repro.serve.metrics import LatencyHistogram, ServiceMetrics
 from repro.serve.planner import QueryPlanner, Route, RouteDecision, ServiceBudget
 from repro.serve.service import ReadWriteLock, ServedAnswer, ServedRow, VerdictService
@@ -34,5 +41,6 @@ __all__ = [
     "ServiceBudget",
     "ServiceMetrics",
     "SynopsisStore",
+    "VerdictClient",
     "VerdictService",
 ]

@@ -1,0 +1,286 @@
+"""Thin blocking HTTP client for the Verdict front door.
+
+:class:`VerdictClient` wraps the ``/v1`` wire protocol of
+:mod:`repro.serve.http` in plain method calls.  Stdlib only
+(``http.client``), one keep-alive connection per client instance (**not**
+thread-safe -- give each thread its own client, as the benchmarks do).
+
+Backpressure handling: a 429 (shed load) is retried automatically with
+capped exponential backoff plus deterministic jitter, up to
+``max_retries`` attempts -- the client-side half of the admission
+contract, and what the backpressure property test asserts "eventually
+succeeds once load drops".  A 503 (server draining) is **not** retried:
+the server is going away, and the caller should fail over, not camp on
+the socket.  Transport-level drops (connection reset, refused) reconnect
+and retry only when ``retry_transport_errors`` is set; the default raises
+:class:`TransportError` so tests and callers see crashes honestly.
+
+Every HTTP error status maps to a typed exception carrying the server's
+machine-readable error code (:class:`BadRequestError`,
+:class:`NotFoundError`, :class:`ConflictError`, :class:`SaturatedError`,
+:class:`ServerClosingError`, :class:`RemoteError`).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+class ClientError(ReproError):
+    """Base class for everything the client can raise."""
+
+    def __init__(self, message: str, status: int | None = None, code: str | None = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class TransportError(ClientError):
+    """The connection died (refused, reset, timed out) before a response."""
+
+
+class BadRequestError(ClientError):
+    """400: malformed request (schema violation, invalid SQL, bad rows)."""
+
+
+class NotFoundError(ClientError):
+    """404: unknown tenant, table, or route."""
+
+
+class ConflictError(ClientError):
+    """409: tenant already exists."""
+
+
+class SaturatedError(ClientError):
+    """429: shed by admission control and retries exhausted."""
+
+
+class ServerClosingError(ClientError):
+    """503: the server is shutting down."""
+
+
+class RemoteError(ClientError):
+    """Any other non-2xx response (including 500 internal errors)."""
+
+
+_STATUS_EXCEPTIONS = {
+    400: BadRequestError,
+    404: NotFoundError,
+    409: ConflictError,
+    429: SaturatedError,
+    503: ServerClosingError,
+}
+
+
+class VerdictClient:
+    """Blocking JSON client for one front-door server (one tenant by default).
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    tenant:
+        Default tenant for every call (overridable per call).
+    timeout_s:
+        Socket timeout for connect and each response read.
+    max_retries:
+        How many times a 429 is retried before :class:`SaturatedError`.
+    backoff_base_s, backoff_cap_s:
+        Exponential backoff schedule: attempt ``k`` sleeps
+        ``min(cap, base * 2**k)`` scaled by jitter in ``[0.5, 1.0]``.
+    retry_transport_errors:
+        Also retry (with the same backoff) when the connection drops --
+        useful across a server restart; off by default.
+    seed:
+        Seed of the deterministic jitter stream.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8123,
+        tenant: str | None = None,
+        timeout_s: float = 30.0,
+        max_retries: int = 6,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        retry_transport_errors: bool = False,
+        seed: int = 0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.retry_transport_errors = retry_transport_errors
+        self.retries_performed = 0
+        self._random = random.Random(seed)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ----------------------------------------------------------------- public
+
+    def ask(
+        self,
+        sql: str,
+        tenant: str | None = None,
+        max_relative_error: float | None = None,
+        max_latency_s: float | None = None,
+        record: bool | None = None,
+    ) -> dict:
+        """Answer one SQL request; returns the answer state dict."""
+        payload = {
+            "tenant": self._tenant(tenant),
+            "sql": sql,
+            "max_relative_error": max_relative_error,
+            "max_latency_s": max_latency_s,
+            "record": record,
+        }
+        return self._request("POST", "/v1/ask", payload)["answer"]
+
+    def append(
+        self,
+        table: str,
+        rows: Mapping[str, Sequence],
+        tenant: str | None = None,
+        adjust: bool = True,
+    ) -> dict:
+        """Append rows (column -> values mapping) to a tenant fact table."""
+        payload = {
+            "tenant": self._tenant(tenant),
+            "table": table,
+            "rows": {column: list(values) for column, values in rows.items()},
+            "adjust": adjust,
+        }
+        return self._request("POST", "/v1/feedback/append", payload)
+
+    def record(self, sql: str, tenant: str | None = None) -> bool:
+        """Full-scan one query and record its snippets (training aid)."""
+        payload = {"tenant": self._tenant(tenant), "sql": sql}
+        return self._request("POST", "/v1/feedback/record", payload)["recorded"]
+
+    def metrics(self, tenant: str | None = None) -> dict:
+        """Tenant-scoped metrics, or server-wide when no tenant is set."""
+        name = tenant if tenant is not None else self.tenant
+        path = "/v1/metrics" + (f"?tenant={name}" if name else "")
+        return self._request("GET", path)
+
+    def train(
+        self, tenant: str | None = None, learn: bool | None = None, wait: bool = True
+    ) -> dict:
+        payload = {"tenant": self._tenant(tenant), "learn": learn, "wait": wait}
+        return self._request("POST", "/v1/admin/train", payload)
+
+    def snapshot(self, tenant: str | None = None) -> dict:
+        payload = {"tenant": self._tenant(tenant)}
+        return self._request("POST", "/v1/admin/snapshot", payload)
+
+    def create_tenant(self, tenant: str | None = None) -> dict:
+        payload = {"tenant": self._tenant(tenant)}
+        return self._request("POST", "/v1/admin/tenants", payload)
+
+    def list_tenants(self) -> list[dict]:
+        return self._request("GET", "/v1/admin/tenants")["tenants"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "VerdictClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- private
+
+    def _tenant(self, tenant: str | None) -> str:
+        name = tenant if tenant is not None else self.tenant
+        if not name:
+            raise ClientError("no tenant given (set client.tenant or pass tenant=)")
+        return name
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
+        return delay * (0.5 + 0.5 * self._random.random())
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._connection
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:
+                pass
+            self._connection = None
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            # Omit explicit Nones: optional fields simply stay unsent.
+            body = json.dumps(
+                {key: value for key, value in payload.items() if value is not None}
+            ).encode()
+            headers["Content-Type"] = "application/json"
+        attempt = 0
+        while True:
+            try:
+                connection = self._connect()
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                status = response.status
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                socket.timeout,
+                OSError,
+            ) as error:
+                self._drop_connection()
+                if self.retry_transport_errors and attempt < self.max_retries:
+                    self.retries_performed += 1
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    continue
+                raise TransportError(
+                    f"{method} {path} failed: {type(error).__name__}: {error}"
+                ) from error
+            if status == 429 and attempt < self.max_retries:
+                self.retries_performed += 1
+                time.sleep(self._backoff(attempt))
+                attempt += 1
+                continue
+            return self._decode(method, path, status, data)
+
+    def _decode(self, method: str, path: str, status: int, data: bytes) -> dict:
+        try:
+            payload = json.loads(data) if data else {}
+        except json.JSONDecodeError as error:
+            raise RemoteError(
+                f"{method} {path}: unparsable {status} response", status=status
+            ) from error
+        if 200 <= status < 300:
+            return payload
+        error_info = payload.get("error", {}) if isinstance(payload, dict) else {}
+        code = error_info.get("code")
+        message = error_info.get("message", f"HTTP {status}")
+        exc_type = _STATUS_EXCEPTIONS.get(status, RemoteError)
+        raise exc_type(f"{method} {path}: {message}", status=status, code=code)

@@ -1,0 +1,174 @@
+"""CLI: run the multi-tenant HTTP front door.
+
+Quickstart (synthetic sales workload, two tenants)::
+
+    python -m repro.serve.http --root /tmp/verdict --tenants acme,globex
+
+The first stdout line is a JSON readiness record::
+
+    {"listening": {"host": "127.0.0.1", "port": 8123}, "root": "/tmp/verdict"}
+
+so scripts (and the fault-injection tests) can wait for it, parse the bound
+port (``--port 0`` picks a free one), and start firing requests.  The
+process serves until SIGINT/SIGTERM, then shuts down gracefully: in-flight
+requests finish, every tenant's learned state is snapshotted, and the audit
+log is closed.  Because each tenant's catalog is built deterministically
+from ``(workload, rows, seed, tenant name)``, a restarted server over the
+same ``--root`` and data flags resumes every tenant byte-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import zlib
+from pathlib import Path
+
+from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
+from repro.db.catalog import Catalog
+from repro.serve.http.audit import AuditLog
+from repro.serve.http.server import VerdictHTTPServer
+from repro.serve.http.tenants import TenantManager
+from repro.serve.service import VerdictService
+
+
+def tenant_seed(base_seed: int, tenant: str) -> int:
+    """Deterministic per-tenant seed -- stable across process restarts."""
+    return base_seed + (zlib.crc32(tenant.encode()) % 100_000)
+
+
+def build_catalog_factory(workload: str, rows: int, seed: int):
+    """A ``tenant name -> Catalog`` factory for the built-in workloads."""
+
+    def factory(tenant: str) -> Catalog:
+        this_seed = tenant_seed(seed, tenant)
+        if workload == "customer1":
+            from repro.workloads.customer1 import Customer1Workload
+
+            return Customer1Workload(num_rows=rows, seed=this_seed).build_catalog()
+        if workload == "sales":
+            from repro.workloads.synthetic import make_sales_table
+
+            catalog = Catalog()
+            catalog.add_table(
+                make_sales_table(num_rows=rows, num_weeks=52, seed=this_seed),
+                fact=True,
+            )
+            return catalog
+        raise ValueError(f"unknown workload {workload!r}")
+
+    return factory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.http", description=__doc__
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123, help="0 picks a free port")
+    parser.add_argument(
+        "--root", required=True, help="state directory (tenant stores, audit log)"
+    )
+    parser.add_argument("--workload", choices=("sales", "customer1"), default="sales")
+    parser.add_argument("--rows", type=int, default=20_000, help="rows per tenant")
+    parser.add_argument("--seed", type=int, default=7, help="base data seed")
+    parser.add_argument("--sample-ratio", type=float, default=0.2)
+    parser.add_argument("--batches", type=int, default=5, help="sample batches")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="max concurrently executing requests"
+    )
+    parser.add_argument(
+        "--queue", type=int, default=16, help="admission queue bound (shed beyond)"
+    )
+    parser.add_argument(
+        "--queue-timeout", type=float, default=5.0, help="seconds queued before shed"
+    )
+    parser.add_argument(
+        "--max-loaded-tenants", type=int, default=8, help="LRU residency cap"
+    )
+    parser.add_argument(
+        "--tenants", default="", help="comma-separated tenants to pre-create"
+    )
+    parser.add_argument(
+        "--auto-train-every",
+        type=int,
+        default=None,
+        help="background-train a tenant after every N learned-state mutations",
+    )
+    parser.add_argument(
+        "--learn",
+        action="store_true",
+        help="learn correlation length scales during training (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    sampling = SamplingConfig(
+        sample_ratio=args.sample_ratio, num_batches=args.batches, seed=1
+    )
+    cost_model = CostModelConfig.scaled_for(int(args.rows * args.sample_ratio))
+    config = VerdictConfig(learn_length_scales=args.learn)
+
+    def service_factory(catalog, store) -> VerdictService:
+        return VerdictService(
+            catalog,
+            store=store,
+            sampling=sampling,
+            cost_model=cost_model,
+            config=config,
+            max_workers=2,
+            auto_train_every=args.auto_train_every,
+        )
+
+    tenants = TenantManager(
+        root,
+        build_catalog_factory(args.workload, args.rows, args.seed),
+        service_factory=service_factory,
+        max_loaded=args.max_loaded_tenants,
+    )
+    for name in filter(None, args.tenants.split(",")):
+        if not tenants.exists(name):
+            tenants.create(name)
+
+    audit = AuditLog.open_session(root / "audit")
+    server = VerdictHTTPServer(
+        (args.host, args.port),
+        tenants,
+        max_active=args.workers,
+        max_queued=args.queue,
+        queue_timeout_s=args.queue_timeout,
+        audit=audit,
+    )
+    server.start()
+    print(
+        json.dumps(
+            {
+                "listening": {"host": args.host, "port": server.port},
+                "root": str(root),
+                "workload": args.workload,
+                "audit": str(audit.path),
+            }
+        ),
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, on_signal)
+    signal.signal(signal.SIGTERM, on_signal)
+    try:
+        stop.wait()
+    finally:
+        server.close()
+    print(json.dumps({"stopped": True}), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

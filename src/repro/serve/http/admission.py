@@ -1,0 +1,196 @@
+"""Bounded admission control with shed-load backpressure.
+
+The HTTP front door executes queries on its connection-handler threads, so
+without a gate an unbounded burst of clients would run an unbounded number
+of engine queries at once.  :class:`AdmissionController` is that gate:
+
+* at most ``max_active`` requests execute concurrently;
+* at most ``max_queued`` further requests wait in line (FIFO by condition
+  wakeup) -- the *bounded admission queue*;
+* a request arriving with the queue full, or one whose wait exceeds
+  ``queue_timeout_s``, is **shed** immediately (:class:`ShedLoad`, mapped to
+  HTTP 429) rather than piling latency onto everyone else;
+* once :meth:`close` is called, new arrivals and queued waiters all fail
+  with :class:`ShuttingDown` (HTTP 503) while already-admitted requests run
+  to completion -- the clean-shutdown half of the backpressure contract.
+
+Every request therefore gets **exactly one** terminal outcome: admitted
+(then completes), shed, or rejected-closed.  The hypothesis property test
+in ``tests/serve/http/test_backpressure.py`` drives randomized burst
+schedules against exactly these invariants.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+class ShedLoad(ReproError):
+    """The admission queue is full (or the wait timed out): retry later."""
+
+
+class ShuttingDown(ReproError):
+    """The server is draining and accepts no new work."""
+
+
+class AdmissionController:
+    """Counting gate: bounded concurrency, bounded queue, shed beyond both."""
+
+    def __init__(
+        self,
+        max_active: int,
+        max_queued: int,
+        queue_timeout_s: float | None = 5.0,
+    ):
+        if max_active <= 0:
+            raise ValueError("max_active must be positive")
+        if max_queued < 0:
+            raise ValueError("max_queued must be non-negative")
+        if queue_timeout_s is not None and queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        self.max_active = max_active
+        self.max_queued = max_queued
+        self.queue_timeout_s = queue_timeout_s
+        # Two conditions over one lock: ``_slots`` wakes exactly ONE queued
+        # waiter per freed slot (a notify_all here is a thundering herd --
+        # with N queued handler threads every completion would wake all N),
+        # ``_idle`` wakes the drain waiters when the last active leaves.
+        self._lock = threading.Lock()
+        self._slots = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._queued = 0
+        self._closed = False
+        # Monotonic outcome counters (every arrival lands in exactly one of
+        # admitted / shed / rejected_closed; completed trails admitted).
+        self.admitted = 0
+        self.shed = 0
+        self.rejected_closed = 0
+        self.completed = 0
+        self.peak_active = 0
+        self.peak_queued = 0
+
+    # ------------------------------------------------------------------ public
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold one execution slot; blocks in the bounded queue if needed.
+
+        Raises :class:`ShedLoad` when the queue is full or the wait times
+        out, :class:`ShuttingDown` when the controller is closed before a
+        slot frees up.
+        """
+        self._acquire()
+        try:
+            yield
+        finally:
+            self._release()
+
+    def close(self) -> None:
+        """Stop admitting: queued waiters fail fast, active requests finish."""
+        with self._lock:
+            self._closed = True
+            self._slots.notify_all()
+            self._idle.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def wait_idle(self, timeout_s: float | None = None) -> bool:
+        """Block until no admitted request is still executing."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._lock:
+            while self._active:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+    def snapshot(self) -> dict:
+        """Counters and gauges for the metrics endpoint."""
+        with self._lock:
+            return {
+                "max_active": self.max_active,
+                "max_queued": self.max_queued,
+                "active": self._active,
+                "queued": self._queued,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "shed": self.shed,
+                "rejected_closed": self.rejected_closed,
+                "peak_active": self.peak_active,
+                "peak_queued": self.peak_queued,
+                "closed": self._closed,
+            }
+
+    # ----------------------------------------------------------------- private
+
+    def _acquire(self) -> None:
+        with self._lock:
+            if self._closed:
+                self.rejected_closed += 1
+                raise ShuttingDown("admission closed: server is shutting down")
+            if self._active < self.max_active:
+                self._admit_locked()
+                return
+            if self._queued >= self.max_queued:
+                self.shed += 1
+                raise ShedLoad(
+                    f"admission queue full ({self._queued}/{self.max_queued} "
+                    f"queued, {self._active} active)"
+                )
+            self._queued += 1
+            self.peak_queued = max(self.peak_queued, self._queued)
+            deadline = (
+                None
+                if self.queue_timeout_s is None
+                else time.monotonic() + self.queue_timeout_s
+            )
+            try:
+                while True:
+                    if self._closed:
+                        self.rejected_closed += 1
+                        raise ShuttingDown(
+                            "admission closed while queued: server is shutting down"
+                        )
+                    if self._active < self.max_active:
+                        self._admit_locked()
+                        return
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self.shed += 1
+                        raise ShedLoad(
+                            f"gave up after queueing {self.queue_timeout_s:g}s"
+                        )
+                    self._slots.wait(remaining)
+            except BaseException:
+                # This waiter may have consumed a one-shot slot notification
+                # it is now declining (timeout, shutdown): pass it on so the
+                # free slot cannot strand the remaining sleepers.
+                self._slots.notify(1)
+                raise
+            finally:
+                self._queued -= 1
+
+    def _admit_locked(self) -> None:
+        self._active += 1
+        self.admitted += 1
+        self.peak_active = max(self.peak_active, self._active)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._active -= 1
+            self.completed += 1
+            # One freed slot wakes exactly one queued waiter.
+            self._slots.notify(1)
+            if self._active == 0:
+                self._idle.notify_all()

@@ -1,0 +1,81 @@
+"""Per-session JSONL audit log for the HTTP front door.
+
+Every served request appends exactly one JSON line recording who asked for
+what, which route answered it, how long it took, and how it terminated --
+the durable trace an operator greps when a tenant disputes an answer.  One
+file per server session (named after the session id), append-only, so logs
+from successive restarts never interleave::
+
+    <root>/audit/<session-id>.jsonl
+
+Record fields: ``ts`` (unix seconds), ``seq`` (per-session sequence
+number), ``session``, ``endpoint``, ``tenant``, ``status`` (HTTP),
+``latency_s`` (server-side wall clock), plus per-endpoint extras --
+``route`` and ``error_bound`` for answered asks, ``error`` (the machine
+code) for failures.
+
+Writes are serialized by a lock and flushed per record (no fsync: the audit
+log is an operational trace, not the durability story -- that is the
+synopsis store's job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+
+class AuditLog:
+    """Append-only JSONL request log, one file per server session."""
+
+    def __init__(self, path: str | os.PathLike[str], session_id: str):
+        self.path = Path(path)
+        self.session_id = session_id
+        self.entries_written = 0
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    @classmethod
+    def open_session(cls, directory: str | os.PathLike[str]) -> "AuditLog":
+        """Open a fresh log file named after a new unique session id."""
+        session_id = f"serve-{time.strftime('%Y%m%dT%H%M%S')}-{os.getpid()}"
+        return cls(Path(directory) / f"{session_id}.jsonl", session_id)
+
+    def record(
+        self,
+        endpoint: str,
+        status: int,
+        latency_s: float,
+        tenant: str | None = None,
+        **extra,
+    ) -> None:
+        """Append one request record; never raises into the request path."""
+        entry = {
+            "ts": time.time(),
+            "session": self.session_id,
+            "endpoint": endpoint,
+            "tenant": tenant,
+            "status": status,
+            "latency_s": latency_s,
+        }
+        entry.update(extra)
+        try:
+            with self._lock:
+                if self._handle.closed:
+                    return
+                entry["seq"] = self.entries_written
+                self._handle.write(json.dumps(entry, default=str) + "\n")
+                self._handle.flush()
+                self.entries_written += 1
+        except OSError:
+            # A full disk must not fail the query that triggered the record.
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()

@@ -1,0 +1,357 @@
+"""Wire protocol for the HTTP front door: schemas, validation, error mapping.
+
+Every request body is a JSON object validated *strictly* against a small
+declarative schema before any engine code runs: missing fields, wrong types,
+and unknown fields are all rejected with a typed 400 so malformed traffic
+never reaches a tenant's service.  Failures anywhere in the stack are mapped
+to one :class:`ApiError` with a stable machine-readable ``code``:
+
+========  ======================  ============================================
+status    code                    meaning
+========  ======================  ============================================
+400       ``bad_request``         malformed JSON / schema violation
+400       ``invalid_sql``         the SQL text failed to parse
+400       ``bad_rows``            append rows do not match the table schema
+404       ``unknown_tenant``      tenant was never created
+404       ``unknown_table``       SQL or append references an unknown table
+404       ``unknown_route``       no such endpoint
+409       ``tenant_exists``       tenant create with an existing name
+429       ``shed_load``           admission queue full / queue wait timed out
+503       ``shutting_down``       the server is draining
+500       ``internal``            anything else
+========  ======================  ============================================
+
+Responses are JSON too.  :func:`answer_to_state` renders a
+:class:`~repro.serve.service.ServedAnswer` as plain data, and
+:func:`answer_fingerprint` canonicalises the *deterministic* subset of that
+state (everything except wall-clock timings and cache provenance) -- two
+answers computed over byte-identical learned state produce byte-identical
+fingerprints, which is what the kill/restart fault tests assert over the
+wire.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.serve.planner import ServiceBudget
+from repro.serve.service import ServedAnswer
+
+#: Tenant names are path-safe by construction (they become directory names).
+TENANT_NAME_RE = re.compile(r"\A[A-Za-z0-9][A-Za-z0-9_.-]{0,63}\Z")
+
+#: Largest accepted request body, in bytes (a generous cap for appends).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ApiError(ReproError):
+    """One typed HTTP failure: status code, machine code, human message."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def body(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+def bad_request(message: str, code: str = "bad_request") -> ApiError:
+    return ApiError(400, code, message)
+
+
+def unknown_tenant(name: str) -> ApiError:
+    return ApiError(404, "unknown_tenant", f"unknown tenant {name!r}")
+
+
+def unknown_route(method: str, path: str) -> ApiError:
+    return ApiError(404, "unknown_route", f"no route for {method} {path}")
+
+
+def tenant_exists(name: str) -> ApiError:
+    return ApiError(409, "tenant_exists", f"tenant {name!r} already exists")
+
+
+def shed_load(message: str) -> ApiError:
+    return ApiError(429, "shed_load", message)
+
+
+def shutting_down(message: str = "server is shutting down") -> ApiError:
+    return ApiError(503, "shutting_down", message)
+
+
+# --------------------------------------------------------------------------- #
+# Strict request validation
+# --------------------------------------------------------------------------- #
+
+
+def _validate(payload: object, fields: dict[str, tuple]) -> dict:
+    """Check ``payload`` against ``{name: (types, required)}`` strictly.
+
+    Returns the validated dict.  Raises :class:`ApiError` (400) on a
+    non-object payload, a missing required field, a wrong type, or any
+    field not named in the schema.
+    """
+    if not isinstance(payload, dict):
+        raise bad_request("request body must be a JSON object")
+    unknown = set(payload) - set(fields)
+    if unknown:
+        raise bad_request(f"unknown fields {sorted(unknown)}")
+    out: dict = {}
+    for name, (types, required) in fields.items():
+        if name not in payload or payload[name] is None:
+            if required:
+                raise bad_request(f"missing required field {name!r}")
+            out[name] = None
+            continue
+        value = payload[name]
+        if not isinstance(value, types) or isinstance(value, bool) and bool not in (
+            types if isinstance(types, tuple) else (types,)
+        ):
+            raise bad_request(
+                f"field {name!r} has wrong type {type(value).__name__}"
+            )
+        out[name] = value
+    return out
+
+
+def _validate_tenant_name(name: str) -> str:
+    if not TENANT_NAME_RE.match(name):
+        raise bad_request(
+            f"invalid tenant name {name!r} (want {TENANT_NAME_RE.pattern})"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class AskRequest:
+    tenant: str
+    sql: str
+    budget: ServiceBudget | None
+    record: bool | None
+
+
+def parse_ask(payload: object) -> AskRequest:
+    fields = _validate(
+        payload,
+        {
+            "tenant": (str, True),
+            "sql": (str, True),
+            "max_relative_error": ((int, float), False),
+            "max_latency_s": ((int, float), False),
+            "record": (bool, False),
+        },
+    )
+    _validate_tenant_name(fields["tenant"])
+    if not fields["sql"].strip():
+        raise bad_request("field 'sql' must be non-empty")
+    budget = None
+    if fields["max_relative_error"] is not None or fields["max_latency_s"] is not None:
+        try:
+            budget = ServiceBudget(
+                max_relative_error=fields["max_relative_error"],
+                max_latency_s=fields["max_latency_s"],
+            )
+        except ReproError as error:
+            raise bad_request(str(error)) from error
+    return AskRequest(
+        tenant=fields["tenant"],
+        sql=fields["sql"],
+        budget=budget,
+        record=fields["record"],
+    )
+
+
+@dataclass(frozen=True)
+class AppendRequest:
+    tenant: str
+    table: str
+    rows: dict[str, list]
+    adjust: bool
+
+
+def parse_append(payload: object) -> AppendRequest:
+    fields = _validate(
+        payload,
+        {
+            "tenant": (str, True),
+            "table": (str, True),
+            "rows": (dict, True),
+            "adjust": (bool, False),
+        },
+    )
+    _validate_tenant_name(fields["tenant"])
+    rows = fields["rows"]
+    if not rows:
+        raise bad_request("field 'rows' must name at least one column", "bad_rows")
+    for column, values in rows.items():
+        if not isinstance(column, str) or not isinstance(values, list):
+            raise bad_request(
+                "field 'rows' must map column names to value lists", "bad_rows"
+            )
+    return AppendRequest(
+        tenant=fields["tenant"],
+        table=fields["table"],
+        rows=rows,
+        adjust=True if fields["adjust"] is None else fields["adjust"],
+    )
+
+
+@dataclass(frozen=True)
+class RecordRequest:
+    tenant: str
+    sql: str
+
+
+def parse_record(payload: object) -> RecordRequest:
+    fields = _validate(payload, {"tenant": (str, True), "sql": (str, True)})
+    _validate_tenant_name(fields["tenant"])
+    if not fields["sql"].strip():
+        raise bad_request("field 'sql' must be non-empty")
+    return RecordRequest(tenant=fields["tenant"], sql=fields["sql"])
+
+
+@dataclass(frozen=True)
+class TrainRequest:
+    tenant: str
+    learn: bool | None
+    wait: bool
+
+
+def parse_train(payload: object) -> TrainRequest:
+    fields = _validate(
+        payload,
+        {"tenant": (str, True), "learn": (bool, False), "wait": (bool, False)},
+    )
+    _validate_tenant_name(fields["tenant"])
+    return TrainRequest(
+        tenant=fields["tenant"],
+        learn=fields["learn"],
+        wait=True if fields["wait"] is None else fields["wait"],
+    )
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    tenant: str
+
+
+def parse_tenant_only(payload: object) -> TenantRequest:
+    fields = _validate(payload, {"tenant": (str, True)})
+    _validate_tenant_name(fields["tenant"])
+    return TenantRequest(tenant=fields["tenant"])
+
+
+# --------------------------------------------------------------------------- #
+# Answer serialisation
+# --------------------------------------------------------------------------- #
+
+
+def _plain(value):
+    """Convert NumPy scalars to native Python types for JSON."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value
+
+
+def answer_to_state(answer: ServedAnswer) -> dict:
+    """Render a served answer as plain JSON-serialisable data."""
+    return {
+        "sql": answer.sql,
+        "route": answer.route.value,
+        "rows": [
+            {
+                "group": [_plain(value) for value in row.group_values],
+                "values": {name: _plain(v) for name, v in row.values.items()},
+                "errors": {name: _plain(v) for name, v in row.errors.items()},
+            }
+            for row in answer.rows
+        ],
+        "relative_error_bound": float(answer.relative_error_bound),
+        "model_seconds": float(answer.model_seconds),
+        "wall_seconds": float(answer.wall_seconds),
+        "supported": answer.supported,
+        "budget_met": answer.budget_met,
+        "from_cache": answer.from_cache,
+        "recorded": answer.recorded,
+        "batches_processed": answer.batches_processed,
+    }
+
+
+#: The non-deterministic answer fields: wall-clock timing and provenance
+#: that legitimately differ between a cold and a warm (cached) service.
+#: ``model_seconds`` is nondeterministic too: on the learned route it adds
+#: the *measured* inference overhead to the cost model's deterministic IO
+#: estimate.
+NONDETERMINISTIC_FIELDS = (
+    "wall_seconds",
+    "model_seconds",
+    "from_cache",
+    "route",
+    "recorded",
+)
+
+
+def answer_fingerprint(state: dict) -> bytes:
+    """Canonical bytes of the deterministic part of an answer state.
+
+    Two services holding byte-identical learned state produce identical
+    fingerprints for the same request, regardless of wall-clock timing,
+    cache warmth, or whether the answer was recorded -- the kill/restart
+    fault tests compare exactly this.
+    """
+    deterministic = {
+        key: value
+        for key, value in state.items()
+        if key not in NONDETERMINISTIC_FIELDS
+    }
+    return json.dumps(deterministic, sort_keys=True, separators=(",", ":")).encode()
+
+
+# --------------------------------------------------------------------------- #
+# Exception mapping
+# --------------------------------------------------------------------------- #
+
+
+def map_exception(error: Exception) -> ApiError:
+    """Map any engine/service failure onto one typed :class:`ApiError`."""
+    # Imported here to keep the protocol module import-light for clients.
+    from repro.errors import (
+        CatalogError,
+        ServiceError,
+        SQLSyntaxError,
+        TableError,
+        UnsupportedQueryError,
+    )
+    from repro.serve.http.admission import ShedLoad, ShuttingDown
+
+    if isinstance(error, ApiError):
+        return error
+    if isinstance(error, ShedLoad):
+        return shed_load(str(error))
+    if isinstance(error, ShuttingDown):
+        return shutting_down(str(error))
+    if isinstance(error, SQLSyntaxError):
+        return bad_request(f"SQL failed to parse: {error}", "invalid_sql")
+    if isinstance(error, UnsupportedQueryError):
+        # Unsupported-but-parsable queries are normally still served (the
+        # online-agg route handles them); reaching here means a route
+        # explicitly refused, which is the client's query class problem.
+        return bad_request(str(error), "unsupported_query")
+    if isinstance(error, CatalogError):
+        return ApiError(404, "unknown_table", str(error))
+    if isinstance(error, TableError):
+        return bad_request(str(error), "bad_rows")
+    if isinstance(error, ServiceError) and "closed" in str(error):
+        return shutting_down(str(error))
+    return ApiError(500, "internal", f"{type(error).__name__}: {error}")

@@ -1,0 +1,344 @@
+"""The HTTP/JSON front door: a stdlib ``ThreadingHTTPServer`` over tenants.
+
+No third-party web framework -- the whole network layer is the standard
+library, so the front door deploys anywhere the engine does.  Endpoints
+(all under ``/v1``, JSON request/response):
+
+=======  =======================  ===========================================
+method   path                     purpose
+=======  =======================  ===========================================
+POST     ``/v1/ask``              answer one SQL request within its budget
+POST     ``/v1/feedback/append``  append rows to a tenant fact table
+POST     ``/v1/feedback/record``  full-scan a query and record its snippets
+GET      ``/v1/metrics``          server-wide (or ``?tenant=`` scoped) stats
+POST     ``/v1/admin/train``      run the offline step (sync or background)
+POST     ``/v1/admin/snapshot``   force a durable full snapshot
+POST     ``/v1/admin/tenants``    create a tenant
+GET      ``/v1/admin/tenants``    list tenants
+GET      ``/v1/healthz``          liveness probe
+=======  =======================  ===========================================
+
+Execution model: connection-handler threads run the query themselves (the
+per-tenant service's worker pool is for in-process ``submit()`` callers),
+gated by one shared :class:`~repro.serve.http.admission.AdmissionController`
+so a burst cannot run unbounded engine work -- beyond ``max_active``
+concurrent requests and ``max_queued`` waiters, requests are shed with 429.
+``ask`` and both ``feedback`` endpoints pay admission; metrics, admin, and
+health do not (operators must be able to look at a saturated server).
+
+Shutdown (:meth:`VerdictHTTPServer.close`) is ordered: stop admitting
+(queued waiters fail fast with 503, admitted requests finish), drain, stop
+the accept loop, close every tenant (each writes its final snapshot), close
+the audit log.  In-flight requests therefore always terminate with a real
+response -- 200 if admitted before the close, 503 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.http import protocol
+from repro.serve.http.admission import AdmissionController
+from repro.serve.http.audit import AuditLog
+from repro.serve.http.protocol import ApiError
+from repro.serve.http.tenants import TenantManager
+from repro.sqlparser.parser import parse_query
+
+
+def _check_tables(catalog, parsed) -> None:
+    """404 for any table the SQL names that the tenant's catalog lacks."""
+    for name in (parsed.table, *(join.table for join in parsed.joins)):
+        if not catalog.has_table(name):
+            raise ApiError(404, "unknown_table", f"unknown table {name!r}")
+
+
+class VerdictHTTPServer(ThreadingHTTPServer):
+    """Multi-tenant HTTP front door over per-tenant Verdict services."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # Burst admission is the AdmissionController's job, not the kernel's:
+    # the listen backlog must absorb a whole client fleet connecting at
+    # once (the default of 5 turns client 6+ into 1s SYN retransmits).
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        tenants: TenantManager,
+        max_active: int = 4,
+        max_queued: int = 16,
+        queue_timeout_s: float | None = 5.0,
+        audit: AuditLog | None = None,
+    ):
+        super().__init__(address, _Handler)
+        self.tenants = tenants
+        self.admission = AdmissionController(
+            max_active=max_active,
+            max_queued=max_queued,
+            queue_timeout_s=queue_timeout_s,
+        )
+        self.audit = audit
+        self.started_ts = time.time()
+        self._serve_thread: threading.Thread | None = None
+        self._close_lock = threading.Lock()
+        self._closed = False
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> "VerdictHTTPServer":
+        """Run the accept loop on a background thread; returns ``self``."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="verdict-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def close(self) -> None:
+        """Ordered graceful shutdown; idempotent and thread-safe."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # 1. Stop admitting: queued waiters get 503, admitted finish.
+            self.admission.close()
+            # 2. Drain admitted requests so no engine work is in flight.
+            self.admission.wait_idle(timeout_s=60.0)
+            # 3. Stop the accept loop and release the listening socket.
+            self.shutdown()
+            self.server_close()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=10.0)
+            # 4. Close tenants last: every service writes its final
+            #    snapshot with zero requests in flight anywhere.
+            self.tenants.close()
+            if self.audit is not None:
+                self.audit.close()
+
+    def __enter__(self) -> "VerdictHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection's requests; see the module docstring."""
+
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections die on their own rather than pinning
+    # handler threads forever.
+    timeout = 60.0
+    # The response goes out as two writes (header block, then body) on an
+    # unbuffered socket; with Nagle on, the body write stalls behind the
+    # peer's delayed ACK (~40ms per request on localhost).
+    disable_nagle_algorithm = True
+    server: VerdictHTTPServer
+
+    # Silence the default stderr access log; the audit log is the record.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    # ---------------------------------------------------------------- routing
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        url = urlparse(self.path)
+        audit_fields: dict = {}
+        try:
+            status, payload = self._route(method, url.path, url.query, audit_fields)
+        except ApiError as error:
+            status, payload = error.status, error.body()
+            audit_fields["error"] = error.code
+        except Exception as error:  # engine failures -> typed mapping
+            mapped = protocol.map_exception(error)
+            status, payload = mapped.status, mapped.body()
+            audit_fields["error"] = mapped.code
+        latency = time.perf_counter() - started
+        try:
+            self._respond(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            audit_fields["client_gone"] = True
+        if self.server.audit is not None:
+            self.server.audit.record(
+                endpoint=f"{method} {url.path}",
+                status=status,
+                latency_s=latency,
+                **audit_fields,
+            )
+
+    def _route(
+        self, method: str, path: str, query: str, audit_fields: dict
+    ) -> tuple[int, dict]:
+        if method == "POST" and path == "/v1/ask":
+            return self._ask(self._read_json(), audit_fields)
+        if method == "POST" and path == "/v1/feedback/append":
+            return self._append(self._read_json(), audit_fields)
+        if method == "POST" and path == "/v1/feedback/record":
+            return self._record(self._read_json(), audit_fields)
+        if method == "GET" and path == "/v1/metrics":
+            params = parse_qs(query)
+            tenant = params.get("tenant", [None])[0]
+            audit_fields["tenant"] = tenant
+            return self._metrics(tenant)
+        if method == "POST" and path == "/v1/admin/train":
+            return self._train(self._read_json(), audit_fields)
+        if method == "POST" and path == "/v1/admin/snapshot":
+            return self._snapshot(self._read_json(), audit_fields)
+        if method == "POST" and path == "/v1/admin/tenants":
+            return self._create_tenant(self._read_json(), audit_fields)
+        if method == "GET" and path == "/v1/admin/tenants":
+            return 200, {"tenants": self.server.tenants.list_tenants()}
+        if method == "GET" and path == "/v1/healthz":
+            return 200, {
+                "status": "draining" if self.server.admission.closed else "ok",
+                "uptime_s": time.time() - self.server.started_ts,
+            }
+        raise protocol.unknown_route(method, path)
+
+    # -------------------------------------------------------------- endpoints
+
+    def _ask(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        request = protocol.parse_ask(payload)
+        audit_fields["tenant"] = request.tenant
+        # Client-fault errors (bad SQL, unknown table) must not reach the
+        # routing layer, where they would surface as opaque 500s.
+        parsed = parse_query(request.sql)
+        with self.server.admission.admit():
+            with self.server.tenants.lease(request.tenant) as tenant:
+                _check_tables(tenant.service.catalog, parsed)
+                answer = tenant.service.query(
+                    request.sql, budget=request.budget, record=request.record
+                )
+        state = protocol.answer_to_state(answer)
+        audit_fields["route"] = state["route"]
+        audit_fields["error_bound"] = state["relative_error_bound"]
+        return 200, {"tenant": request.tenant, "answer": state}
+
+    def _append(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        from repro.db.table import Table
+
+        request = protocol.parse_append(payload)
+        audit_fields["tenant"] = request.tenant
+        with self.server.admission.admit():
+            with self.server.tenants.lease(request.tenant) as tenant:
+                catalog = tenant.service.catalog
+                if not catalog.has_table(request.table):
+                    raise ApiError(
+                        404, "unknown_table", f"unknown table {request.table!r}"
+                    )
+                schema = catalog.table(request.table).schema
+                appended = Table(request.table, schema, request.rows)
+                adjusted = tenant.service.append(
+                    request.table, appended, adjust=request.adjust
+                )
+        audit_fields["rows"] = len(appended)
+        return 200, {
+            "tenant": request.tenant,
+            "table": request.table,
+            "appended_rows": len(appended),
+            "snippets_adjusted": adjusted,
+        }
+
+    def _record(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        request = protocol.parse_record(payload)
+        audit_fields["tenant"] = request.tenant
+        # Parse errors are the client's fault and must not burn a full
+        # sample scan: surface them before admission.
+        parsed = parse_query(request.sql)
+        with self.server.admission.admit():
+            with self.server.tenants.lease(request.tenant) as tenant:
+                _check_tables(tenant.service.catalog, parsed)
+                recorded = tenant.service.record_answer(request.sql)
+        return 200, {"tenant": request.tenant, "recorded": recorded}
+
+    def _metrics(self, tenant_name: str | None) -> tuple[int, dict]:
+        server = self.server
+        if tenant_name is None:
+            return 200, {
+                "uptime_s": time.time() - server.started_ts,
+                "admission": server.admission.snapshot(),
+                "tenants": server.tenants.stats(),
+                "audit_entries": (
+                    server.audit.entries_written if server.audit else 0
+                ),
+            }
+        with server.tenants.lease(tenant_name) as tenant:
+            service = tenant.service
+            return 200, {
+                "tenant": tenant_name,
+                "restored": service.restored,
+                "cache_size": service.cache_size(),
+                "lifecycle_phase": service.lifecycle_phase,
+                "metrics": service.metrics.as_dict(),
+            }
+
+    def _train(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        request = protocol.parse_train(payload)
+        audit_fields["tenant"] = request.tenant
+        with self.server.tenants.lease(request.tenant) as tenant:
+            if request.wait:
+                tenant.service.train(request.learn)
+                return 200, {"tenant": request.tenant, "trained": True}
+            tenant.service.train_async(request.learn)
+            return 200, {"tenant": request.tenant, "scheduled": True}
+
+    def _snapshot(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        request = protocol.parse_tenant_only(payload)
+        audit_fields["tenant"] = request.tenant
+        with self.server.tenants.lease(request.tenant) as tenant:
+            outcome = tenant.service.snapshot()
+        return 200, {"tenant": request.tenant, "snapshot": outcome}
+
+    def _create_tenant(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        request = protocol.parse_tenant_only(payload)
+        audit_fields["tenant"] = request.tenant
+        record = self.server.tenants.create(request.tenant)
+        return 201, record
+
+    # ----------------------------------------------------------------- plumbing
+
+    def _read_json(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self.close_connection = True  # unread body would desync keep-alive
+            raise protocol.bad_request("missing Content-Length")
+        try:
+            length = int(length_header)
+        except ValueError:
+            self.close_connection = True
+            raise protocol.bad_request("bad Content-Length") from None
+        if length < 0 or length > protocol.MAX_BODY_BYTES:
+            self.close_connection = True
+            raise protocol.bad_request(
+                f"body of {length} bytes exceeds {protocol.MAX_BODY_BYTES}"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise protocol.bad_request(f"body is not valid JSON: {error}") from None
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)

@@ -1,0 +1,264 @@
+"""Per-tenant serving state: lazy loading, LRU eviction, durable registry.
+
+The multi-tenant refactor of the serving layer: instead of one process-wide
+:class:`~repro.serve.service.VerdictService`, each tenant owns a complete,
+isolated serving stack --
+
+* its own :class:`~repro.db.catalog.Catalog` (built by the server's
+  ``catalog_factory``, deterministically per tenant name, so a restarted
+  server reconstructs identical data);
+* its own :class:`~repro.serve.store.SynopsisStore` directory
+  (``<root>/tenants/<name>/store``), so learned state never mixes across
+  tenants and each restores independently;
+* its own answer cache and :class:`~repro.serve.metrics.ServiceMetrics`
+  namespace (both live inside the per-tenant service).
+
+Tenants are *registered* durably in ``<root>/tenants.json`` but *loaded*
+lazily on first use, and evicted least-recently-used once more than
+``max_loaded`` are resident -- eviction closes the tenant's service
+gracefully (final snapshot), so a later reload resumes byte-identically.
+A tenant with requests in flight (a *lease*) is never evicted; the cap is
+soft under pathological concurrency (more simultaneously-leased tenants
+than the cap) rather than deadlocking requests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.db.catalog import Catalog
+from repro.serve.http.protocol import (
+    TENANT_NAME_RE,
+    bad_request,
+    shutting_down,
+    tenant_exists,
+    unknown_tenant,
+)
+from repro.serve.service import VerdictService
+from repro.serve.store import SynopsisStore
+
+REGISTRY_FILE = "tenants.json"
+REGISTRY_FORMAT = 1
+
+CatalogFactory = Callable[[str], Catalog]
+ServiceFactory = Callable[[Catalog, SynopsisStore], VerdictService]
+
+
+def _default_service_factory(catalog: Catalog, store: SynopsisStore) -> VerdictService:
+    return VerdictService(catalog, store=store)
+
+
+class Tenant:
+    """One resident tenant: its service, store, and lease bookkeeping."""
+
+    def __init__(self, name: str, directory: Path, service: VerdictService):
+        self.name = name
+        self.directory = directory
+        self.service = service
+        self.leases = 0
+
+    @property
+    def store(self) -> SynopsisStore:
+        return self.service.store
+
+
+class TenantManager:
+    """Registry + lazy LRU-bounded loader of per-tenant serving stacks."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        catalog_factory: CatalogFactory,
+        service_factory: ServiceFactory | None = None,
+        max_loaded: int = 8,
+    ):
+        if max_loaded <= 0:
+            raise ValueError("max_loaded must be positive")
+        self.root = Path(root)
+        self.catalog_factory = catalog_factory
+        self.service_factory = service_factory or _default_service_factory
+        self.max_loaded = max_loaded
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._loaded: "OrderedDict[str, Tenant]" = OrderedDict()
+        # Tenants mid-eviction: a reload must wait for the final snapshot.
+        self._closing: dict[str, threading.Event] = {}
+        self._registry: dict[str, dict] = {}
+        self._closed = False
+        self._load_registry()
+
+    # --------------------------------------------------------------- registry
+
+    @property
+    def registry_path(self) -> Path:
+        return self.root / REGISTRY_FILE
+
+    def _load_registry(self) -> None:
+        if not self.registry_path.is_file():
+            return
+        payload = json.loads(self.registry_path.read_text())
+        self._registry = dict(payload.get("tenants", {}))
+
+    def _save_registry_locked(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"format": REGISTRY_FORMAT, "tenants": self._registry}
+        temporary = self.registry_path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(temporary, self.registry_path)
+
+    def create(self, name: str) -> dict:
+        """Register a new tenant durably; 409 if the name is taken."""
+        if not TENANT_NAME_RE.match(name):
+            raise bad_request(f"invalid tenant name {name!r}")
+        with self._lock:
+            if name in self._registry:
+                raise tenant_exists(name)
+            record = {"created_ts": time.time()}
+            self._registry[name] = record
+            self._save_registry_locked()
+            return {"tenant": name, **record}
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._registry
+
+    def list_tenants(self) -> list[dict]:
+        with self._lock:
+            return [
+                {
+                    "tenant": name,
+                    "created_ts": record.get("created_ts"),
+                    "loaded": name in self._loaded,
+                }
+                for name, record in sorted(self._registry.items())
+            ]
+
+    def tenant_directory(self, name: str) -> Path:
+        return self.root / "tenants" / name
+
+    # ---------------------------------------------------------------- leasing
+
+    @contextmanager
+    def lease(self, name: str) -> Iterator[Tenant]:
+        """Pin a tenant resident for the duration of one request.
+
+        Loads the tenant on first use (restoring its synopsis store) and
+        protects it from LRU eviction while leased.
+        """
+        tenant = self._acquire(name)
+        try:
+            yield tenant
+        finally:
+            self._release(tenant)
+
+    def _acquire(self, name: str) -> Tenant:
+        while True:
+            closing: threading.Event | None = None
+            with self._lock:
+                if self._closed:
+                    raise shutting_down("tenant manager is closed")
+                if name not in self._registry:
+                    raise unknown_tenant(name)
+                closing = self._closing.get(name)
+                if closing is None:
+                    tenant = self._loaded.get(name)
+                    if tenant is not None:
+                        tenant.leases += 1
+                        self._loaded.move_to_end(name)
+                        return tenant
+                    # Not resident: mark it "being opened" via the closing
+                    # map so concurrent requests wait instead of double
+                    # loading, then build outside the lock.
+                    closing = self._closing[name] = threading.Event()
+                    break
+            # An eviction (or another loader) is in progress: wait it out.
+            closing.wait()
+        try:
+            tenant = self._load(name)
+        except BaseException:
+            with self._lock:
+                self._closing.pop(name).set()
+            raise
+        with self._lock:
+            tenant.leases += 1
+            self._loaded[name] = tenant
+            self._loaded.move_to_end(name)
+            self._closing.pop(name).set()
+            victims = self._pick_victims_locked()
+        self._evict(victims)
+        return tenant
+
+    def _release(self, tenant: Tenant) -> None:
+        with self._lock:
+            tenant.leases -= 1
+            victims = self._pick_victims_locked()
+        self._evict(victims)
+
+    def _load(self, name: str) -> Tenant:
+        directory = self.tenant_directory(name)
+        store = SynopsisStore(directory / "store")
+        catalog = self.catalog_factory(name)
+        service = self.service_factory(catalog, store)
+        return Tenant(name, directory, service)
+
+    # --------------------------------------------------------------- eviction
+
+    def _pick_victims_locked(self) -> list[Tenant]:
+        victims: list[Tenant] = []
+        while len(self._loaded) - len(victims) > self.max_loaded:
+            victim = next(
+                (
+                    tenant
+                    for tenant in self._loaded.values()
+                    if tenant.leases == 0 and tenant not in victims
+                ),
+                None,
+            )
+            if victim is None:
+                break  # every candidate is leased: soft cap, no deadlock
+            victims.append(victim)
+        for victim in victims:
+            del self._loaded[victim.name]
+            self._closing[victim.name] = threading.Event()
+        return victims
+
+    def _evict(self, victims: list[Tenant]) -> None:
+        for victim in victims:
+            try:
+                victim.service.close()  # graceful: final snapshot
+            finally:
+                with self._lock:
+                    self.evictions += 1
+                    self._closing.pop(victim.name).set()
+
+    # ---------------------------------------------------------------- metrics
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "registered": len(self._registry),
+                "loaded": len(self._loaded),
+                "max_loaded": self.max_loaded,
+                "evictions": self.evictions,
+                "loaded_tenants": list(self._loaded),
+            }
+
+    # ------------------------------------------------------------------ close
+
+    def close(self) -> None:
+        """Close every resident tenant (each writes its final snapshot)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            tenants = list(self._loaded.values())
+            self._loaded.clear()
+        for tenant in tenants:
+            tenant.service.close()

@@ -25,6 +25,26 @@ Locking discipline (to stay deadlock-free):
 2. the engine mutex is only acquired while already holding a table lock (or
    no lock at all) and nothing else is acquired under it;
 3. ``train`` acquires all table write locks in sorted name order.
+
+Shutdown discipline (:meth:`VerdictService.close`):
+
+The service moves through three explicit lifecycle phases --
+``serving -> draining -> closed``.  ``close()`` flips the phase to
+*draining* (new requests are rejected), then drains, strictly in order:
+
+1. the worker pool (queued ``submit`` requests run or fail fast);
+2. every **direct** in-flight ``query``/``append``/``record_answer``/
+   ``train`` call (callers such as the HTTP front door invoke these on
+   their own threads, so pool shutdown alone cannot see them) -- tracked
+   by an in-flight counter;
+3. the background trainer (its swap is cheap and its results belong in
+   the final snapshot);
+
+and only then writes the single final store snapshot and flips the phase
+to *closed*.  Concurrent ``close()`` calls block until the first closer
+has written that snapshot, so "close returned" always means "the learned
+state is durable"; ``flush()`` after close is a no-op, so nothing can be
+written *behind* the final snapshot.
 """
 
 from __future__ import annotations
@@ -261,7 +281,13 @@ class VerdictService:
         self._engine_lock = threading.Lock()
         self._table_locks: dict[str, ReadWriteLock] = {}
         self._table_locks_guard = threading.Lock()
-        self._closed = False
+        # Lifecycle: "serving" -> "draining" (close() in progress; new
+        # requests rejected, in-flight ones draining) -> "closed" (final
+        # snapshot written).  Guarded by ``_lifecycle`` together with the
+        # count of direct in-flight requests.
+        self._phase = "serving"
+        self._inflight = 0
+        self._lifecycle = threading.Condition()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="verdict-serve"
         )
@@ -290,8 +316,15 @@ class VerdictService:
         method too).  Raises :class:`ServiceError` when the service is closed
         and propagates parse errors to the caller.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
+        with self._request_scope():
+            return self._serve_query(sql, budget, record)
+
+    def _serve_query(
+        self,
+        sql: Union[str, ast.Query],
+        budget: ServiceBudget | None,
+        record: bool | None,
+    ) -> ServedAnswer:
         budget = budget or self.default_budget
         should_record = self.record_queries if record is None else record
         started = time.perf_counter()
@@ -383,7 +416,7 @@ class VerdictService:
         record: bool | None = None,
     ) -> Future:
         """Queue a request on the worker pool; returns a ``Future``."""
-        if self._closed:
+        if self._phase != "serving":
             raise ServiceError("service is closed")
         return self._pool.submit(self.query, sql, budget, record)
 
@@ -393,13 +426,14 @@ class VerdictService:
         Blocks until in-flight reads of the table drain; returns the number
         of synopsis snippets adjusted.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
-        with self._table_lock(table_name).write():
-            with self._engine_lock:
-                adjusted = self.engine.register_append(table_name, appended, adjust=adjust)
-        self._note_mutation()
-        return adjusted
+        with self._request_scope():
+            with self._table_lock(table_name).write():
+                with self._engine_lock:
+                    adjusted = self.engine.register_append(
+                        table_name, appended, adjust=adjust
+                    )
+            self._note_mutation()
+            return adjusted
 
     def train(self, learn: bool | None = None) -> None:
         """Run the offline step (Algorithm 1) with exclusive access.
@@ -409,16 +443,17 @@ class VerdictService:
         path: it performs the same learn off the request path and swaps the
         results in under the engine lock alone.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
-        locks = [self._table_lock(name) for name in sorted(self.catalog.fact_tables())]
-        self._train_locked(locks, 0, learn)
-        # A completed round resets the auto-train mutation counter -- the
-        # counter means "mutations since the last training", whichever path
-        # performed it.
-        with self._cache_lock:
-            self._mutations_since_train = 0
-        self._note_mutation(count_towards_training=False)
+        with self._request_scope():
+            locks = [
+                self._table_lock(name) for name in sorted(self.catalog.fact_tables())
+            ]
+            self._train_locked(locks, 0, learn)
+            # A completed round resets the auto-train mutation counter -- the
+            # counter means "mutations since the last training", whichever
+            # path performed it.
+            with self._cache_lock:
+                self._mutations_since_train = 0
+            self._note_mutation(count_towards_training=False)
 
     def train_async(self, learn: bool | None = None) -> Future:
         """Run the offline step in a background worker; returns a ``Future``.
@@ -439,7 +474,7 @@ class VerdictService:
         runs returns the same ``Future``.  The future resolves to the
         learned-parameters mapping that :meth:`VerdictEngine.train` returns.
         """
-        if self._closed:
+        if self._phase != "serving":
             raise ServiceError("service is closed")
         with self._train_guard:
             future = self._train_future
@@ -472,41 +507,82 @@ class VerdictService:
         recorded snippets carry the tightest raw errors -- this is what the
         trace-ingestion phase of the experiments uses.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
-        parsed, check = self.engine.check(sql)
-        if not check.supported:
-            return False
-        with self._table_lock(parsed.table).read():
-            raw = self.aqp.final_answer(parsed)
-        recorded, _, _ = self._record(parsed, raw)
-        return recorded
+        with self._request_scope():
+            parsed, check = self.engine.check(sql)
+            if not check.supported:
+                return False
+            with self._table_lock(parsed.table).read():
+                raw = self.aqp.final_answer(parsed)
+            recorded, _, _ = self._record(parsed, raw)
+            return recorded
 
     def flush(self) -> str:
-        """Flush learned state to the store (``"noop"`` without a store)."""
+        """Flush learned state to the store (``"noop"`` without a store).
+
+        After :meth:`close` has written the final snapshot this is a no-op:
+        nothing may be persisted *behind* the snapshot that defines the
+        restart state.
+        """
         if self.store is None:
             return "noop"
+        with self._lifecycle:
+            if self._phase == "closed":
+                return "noop"
         with self._engine_lock:
             return self.store.flush(self.engine)
 
-    def close(self) -> None:
-        """Graceful shutdown: drain workers, snapshot the learned state.
+    def snapshot(self) -> str:
+        """Force a full store snapshot now (``"noop"`` without a store).
 
-        The final write is always a *full snapshot* (not a delta): it
-        captures the prepared factorisations bit-for-bit, which is what makes
-        a restarted service answer byte-identically to one that never
-        stopped.
+        Unlike :meth:`flush` this always writes a complete snapshot (with
+        prepared factorisations), making the current learned state durable
+        regardless of what kind of mutations preceded it -- the admin
+        ``snapshot`` endpoint of the HTTP front door calls this.
         """
-        if self._closed:
-            return
-        self._closed = True
+        if self.store is None:
+            return "noop"
+        with self._lifecycle:
+            if self._phase == "closed":
+                return "noop"
+        with self._engine_lock:
+            return self.store.save_snapshot(self.engine)
+
+    def close(self) -> None:
+        """Graceful shutdown: drain all work, then snapshot the learned state.
+
+        The ordering is explicit (see the module docstring): reject new
+        requests, drain the worker pool, drain *direct* in-flight requests
+        (callers like the HTTP front door bypass the pool), drain the
+        background trainer, and only then write the final snapshot.  The
+        final write is always a *full snapshot* (not a delta): it captures
+        the prepared factorisations bit-for-bit, which is what makes a
+        restarted service answer byte-identically to one that never stopped.
+
+        Safe to call from many threads: exactly one closer performs the
+        shutdown, and every other ``close()`` blocks until the snapshot is
+        durable -- so "close returned" always means "state persisted".
+        """
+        with self._lifecycle:
+            if self._phase != "serving":
+                while self._phase != "closed":
+                    self._lifecycle.wait()
+                return
+            self._phase = "draining"
         self._pool.shutdown(wait=True)
+        with self._lifecycle:
+            while self._inflight:
+                self._lifecycle.wait()
         # Let an in-flight background training round finish (its swap is
-        # cheap) so the shutdown snapshot captures what it learned.
+        # cheap) so the shutdown snapshot captures what it learned.  Must
+        # happen after the request drain: requests can kick off auto-train
+        # rounds, never the other way around.
         self._train_pool.shutdown(wait=True)
         if self.store is not None:
             with self._engine_lock:
                 self.store.save_snapshot(self.engine)
+        with self._lifecycle:
+            self._phase = "closed"
+            self._lifecycle.notify_all()
 
     def __enter__(self) -> "VerdictService":
         return self
@@ -516,11 +592,39 @@ class VerdictService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        """Whether the service has stopped accepting requests."""
+        return self._phase != "serving"
+
+    @property
+    def lifecycle_phase(self) -> str:
+        """The shutdown phase: ``"serving"``, ``"draining"``, or ``"closed"``."""
+        return self._phase
 
     def cache_size(self) -> int:
         with self._cache_lock:
             return len(self._state.cache)
+
+    # -------------------------------------------------------------- lifecycle
+
+    @contextmanager
+    def _request_scope(self) -> Iterator[None]:
+        """Count one direct request in flight; reject it unless serving.
+
+        :meth:`close` drains these before the final snapshot, so a request
+        that got past this gate always runs against a live engine and its
+        mutations are always captured by the shutdown snapshot.
+        """
+        with self._lifecycle:
+            if self._phase != "serving":
+                raise ServiceError("service is closed")
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lifecycle:
+                self._inflight -= 1
+                if not self._inflight:
+                    self._lifecycle.notify_all()
 
     # ------------------------------------------------------------------ routes
 

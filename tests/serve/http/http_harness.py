@@ -1,0 +1,103 @@
+"""Shared harness for the HTTP front-door tests.
+
+Servers are built in-process (real sockets on a free port, real
+``VerdictClient`` traffic) with tiny per-tenant sales catalogs so the
+suites stay fast.  Each tenant gets a *distinct* row count: exact
+``COUNT(*)`` answers then double as a cross-tenant leakage detector --
+a value from tenant A's admissible set can never legitimately appear in
+tenant B's answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SamplingConfig, VerdictConfig
+from repro.db.catalog import Catalog
+from repro.serve.http.audit import AuditLog
+from repro.serve.http.server import VerdictHTTPServer
+from repro.serve.http.tenants import TenantManager
+from repro.serve.service import VerdictService
+from repro.workloads.synthetic import make_sales_table
+
+SAMPLING = SamplingConfig(sample_ratio=0.25, num_batches=4, seed=2)
+CONFIG = VerdictConfig(learn_length_scales=False)
+
+#: Columns of the synthetic sales schema, for building append payloads.
+SALES_COLUMNS = (
+    "week",
+    "customer_age",
+    "region",
+    "category",
+    "price",
+    "quantity",
+    "discount",
+    "revenue",
+)
+
+
+def make_catalog_factory(row_counts: dict[str, int], default_rows: int = 2_000):
+    """Tenant -> sales catalog factory with per-tenant row counts."""
+
+    def factory(tenant: str) -> Catalog:
+        rows = row_counts.get(tenant, default_rows)
+        table = make_sales_table(num_rows=rows, num_weeks=52, seed=9)
+        catalog = Catalog()
+        catalog.add_table(table, fact=True)
+        return catalog
+
+    return factory
+
+
+def make_service_factory(**kwargs):
+    def factory(catalog, store) -> VerdictService:
+        return VerdictService(
+            catalog, store=store, sampling=SAMPLING, config=CONFIG, **kwargs
+        )
+
+    return factory
+
+
+def start_server(
+    root,
+    row_counts: dict[str, int],
+    max_active: int = 4,
+    max_queued: int = 16,
+    queue_timeout_s: float = 5.0,
+    max_loaded: int = 8,
+    audit: bool = True,
+    **service_kwargs,
+) -> VerdictHTTPServer:
+    """An in-process front door on a free port, tenants pre-created."""
+    tenants = TenantManager(
+        root,
+        make_catalog_factory(row_counts),
+        service_factory=make_service_factory(**service_kwargs),
+        max_loaded=max_loaded,
+    )
+    for name in row_counts:
+        tenants.create(name)
+    server = VerdictHTTPServer(
+        ("127.0.0.1", 0),
+        tenants,
+        max_active=max_active,
+        max_queued=max_queued,
+        queue_timeout_s=queue_timeout_s,
+        audit=AuditLog.open_session(root / "audit") if audit else None,
+    )
+    return server.start()
+
+
+def sales_rows(num_rows: int, seed: int = 0) -> dict[str, list]:
+    """A valid append payload for the sales schema (every column present)."""
+    rng = np.random.default_rng(seed)
+    return {
+        "week": [int(w) for w in rng.integers(1, 53, num_rows)],
+        "customer_age": [float(a) for a in rng.uniform(18, 80, num_rows)],
+        "region": [f"region_{int(r)}" for r in rng.integers(0, 8, num_rows)],
+        "category": [f"category_{int(c)}" for c in rng.integers(0, 12, num_rows)],
+        "price": [float(p) for p in rng.uniform(1, 90, num_rows)],
+        "quantity": [float(q) for q in rng.integers(1, 9, num_rows)],
+        "discount": [float(d) for d in rng.uniform(0, 0.3, num_rows)],
+        "revenue": [float(v) for v in rng.uniform(5, 500, num_rows)],
+    }

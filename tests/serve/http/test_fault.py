@@ -1,0 +1,181 @@
+"""Fault injection: SIGKILL the server mid-trace, restart, replay identically.
+
+The server runs as a real subprocess (``python -m repro.serve.http``) over a
+temporary state root.  Per tenant we ingest learned state (record + train),
+force a durable snapshot, and collect reference answer fingerprints.  Then
+the process is SIGKILLed *while a replay is in flight* -- no graceful
+shutdown, no final snapshot -- and a fresh process is started over the same
+root.  Because tenant catalogs are rebuilt deterministically and learned
+state restores from the snapshot, every replayed ``ask`` must produce a
+byte-identical fingerprint (:func:`answer_fingerprint` strips only
+wall-clock timing and cache provenance).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import TransportError, VerdictClient
+from repro.serve.http.protocol import answer_fingerprint
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+TENANTS = ("acme", "globex")
+
+INGEST_SQL = [
+    f"SELECT AVG(revenue) FROM sales WHERE week >= {low} AND week <= {low + 14}"
+    for low in (1, 12, 25, 38)
+]
+
+#: The replay trace: exact, learned-range, and grouped shapes.
+TRACE_SQL = [
+    "SELECT COUNT(*) FROM sales",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 8 AND week <= 27",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 20 AND week <= 40",
+    "SELECT SUM(revenue) FROM sales WHERE week >= 5 AND week <= 18",
+    "SELECT AVG(price) FROM sales WHERE week >= 10 AND week <= 30",
+]
+
+
+class ServerProcess:
+    """One ``python -m repro.serve.http`` subprocess and its readiness info."""
+
+    def __init__(self, root: Path):
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + environment.get(
+            "PYTHONPATH", ""
+        )
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.http",
+                "--port",
+                "0",
+                "--root",
+                str(root),
+                "--workload",
+                "sales",
+                "--rows",
+                "2000",
+                "--batches",
+                "3",
+                "--seed",
+                "7",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=environment,
+        )
+        ready_line = self.process.stdout.readline()
+        if not ready_line:
+            raise AssertionError(
+                f"server died before readiness: {self.process.stderr.read()}"
+            )
+        self.ready = json.loads(ready_line)
+        self.port = self.ready["listening"]["port"]
+
+    def kill(self) -> None:
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=30)
+
+    def terminate(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=30)
+
+
+def replay_fingerprints(port: int, tenant: str) -> list[bytes]:
+    """Fingerprints of the whole trace for one tenant (non-mutating asks)."""
+    with VerdictClient(port=port, tenant=tenant, timeout_s=120.0) as client:
+        return [
+            answer_fingerprint(client.ask(sql, record=False)) for sql in TRACE_SQL
+        ]
+
+
+@pytest.fixture(scope="module")
+def state_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("fault-root")
+
+
+def test_kill_restart_replay_is_byte_identical(state_root):
+    server = ServerProcess(state_root)
+    reference: dict[str, list[bytes]] = {}
+    try:
+        with VerdictClient(port=server.port, timeout_s=120.0) as admin:
+            for tenant in TENANTS:
+                admin.create_tenant(tenant)
+                for sql in INGEST_SQL:
+                    assert admin.record(sql, tenant=tenant) is True
+                assert admin.train(tenant=tenant)["trained"] is True
+                assert admin.snapshot(tenant=tenant)["snapshot"] == "snapshot"
+        for tenant in TENANTS:
+            reference[tenant] = replay_fingerprints(server.port, tenant)
+
+        # SIGKILL the server while a second replay is mid-flight: no drain,
+        # no final snapshot, possibly a half-written response on the wire.
+        replay_started = threading.Event()
+
+        def doomed_replay() -> None:
+            try:
+                with VerdictClient(
+                    port=server.port, tenant=TENANTS[0], timeout_s=120.0
+                ) as client:
+                    for sql in TRACE_SQL * 10:
+                        replay_started.set()
+                        client.ask(sql, record=False)
+            except TransportError:
+                pass  # the point: the process died under us
+
+        victim = threading.Thread(target=doomed_replay, daemon=True)
+        victim.start()
+        assert replay_started.wait(timeout=60)
+        server.kill()
+        victim.join(timeout=60)
+        assert not victim.is_alive()
+    finally:
+        server.terminate()
+
+    # Restart over the same root: registry, stores, and deterministic
+    # catalogs must reconstruct every tenant exactly.
+    restarted = ServerProcess(state_root)
+    try:
+        with VerdictClient(port=restarted.port, timeout_s=120.0) as admin:
+            names = {record["tenant"] for record in admin.list_tenants()}
+            assert set(TENANTS) <= names, "tenant registry lost in the crash"
+            for tenant in TENANTS:
+                assert admin.metrics(tenant=tenant)["restored"] >= 1
+        for tenant in TENANTS:
+            replayed = replay_fingerprints(restarted.port, tenant)
+            assert replayed == reference[tenant], (
+                f"tenant {tenant}: replay diverged after kill/restart"
+            )
+    finally:
+        restarted.terminate()
+
+
+def test_sigterm_is_graceful(state_root, tmp_path):
+    server = ServerProcess(tmp_path)
+    with VerdictClient(port=server.port, tenant="solo", timeout_s=120.0) as client:
+        client.create_tenant()
+        assert client.record(INGEST_SQL[0]) is True
+    server.process.send_signal(signal.SIGTERM)
+    stdout, stderr = server.process.communicate(timeout=60)
+    assert server.process.returncode == 0, stderr
+    assert json.loads(stdout.splitlines()[-1]) == {"stopped": True}
+    # Graceful exit wrote the tenant's final snapshot.
+    assert (tmp_path / "tenants" / "solo" / "store" / "snapshot.json").is_file()

@@ -1,0 +1,175 @@
+"""Concurrency hammer: many client threads x many tenants, live server.
+
+Three invariants from the issue:
+
+* **no cross-tenant answer-cache leakage** -- tenants get disjoint row
+  counts and disjoint append sizes, so every exact ``COUNT(*)`` value a
+  tenant can legitimately produce lies in a set disjoint from every other
+  tenant's set; one leaked cached answer trips the assertion;
+* **no torn counts** -- an exact ``COUNT(*)`` equals the tenant's row count
+  at *some* append boundary, never a value in between;
+* **clean shutdown under fire** -- closing the server while clients are
+  mid-request yields only complete outcomes (success, 429, 503, or a
+  transport-level drop), never a half-written response or a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.client import (
+    ClientError,
+    SaturatedError,
+    ServerClosingError,
+    TransportError,
+    VerdictClient,
+)
+from http_harness import sales_rows, start_server
+
+# Disjoint by construction: base counts 800 apart, appends of 16 rows,
+# at most APPENDS_PER_WORKER * WORKERS_PER_TENANT appends per tenant.
+ROWS = {"alpha": 2_000, "beta": 2_800, "gamma": 3_600}
+APPEND_ROWS = 16
+WORKERS_PER_TENANT = 3
+ASKS_PER_WORKER = 6
+APPENDS_PER_WORKER = 2
+
+COUNT_SQL = "SELECT COUNT(*) FROM sales"
+AVG_SQL = "SELECT AVG(revenue) FROM sales WHERE week >= 4 AND week <= 29"
+
+
+def admissible_counts(base: int) -> set[int]:
+    appends = WORKERS_PER_TENANT * APPENDS_PER_WORKER
+    return {base + APPEND_ROWS * k for k in range(appends + 1)}
+
+
+def test_admissible_sets_are_disjoint():
+    sets = [admissible_counts(base) for base in ROWS.values()]
+    assert not set.intersection(*sets)
+    for i, left in enumerate(sets):
+        for right in sets[i + 1 :]:
+            assert left.isdisjoint(right)
+
+
+def test_hammer_no_leakage_no_torn_counts(tmp_path):
+    server = start_server(
+        tmp_path, ROWS, max_active=6, max_queued=64, queue_timeout_s=30.0
+    )
+    failures: list[str] = []
+    barrier = threading.Barrier(WORKERS_PER_TENANT * len(ROWS))
+
+    def worker(tenant: str, index: int) -> None:
+        allowed = admissible_counts(ROWS[tenant])
+        client = VerdictClient(
+            port=server.port,
+            tenant=tenant,
+            max_retries=10,
+            backoff_base_s=0.02,
+            seed=index,
+        )
+        try:
+            barrier.wait(timeout=30)
+            for step in range(ASKS_PER_WORKER):
+                count = client.ask(COUNT_SQL, max_relative_error=0.0)["rows"][0][
+                    "values"
+                ]["count_star"]
+                if count not in allowed:
+                    failures.append(
+                        f"{tenant}: COUNT(*)={count} outside {sorted(allowed)}"
+                    )
+                # Approximate asks exercise the per-tenant answer cache.
+                avg = client.ask(AVG_SQL)
+                if not avg["rows"][0]["values"]["avg_revenue"] > 0:
+                    failures.append(f"{tenant}: bad AVG answer {avg}")
+                if step < APPENDS_PER_WORKER:
+                    client.append(
+                        "sales", sales_rows(APPEND_ROWS, seed=100 * index + step)
+                    )
+        except ClientError as error:
+            failures.append(f"{tenant}[{index}]: {type(error).__name__}: {error}")
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(tenant, index), daemon=True)
+        for index, tenant in enumerate(
+            name for name in ROWS for _ in range(WORKERS_PER_TENANT)
+        )
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+            assert not thread.is_alive(), "hammer worker hung"
+    finally:
+        server.close()
+    assert not failures, failures[:10]
+
+    # Every tenant settled on its own final count: all appends landed, and
+    # the values never crossed tenants.
+    final = {
+        name: ROWS[name] + APPEND_ROWS * WORKERS_PER_TENANT * APPENDS_PER_WORKER
+        for name in ROWS
+    }
+    assert len(set(final.values())) == len(final)
+
+
+def test_shutdown_with_inflight_requests_yields_only_complete_outcomes(tmp_path):
+    server = start_server(
+        tmp_path, {"solo": 2_000}, max_active=2, max_queued=8, queue_timeout_s=10.0
+    )
+    outcomes: list[str] = []
+    outcome_lock = threading.Lock()
+    stop = threading.Event()
+    first_ok = threading.Event()
+    started = threading.Barrier(9, timeout=30)
+
+    def worker(index: int) -> None:
+        client = VerdictClient(
+            port=server.port, tenant="solo", max_retries=0, timeout_s=30.0, seed=index
+        )
+        started.wait()
+        try:
+            while not stop.is_set():
+                try:
+                    answer = client.ask(COUNT_SQL, max_relative_error=0.0)
+                    # A successful response must be complete and correct.
+                    assert answer["rows"][0]["values"]["count_star"] == 2_000
+                    outcome = "ok"
+                    first_ok.set()
+                except SaturatedError:
+                    outcome = "shed"
+                except ServerClosingError:
+                    outcome = "closing"
+                except TransportError:
+                    # Socket closed by shutdown: a complete, honest failure.
+                    outcome = "dropped"
+                    stop.set()
+                with outcome_lock:
+                    outcomes.append(outcome)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    started.wait()  # all clients firing before we pull the plug
+    assert first_ok.wait(timeout=60), "no request ever succeeded"
+    server.close()
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "client thread hung across shutdown"
+
+    assert outcomes, "no requests completed at all"
+    assert set(outcomes) <= {"ok", "shed", "closing", "dropped"}
+    # The server was under fire when it closed; at least one request must
+    # have succeeded before the shutdown and none may have produced a torn
+    # response (the per-outcome asserts above would have recorded failures).
+    assert "ok" in outcomes

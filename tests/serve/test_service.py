@@ -549,3 +549,129 @@ def test_served_answer_group_rows_match_exact(tmp_path):
         groups = {row.group_values[0] for row in answer.rows}
         assert groups == {f"region_{i}" for i in range(8)}
         assert all(np.isfinite(list(row.values.values())).all() for row in answer.rows)
+
+
+class TestShutdownOrdering:
+    """ISSUE 6 regression: close() must drain direct in-flight requests
+    before the final store snapshot, write exactly one snapshot under
+    concurrent closers, and never persist anything behind it."""
+
+    def test_close_waits_for_direct_inflight_query(self, tmp_path):
+        store = SynopsisStore(tmp_path / "store")
+        service = build_service(store=store)
+        started = threading.Event()
+        release = threading.Event()
+        original_record = service.engine.record
+
+        def slow_record(parsed, raw):
+            started.set()
+            assert release.wait(timeout=10)
+            return original_record(parsed, raw)
+
+        service.engine.record = slow_record
+        outcome: dict = {}
+
+        def request():
+            # Direct call (not submit): the worker pool never sees it, so
+            # only the in-flight drain can make close() wait for it.
+            outcome["answer"] = service.query(
+                "SELECT AVG(revenue) FROM sales WHERE week >= 3 AND week <= 40",
+                record=True,
+            )
+
+        requester = threading.Thread(target=request)
+        requester.start()
+        assert started.wait(timeout=10)
+
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        # close() is draining but must not have snapshotted yet: the
+        # in-flight request's record has not happened.
+        deadline = 5.0
+        while service.lifecycle_phase != "draining" and deadline > 0:
+            threading.Event().wait(0.01)
+            deadline -= 0.01
+        assert service.lifecycle_phase == "draining"
+        assert store.snapshots_written == 0
+        release.set()
+        requester.join(timeout=10)
+        closer.join(timeout=10)
+        assert service.lifecycle_phase == "closed"
+        assert store.snapshots_written == 1
+        assert outcome["answer"].recorded
+
+        # The final snapshot captured the in-flight request's mutation:
+        # a service restored from the store holds its snippet.
+        restored = build_service(store=SynopsisStore(tmp_path / "store"))
+        try:
+            assert restored.restored
+            assert len(list(restored.engine.synopsis.keys())) >= 1
+        finally:
+            restored.close()
+
+    def test_concurrent_close_single_snapshot(self, tmp_path):
+        store = SynopsisStore(tmp_path / "store")
+        service = build_service(store=store)
+        service.record_answer(
+            "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 25"
+        )
+        barrier = threading.Barrier(6)
+
+        def close():
+            barrier.wait()
+            service.close()
+            # Every closer, not just the winning one, returns only after
+            # the final snapshot is durable.
+            assert service.lifecycle_phase == "closed"
+            assert store.snapshots_written == 1
+
+        threads = [threading.Thread(target=close) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert store.snapshots_written == 1
+
+    def test_flush_after_close_is_noop(self, tmp_path):
+        store = SynopsisStore(tmp_path / "store")
+        service = build_service(store=store)
+        service.record_answer(
+            "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 25"
+        )
+        service.close()
+        snapshot_bytes = (tmp_path / "store" / "snapshot.json").read_bytes()
+        assert service.flush() == "noop"
+        assert (tmp_path / "store" / "snapshot.json").read_bytes() == snapshot_bytes
+        assert store.deltas_written == 0 or not (tmp_path / "store" / "deltas.jsonl").read_text()
+
+    def test_draining_service_rejects_new_requests(self):
+        service = build_service()
+        release = threading.Event()
+        started = threading.Event()
+        original = service.exact.execute
+
+        def slow_execute(parsed):
+            started.set()
+            assert release.wait(timeout=10)
+            return original(parsed)
+
+        service.exact.execute = slow_execute
+        requester = threading.Thread(
+            target=service.query,
+            args=("SELECT COUNT(*) FROM sales",),
+            kwargs={"budget": ServiceBudget.exact()},
+        )
+        requester.start()
+        assert started.wait(timeout=10)
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        deadline = 5.0
+        while service.lifecycle_phase != "draining" and deadline > 0:
+            threading.Event().wait(0.01)
+            deadline -= 0.01
+        with pytest.raises(ServiceError):
+            service.query("SELECT COUNT(*) FROM sales")
+        release.set()
+        requester.join(timeout=10)
+        closer.join(timeout=10)
+        assert service.lifecycle_phase == "closed"
