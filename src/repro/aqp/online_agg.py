@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterator
 
+from repro import faults
 from repro.aqp.evaluation import estimate_answer
 from repro.aqp.types import AQPAnswer
 from repro.config import CostModelConfig, SamplingConfig
@@ -20,7 +21,8 @@ from repro.db.catalog import Catalog
 from repro.db.io_model import IOSimulator
 from repro.db.sampling import SampleStore
 from repro.db.table import Table
-from repro.errors import AQPError
+from repro.deadline import check_deadline
+from repro.errors import AQPError, DeadlineExceeded
 from repro.sqlparser import ast
 
 StopCondition = Callable[[AQPAnswer], bool]
@@ -91,6 +93,11 @@ class OnlineAggregationEngine:
         previous_rows = 0
         joined: Table | None = None
         for batch_number, (rows, prefix) in enumerate(sample.iter_batch_prefixes(), start=1):
+            # Cooperative cancellation: one ambient-deadline poll per batch.
+            # Callers holding a previous batch's estimate catch the raise and
+            # serve that prefix estimate as a flagged partial answer.
+            check_deadline(f"online aggregation batch {batch_number}")
+            faults.inject("aqp.batch", batch=batch_number)
             first_batch = batch_number == 1
             report = self.io.charge_query(
                 rows_scanned=rows - previous_rows,
@@ -138,15 +145,25 @@ class OnlineAggregationEngine:
 
         Processing stops as soon as ``stop(answer)`` returns True (the answer
         that satisfied the condition is included), when ``max_batches`` have
-        been processed, or when the sample is exhausted.
+        been processed, or when the sample is exhausted.  When the ambient
+        request deadline (:mod:`repro.deadline`) expires between batches the
+        answers collected so far are returned -- every prefix is a valid
+        estimate ± error, so an expired deadline degrades accuracy, not
+        correctness; with no batch processed yet the
+        :class:`~repro.errors.DeadlineExceeded` propagates (there is nothing
+        to degrade to).
         """
         answers: list[AQPAnswer] = []
-        for answer in self.run(query):
-            answers.append(answer)
-            if stop is not None and stop(answer):
-                break
-            if max_batches is not None and answer.batches_processed >= max_batches:
-                break
+        try:
+            for answer in self.run(query):
+                answers.append(answer)
+                if stop is not None and stop(answer):
+                    break
+                if max_batches is not None and answer.batches_processed >= max_batches:
+                    break
+        except DeadlineExceeded:
+            if not answers:
+                raise
         return answers
 
     def execute_with_budget(

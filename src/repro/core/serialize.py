@@ -25,6 +25,8 @@ snapshot files lives in :mod:`repro.serve.store`.
 from __future__ import annotations
 
 import base64
+import json
+import zlib
 from typing import Any, Iterable, Union
 
 import numpy as np
@@ -65,3 +67,105 @@ def encode_values(values: Iterable[Value]) -> list[Value]:
 def decode_values(values: Iterable[Value]) -> list[Value]:
     """Inverse of :func:`encode_values` (list back to the caller's container)."""
     return list(values)
+
+
+# --------------------------------------------------------------------------- #
+# Checksummed on-disk records
+# --------------------------------------------------------------------------- #
+#
+# The store's crash story depends on telling "this record was never finished"
+# (a torn tail -- recover by truncating) apart from "this record was damaged"
+# (bit rot, an editor, a bad disk -- recover by truncating *and counting*).
+# JSON well-formedness alone only catches the first; every persisted record
+# therefore carries a CRC32 of its canonical JSON encoding, and snapshots
+# carry a whole-body checksum footer.
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON encoding checksums are computed over.
+
+    Sorted keys and tight separators: two structurally equal payloads always
+    produce identical bytes, independent of dict insertion order.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def checksum_text(text: str) -> int:
+    """CRC32 (unsigned) of UTF-8 encoded ``text``."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_checked_record(record: Any) -> str:
+    """One delta-log line: the record wrapped with its CRC32 (no newline)."""
+    body = canonical_json(record)
+    return json.dumps(
+        {"crc": checksum_text(body), "record": record}, separators=(",", ":")
+    )
+
+
+def decode_checked_record(line: str) -> Any | None:
+    """Inverse of :func:`encode_checked_record`; ``None`` when corrupt.
+
+    Accepts legacy bare records (no ``crc`` envelope) unverified, so delta
+    logs written before checksumming replay unchanged.  A wrapped record
+    whose CRC does not match its canonical re-encoding -- a flipped byte, a
+    spliced line -- is reported as corrupt, never partially applied.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if "crc" not in payload:
+        return payload  # legacy record, pre-checksum format
+    record = payload.get("record")
+    if record is None or not isinstance(payload["crc"], int):
+        return None
+    if checksum_text(canonical_json(record)) != payload["crc"]:
+        return None
+    return record
+
+
+#: Key of the snapshot checksum footer line.
+SNAPSHOT_FOOTER_KEY = "snapshot_crc"
+
+
+def encode_snapshot_document(payload: Any) -> str:
+    """A snapshot file: one JSON body line plus a checksum footer line.
+
+    The footer CRC covers the exact bytes of the body line, so *any*
+    corruption of the body -- truncation, a flipped byte, an interleaved
+    write -- is detected before a single field is trusted.
+    """
+    body = json.dumps(payload)
+    footer = json.dumps({SNAPSHOT_FOOTER_KEY: checksum_text(body)})
+    return body + "\n" + footer + "\n"
+
+
+def decode_snapshot_document(text: str) -> Any:
+    """Inverse of :func:`encode_snapshot_document`.
+
+    Raises ``ValueError`` on any parse or checksum failure.  Snapshots
+    written before the footer existed (a single JSON body, no footer line)
+    are accepted unverified for backward compatibility.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("snapshot file is empty")
+    if len(lines) == 1:
+        return json.loads(lines[0])  # legacy snapshot, pre-footer format
+    body, footer_line = lines[0], lines[-1]
+    try:
+        footer = json.loads(footer_line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"unparsable snapshot footer: {error}") from error
+    if not isinstance(footer, dict) or SNAPSHOT_FOOTER_KEY not in footer:
+        raise ValueError("snapshot footer lacks a checksum")
+    expected = footer[SNAPSHOT_FOOTER_KEY]
+    actual = checksum_text(body)
+    if actual != expected:
+        raise ValueError(
+            f"snapshot checksum mismatch (stored {expected}, computed {actual})"
+        )
+    return json.loads(body)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.deadline import current_deadline
 from repro.db.expressions import _flip, distinct_match_mask, evaluate_predicate
 from repro.db.partition import (
     TablePartitions,
@@ -337,7 +338,16 @@ def scan_selected(
             if flag
         ]
 
+        # Cooperative cancellation: the exact scan is all-or-nothing, so an
+        # expired request deadline aborts it (DeadlineExceeded) rather than
+        # returning a partial result.  The deadline is captured *by value*
+        # here -- pool worker threads never see the request thread's ambient
+        # thread-local state.
+        deadline = current_deadline()
+
         def scan_one(bounds: tuple[int, int]) -> np.ndarray:
+            if deadline is not None:
+                deadline.check("partitioned scan")
             start, end = bounds
             morsel = table.slice_rows(start, end)
             mask = evaluate_predicate(predicate, morsel)

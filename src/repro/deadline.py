@@ -1,0 +1,94 @@
+"""Per-request wall-clock deadlines with cooperative cancellation.
+
+A :class:`Deadline` is an absolute monotonic-clock expiry created once per
+request.  The serving layer installs it as the *ambient* deadline for the
+request's thread (:func:`deadline_scope`), and the long-running loops deep
+in the stack -- the online-aggregation batch loop and the morsel scan loop
+-- poll it between units of work:
+
+* loops that can return a **partial answer** (online aggregation holds a
+  valid estimate ± error after every batch) simply stop refining when the
+  deadline expires; the serving layer flags the answer as *degraded*;
+* loops that cannot (the exact scan is all-or-nothing) raise
+  :class:`~repro.errors.DeadlineExceeded`, which the front door maps to
+  HTTP 504.
+
+Cancellation is cooperative by design: Python threads cannot be safely
+killed, so every cancellable loop opts in with one cheap ``expired`` check
+per batch/morsel.  The ambient variable is thread-local; worker threads a
+request fans out to (the morsel scan pool) receive the deadline by value
+in their closures, never by reading another thread's ambient state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import DeadlineExceeded
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock expiry (monotonic seconds)."""
+
+    expires_at: float
+    budget_s: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        if seconds <= 0:
+            raise ValueError("deadline seconds must be positive")
+        return cls(expires_at=time.monotonic() + seconds, budget_s=seconds)
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    @property
+    def remaining_s(self) -> float:
+        """Seconds until expiry (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if this deadline has expired."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:g}s expired"
+                + (f" during {where}" if where else "")
+            )
+
+
+_ambient = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline of the calling thread, if any."""
+    return getattr(_ambient, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Install ``deadline`` as the calling thread's ambient deadline.
+
+    ``None`` is accepted (and is a no-op) so callers can wrap requests
+    uniformly whether or not a deadline was requested.  Scopes nest; the
+    previous ambient deadline is restored on exit.
+    """
+    previous = current_deadline()
+    _ambient.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _ambient.deadline = previous
+
+
+def check_deadline(where: str = "") -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient deadline expired."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(where)

@@ -71,3 +71,20 @@ class StoreError(ReproError):
 
 class ServiceError(ReproError):
     """The serving layer was misused (closed service, bad budget, ...)."""
+
+
+class DeadlineExceeded(ReproError):
+    """A request's wall-clock deadline expired before any answer existed.
+
+    Raised only when there is *nothing* to return: when a partial estimate
+    exists the serving layer returns it flagged as degraded instead.  Mapped
+    to HTTP 504 by the front door.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """An injected fault fired (``action: "error"`` in a fault plan).
+
+    Deliberately a :class:`ReproError` subclass: injected route failures
+    must flow through exactly the fallback paths real engine failures take.
+    """

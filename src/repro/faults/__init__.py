@@ -1,0 +1,66 @@
+"""Deterministic fault injection for crash and failure-path testing.
+
+The serving/persistence stack is sprinkled with named **fault points** --
+one call to :func:`inject` at each place where the real world can go wrong
+(a torn delta write, a failed rename, a route that blows up, a trainer
+thread that dies).  In production the calls are inert: with no plan
+installed, :func:`inject` is a single attribute read and a ``None`` check.
+
+Under test, a :class:`~repro.faults.plan.FaultPlan` maps fault points to
+deterministic actions:
+
+``error``
+    raise :class:`~repro.errors.FaultInjectedError` (drives fallback and
+    breaker paths);
+``kill``
+    terminate the process immediately via ``os._exit`` (drives the
+    SIGKILL-equivalent crash-matrix tests; exit code :data:`FAULT_EXIT_CODE`
+    so harnesses can tell an injected crash from a real one);
+``delay``
+    sleep ``delay_s`` seconds then continue (drives deadline expiry
+    deterministically);
+``torn``
+    returned to the *caller* as a :class:`~repro.faults.plan.FaultDirective`
+    -- only write sites know how to half-write their own payload before
+    dying, so they interpret it themselves.
+
+Plans are activatable in-process (:func:`install`) or -- the part that
+makes subprocess crash tests possible -- via the ``REPRO_FAULTS``
+environment variable holding either inline JSON or ``@/path/to/plan.json``.
+Rules trigger deterministically: per-point hit counters, an ``after``
+threshold, a ``times`` cap, and an optional probability drawn from a
+seeded per-rule stream, so the same plan over the same request sequence
+always fires at the same operations.
+"""
+
+from repro.faults.plan import (
+    ENV_VAR,
+    FAULT_EXIT_CODE,
+    KNOWN_POINTS,
+    FaultDirective,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear,
+    hard_exit,
+    inject,
+    install,
+    plan_from_env,
+    plan_from_json,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_EXIT_CODE",
+    "KNOWN_POINTS",
+    "FaultDirective",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear",
+    "hard_exit",
+    "inject",
+    "install",
+    "plan_from_env",
+    "plan_from_json",
+]

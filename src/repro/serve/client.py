@@ -9,11 +9,22 @@ Backpressure handling: a 429 (shed load) is retried automatically with
 capped exponential backoff plus deterministic jitter, up to
 ``max_retries`` attempts -- the client-side half of the admission
 contract, and what the backpressure property test asserts "eventually
-succeeds once load drops".  A 503 (server draining) is **not** retried:
-the server is going away, and the caller should fail over, not camp on
-the socket.  Transport-level drops (connection reset, refused) reconnect
-and retry only when ``retry_transport_errors`` is set; the default raises
-:class:`TransportError` so tests and callers see crashes honestly.
+succeeds once load drops".  A ``Retry-After`` header, when the server
+sends one, overrides the computed backoff (jittered *upward* only, so the
+client never comes back earlier than asked).  A 503 (server draining) is
+retried only when it carries ``Retry-After`` -- an explicit "come back
+later"; a bare 503 means the server is going away and the caller should
+fail over, not camp on the socket.
+
+Transport-level drops (connection reset, refused) reconnect and retry only
+when ``retry_transport_errors`` is set **and the request is idempotent**:
+``ask`` with ``record=False`` and every GET.  A dropped connection leaves
+it unknown whether the server executed the request, so anything that
+mutates learned state (``feedback/append``, ``feedback/record``, recording
+asks, admin calls) is never replayed blindly -- a duplicate append would
+silently double rows.  Non-idempotent requests raise
+:class:`TransportError` so callers see crashes honestly and decide
+themselves.
 
 Every HTTP error status maps to a typed exception carrying the server's
 machine-readable error code (:class:`BadRequestError`,
@@ -96,8 +107,9 @@ class VerdictClient:
         Exponential backoff schedule: attempt ``k`` sleeps
         ``min(cap, base * 2**k)`` scaled by jitter in ``[0.5, 1.0]``.
     retry_transport_errors:
-        Also retry (with the same backoff) when the connection drops --
-        useful across a server restart; off by default.
+        Also retry (with the same backoff) when the connection drops, for
+        *idempotent* requests only (GETs and non-recording asks) -- useful
+        across a server restart; off by default.
     seed:
         Seed of the deterministic jitter stream.
     """
@@ -134,6 +146,7 @@ class VerdictClient:
         tenant: str | None = None,
         max_relative_error: float | None = None,
         max_latency_s: float | None = None,
+        deadline_s: float | None = None,
         record: bool | None = None,
     ) -> dict:
         """Answer one SQL request; returns the answer state dict."""
@@ -142,9 +155,15 @@ class VerdictClient:
             "sql": sql,
             "max_relative_error": max_relative_error,
             "max_latency_s": max_latency_s,
+            "deadline_s": deadline_s,
             "record": record,
         }
-        return self._request("POST", "/v1/ask", payload)["answer"]
+        # Only a non-recording ask is replayable after a dropped
+        # connection: with record unset or True the server may already have
+        # mutated the synopsis before the connection died.
+        return self._request(
+            "POST", "/v1/ask", payload, idempotent=record is False
+        )["answer"]
 
     def append(
         self,
@@ -171,7 +190,7 @@ class VerdictClient:
         """Tenant-scoped metrics, or server-wide when no tenant is set."""
         name = tenant if tenant is not None else self.tenant
         path = "/v1/metrics" + (f"?tenant={name}" if name else "")
-        return self._request("GET", path)
+        return self._request("GET", path, idempotent=True)
 
     def train(
         self, tenant: str | None = None, learn: bool | None = None, wait: bool = True
@@ -188,10 +207,10 @@ class VerdictClient:
         return self._request("POST", "/v1/admin/tenants", payload)
 
     def list_tenants(self) -> list[dict]:
-        return self._request("GET", "/v1/admin/tenants")["tenants"]
+        return self._request("GET", "/v1/admin/tenants", idempotent=True)["tenants"]
 
     def health(self) -> dict:
-        return self._request("GET", "/v1/healthz")
+        return self._request("GET", "/v1/healthz", idempotent=True)
 
     def close(self) -> None:
         if self._connection is not None:
@@ -212,7 +231,20 @@ class VerdictClient:
             raise ClientError("no tenant given (set client.tenant or pass tenant=)")
         return name
 
-    def _backoff(self, attempt: int) -> float:
+    def _backoff(self, attempt: int, retry_after: str | None = None) -> float:
+        """Sleep duration before retry ``attempt``.
+
+        A parsable server ``Retry-After`` is a floor, jittered upward by up
+        to 50% so a fleet of shed clients does not return in lockstep; the
+        client never comes back *earlier* than the server asked.
+        """
+        if retry_after is not None:
+            try:
+                asked = float(retry_after)
+            except ValueError:
+                asked = None
+            if asked is not None and asked >= 0:
+                return asked * (1.0 + 0.5 * self._random.random())
         delay = min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
         return delay * (0.5 + 0.5 * self._random.random())
 
@@ -231,7 +263,13 @@ class VerdictClient:
                 pass
             self._connection = None
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        idempotent: bool = False,
+    ) -> dict:
         body = None
         headers = {}
         if payload is not None:
@@ -248,6 +286,7 @@ class VerdictClient:
                 response = connection.getresponse()
                 data = response.read()
                 status = response.status
+                retry_after = response.getheader("Retry-After")
             except (
                 ConnectionError,
                 http.client.HTTPException,
@@ -255,7 +294,13 @@ class VerdictClient:
                 OSError,
             ) as error:
                 self._drop_connection()
-                if self.retry_transport_errors and attempt < self.max_retries:
+                # A dropped connection leaves the request's fate unknown;
+                # only requests that are safe to execute twice are replayed.
+                if (
+                    self.retry_transport_errors
+                    and idempotent
+                    and attempt < self.max_retries
+                ):
                     self.retries_performed += 1
                     time.sleep(self._backoff(attempt))
                     attempt += 1
@@ -265,7 +310,14 @@ class VerdictClient:
                 ) from error
             if status == 429 and attempt < self.max_retries:
                 self.retries_performed += 1
-                time.sleep(self._backoff(attempt))
+                time.sleep(self._backoff(attempt, retry_after))
+                attempt += 1
+                continue
+            if status == 503 and retry_after is not None and attempt < self.max_retries:
+                # An explicit "come back later" (e.g. a rolling restart);
+                # a bare 503 still fails fast below.
+                self.retries_performed += 1
+                time.sleep(self._backoff(attempt, retry_after))
                 attempt += 1
                 continue
             return self._decode(method, path, status, data)

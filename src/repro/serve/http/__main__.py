@@ -103,6 +103,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="learn correlation length scales during training (slower)",
     )
+    parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=8,
+        help="flush learned state to the store after every N mutations",
+    )
+    parser.add_argument(
+        "--audit-max-bytes",
+        type=int,
+        default=None,
+        help="rotate the audit log once the live file reaches this size",
+    )
+    parser.add_argument(
+        "--audit-retention",
+        type=int,
+        default=4,
+        help="rotated audit files kept (oldest deleted at each rotation)",
+    )
     args = parser.parse_args(argv)
 
     root = Path(args.root)
@@ -121,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
             config=config,
             max_workers=2,
             auto_train_every=args.auto_train_every,
+            flush_every=args.flush_every,
         )
 
     tenants = TenantManager(
@@ -133,7 +152,11 @@ def main(argv: list[str] | None = None) -> int:
         if not tenants.exists(name):
             tenants.create(name)
 
-    audit = AuditLog.open_session(root / "audit")
+    audit = AuditLog.open_session(
+        root / "audit",
+        max_bytes=args.audit_max_bytes,
+        retention=args.audit_retention,
+    )
     server = VerdictHTTPServer(
         (args.host, args.port),
         tenants,

@@ -18,6 +18,9 @@ status    code                    meaning
 409       ``tenant_exists``       tenant create with an existing name
 429       ``shed_load``           admission queue full / queue wait timed out
 503       ``shutting_down``       the server is draining
+504       ``deadline_exceeded``   the request's deadline expired with nothing
+                                  to return (partial estimates come back 200,
+                                  flagged ``degraded``)
 500       ``internal``            anything else
 ========  ======================  ============================================
 
@@ -86,6 +89,10 @@ def shutting_down(message: str = "server is shutting down") -> ApiError:
     return ApiError(503, "shutting_down", message)
 
 
+def deadline_exceeded(message: str) -> ApiError:
+    return ApiError(504, "deadline_exceeded", message)
+
+
 # --------------------------------------------------------------------------- #
 # Strict request validation
 # --------------------------------------------------------------------------- #
@@ -145,6 +152,7 @@ def parse_ask(payload: object) -> AskRequest:
             "sql": (str, True),
             "max_relative_error": ((int, float), False),
             "max_latency_s": ((int, float), False),
+            "deadline_s": ((int, float), False),
             "record": (bool, False),
         },
     )
@@ -152,11 +160,15 @@ def parse_ask(payload: object) -> AskRequest:
     if not fields["sql"].strip():
         raise bad_request("field 'sql' must be non-empty")
     budget = None
-    if fields["max_relative_error"] is not None or fields["max_latency_s"] is not None:
+    if any(
+        fields[name] is not None
+        for name in ("max_relative_error", "max_latency_s", "deadline_s")
+    ):
         try:
             budget = ServiceBudget(
                 max_relative_error=fields["max_relative_error"],
                 max_latency_s=fields["max_latency_s"],
+                deadline_s=fields["deadline_s"],
             )
         except ReproError as error:
             raise bad_request(str(error)) from error
@@ -285,6 +297,8 @@ def answer_to_state(answer: ServedAnswer) -> dict:
         "from_cache": answer.from_cache,
         "recorded": answer.recorded,
         "batches_processed": answer.batches_processed,
+        "degraded": answer.degraded,
+        "degraded_reason": answer.degraded_reason,
     }
 
 
@@ -293,12 +307,17 @@ def answer_to_state(answer: ServedAnswer) -> dict:
 #: ``model_seconds`` is nondeterministic too: on the learned route it adds
 #: the *measured* inference overhead to the cost model's deterministic IO
 #: estimate.
+#: ``degraded``/``degraded_reason`` join the list: whether a wall-clock
+#: deadline cut refinement short depends on real time, never on the learned
+#: state being fingerprinted.
 NONDETERMINISTIC_FIELDS = (
     "wall_seconds",
     "model_seconds",
     "from_cache",
     "route",
     "recorded",
+    "degraded",
+    "degraded_reason",
 )
 
 
@@ -328,6 +347,7 @@ def map_exception(error: Exception) -> ApiError:
     # Imported here to keep the protocol module import-light for clients.
     from repro.errors import (
         CatalogError,
+        DeadlineExceeded,
         ServiceError,
         SQLSyntaxError,
         TableError,
@@ -337,6 +357,8 @@ def map_exception(error: Exception) -> ApiError:
 
     if isinstance(error, ApiError):
         return error
+    if isinstance(error, DeadlineExceeded):
+        return deadline_exceeded(str(error))
     if isinstance(error, ShedLoad):
         return shed_load(str(error))
     if isinstance(error, ShuttingDown):

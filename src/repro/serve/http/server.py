@@ -41,6 +41,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro import faults
 from repro.serve.http import protocol
 from repro.serve.http.admission import AdmissionController
 from repro.serve.http.audit import AuditLog
@@ -160,6 +161,7 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         audit_fields: dict = {}
         try:
+            faults.inject("http.handler", method=method, path=url.path)
             status, payload = self._route(method, url.path, url.query, audit_fields)
         except ApiError as error:
             status, payload = error.status, error.body()
@@ -204,11 +206,36 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and path == "/v1/admin/tenants":
             return 200, {"tenants": self.server.tenants.list_tenants()}
         if method == "GET" and path == "/v1/healthz":
-            return 200, {
-                "status": "draining" if self.server.admission.closed else "ok",
-                "uptime_s": time.time() - self.server.started_ts,
-            }
+            return self._healthz()
         raise protocol.unknown_route(method, path)
+
+    def _healthz(self) -> tuple[int, dict]:
+        """Aggregate health: the server itself plus every resident tenant.
+
+        Always 200 (the process is alive and answering); the *status* field
+        says how well: ``ok``, ``degraded`` (some tenant has an open
+        breaker, a quarantined store, or a dead trainer -- the per-tenant
+        reasons say which), or ``draining`` during shutdown.
+        """
+        server = self.server
+        tenants = server.tenants.resident_health()
+        reasons = [
+            f"tenant {name}: {reason}"
+            for name, health in sorted(tenants.items())
+            for reason in health["reasons"]
+        ]
+        if server.admission.closed:
+            status = "draining"
+        elif reasons:
+            status = "degraded"
+        else:
+            status = "ok"
+        return 200, {
+            "status": status,
+            "reasons": reasons,
+            "tenants": tenants,
+            "uptime_s": time.time() - server.started_ts,
+        }
 
     # -------------------------------------------------------------- endpoints
 
@@ -284,7 +311,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "restored": service.restored,
                 "cache_size": service.cache_size(),
                 "lifecycle_phase": service.lifecycle_phase,
-                "metrics": service.metrics.as_dict(),
+                # Metrics plus robustness state: per-route breakers, the
+                # background trainer, and the store's recovery counters.
+                "metrics": service.observability(),
             }
 
     def _train(self, payload: object, audit_fields: dict) -> tuple[int, dict]:

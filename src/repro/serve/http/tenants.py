@@ -250,6 +250,17 @@ class TenantManager:
                 "loaded_tenants": list(self._loaded),
             }
 
+    def resident_health(self) -> dict[str, dict]:
+        """Per-tenant :meth:`VerdictService.health` of every *resident* tenant.
+
+        Deliberately does not load evicted tenants: a health probe must stay
+        cheap and side-effect-free, and an evicted tenant's last snapshot
+        was written cleanly (its close ran) so there is nothing to report.
+        """
+        with self._lock:
+            resident = list(self._loaded.values())
+        return {tenant.name: tenant.service.health() for tenant in resident}
+
     # ------------------------------------------------------------------ close
 
     def close(self) -> None:

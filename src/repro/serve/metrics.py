@@ -110,7 +110,25 @@ class ServiceMetrics:
     def __init__(self):
         self._lock = threading.Lock()
         self._routes: dict[str, dict] = {}
+        self._events: dict[str, int] = {}
         self._scan_baseline = scan_counters_snapshot()
+
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count one robustness event (deadline hit, breaker trip, ...).
+
+        Event names are free-form dotted strings, e.g.
+        ``deadline.exceeded``, ``deadline.degraded``,
+        ``breaker.learned.open``, ``trainer.restart``, ``flush.error``,
+        ``store.tail_recoveries``.  Unknown names cost one dict slot --
+        there is deliberately no registry, so new failure paths can be
+        counted without touching this module.
+        """
+        with self._lock:
+            self._events[name] = self._events.get(name, 0) + count
+
+    def event_count(self, name: str) -> int:
+        with self._lock:
+            return self._events.get(name, 0)
 
     def scan_snapshot(self) -> dict:
         """Process-wide partition/pruning counters since this object's birth."""
@@ -188,4 +206,10 @@ class ServiceMetrics:
                 for route, entry in sorted(self._routes.items())
             }
             total = sum(entry["requests"] for entry in self._routes.values())
-        return {"total_requests": total, "routes": routes, "scan": self.scan_snapshot()}
+            events = dict(sorted(self._events.items()))
+        return {
+            "total_requests": total,
+            "routes": routes,
+            "events": events,
+            "scan": self.scan_snapshot(),
+        }

@@ -58,16 +58,27 @@ class ServiceBudget:
     max_latency_s:
         Largest acceptable latency in *model* seconds (the deterministic IO
         cost model's clock, not wall time).  ``None`` means unbounded.
+    deadline_s:
+        Hard **wall-clock** deadline for the whole request, in real seconds.
+        Unlike ``max_latency_s`` (a planning input on the deterministic cost
+        model's clock) this is enforced at run time with cooperative
+        cancellation: when it expires mid-request the service returns the
+        best partial estimate flagged *degraded*, or raises
+        :class:`~repro.errors.DeadlineExceeded` (HTTP 504) when no estimate
+        exists yet.  ``None`` means no deadline.
     """
 
     max_relative_error: float | None = None
     max_latency_s: float | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_relative_error is not None and self.max_relative_error < 0:
             raise ServiceError("max_relative_error must be non-negative")
         if self.max_latency_s is not None and self.max_latency_s <= 0:
             raise ServiceError("max_latency_s must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServiceError("deadline_s must be positive")
 
     @property
     def requires_exact(self) -> bool:

@@ -57,6 +57,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Union
 
+from repro import faults
 from repro.aqp.estimators import confidence_multiplier
 from repro.aqp.online_agg import OnlineAggregationEngine, budget_hopeless
 from repro.aqp.time_bound import TimeBoundEngine
@@ -66,7 +67,9 @@ from repro.core.engine import VerdictAnswer, VerdictEngine
 from repro.db.catalog import Catalog
 from repro.db.executor import ExactExecutor
 from repro.db.table import Table
-from repro.errors import ReproError, ServiceError
+from repro.deadline import Deadline, current_deadline, deadline_scope
+from repro.errors import DeadlineExceeded, ReproError, ServiceError
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.planner import QueryPlanner, Route, RouteDecision, ServiceBudget
 from repro.serve.store import SynopsisStore
@@ -105,6 +108,12 @@ class ServedAnswer:
     from_cache: bool = False
     recorded: bool = False
     batches_processed: int = 0
+    #: True when the request's wall-clock deadline expired before the error
+    #: budget was met and this is the best *partial* estimate (still a valid
+    #: estimate ± error, just less refined than asked for).  Degraded
+    #: answers are never cached and never recorded into the synopsis.
+    degraded: bool = False
+    degraded_reason: str = ""
 
     def scalar(self) -> float:
         """The single value of a one-row, one-aggregate answer."""
@@ -225,6 +234,19 @@ class VerdictService:
         (records / appends), so correlation parameters track the workload
         continuously without any caller ever blocking on the O(n^3) learn.
         ``None`` (the default) disables automatic training.
+    breaker_window, breaker_failure_threshold, breaker_cooldown_s:
+        Circuit-breaker tuning for the approximate routes (learned and
+        online aggregation): a route whose recent error rate over the last
+        ``breaker_window`` attempts reaches ``breaker_failure_threshold``
+        is skipped for ``breaker_cooldown_s`` seconds, then probed
+        (half-open) before being trusted again.  The exact route is never
+        broken: it is the fallback of last resort.
+    trainer_max_restarts, trainer_restart_backoff_s:
+        A background training round that raises is retried up to
+        ``trainer_max_restarts`` times with exponential backoff starting at
+        ``trainer_restart_backoff_s``; when every retry fails the trainer is
+        marked dead (visible in :meth:`health`) until a later round
+        succeeds.
     """
 
     def __init__(
@@ -242,6 +264,11 @@ class VerdictService:
         cache_capacity: int = 1_024,
         vectorized: bool = True,
         auto_train_every: int | None = None,
+        breaker_window: int = 8,
+        breaker_failure_threshold: float = 0.5,
+        breaker_cooldown_s: float = 5.0,
+        trainer_max_restarts: int = 3,
+        trainer_restart_backoff_s: float = 0.05,
     ):
         if max_workers <= 0:
             raise ServiceError("max_workers must be positive")
@@ -249,6 +276,8 @@ class VerdictService:
             raise ServiceError("cache_capacity must be positive")
         if auto_train_every is not None and auto_train_every <= 0:
             raise ServiceError("auto_train_every must be positive")
+        if trainer_max_restarts < 0:
+            raise ServiceError("trainer_max_restarts must be non-negative")
         self.catalog = catalog
         self.aqp = OnlineAggregationEngine(
             catalog, sampling=sampling, cost_model=cost_model, vectorized=vectorized
@@ -300,7 +329,30 @@ class VerdictService:
         self._train_guard = threading.Lock()
         self._train_future: Future | None = None
         self._mutations_since_train = 0
+        self.trainer_max_restarts = trainer_max_restarts
+        self.trainer_restart_backoff_s = trainer_restart_backoff_s
+        self.trainer_restarts = 0
+        self._trainer_dead = False
+        # Circuit breakers for the two approximate routes.  EXACT is never
+        # broken (it is the last-resort fallback) and CACHED cannot fail.
+        self._breakers: dict[Route, CircuitBreaker] = {
+            route: CircuitBreaker(
+                name=route.value,
+                window=breaker_window,
+                failure_threshold=breaker_failure_threshold,
+                cooldown_s=breaker_cooldown_s,
+                on_transition=self._on_breaker_transition,
+            )
+            for route in (Route.LEARNED, Route.ONLINE_AGG)
+        }
         self.restored = bool(store is not None and store.load_into(self.engine))
+        if store is not None:
+            for name, count in store.counters.items():
+                if count:
+                    self.metrics.record_event(f"store.{name}", count)
+
+    def _on_breaker_transition(self, name: str, old: str, new: str) -> None:
+        self.metrics.record_event(f"breaker.{name}.{new}")
 
     # ------------------------------------------------------------------ public
 
@@ -326,6 +378,25 @@ class VerdictService:
         record: bool | None,
     ) -> ServedAnswer:
         budget = budget or self.default_budget
+        deadline = (
+            Deadline.after(budget.deadline_s) if budget.deadline_s is not None else None
+        )
+        # The deadline is ambient for this request thread: the online-agg
+        # batch loop and the morsel scan loop poll it cooperatively.  Worker
+        # threads a route fans out to receive it by value in their closures.
+        with deadline_scope(deadline):
+            try:
+                return self._serve_within_deadline(sql, budget, record)
+            except DeadlineExceeded:
+                self.metrics.record_event("deadline.exceeded")
+                raise
+
+    def _serve_within_deadline(
+        self,
+        sql: Union[str, ast.Query],
+        budget: ServiceBudget,
+        record: bool | None,
+    ) -> ServedAnswer:
         should_record = self.record_queries if record is None else record
         started = time.perf_counter()
 
@@ -365,12 +436,34 @@ class VerdictService:
             ):
                 # Escalating would blow the latency budget; keep best effort.
                 continue
+            breaker = self._breakers.get(decision.route)
+            if breaker is not None and not breaker.allow():
+                # The breaker is open (or half-open with its probes taken):
+                # skip straight to the fallback instead of paying for
+                # another failure.
+                self.metrics.record_event(f"breaker.{decision.route.value}.skip")
+                fallback = True
+                continue
             try:
                 candidate, raw, versions = self._execute_route(
                     decision, parsed, check, budget
                 )
+            except DeadlineExceeded:
+                if breaker is not None:
+                    # The client's clock ran out; that says nothing about
+                    # the route's health, so release the attempt unrecorded.
+                    breaker.cancel()
+                if best is not None:
+                    return self._degrade(best, budget, started)
+                raise
             except ReproError:
+                if breaker is not None:
+                    breaker.record_failure()
+                self.metrics.record_event(f"route.{decision.route.value}.error")
+                fallback = True
                 continue
+            if breaker is not None:
+                breaker.record_success()
             if decision.route is Route.LEARNED:
                 learned_answered = True
             if best is None or candidate.relative_error_bound < best.relative_error_bound:
@@ -384,6 +477,22 @@ class VerdictService:
         budget_met = budget.error_met(best.relative_error_bound) and (
             budget.max_latency_s is None or best.model_seconds <= budget.max_latency_s
         )
+        if best.degraded:
+            # The deadline cut refinement short: return the partial estimate
+            # immediately -- no recording (it would spend time the client no
+            # longer has) and no caching (the answer is deliberately
+            # under-refined).
+            wall = time.perf_counter() - started
+            answer = replace(best, wall_seconds=wall, budget_met=False, recorded=False)
+            self.metrics.record_event("deadline.degraded")
+            self.metrics.observe(
+                answer.route.value,
+                wall,
+                model_seconds=answer.model_seconds,
+                budget_met=False,
+                fallback=fallback,
+            )
+            return answer
         recorded = False
         cache_versions = best_versions
         if should_record and check.supported and best_raw is not None:
@@ -418,6 +527,7 @@ class VerdictService:
         """Queue a request on the worker pool; returns a ``Future``."""
         if self._phase != "serving":
             raise ServiceError("service is closed")
+        faults.inject("service.submit")
         return self._pool.submit(self.query, sql, budget, record)
 
     def append(self, table_name: str, appended: Table, adjust: bool = True) -> int:
@@ -485,6 +595,35 @@ class VerdictService:
             return future
 
     def _train_in_background(self, learn: bool | None):
+        """One background round, retried with backoff when it crashes.
+
+        A training crash (numerical blow-up on a degenerate synopsis, an
+        injected fault) must not silently end continuous learning: the round
+        is retried up to ``trainer_max_restarts`` times with exponential
+        backoff, and only when every retry fails is the trainer marked dead
+        -- which :meth:`health` reports so operators (and the HTTP
+        ``/v1/healthz`` endpoint) can see learning has stopped.  A later
+        successful round (e.g. a manual :meth:`train_async`) revives it.
+        """
+        attempt = 0
+        while True:
+            try:
+                faults.inject("service.train", attempt=attempt)
+                results = self._train_round(learn)
+            except Exception:
+                attempt += 1
+                if attempt > self.trainer_max_restarts:
+                    self._trainer_dead = True
+                    self.metrics.record_event("trainer.dead")
+                    raise
+                self.trainer_restarts += 1
+                self.metrics.record_event("trainer.restart")
+                time.sleep(self.trainer_restart_backoff_s * (2 ** (attempt - 1)))
+            else:
+                self._trainer_dead = False
+                return results
+
+    def _train_round(self, learn: bool | None):
         learn_flag = (
             self.engine.config.learn_length_scales if learn is None else learn
         )
@@ -529,6 +668,7 @@ class VerdictService:
             if self._phase == "closed":
                 return "noop"
         with self._engine_lock:
+            faults.inject("service.flush")
             return self.store.flush(self.engine)
 
     def snapshot(self) -> str:
@@ -604,6 +744,48 @@ class VerdictService:
         with self._cache_lock:
             return len(self._state.cache)
 
+    def health(self) -> dict:
+        """Liveness/readiness summary: ``ok`` or ``degraded`` plus reasons.
+
+        Degraded means the service still answers requests but some part of
+        the stack is impaired: a route breaker is open, the store had to
+        quarantine a corrupt snapshot, or the background trainer died.  The
+        HTTP front door aggregates this per tenant into ``/v1/healthz``.
+        """
+        reasons: list[str] = []
+        if self._phase != "serving":
+            reasons.append(f"service is {self._phase}")
+        if self.store is not None and self.store.quarantined:
+            reasons.append("store quarantined a corrupt snapshot")
+        for route, breaker in self._breakers.items():
+            state = breaker.state
+            if state != "closed":
+                reasons.append(f"{route.value} route breaker is {state}")
+        if self._trainer_dead:
+            reasons.append(
+                f"background trainer dead after {self.trainer_restarts} restart(s)"
+            )
+        return {
+            "status": "ok" if not reasons else "degraded",
+            "phase": self._phase,
+            "reasons": reasons,
+        }
+
+    def observability(self) -> dict:
+        """Metrics plus robustness state (breakers, trainer, store recovery)."""
+        data = self.metrics.as_dict()
+        data["breakers"] = {
+            route.value: breaker.snapshot()
+            for route, breaker in self._breakers.items()
+        }
+        data["trainer"] = {
+            "restarts": self.trainer_restarts,
+            "dead": self._trainer_dead,
+        }
+        if self.store is not None:
+            data["store"] = self.store.state_snapshot()
+        return data
+
     # -------------------------------------------------------------- lifecycle
 
     @contextmanager
@@ -628,6 +810,34 @@ class VerdictService:
 
     # ------------------------------------------------------------------ routes
 
+    def _degrade(
+        self, best: ServedAnswer, budget: ServiceBudget, started: float
+    ) -> ServedAnswer:
+        """Flag ``best`` as the degraded partial answer of an expired deadline."""
+        wall = time.perf_counter() - started
+        answer = replace(
+            best,
+            wall_seconds=wall,
+            budget_met=False,
+            recorded=False,
+            degraded=True,
+            degraded_reason=(
+                f"deadline of {budget.deadline_s:g}s expired before the "
+                "error budget was met"
+                if budget.deadline_s is not None
+                else "deadline expired before the error budget was met"
+            ),
+        )
+        self.metrics.record_event("deadline.degraded")
+        self.metrics.observe(
+            answer.route.value,
+            wall,
+            model_seconds=answer.model_seconds,
+            budget_met=False,
+            fallback=True,
+        )
+        return answer
+
     def _execute_route(
         self,
         decision: RouteDecision,
@@ -642,6 +852,7 @@ class VerdictService:
         the answer was computed over -- a mutation racing in after the lock
         is released cannot tag this answer as fresher than it is.
         """
+        faults.inject(f"service.route.{decision.route.value}", table=parsed.table)
         lock = self._table_lock(parsed.table)
         with lock.read():
             if decision.route is Route.LEARNED:
@@ -673,22 +884,35 @@ class VerdictService:
         improved: VerdictAnswer | None = None
         raw: AQPAnswer | None = None
         models_version = self.engine.models_version
-        for raw in self.aqp.run(parsed):
-            with self._engine_lock:
-                improved = self.engine.process_answer(parsed, raw, check)
-                models_version = self.engine.models_version
-            bound = improved.mean_relative_error_bound(self.multiplier)
-            if budget.max_relative_error is None:
-                break  # best effort: the first improved batch is the answer
-            if bound <= budget.max_relative_error:
-                break
-            if (
-                budget.max_latency_s is not None
-                and improved.elapsed_seconds >= budget.max_latency_s
-            ):
-                break
-            if budget_hopeless(raw, bound, budget.max_relative_error):
-                break  # provably cannot reach the budget; escalate instead
+        degraded = False
+        degraded_reason = ""
+        try:
+            for raw in self.aqp.run(parsed):
+                with self._engine_lock:
+                    improved = self.engine.process_answer(parsed, raw, check)
+                    models_version = self.engine.models_version
+                bound = improved.mean_relative_error_bound(self.multiplier)
+                if budget.max_relative_error is None:
+                    break  # best effort: the first improved batch is the answer
+                if bound <= budget.max_relative_error:
+                    break
+                if (
+                    budget.max_latency_s is not None
+                    and improved.elapsed_seconds >= budget.max_latency_s
+                ):
+                    break
+                if budget_hopeless(raw, bound, budget.max_relative_error):
+                    break  # provably cannot reach the budget; escalate instead
+        except DeadlineExceeded:
+            # The batch loop polls the ambient deadline before each batch;
+            # with at least one processed batch we hold a valid (if less
+            # refined) estimate ± error -- serve it flagged, never discard it.
+            if improved is None or raw is None:
+                raise
+            degraded = True
+            degraded_reason = (
+                f"deadline expired after {raw.batches_processed} sample batch(es)"
+            )
         if improved is None or raw is None:
             raise ServiceError("online aggregation produced no answers")
         rows = tuple(
@@ -711,6 +935,8 @@ class VerdictService:
             wall_seconds=0.0,
             supported=check.supported,
             batches_processed=raw.batches_processed,
+            degraded=degraded,
+            degraded_reason=degraded_reason,
         )
         return answer, raw, models_version
 
@@ -727,6 +953,12 @@ class VerdictService:
                 confidence_multiplier=self.multiplier,
                 give_up_when_hopeless=True,
             )
+        bound = raw.mean_relative_error_bound(self.multiplier)
+        # The batch loop stops early when the ambient deadline expires (and
+        # the partial prefix estimate is returned); flag that as degraded
+        # unless the estimate happens to meet the error budget anyway.
+        ambient = current_deadline()
+        degraded = ambient is not None and ambient.expired and not budget.error_met(bound)
         rows = tuple(
             ServedRow(
                 group_values=row.group_values,
@@ -742,11 +974,17 @@ class VerdictService:
             sql=parsed.text or "",
             route=Route.ONLINE_AGG,
             rows=rows,
-            relative_error_bound=raw.mean_relative_error_bound(self.multiplier),
+            relative_error_bound=bound,
             model_seconds=raw.elapsed_seconds,
             wall_seconds=0.0,
             supported=check.supported,
             batches_processed=raw.batches_processed,
+            degraded=degraded,
+            degraded_reason=(
+                f"deadline expired after {raw.batches_processed} sample batch(es)"
+                if degraded
+                else ""
+            ),
         )
         return answer, raw
 
@@ -825,7 +1063,13 @@ class VerdictService:
                 if should_train:
                     self._mutations_since_train = 0
         if should_flush:
-            self.flush()
+            try:
+                self.flush()
+            except (ReproError, OSError):
+                # A failed periodic flush must not fail the request that
+                # triggered it: the learned state simply stays dirty and the
+                # next mutation retries.  Counted so operators see it.
+                self.metrics.record_event("flush.error")
         if should_train:
             try:
                 self.train_async()

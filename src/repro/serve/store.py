@@ -10,51 +10,78 @@ stopped.
 Layout (all JSON, human-inspectable)::
 
     <directory>/
-        snapshot.json    full engine state (atomic: tmp file + os.replace)
-        deltas.jsonl     one record per flush of appended-only changes
+        snapshot.json        full engine state + CRC32 checksum footer
+        snapshot.prev.json   the retained previous snapshot generation
+        deltas.jsonl         one CRC32-wrapped record per append-only flush
+        quarantine/          corrupt files set aside during recovery
 
 Write path
 ----------
 :meth:`SynopsisStore.flush` asks the synopsis for the delta since the last
 persisted version (reusing the engine's own ``changes_since`` change log):
 
-* appends only           -> one JSONL record appended to ``deltas.jsonl``;
+* appends only           -> one checksummed JSONL record appended to
+  ``deltas.jsonl``;
 * anything else dirty    -> full snapshot (evictions, data-append
   adjustments, and re-training all rewrite state a delta cannot express);
 * delta log too long     -> full snapshot (*compaction*: the log is folded
   into ``snapshot.json`` and truncated).
 
-Snapshot rotation is atomic -- the new snapshot is written to a temporary
-file, fsynced, and ``os.replace``d over the old one, after which the delta
-log is truncated (also via replace).  A crash between the two leaves a
-snapshot plus a log of records that predate it; replay skips them by
-version.
+Snapshot rotation is atomic and *generational*: the new snapshot is written
+to a temporary file and fsynced, the current ``snapshot.json`` is retained
+as ``snapshot.prev.json``, the temporary file is ``os.replace``d in, and
+only then is the delta log truncated.  A crash between any two steps leaves
+a combination the read path recovers from (see below); the fault points
+named ``store.*`` (:mod:`repro.faults`) let the crash-matrix tests kill the
+process at every one of these steps.
 
-Read path
----------
-:meth:`SynopsisStore.load_into` restores the snapshot into an engine and
-replays delta records in order.  Logged snippets carry the identities and
-LRU sequence numbers originally assigned, so the replayed synopsis converges
-to the same ids, versions, and group order as the writer -- and because the
-snapshot also carries the synopsis change log, factorisations prepared at an
-older version are *extended* (rank-k, same floating-point bits) rather than
-rebuilt.  Inference results before and after a reload are byte-identical,
-which the property tests in ``tests/serve/test_store.py`` assert.
+Read path & failure model
+-------------------------
+:meth:`SynopsisStore.load_into` restores the best available snapshot into
+an engine and replays delta records in order.  Every record and both
+snapshot generations are checksummed, so recovery distinguishes and handles
+each corruption mode instead of crash-looping:
+
+* **torn delta tail** (crash mid-append): the log is truncated to the
+  longest valid prefix of records and rewritten, replay continues;
+* **corrupt delta record** (bad CRC, version gap): same truncation -- a
+  record is applied fully or not at all, and nothing after a bad record is
+  trusted;
+* **corrupt current snapshot**: the file is moved to ``quarantine/`` and
+  the retained previous generation is restored instead (stale deltas are
+  skipped by version; newer-than-snapshot deltas whose base does not match
+  are truncated);
+* **both generations corrupt/unreadable**: everything is quarantined and
+  the store reports "empty" -- the service starts fresh (degraded, visible
+  in ``/v1/healthz``) rather than refusing to start.
+
+Recovery is idempotent: loading, killing, and loading again reaches the
+same state (the property and crash-matrix tests assert byte-identical
+replayed answers).  All recovery events are counted in
+:attr:`SynopsisStore.counters` and surfaced through the service metrics.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
+from repro import faults
 from repro.core.engine import VerdictEngine
-from repro.core.serialize import STATE_FORMAT_VERSION
+from repro.core.serialize import (
+    STATE_FORMAT_VERSION,
+    decode_checked_record,
+    decode_snapshot_document,
+    encode_checked_record,
+    encode_snapshot_document,
+)
 from repro.core.snippet import Snippet
 from repro.errors import StoreError
 
 SNAPSHOT_FILE = "snapshot.json"
+PREVIOUS_SNAPSHOT_FILE = "snapshot.prev.json"
 DELTA_FILE = "deltas.jsonl"
+QUARANTINE_DIR = "quarantine"
 
 
 class SynopsisStore:
@@ -88,6 +115,20 @@ class SynopsisStore:
         self.include_factors = include_factors
         self.snapshots_written = 0
         self.deltas_written = 0
+        #: Recovery accounting, surfaced through the serving metrics.
+        self.counters: dict[str, int] = {
+            "deltas_replayed": 0,
+            "deltas_truncated": 0,
+            "tail_recoveries": 0,
+            "snapshots_quarantined": 0,
+            "previous_generation_recoveries": 0,
+            "orphaned_delta_logs": 0,
+        }
+        #: True when the last load had to quarantine a snapshot -- the
+        #: service reports itself degraded until a fresh snapshot succeeds.
+        self.quarantined = False
+        #: Human-readable notes of what recovery did, newest last.
+        self.recovery_notes: list[str] = []
         self._persisted_version: int | None = None
         self._persisted_epoch: int | None = None
         self._delta_records = self._count_delta_records()
@@ -99,12 +140,20 @@ class SynopsisStore:
         return self.directory / SNAPSHOT_FILE
 
     @property
+    def previous_snapshot_path(self) -> Path:
+        return self.directory / PREVIOUS_SNAPSHOT_FILE
+
+    @property
+    def quarantine_directory(self) -> Path:
+        return self.directory / QUARANTINE_DIR
+
+    @property
     def delta_path(self) -> Path:
         return self.directory / DELTA_FILE
 
     def exists(self) -> bool:
-        """Whether a snapshot is present to restore from."""
-        return self.snapshot_path.is_file()
+        """Whether any snapshot generation is present to restore from."""
+        return self.snapshot_path.is_file() or self.previous_snapshot_path.is_file()
 
     @property
     def delta_log_length(self) -> int:
@@ -116,67 +165,138 @@ class SynopsisStore:
     def load_into(self, engine: VerdictEngine) -> bool:
         """Restore the persisted state into ``engine``.
 
-        Returns ``True`` when a snapshot was found and loaded, ``False`` when
-        the store is empty (a fresh service).  Raises :class:`StoreError` on
-        a corrupt or incompatible snapshot, or on a delta log that does not
-        follow on from the snapshot (a version gap).
+        Returns ``True`` when a usable snapshot was found and loaded,
+        ``False`` when the store is empty *or nothing could be recovered*
+        (corrupt files are quarantined, never crash-looped on; the
+        :attr:`quarantined` flag and :attr:`counters` say which happened).
         """
-        if not self.exists():
+        snapshot = self._load_snapshot_payload()
+        if snapshot is None:
+            if self.quarantined and self.delta_path.is_file():
+                # A delta log is meaningless without the snapshot it
+                # follows; set it aside for forensics rather than replaying
+                # it against a fresh engine (guaranteed version gap).
+                self._quarantine(self.delta_path, "orphaned delta log")
+                self.counters["orphaned_delta_logs"] += 1
+                self._delta_records = 0
             return False
-        try:
-            snapshot = json.loads(self.snapshot_path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise StoreError(f"unreadable snapshot {self.snapshot_path}: {error}") from error
-        if snapshot.get("format") != STATE_FORMAT_VERSION:
-            raise StoreError(
-                f"snapshot format {snapshot.get('format')!r} is not supported "
-                f"(expected {STATE_FORMAT_VERSION})"
-            )
         engine.load_state_dict(snapshot["engine"])
         self._replay_deltas(engine)
         self._persisted_version = engine.synopsis.version
         self._persisted_epoch = engine.state_epoch
         return True
 
+    def _load_snapshot_payload(self) -> dict | None:
+        """The newest readable, checksum-valid, compatible snapshot payload.
+
+        Tries the current generation first, then the retained previous one.
+        Unusable files are moved to ``quarantine/`` (with the reason noted)
+        so a restart loop cannot keep tripping over the same bad bytes.
+        """
+        for path, generation in (
+            (self.snapshot_path, "current"),
+            (self.previous_snapshot_path, "previous"),
+        ):
+            if not path.is_file():
+                continue
+            try:
+                payload = decode_snapshot_document(path.read_text())
+            except (OSError, ValueError) as error:
+                self._quarantine(path, f"{generation} snapshot unreadable: {error}")
+                self.counters["snapshots_quarantined"] += 1
+                self.quarantined = True
+                continue
+            if not isinstance(payload, dict) or payload.get("format") != STATE_FORMAT_VERSION:
+                found = payload.get("format") if isinstance(payload, dict) else None
+                self._quarantine(
+                    path,
+                    f"{generation} snapshot format {found!r} unsupported "
+                    f"(expected {STATE_FORMAT_VERSION})",
+                )
+                self.counters["snapshots_quarantined"] += 1
+                self.quarantined = True
+                continue
+            if generation == "previous":
+                self.counters["previous_generation_recoveries"] += 1
+                self.recovery_notes.append(
+                    "recovered from the previous snapshot generation"
+                )
+            return payload
+        return None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move an unusable file into ``quarantine/`` and note why."""
+        self.quarantine_directory.mkdir(parents=True, exist_ok=True)
+        serial = len(list(self.quarantine_directory.iterdir()))
+        target = self.quarantine_directory / f"{path.name}.{serial}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Worst case (e.g. read-only filesystem) the bad file stays put;
+            # the load still proceeds to the next candidate.
+            pass
+        self.recovery_notes.append(f"quarantined {path.name}: {reason}")
+
     def _replay_deltas(self, engine: VerdictEngine) -> None:
-        """Apply delta records newer than the restored snapshot, in order."""
+        """Apply delta records newer than the restored snapshot, in order.
+
+        Replay stops at the first record that is torn, fails its CRC, or
+        does not follow on from the restored state (a version gap): a crash
+        or corruption invalidates everything *after* it, so the log is
+        truncated to the longest valid prefix and rewritten.
+        """
         if not self.delta_path.is_file():
             self._delta_records = 0
             return
         records = 0
         valid_lines: list[str] = []
-        torn = False
-        for line_number, line in enumerate(
-            self.delta_path.read_text().splitlines(), start=1
-        ):
-            if not line.strip():
-                continue
+        truncated_from: str | None = None
+        # errors="replace": a non-UTF-8 byte (bit rot) must surface as a CRC
+        # failure on its record -- handled below -- not as a decode crash.
+        lines = [
+            line
+            for line in self.delta_path.read_text(errors="replace").splitlines()
+            if line.strip()
+        ]
+        for line_number, line in enumerate(lines, start=1):
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                # A torn final line from a crash mid-append: everything before
-                # it replayed fine, so stop here rather than fail the load.
-                torn = True
+                faults.inject("store.replay.record", line=line_number)
+                record = decode_checked_record(line)
+            except Exception:
+                record = None
+            if record is None or not isinstance(record, dict):
+                truncated_from = f"record {line_number} is torn or corrupt"
                 break
-            valid_lines.append(line)
-            records += 1
             current = engine.synopsis.version
-            if record["version"] <= current:
+            if record.get("version", -1) <= current:
+                valid_lines.append(line)
+                records += 1
                 continue  # already folded into the snapshot
-            if record["base_version"] != current:
-                raise StoreError(
-                    f"delta log record {line_number} expects synopsis version "
-                    f"{record['base_version']} but the restored state is at {current}"
+            if record.get("base_version") != current:
+                truncated_from = (
+                    f"record {line_number} expects synopsis version "
+                    f"{record.get('base_version')} but the restored state "
+                    f"is at {current}"
                 )
+                break
             for snippet_state in record["snippets"]:
                 engine.synopsis.restore(Snippet.from_state(snippet_state))
-        if torn:
-            # Truncate the log to the valid prefix.  Leaving the torn tail in
+            valid_lines.append(line)
+            records += 1
+            self.counters["deltas_replayed"] += 1
+        if truncated_from is not None:
+            # Truncate the log to the valid prefix.  Leaving the bad tail in
             # place would make the next flush append onto it, merging two
             # records into one unparsable line and silently losing every
             # later record on the following restart.
+            dropped = len(lines) - len(valid_lines)
             self._atomic_write(
                 self.delta_path, "".join(line + "\n" for line in valid_lines)
+            )
+            self.counters["deltas_truncated"] += dropped
+            self.counters["tail_recoveries"] += 1
+            self.recovery_notes.append(
+                f"truncated {dropped} delta record(s): {truncated_from}"
             )
         self._delta_records = records
 
@@ -213,10 +333,21 @@ class SynopsisStore:
             "version": version,
             "snippets": [snippet.to_state() for snippet in appended],
         }
+        line = encode_checked_record(record) + "\n"
         self.directory.mkdir(parents=True, exist_ok=True)
+        directive = faults.inject("store.delta.append", version=version)
         with open(self.delta_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
+            if directive is not None and directive.action == "torn":
+                # Simulated crash mid-append: half the record reaches the
+                # file (durably -- the bytes survive a process death), then
+                # the process dies.  Recovery must truncate this tail.
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                faults.hard_exit()
+            handle.write(line)
             handle.flush()
+            faults.inject("store.delta.fsync", version=version)
             os.fsync(handle.fileno())
         self._persisted_version = version
         self._delta_records += 1
@@ -224,18 +355,46 @@ class SynopsisStore:
         return "delta"
 
     def save_snapshot(self, engine: VerdictEngine) -> str:
-        """Write a full snapshot atomically and truncate the delta log."""
+        """Write a full snapshot atomically, rotate generations, truncate log.
+
+        Ordering (each step is atomic; the read path recovers from a crash
+        between any two): write + fsync the new snapshot to a temporary
+        file; retain the current snapshot as the previous generation;
+        publish the new snapshot via rename; truncate the delta log.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": STATE_FORMAT_VERSION,
             "engine": engine.state_dict(include_prepared=self.include_factors),
         }
-        self._atomic_write(self.snapshot_path, json.dumps(payload))
+        document = encode_snapshot_document(payload)
+        temporary = self.snapshot_path.with_suffix(".json.tmp")
+        directive = faults.inject("store.snapshot.write")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            if directive is not None and directive.action == "torn":
+                handle.write(document[: max(1, len(document) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                faults.hard_exit()
+            handle.write(document)
+            handle.flush()
+            faults.inject("store.snapshot.fsync")
+            os.fsync(handle.fileno())
+        if self.snapshot_path.is_file():
+            # Retain the outgoing generation: if the *new* snapshot later
+            # turns out corrupt (bad disk, torn write that fsync lied
+            # about), recovery falls back to this one.
+            os.replace(self.snapshot_path, self.previous_snapshot_path)
+        faults.inject("store.snapshot.rename")
+        os.replace(temporary, self.snapshot_path)
+        faults.inject("store.delta.truncate")
         self._atomic_write(self.delta_path, "")
         self._persisted_version = engine.synopsis.version
         self._persisted_epoch = engine.state_epoch
         self._delta_records = 0
         self.snapshots_written += 1
+        # A successful snapshot supersedes whatever was quarantined.
+        self.quarantined = False
         return "snapshot"
 
     def compact(self, engine: VerdictEngine) -> str:
@@ -247,7 +406,11 @@ class SynopsisStore:
     def _count_delta_records(self) -> int:
         if not self.delta_path.is_file():
             return 0
-        return sum(1 for line in self.delta_path.read_text().splitlines() if line.strip())
+        return sum(
+            1
+            for line in self.delta_path.read_text(errors="replace").splitlines()
+            if line.strip()
+        )
 
     @staticmethod
     def _atomic_write(path: Path, text: str) -> None:
@@ -258,3 +421,14 @@ class SynopsisStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temporary, path)
+
+    def state_snapshot(self) -> dict:
+        """Store health/accounting for metrics and health endpoints."""
+        return {
+            "snapshots_written": self.snapshots_written,
+            "deltas_written": self.deltas_written,
+            "delta_log_length": self._delta_records,
+            "quarantined": self.quarantined,
+            "recovery_notes": list(self.recovery_notes),
+            **self.counters,
+        }

@@ -1,0 +1,94 @@
+"""Audit-log rotation: size cap, retention, and JSONL validity throughout."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve.http.audit import AuditLog
+
+
+def write_records(log: AuditLog, count: int, endpoint: str = "/v1/ask") -> None:
+    for index in range(count):
+        log.record(endpoint, status=200, latency_s=0.001, tenant=f"t{index}")
+
+
+def read_lines(path: Path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+class TestValidation:
+    def test_rejects_non_positive_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            AuditLog(tmp_path / "log.jsonl", "s", max_bytes=0)
+
+    def test_rejects_zero_retention(self, tmp_path):
+        with pytest.raises(ValueError):
+            AuditLog(tmp_path / "log.jsonl", "s", max_bytes=100, retention=0)
+
+
+class TestRotation:
+    def test_unbounded_log_never_rotates(self, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl", "s")
+        write_records(log, 200)
+        log.close()
+        assert log.rotations == 0
+        assert log.rotated_paths() == []
+        assert len(read_lines(log.path)) == 200
+
+    def test_size_cap_triggers_shift_rotation(self, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl", "s", max_bytes=1_000, retention=4)
+        write_records(log, 50)  # each record is ~130 bytes; several rotations
+        log.close()
+        assert log.rotations >= 2
+        rotated = log.rotated_paths()
+        assert rotated
+        assert rotated[0] == Path(f"{log.path}.1")
+        # .1 is the newest rotated file: its records are more recent than .2's.
+        if len(rotated) >= 2:
+            assert read_lines(rotated[0])[0]["seq"] > read_lines(rotated[1])[0]["seq"]
+
+    def test_retention_deletes_the_oldest(self, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl", "s", max_bytes=300, retention=2)
+        write_records(log, 60)
+        log.close()
+        assert log.rotations > 2, "the chain must have overflowed retention"
+        assert len(log.rotated_paths()) == 2
+        files = sorted(tmp_path.iterdir())
+        assert files == [
+            tmp_path / "log.jsonl",
+            tmp_path / "log.jsonl.1",
+            tmp_path / "log.jsonl.2",
+        ]
+
+    def test_every_file_in_the_set_is_valid_jsonl(self, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl", "s", max_bytes=500, retention=3)
+        write_records(log, 80)
+        log.close()
+        seqs = []
+        for path in [log.path, *log.rotated_paths()]:
+            for entry in read_lines(path):  # json.loads raises if a line tore
+                assert entry["session"] == "s"
+                seqs.append(entry["seq"])
+        # No record was lost mid-rotation; surviving seqs form one contiguous
+        # tail of the full sequence (older records fell off retention).
+        assert sorted(seqs) == list(range(min(seqs), 80))
+
+    def test_records_after_close_are_dropped_not_raised(self, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl", "s")
+        write_records(log, 1)
+        log.close()
+        write_records(log, 1)  # must not raise
+        assert len(read_lines(log.path)) == 1
+
+
+class TestOpenSession:
+    def test_open_session_names_a_fresh_file(self, tmp_path):
+        log = AuditLog.open_session(tmp_path, max_bytes=None)
+        write_records(log, 1)
+        log.close()
+        assert log.path.parent == tmp_path
+        assert log.path.name == f"{log.session_id}.jsonl"
+        assert read_lines(log.path)[0]["session"] == log.session_id

@@ -1,0 +1,177 @@
+"""Retry hygiene of :class:`VerdictClient`, against a scripted stub server.
+
+The stub replays a fixed sequence of responses (or connection drops) and
+records every request it sees, so each test can assert exactly which calls
+were retried, how many times, and -- for ``Retry-After`` -- that the client
+never comes back earlier than the server asked.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve.client import (
+    SaturatedError,
+    ServerClosingError,
+    TransportError,
+    VerdictClient,
+)
+
+OK_BODY = json.dumps(
+    {"status": "ok", "recorded": True, "tenants": [], "answer": {}}
+).encode()
+
+#: Script steps: ``(status, headers)`` to respond, or ``"drop"`` to close
+#: the connection without answering.
+DROP = "drop"
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    def _serve(self) -> None:
+        script = self.server.script  # type: ignore[attr-defined]
+        self.server.requests.append((self.command, self.path))  # type: ignore[attr-defined]
+        step = script.popleft() if script else (200, {})
+        if step == DROP:
+            self.close_connection = True
+            self.connection.close()
+            return
+        status, headers = step
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(OK_BODY)))
+        self.end_headers()
+        self.wfile.write(OK_BODY)
+
+    do_GET = _serve
+    do_POST = _serve
+
+    def log_message(self, *args) -> None:  # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def stub():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = deque()
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def make_client(stub, **kwargs) -> VerdictClient:
+    kwargs.setdefault("backoff_base_s", 0.001)
+    kwargs.setdefault("backoff_cap_s", 0.002)
+    return VerdictClient(port=stub.server_address[1], tenant="acme", **kwargs)
+
+
+class TestStatusRetries:
+    def test_429_is_retried_until_success(self, stub):
+        stub.script.extend([(429, {}), (429, {}), (200, {})])
+        with make_client(stub) as client:
+            assert client.health()["status"] == "ok"
+        assert client.retries_performed == 2
+        assert len(stub.requests) == 3
+
+    def test_429_exhaustion_raises_saturated(self, stub):
+        stub.script.extend([(429, {})] * 3)
+        with make_client(stub, max_retries=2) as client:
+            with pytest.raises(SaturatedError):
+                client.health()
+        assert len(stub.requests) == 3  # initial try + max_retries
+
+    def test_bare_503_fails_fast(self, stub):
+        stub.script.append((503, {}))
+        with make_client(stub) as client:
+            with pytest.raises(ServerClosingError):
+                client.health()
+        assert len(stub.requests) == 1
+        assert client.retries_performed == 0
+
+    def test_503_with_retry_after_is_retried(self, stub):
+        stub.script.extend([(503, {"Retry-After": "0.01"}), (200, {})])
+        with make_client(stub) as client:
+            assert client.health()["status"] == "ok"
+        assert client.retries_performed == 1
+
+    def test_retry_after_is_honoured_as_a_floor(self, stub):
+        stub.script.extend([(429, {"Retry-After": "0.2"}), (200, {})])
+        with make_client(stub) as client:
+            started = time.monotonic()
+            client.health()
+            elapsed = time.monotonic() - started
+        # Jitter is upward-only: never back before the server asked.
+        assert elapsed >= 0.2
+        assert elapsed < 2.0
+
+
+class TestBackoffSchedule:
+    def test_retry_after_floor_is_jittered_upward_only(self):
+        client = VerdictClient(seed=3)
+        delays = [client._backoff(0, retry_after="0.5") for _ in range(64)]
+        assert all(0.5 <= delay <= 0.75 for delay in delays)
+        assert len(set(delays)) > 1, "jitter must actually vary"
+
+    def test_unparsable_or_negative_retry_after_falls_back_to_exponential(self):
+        client = VerdictClient(seed=3, backoff_base_s=0.05, backoff_cap_s=2.0)
+        for bad in ("soon", "-1"):
+            delay = client._backoff(2, retry_after=bad)
+            assert 0.5 * 0.2 <= delay <= 0.2  # min(cap, base * 2**2) jittered down
+
+    def test_exponential_backoff_is_capped(self):
+        client = VerdictClient(seed=3, backoff_base_s=0.05, backoff_cap_s=0.3)
+        assert client._backoff(20) <= 0.3
+
+
+class TestTransportRetries:
+    def test_drops_are_not_retried_by_default(self, stub):
+        stub.script.append(DROP)
+        with make_client(stub) as client:
+            with pytest.raises(TransportError):
+                client.health()
+        assert len(stub.requests) == 1
+
+    def test_idempotent_get_is_retried_across_a_drop_when_enabled(self, stub):
+        stub.script.extend([DROP, (200, {})])
+        with make_client(stub, retry_transport_errors=True) as client:
+            assert client.health()["status"] == "ok"
+        assert client.retries_performed == 1
+        assert len(stub.requests) == 2
+
+    def test_mutating_request_is_never_replayed_across_a_drop(self, stub):
+        # A dropped connection leaves the mutation's fate unknown; replaying
+        # feedback/record blindly could double-ingest.  Even with transport
+        # retries on, the client must surface the crash instead.
+        stub.script.extend([DROP, (200, {})])
+        with make_client(stub, retry_transport_errors=True) as client:
+            with pytest.raises(TransportError):
+                client.record("SELECT COUNT(*) FROM sales")
+        assert len(stub.requests) == 1
+
+    def test_non_recording_ask_is_idempotent_and_replayed(self, stub):
+        stub.script.extend([DROP, (200, {})])
+        with make_client(stub, retry_transport_errors=True) as client:
+            client.ask("SELECT COUNT(*) FROM sales", record=False)
+        assert len(stub.requests) == 2
+
+    def test_recording_ask_is_not_replayed(self, stub):
+        stub.script.extend([DROP, (200, {})])
+        with make_client(stub, retry_transport_errors=True) as client:
+            with pytest.raises(TransportError):
+                client.ask("SELECT COUNT(*) FROM sales", record=True)
+        assert len(stub.requests) == 1

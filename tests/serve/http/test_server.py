@@ -174,9 +174,21 @@ class TestWirePlumbing:
         # http.client always sets Content-Length itself, so speak raw bytes.
         with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
             sock.sendall(b"POST /v1/ask HTTP/1.1\r\nHost: t\r\n\r\n")
-            data = sock.recv(65536)
-        assert data.split(b" ", 2)[1] == b"400"
-        assert b"missing Content-Length" in data
+            # Headers and body may arrive in separate segments; read until
+            # the declared body length is in hand.
+            data = b""
+            while b"\r\n\r\n" not in data:
+                data += sock.recv(65536)
+            head, _, body = data.partition(b"\r\n\r\n")
+            length = next(
+                int(line.split(b":", 1)[1])
+                for line in head.split(b"\r\n")
+                if line.lower().startswith(b"content-length:")
+            )
+            while len(body) < length:
+                body += sock.recv(65536)
+        assert head.split(b" ", 2)[1] == b"400"
+        assert b"missing Content-Length" in body
 
     def test_oversized_body_is_400(self, server):
         status, payload = self.raw(

@@ -1,0 +1,145 @@
+"""Circuit breaker state machine (:mod:`repro.serve.breaker`), on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **kwargs) -> CircuitBreaker:
+    kwargs.setdefault("window", 4)
+    kwargs.setdefault("failure_threshold", 0.5)
+    kwargs.setdefault("cooldown_s", 10.0)
+    return CircuitBreaker("learned", clock=clock, **kwargs)
+
+
+def trip(breaker: CircuitBreaker) -> None:
+    """Fail enough requests to open the breaker."""
+    while breaker.state == CLOSED:
+        assert breaker.allow()
+        breaker.record_failure()
+
+
+class TestTripping:
+    def test_starts_closed_and_admits(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_only_once_window_is_full(self, clock):
+        breaker = make_breaker(clock, window=4, failure_threshold=0.5)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED, "3 of a 4-wide window is not enough evidence"
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_successes_keep_the_ratio_below_threshold(self, clock):
+        breaker = make_breaker(clock, window=4, failure_threshold=0.75)
+        for _ in range(8):
+            breaker.record_failure()
+            breaker.record_success()
+            breaker.record_success()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_open_rejects(self, clock):
+        breaker = make_breaker(clock)
+        trip(breaker)
+        assert not breaker.allow()
+
+
+class TestRecovery:
+    def test_cooldown_expiry_half_opens(self, clock):
+        breaker = make_breaker(clock, cooldown_s=10.0)
+        trip(breaker)
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_a_bounded_probe(self, clock):
+        breaker = make_breaker(clock, probe_limit=1)
+        trip(breaker)
+        clock.advance(11.0)
+        assert breaker.allow(), "the first probe goes through"
+        assert not breaker.allow(), "concurrent probes beyond the limit are shed"
+
+    def test_probe_success_closes_and_forgets_history(self, clock):
+        breaker = make_breaker(clock)
+        trip(breaker)
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # One new failure must not re-trip off the pre-open window.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self, clock):
+        breaker = make_breaker(clock, cooldown_s=10.0)
+        trip(breaker)
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_cancel_releases_the_probe_slot_without_an_outcome(self, clock):
+        breaker = make_breaker(clock, probe_limit=1)
+        trip(breaker)
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.cancel()  # e.g. the caller's deadline expired mid-probe
+        assert breaker.state == HALF_OPEN, "a cancelled probe is not a failure"
+        assert breaker.allow(), "the slot is free for the next probe"
+
+
+class TestObservability:
+    def test_transition_callback_sees_every_edge(self, clock):
+        edges: list[tuple[str, str, str]] = []
+        breaker = CircuitBreaker(
+            "learned",
+            window=2,
+            failure_threshold=0.5,
+            cooldown_s=10.0,
+            clock=clock,
+            on_transition=lambda name, old, new: edges.append((name, old, new)),
+        )
+        trip(breaker)
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert edges == [
+            ("learned", CLOSED, OPEN),
+            ("learned", OPEN, HALF_OPEN),
+            ("learned", HALF_OPEN, CLOSED),
+        ]
+
+    def test_snapshot_reports_state_and_counters(self, clock):
+        breaker = make_breaker(clock)
+        trip(breaker)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == OPEN
+        assert snapshot["transitions"] == 1
+        assert snapshot["cooldown_remaining_s"] == pytest.approx(10.0)

@@ -10,9 +10,6 @@ flush point.
 
 from __future__ import annotations
 
-import json
-
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.aqp.online_agg import OnlineAggregationEngine
@@ -20,7 +17,6 @@ from repro.config import SamplingConfig, VerdictConfig
 from repro.core.engine import VerdictEngine
 from repro.core.synopsis import QuerySynopsis
 from repro.db.catalog import Catalog
-from repro.errors import StoreError
 from repro.serve.store import SynopsisStore
 from repro.workloads.synthetic import make_sales_table
 
@@ -113,25 +109,57 @@ class TestSnapshotRoundTrip:
         assert store.flush(engine) == "snapshot"
         assert_identical_engines(engine, reload(store, append_seeds=(77,)))
 
-    def test_corrupt_snapshot_raises_store_error(self, tmp_path):
+    def test_corrupt_snapshot_is_quarantined_not_fatal(self, tmp_path):
         engine = build_engine()
         engine.execute(TRAINING[0])
         store = SynopsisStore(tmp_path)
         store.flush(engine)
         store.snapshot_path.write_text("{not json")
-        with pytest.raises(StoreError):
-            SynopsisStore(tmp_path).load_into(build_engine())
+        fresh = SynopsisStore(tmp_path)
+        # No previous generation exists yet, so nothing is recoverable --
+        # but the store quarantines the bad file and starts empty instead
+        # of crash-looping on it.
+        assert not fresh.load_into(build_engine())
+        assert fresh.quarantined
+        assert fresh.counters["snapshots_quarantined"] == 1
+        assert not store.snapshot_path.exists()
+        assert list(fresh.quarantine_directory.iterdir())
+        # The quarantine is sticky on disk: a second restart finds an empty
+        # store, not the same corruption again.
+        assert not SynopsisStore(tmp_path).load_into(build_engine())
 
-    def test_unsupported_format_raises_store_error(self, tmp_path):
+    def test_unsupported_format_is_quarantined_not_fatal(self, tmp_path):
         engine = build_engine()
         engine.execute(TRAINING[0])
         store = SynopsisStore(tmp_path)
         store.flush(engine)
-        payload = json.loads(store.snapshot_path.read_text())
+        from repro.core.serialize import decode_snapshot_document, encode_snapshot_document
+
+        payload = decode_snapshot_document(store.snapshot_path.read_text())
         payload["format"] = 999
-        store.snapshot_path.write_text(json.dumps(payload))
-        with pytest.raises(StoreError):
-            SynopsisStore(tmp_path).load_into(build_engine())
+        store.snapshot_path.write_text(encode_snapshot_document(payload))
+        fresh = SynopsisStore(tmp_path)
+        assert not fresh.load_into(build_engine())
+        assert fresh.quarantined
+        assert fresh.counters["snapshots_quarantined"] == 1
+        assert any("format" in note for note in fresh.recovery_notes)
+
+    def test_corrupt_current_snapshot_falls_back_to_previous_generation(self, tmp_path):
+        engine = build_engine()
+        engine.execute(TRAINING[0])
+        store = SynopsisStore(tmp_path)
+        store.flush(engine)
+        engine.execute(TRAINING[1])
+        store.save_snapshot(engine)
+        assert store.previous_snapshot_path.is_file()
+        store.snapshot_path.write_text("garbage bytes")
+        fresh = SynopsisStore(tmp_path)
+        restored = build_engine()
+        assert fresh.load_into(restored)
+        assert fresh.quarantined
+        assert fresh.counters["previous_generation_recoveries"] == 1
+        # The previous generation predates TRAINING[1]'s snippets.
+        assert restored.synopsis.version < engine.synopsis.version
 
     def test_empty_store_loads_nothing(self, tmp_path):
         store = SynopsisStore(tmp_path)

@@ -1,0 +1,82 @@
+"""Wall-clock deadlines (:mod:`repro.deadline`): value type and ambient scope."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.errors import DeadlineExceeded
+
+
+def expired_deadline(budget_s: float = 0.05) -> Deadline:
+    """A deadline that is already in the past."""
+    return Deadline(expires_at=time.monotonic() - 1.0, budget_s=budget_s)
+
+
+class TestDeadlineValue:
+    def test_generous_deadline_is_not_expired(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired
+        assert deadline.remaining_s > 0
+        deadline.check("anywhere")  # must not raise
+
+    def test_past_deadline_is_expired_and_check_raises(self):
+        deadline = expired_deadline()
+        assert deadline.expired
+        assert deadline.remaining_s < 0
+        with pytest.raises(DeadlineExceeded, match="during the scan"):
+            deadline.check("the scan")
+
+    def test_after_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0)
+
+
+class TestAmbientScope:
+    def test_no_scope_means_no_deadline(self):
+        assert current_deadline() is None
+        check_deadline("outside any scope")  # no-op, must not raise
+
+    def test_scope_installs_and_restores(self):
+        deadline = Deadline.after(60.0)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_scopes_nest(self):
+        outer = Deadline.after(60.0)
+        inner = Deadline.after(30.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_none_scope_masks_the_outer_deadline(self):
+        with deadline_scope(expired_deadline()):
+            with deadline_scope(None):
+                check_deadline("shielded")  # expired outer must not leak in
+
+    def test_check_deadline_raises_inside_expired_scope(self):
+        with deadline_scope(expired_deadline()):
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("batch 3")
+
+    def test_scope_is_thread_local(self):
+        seen: list[Deadline | None] = []
+
+        def probe():
+            seen.append(current_deadline())
+
+        with deadline_scope(Deadline.after(60.0)):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen == [None], "ambient deadlines must not leak across threads"

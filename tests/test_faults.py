@@ -1,0 +1,181 @@
+"""Mechanics of the fault-injection subsystem (:mod:`repro.faults`).
+
+These tests exercise the plan layer in isolation: rule validation, counted
+and probabilistic triggering, JSON/env parsing, and the process-global
+install/clear lifecycle.  The end-to-end behaviour (what the *stack* does
+when a fault fires) lives in the store-corruption, failure-mode, and
+crash-matrix tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjectedError
+from repro.faults import (
+    FAULT_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    plan_from_env,
+    plan_from_json,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestRuleValidation:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultRule(point="store.delta.apend", action="error")
+
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(point="store.delta.append", action="explode")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"after": 0},
+            {"times": 0},
+            {"probability": 0.0},
+            {"probability": 1.5},
+            {"delay_s": -1.0},
+        ],
+    )
+    def test_out_of_range_fields_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultRule(point="aqp.batch", action="error", **kwargs)
+
+
+class TestPlanTriggering:
+    def test_after_skips_early_hits(self):
+        plan = FaultPlan([FaultRule(point="aqp.batch", action="error", after=3)])
+        assert plan.check("aqp.batch") is None
+        assert plan.check("aqp.batch") is None
+        assert plan.check("aqp.batch") is not None
+
+    def test_times_caps_firings(self):
+        plan = FaultPlan([FaultRule(point="aqp.batch", action="error", times=2)])
+        fired = [plan.check("aqp.batch") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_unrelated_points_do_not_consume_hits(self):
+        plan = FaultPlan([FaultRule(point="aqp.batch", action="error", after=2)])
+        assert plan.check("service.train") is None
+        assert plan.check("aqp.batch") is None  # hit 1 of aqp.batch, not 2
+        assert plan.check("aqp.batch") is not None
+
+    def test_probability_stream_is_seed_deterministic(self):
+        def decisions(seed: int) -> list[bool]:
+            plan = FaultPlan(
+                [FaultRule(point="aqp.batch", action="error", probability=0.5)],
+                seed=seed,
+            )
+            return [plan.check("aqp.batch") is not None for _ in range(64)]
+
+        first = decisions(7)
+        assert decisions(7) == first, "same seed must replay the same decisions"
+        assert decisions(8) != first, "different seeds should diverge"
+        assert any(first) and not all(first), "p=0.5 over 64 hits should mix"
+
+    def test_snapshot_reports_hits_and_firings(self):
+        plan = FaultPlan([FaultRule(point="aqp.batch", action="error", times=1)])
+        plan.check("aqp.batch")
+        plan.check("aqp.batch")
+        snapshot = plan.snapshot()
+        assert snapshot["hits"] == {"aqp.batch": 2}
+        assert snapshot["fired"] == {"aqp.batch": 1}
+
+
+class TestParsing:
+    def test_round_trip_from_json_text(self):
+        plan = plan_from_json(
+            json.dumps(
+                {
+                    "seed": 3,
+                    "rules": [
+                        {"point": "store.delta.append", "action": "torn", "after": 2}
+                    ],
+                }
+            )
+        )
+        assert plan.seed == 3
+        assert plan.rules[0].action == "torn"
+        assert plan.rules[0].after == 2
+
+    def test_unknown_plan_field_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            plan_from_json({"rules": [], "sedd": 1})
+
+    def test_unknown_rule_field_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-rule fields"):
+            plan_from_json(
+                {"rules": [{"point": "aqp.batch", "action": "error", "when": 1}]}
+            )
+
+    def test_unknown_point_fails_at_parse_time(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            plan_from_json({"rules": [{"point": "nope", "action": "error"}]})
+
+    def test_env_unset_or_blank_means_no_plan(self):
+        assert plan_from_env({}) is None
+        assert plan_from_env({faults.ENV_VAR: "   "}) is None
+
+    def test_env_inline_json(self):
+        plan = plan_from_env(
+            {faults.ENV_VAR: '{"rules": [{"point": "aqp.batch", "action": "error"}]}'}
+        )
+        assert plan is not None and plan.rules[0].point == "aqp.batch"
+
+    def test_env_file_reference(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"rules": [{"point": "service.train", "action": "error"}]}')
+        plan = plan_from_env({faults.ENV_VAR: f"@{path}"})
+        assert plan is not None and plan.rules[0].point == "service.train"
+
+
+class TestInject:
+    def test_disabled_is_a_no_op(self):
+        assert faults.active_plan() is None
+        assert faults.inject("store.delta.append") is None
+
+    def test_error_action_raises_with_context(self):
+        faults.install(
+            FaultPlan([FaultRule(point="service.train", action="error")])
+        )
+        with pytest.raises(FaultInjectedError, match="service.train.*attempt=1"):
+            faults.inject("service.train", attempt=1)
+
+    def test_torn_action_returns_a_directive(self):
+        faults.install(
+            FaultPlan([FaultRule(point="store.delta.append", action="torn")])
+        )
+        directive = faults.inject("store.delta.append")
+        assert directive is not None and directive.action == "torn"
+
+    def test_kill_action_calls_hard_exit(self, monkeypatch):
+        exits: list[int] = []
+        # inject() resolves hard_exit inside repro.faults.plan, not through
+        # the package re-export, so that is the binding to replace.
+        monkeypatch.setattr(
+            "repro.faults.plan.hard_exit",
+            lambda code=FAULT_EXIT_CODE: exits.append(code),
+        )
+        faults.install(FaultPlan([FaultRule(point="http.handler", action="kill")]))
+        faults.inject("http.handler")
+        assert exits == [FAULT_EXIT_CODE]
+
+    def test_clear_restores_the_fast_path(self):
+        faults.install(
+            FaultPlan([FaultRule(point="service.train", action="error")])
+        )
+        faults.clear()
+        assert faults.inject("service.train") is None
