@@ -24,7 +24,9 @@ perf-trajectory datapoint ``BENCH_http.json``.  CI runs::
     python benchmarks/bench_http.py --smoke
 
 on a tiny workload and fails if wire throughput at the highest concurrency
-falls below 0.5x the in-process baseline.  Also runs under pytest:
+falls below 0.5x the in-process baseline, or if a tracing-enabled server
+(span ring + JSONL trace log, the default) falls below 0.9x the throughput
+of the same server started ``--no-trace``.  Also runs under pytest:
 ``pytest benchmarks/bench_http.py -q``.
 """
 
@@ -112,7 +114,7 @@ def build_service(rows: int, sample_ratio: float, batches: int, workers: int):
 
 class ServerProcess:
     def __init__(self, root: Path, rows: int, sample_ratio: float, batches: int,
-                 workers: int, queue: int):
+                 workers: int, queue: int, extra_args: tuple[str, ...] = ()):
         environment = dict(os.environ)
         environment["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + (
             environment.get("PYTHONPATH", "")
@@ -131,6 +133,7 @@ class ServerProcess:
                 "--queue", str(queue),
                 "--queue-timeout", "60",
                 "--tenants", TENANT,
+                *extra_args,
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -280,9 +283,103 @@ def run_benchmark(
     }
 
 
+def run_tracing_overhead(
+    rows: int,
+    num_queries: int,
+    concurrency: int,
+    sample_ratio: float = 0.2,
+    batches: int = 5,
+    workers: int = 4,
+) -> dict:
+    """Traced vs untraced server throughput on paired disjoint traces.
+
+    Two identically-configured server subprocesses -- one with the default
+    tracer (ring + JSONL trace log), one started ``--no-trace`` -- replay
+    the same disjoint traces back to back, so machine-load drift hits both
+    sides of each pair.  The gate takes the best per-trace ratio (same
+    noise-absorption rationale as the wire gate): tracing must keep
+    >= 0.9x untraced throughput.
+    """
+    import tempfile
+
+    traces = [make_trace(tag=tag, num_queries=num_queries) for tag in (0, 1, 2)]
+    servers: dict[str, ServerProcess] = {}
+    rates: dict[str, list[float]] = {"untraced": [], "traced": []}
+    try:
+        for mode, extra in (("untraced", ("--no-trace",)), ("traced", ())):
+            root = Path(tempfile.mkdtemp(prefix=f"bench-http-{mode}-"))
+            servers[mode] = ServerProcess(
+                root, rows, sample_ratio, batches, workers, queue=64,
+                extra_args=extra,
+            )
+
+        from repro.serve.client import VerdictClient
+
+        for server in servers.values():
+            with VerdictClient(
+                port=server.port, tenant=TENANT, timeout_s=300.0
+            ) as admin:
+                for sql in TRAINING_SQL:
+                    admin.record(sql)
+                admin.train()
+
+        for trace in traces:
+            for mode, server in servers.items():
+                report = replay_trace_through_client(
+                    "127.0.0.1",
+                    server.port,
+                    TENANT,
+                    trace,
+                    concurrency=concurrency,
+                    timeout_s=300.0,
+                )
+                if report.failures:
+                    raise RuntimeError(
+                        f"{report.failures} failures replaying on the "
+                        f"{mode} server"
+                    )
+                rates[mode].append(report.queries_per_second)
+    finally:
+        for server in servers.values():
+            server.stop()
+
+    ratios = [
+        traced / max(untraced, 1e-12)
+        for traced, untraced in zip(rates["traced"], rates["untraced"])
+    ]
+    return {
+        "benchmark": "http-tracing-overhead",
+        "description": (
+            "Paired trace replay against a traced (span ring + JSONL trace "
+            "log) vs an untraced (--no-trace) server subprocess."
+        ),
+        "workload": {
+            "num_rows": rows,
+            "num_queries": num_queries,
+            "concurrency": concurrency,
+            "workers": workers,
+        },
+        "untraced_qps": rates["untraced"],
+        "traced_qps": rates["traced"],
+        "ratios": ratios,
+        "tracing_overhead_ratio": max(ratios),
+    }
+
+
+def check_tracing(payload: dict) -> list[str]:
+    ratio = payload["tracing_overhead_ratio"]
+    if ratio < 0.9:
+        return [f"traced throughput {ratio:.2f}x untraced (< 0.9x)"]
+    return []
+
+
 #: Smoke configuration: small table, short per-level traces, but the full
 #: 32-client top level -- the acceptance bar is measured where it matters.
 SMOKE = dict(rows=50_000, queries_per_level=128, concurrency_levels=(1, 8, 32))
+
+#: Tracing-overhead smoke: smaller table and mid concurrency -- the
+#: per-request tracing cost is what is being bounded, not peak throughput.
+TRACING_SMOKE = dict(rows=30_000, num_queries=96, concurrency=8)
 
 #: The committed-artifact configuration.
 FULL = dict(rows=100_000, queries_per_level=160, concurrency_levels=(1, 8, 32))
@@ -309,6 +406,12 @@ def test_http_smoke():
     assert not check(payload), check(payload)
 
 
+def test_tracing_overhead_smoke():
+    """Pytest entry: tracing must keep >= 0.9x untraced throughput."""
+    payload = run_tracing_overhead(**TRACING_SMOKE)
+    assert not check_tracing(payload), check_tracing(payload)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="CI gate: small + strict")
@@ -319,13 +422,17 @@ def main() -> int:
         payload = run_benchmark(**SMOKE)
         print(json.dumps(payload, indent=2))
         problems = check(payload)
+        tracing = run_tracing_overhead(**TRACING_SMOKE)
+        print(json.dumps(tracing, indent=2))
+        problems += check_tracing(tracing)
         for problem in problems:
             print(f"FAIL: {problem}")
         if problems:
             return 1
         print(
             f"smoke OK in {time.perf_counter() - started:.1f}s: wire ratio "
-            f"{payload['wire_ratio_at_top_concurrency']:.2f}x in-process"
+            f"{payload['wire_ratio_at_top_concurrency']:.2f}x in-process, "
+            f"tracing {tracing['tracing_overhead_ratio']:.2f}x untraced"
         )
         return 0
 

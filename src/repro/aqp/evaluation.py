@@ -34,7 +34,7 @@ from repro.aqp.types import AggregateEstimate, AQPAnswer, AQPRow, InternalEstima
 from repro.db.expressions import evaluate_expression, evaluate_predicate
 from repro.db.groupby import factorize, iter_groups_legacy
 from repro.db.having import compile_row_predicate
-from repro.db.scan import scan_selected
+from repro.db.scan import ScanCounters, scan_selected
 from repro.db.table import Table
 from repro.sqlparser import ast
 
@@ -127,6 +127,7 @@ def estimate_answer(
     elapsed_seconds: float,
     batches_processed: int = 0,
     vectorized: bool = True,
+    counters: ScanCounters | None = None,
 ) -> AQPAnswer:
     """Build an :class:`AQPAnswer` from an already-joined sample prefix.
 
@@ -193,7 +194,7 @@ def estimate_answer(
         # Partitioned, pruned scan over the (slice-view) prefix; the merge
         # order of the scan driver keeps the selection identical to a
         # whole-prefix evaluation.
-        selected, _ = scan_selected(scanned_table, query.where)
+        selected, _ = scan_selected(scanned_table, query.where, counters=counters)
         if group_columns:
             grouped = factorize(
                 scanned_table, None, group_columns, selected_indices=selected

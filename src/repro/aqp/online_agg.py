@@ -20,6 +20,7 @@ from repro.config import CostModelConfig, SamplingConfig
 from repro.db.catalog import Catalog
 from repro.db.io_model import IOSimulator
 from repro.db.sampling import SampleStore
+from repro.db.scan import ScanCounters
 from repro.db.table import Table
 from repro.deadline import check_deadline
 from repro.errors import AQPError, DeadlineExceeded
@@ -58,12 +59,17 @@ class OnlineAggregationEngine:
         cost_model: CostModelConfig | None = None,
         sample_store: SampleStore | None = None,
         vectorized: bool = True,
+        scan_counters: ScanCounters | None = None,
     ):
         self.catalog = catalog
         self.sampling = sampling or SamplingConfig()
         self.samples = sample_store or SampleStore(catalog, self.sampling)
         self.io = IOSimulator(cost_model)
         self.vectorized = vectorized
+        # Per-owner scan attribution: the owning service passes its shared
+        # counters so sample scans are booked to that service, not only to
+        # the process-wide totals.
+        self.scan_counters = scan_counters
 
     # ------------------------------------------------------------------ public
 
@@ -133,6 +139,7 @@ class OnlineAggregationEngine:
                 elapsed_seconds=elapsed,
                 batches_processed=batch_number,
                 vectorized=self.vectorized,
+                counters=self.scan_counters,
             )
 
     def execute(

@@ -19,6 +19,7 @@ from repro.config import CostModelConfig, SamplingConfig
 from repro.db.catalog import Catalog
 from repro.db.io_model import IOSimulator
 from repro.db.sampling import SampleStore
+from repro.db.scan import ScanCounters
 from repro.errors import AQPError
 from repro.sqlparser import ast
 
@@ -33,12 +34,14 @@ class TimeBoundEngine:
         cost_model: CostModelConfig | None = None,
         sample_store: SampleStore | None = None,
         vectorized: bool = True,
+        scan_counters: ScanCounters | None = None,
     ):
         self.catalog = catalog
         self.sampling = sampling or SamplingConfig()
         self.samples = sample_store or SampleStore(catalog, self.sampling)
         self.io = IOSimulator(cost_model)
         self.vectorized = vectorized
+        self.scan_counters = scan_counters
 
     def execute(self, query: ast.Query, time_budget_s: float) -> AQPAnswer:
         """Answer ``query`` within (model-time) ``time_budget_s`` seconds."""
@@ -74,6 +77,7 @@ class TimeBoundEngine:
             elapsed_seconds=report.total_seconds,
             batches_processed=1,
             vectorized=self.vectorized,
+            counters=self.scan_counters,
         )
 
     @property

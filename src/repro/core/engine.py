@@ -46,6 +46,7 @@ from repro.core.validation import validate_model_answer
 from repro.db.catalog import Catalog
 from repro.db.table import Table
 from repro.errors import ReproError
+from repro.obs.trace import span as obs_span
 from repro.sqlparser import ast
 from repro.sqlparser.checker import CheckResult, QueryTypeChecker
 from repro.sqlparser.decompose import SnippetSpec, decompose_query
@@ -434,22 +435,31 @@ class VerdictEngine:
             )
 
         domains = self.domains_for(query.table)
-        plans = self._build_cell_plans(query, raw, domains)
-        improved_rows: list[dict[str, ImprovedEstimate]] = [
-            {} for _ in range(len(raw.rows))
-        ]
-        if self.config.batched_inference:
-            batched = self._improve_snippets_batched(plans)
-            for index, plan in enumerate(plans):
-                improved_rows[plan.row_index][plan.name] = self._assemble_cell(
-                    plan,
-                    raw,
-                    batched.get((index, "avg")),
-                    batched.get((index, "freq")),
+        with obs_span("inference", table=query.table) as inference_span:
+            plans = self._build_cell_plans(query, raw, domains)
+            improved_rows: list[dict[str, ImprovedEstimate]] = [
+                {} for _ in range(len(raw.rows))
+            ]
+            if self.config.batched_inference:
+                batched = self._improve_snippets_batched(plans)
+                for index, plan in enumerate(plans):
+                    improved_rows[plan.row_index][plan.name] = self._assemble_cell(
+                        plan,
+                        raw,
+                        batched.get((index, "avg")),
+                        batched.get((index, "freq")),
+                    )
+            else:
+                for plan in plans:
+                    improved_rows[plan.row_index][plan.name] = self._improve_cell(
+                        plan, raw
+                    )
+            if inference_span is not None:
+                inference_span.set(
+                    cells=len(plans),
+                    batched=self.config.batched_inference,
+                    synopsis_size=self.synopsis_size(),
                 )
-        else:
-            for plan in plans:
-                improved_rows[plan.row_index][plan.name] = self._improve_cell(plan, raw)
 
         rows: list[VerdictRow] = []
         for row_index, raw_row in enumerate(raw.rows):

@@ -221,12 +221,15 @@ class ExactExecutor:
         vectorized: bool = True,
         partitioned: bool = True,
         num_threads: int = 1,
+        scan_counters: ScanCounters | None = None,
     ):
         self.catalog = catalog
         self.vectorized = vectorized
         self.partitioned = partitioned
         self.num_threads = max(1, int(num_threads))
-        self.scan_counters = ScanCounters()
+        # Shareable so an owning service can aggregate all of its scans
+        # (exact and sample-based) into one per-service accounting stream.
+        self.scan_counters = scan_counters if scan_counters is not None else ScanCounters()
         self.last_scan_report: ScanReport | None = None
 
     # ------------------------------------------------------------------ public

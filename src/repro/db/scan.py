@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.deadline import current_deadline
 from repro.db.expressions import _flip, distinct_match_mask, evaluate_predicate
+from repro.obs.trace import span as obs_span
 from repro.db.partition import (
     TablePartitions,
     column_dictionary,
@@ -315,7 +316,34 @@ def scan_selected(
     morsels run on a shared thread pool when ``num_threads > 1``; partial
     results are merged in partition order, so the output (and everything
     downstream) is byte-identical to the single-threaded path.
+
+    Scans are accounted twice: into ``counters`` when the caller attributes
+    them to a component (an executor, a service) and always into the
+    process-wide :data:`GLOBAL_SCAN_COUNTERS`.  Under an active request
+    trace each scan also contributes a ``scan`` span carrying the report.
     """
+    with obs_span("scan", table=table.name) as scan_span:
+        selected, report = _scan_selected(table, predicate, num_threads)
+        (counters or GLOBAL_SCAN_COUNTERS).record(report)
+        if counters is not None:
+            GLOBAL_SCAN_COUNTERS.record(report)
+        if scan_span is not None:
+            scan_span.set(
+                partitions_total=report.partitions_total,
+                partitions_scanned=report.partitions_scanned,
+                partitions_pruned=report.partitions_pruned,
+                rows_total=report.rows_total,
+                rows_scanned=report.rows_scanned,
+                num_threads=num_threads,
+            )
+        return selected, report
+
+
+def _scan_selected(
+    table: Table,
+    predicate: ast.Predicate | None,
+    num_threads: int,
+) -> tuple[np.ndarray, ScanReport]:
     partitions = table_partitions(table)
     report: ScanReport
     if len(table) == 0:
@@ -372,9 +400,6 @@ def scan_selected(
             rows_total=partitions.num_rows,
             rows_scanned=scanned_rows,
         )
-    (counters or GLOBAL_SCAN_COUNTERS).record(report)
-    if counters is not None:
-        GLOBAL_SCAN_COUNTERS.record(report)
     return selected, report
 
 

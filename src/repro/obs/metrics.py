@@ -1,0 +1,149 @@
+"""Typed metric families and Prometheus text exposition (format 0.0.4).
+
+The serving layer's counters live in plain dicts (:mod:`repro.serve.metrics`
+and the various ``snapshot()`` methods).  This module gives them one typed
+shape -- :class:`MetricFamily`, a named counter / gauge / histogram with
+labelled samples -- and one renderer, :func:`render_prometheus`, producing
+the Prometheus text format::
+
+    # HELP verdict_requests_total Requests served, by route.
+    # TYPE verdict_requests_total counter
+    verdict_requests_total{route="learned"} 42
+
+Histograms follow the exposition contract exactly: cumulative ``le``
+buckets ending in ``+Inf``, plus ``_sum`` and ``_count`` series.  The
+existing JSON metrics dict remains the other view over the same numbers;
+nothing here owns state -- producers build families on demand from their
+own counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+@dataclass
+class MetricFamily:
+    """One named metric with typed samples.
+
+    For counters and gauges each sample is ``(labels, value)``.  For
+    histograms each sample is ``(labels, (bucket_counts, sum, count))``
+    where ``bucket_counts`` maps finite upper bounds to **non-cumulative**
+    per-bucket counts plus an implicit overflow (everything above the
+    largest bound); the renderer accumulates and appends ``+Inf``.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+
+    def add(self, labels: dict | None, value) -> "MetricFamily":
+        self.samples.append((labels or {}, value))
+        return self
+
+    def add_histogram(
+        self,
+        labels: dict | None,
+        bounds: tuple[float, ...],
+        bucket_counts: list[int],
+        total_sum: float,
+        count: int,
+    ) -> "MetricFamily":
+        """Add one histogram sample from per-bucket (non-cumulative) counts.
+
+        ``bucket_counts`` has ``len(bounds) + 1`` entries, the last being
+        the overflow bucket (observations above the largest bound).
+        """
+        if self.kind != "histogram":
+            raise ValueError(f"add_histogram on {self.kind} family {self.name!r}")
+        if len(bucket_counts) != len(bounds) + 1:
+            raise ValueError("bucket_counts must have len(bounds) + 1 entries")
+        self.samples.append((labels or {}, (tuple(bounds), tuple(bucket_counts), total_sum, count)))
+        return self
+
+
+def merge_families(families: list[MetricFamily]) -> list[MetricFamily]:
+    """Merge same-named families into one (first kind/help wins).
+
+    The multi-tenant server collects one family list per tenant, all using
+    the same metric names with different ``tenant`` labels; Prometheus
+    exposition allows each name to be declared once, so their samples must
+    be concatenated under a single HELP/TYPE block.  Input order of first
+    appearance is preserved.
+    """
+    merged: dict[str, MetricFamily] = {}
+    order: list[str] = []
+    for family in families:
+        existing = merged.get(family.name)
+        if existing is None:
+            merged[family.name] = MetricFamily(
+                family.name, family.kind, family.help, list(family.samples)
+            )
+            order.append(family.name)
+        else:
+            existing.samples.extend(family.samples)
+    return [merged[name] for name in order]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _value(value) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _bound(bound: float) -> str:
+    return f"{bound:g}"
+
+
+def render_prometheus(families: list[MetricFamily]) -> str:
+    """Render families as Prometheus text exposition (format 0.0.4)."""
+    lines: list[str] = []
+    for family in families:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind in ("counter", "gauge"):
+            for labels, value in family.samples:
+                lines.append(f"{family.name}{_labels(labels)} {_value(value)}")
+            continue
+        for labels, (bounds, bucket_counts, total_sum, count) in family.samples:
+            cumulative = 0
+            for bound, bucket in zip(bounds, bucket_counts):
+                cumulative += bucket
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _bound(bound)
+                lines.append(
+                    f"{family.name}_bucket{_labels(bucket_labels)} {cumulative}"
+                )
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(f"{family.name}_bucket{_labels(inf_labels)} {count}")
+            lines.append(f"{family.name}_sum{_labels(labels)} {_value(total_sum)}")
+            lines.append(f"{family.name}_count{_labels(labels)} {count}")
+    return "\n".join(lines) + "\n" if lines else ""

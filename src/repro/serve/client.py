@@ -135,6 +135,9 @@ class VerdictClient:
         self.backoff_cap_s = backoff_cap_s
         self.retry_transport_errors = retry_transport_errors
         self.retries_performed = 0
+        #: Request id of the most recent response (the server echoes the
+        #: offered X-Request-Id or the id it minted).
+        self.last_request_id: str | None = None
         self._random = random.Random(seed)
         self._connection: http.client.HTTPConnection | None = None
 
@@ -148,8 +151,15 @@ class VerdictClient:
         max_latency_s: float | None = None,
         deadline_s: float | None = None,
         record: bool | None = None,
+        request_id: str | None = None,
     ) -> dict:
-        """Answer one SQL request; returns the answer state dict."""
+        """Answer one SQL request; returns the answer state dict.
+
+        ``request_id``, when given, is sent as the ``X-Request-Id`` header
+        so the server adopts it end to end (audit log, trace ring).  The id
+        the server actually used -- minted when none was offered -- is
+        available afterwards as :attr:`last_request_id`.
+        """
         payload = {
             "tenant": self._tenant(tenant),
             "sql": sql,
@@ -162,8 +172,81 @@ class VerdictClient:
         # connection: with record unset or True the server may already have
         # mutated the synopsis before the connection died.
         return self._request(
-            "POST", "/v1/ask", payload, idempotent=record is False
+            "POST",
+            "/v1/ask",
+            payload,
+            idempotent=record is False,
+            request_id=request_id,
         )["answer"]
+
+    def ask_traced(
+        self,
+        sql: str,
+        tenant: str | None = None,
+        max_relative_error: float | None = None,
+        max_latency_s: float | None = None,
+        deadline_s: float | None = None,
+        record: bool | None = None,
+        request_id: str | None = None,
+    ) -> dict:
+        """Like :meth:`ask`, with the request's span tree attached.
+
+        Returns the full response payload: ``answer``, ``trace`` (the span
+        tree, or ``None`` when the server runs untraced), ``request_id``.
+        """
+        payload = {
+            "tenant": self._tenant(tenant),
+            "sql": sql,
+            "max_relative_error": max_relative_error,
+            "max_latency_s": max_latency_s,
+            "deadline_s": deadline_s,
+            "record": record,
+            "trace": True,
+        }
+        return self._request(
+            "POST",
+            "/v1/ask",
+            payload,
+            idempotent=record is False,
+            request_id=request_id,
+        )
+
+    def explain(
+        self,
+        sql: str,
+        tenant: str | None = None,
+        max_relative_error: float | None = None,
+        max_latency_s: float | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """The planner's full decision record for one request, not executed.
+
+        Returns the candidate-route table (cost/error estimates, breaker
+        states, skip reasons), the chosen route, cost-model inputs, and
+        cache/version state -- see ``VerdictService.explain``.
+        """
+        payload = {
+            "tenant": self._tenant(tenant),
+            "sql": sql,
+            "max_relative_error": max_relative_error,
+            "max_latency_s": max_latency_s,
+            "deadline_s": deadline_s,
+            "explain": True,
+        }
+        # EXPLAIN executes nothing, so it is always replayable.
+        return self._request("POST", "/v1/ask", payload, idempotent=True)["explain"]
+
+    def trace(self, request_id: str) -> dict:
+        """The finished span tree of one served request, from the ring."""
+        return self._request(
+            "GET", f"/v1/trace/{request_id}", idempotent=True
+        )["trace"]
+
+    def metrics_prometheus(self, tenant: str | None = None) -> str:
+        """The Prometheus text exposition (server-wide or tenant-scoped)."""
+        name = tenant if tenant is not None else self.tenant
+        path = "/v1/metrics?format=prometheus" + (f"&tenant={name}" if name else "")
+        return self._request("GET", path, idempotent=True, raw=True)
 
     def append(
         self,
@@ -269,7 +352,9 @@ class VerdictClient:
         path: str,
         payload: dict | None = None,
         idempotent: bool = False,
-    ) -> dict:
+        request_id: str | None = None,
+        raw: bool = False,
+    ) -> dict | str:
         body = None
         headers = {}
         if payload is not None:
@@ -278,6 +363,8 @@ class VerdictClient:
                 {key: value for key, value in payload.items() if value is not None}
             ).encode()
             headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         attempt = 0
         while True:
             try:
@@ -287,6 +374,7 @@ class VerdictClient:
                 data = response.read()
                 status = response.status
                 retry_after = response.getheader("Retry-After")
+                self.last_request_id = response.getheader("X-Request-Id")
             except (
                 ConnectionError,
                 http.client.HTTPException,
@@ -320,6 +408,8 @@ class VerdictClient:
                 time.sleep(self._backoff(attempt, retry_after))
                 attempt += 1
                 continue
+            if raw and 200 <= status < 300:
+                return data.decode("utf-8", errors="replace")
             return self._decode(method, path, status, data)
 
     def _decode(self, method: str, path: str, status: int, data: bytes) -> dict:

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
 from repro.db.catalog import Catalog
+from repro.obs.trace import Tracer
 from repro.serve.http.audit import AuditLog
 from repro.serve.http.server import VerdictHTTPServer
 from repro.serve.http.tenants import TenantManager
@@ -121,6 +122,29 @@ def main(argv: list[str] | None = None) -> int:
         default=4,
         help="rotated audit files kept (oldest deleted at each rotation)",
     )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing entirely (spans, ring, trace log)",
+    )
+    parser.add_argument(
+        "--trace-ring",
+        type=int,
+        default=256,
+        help="finished traces kept in memory for GET /v1/trace/<id>",
+    )
+    parser.add_argument(
+        "--trace-log",
+        default=None,
+        help="JSONL trace log path (default <root>/trace/trace.jsonl; "
+        "'none' disables the file while keeping the in-memory ring)",
+    )
+    parser.add_argument(
+        "--slow-query-s",
+        type=float,
+        default=None,
+        help="also write traces at least this slow to <root>/trace/slow.jsonl",
+    )
     args = parser.parse_args(argv)
 
     root = Path(args.root)
@@ -157,6 +181,23 @@ def main(argv: list[str] | None = None) -> int:
         max_bytes=args.audit_max_bytes,
         retention=args.audit_retention,
     )
+    tracer = None
+    if not args.no_trace:
+        if args.trace_log == "none":
+            trace_log = None
+        elif args.trace_log is not None:
+            trace_log = Path(args.trace_log)
+        else:
+            trace_log = root / "trace" / "trace.jsonl"
+        slow_log = (
+            root / "trace" / "slow.jsonl" if args.slow_query_s is not None else None
+        )
+        tracer = Tracer(
+            ring_capacity=args.trace_ring,
+            log_path=trace_log,
+            slow_log_path=slow_log,
+            slow_threshold_s=args.slow_query_s,
+        )
     server = VerdictHTTPServer(
         (args.host, args.port),
         tenants,
@@ -164,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
         max_queued=args.queue,
         queue_timeout_s=args.queue_timeout,
         audit=audit,
+        tracer=tracer,
     )
     server.start()
     print(
@@ -173,6 +215,11 @@ def main(argv: list[str] | None = None) -> int:
                 "root": str(root),
                 "workload": args.workload,
                 "audit": str(audit.path),
+                "trace": (
+                    None
+                    if tracer is None
+                    else str(tracer.log_path) if tracer.log_path else "ring-only"
+                ),
             }
         ),
         flush=True,

@@ -28,10 +28,22 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import ReproError
+from repro.obs.metrics import MetricFamily
+from repro.obs.trace import set_attrs
+from repro.serve.metrics import LatencyHistogram
 
 
 class ShedLoad(ReproError):
-    """The admission queue is full (or the wait timed out): retry later."""
+    """The admission queue is full (or the wait timed out): retry later.
+
+    ``retry_after_s`` is the controller's backoff hint -- how long a client
+    should wait before retrying, sized to the queue drain time.  The HTTP
+    layer forwards it as the 429 response's ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class ShuttingDown(ReproError):
@@ -74,6 +86,15 @@ class AdmissionController:
         self.completed = 0
         self.peak_active = 0
         self.peak_queued = 0
+        # Outcome breakdown: admitted splits into immediate vs after-queueing,
+        # shed splits into queue-full vs wait-timeout.  The coarse counters
+        # above stay authoritative (breakdowns sum to them).
+        self.admitted_immediate = 0
+        self.admitted_queued = 0
+        self.shed_queue_full = 0
+        self.shed_timeout = 0
+        # Time admitted-after-queueing requests spent waiting for a slot.
+        self._queue_wait = LatencyHistogram()
 
     # ------------------------------------------------------------------ public
 
@@ -122,13 +143,59 @@ class AdmissionController:
                 "active": self._active,
                 "queued": self._queued,
                 "admitted": self.admitted,
+                "admitted_immediate": self.admitted_immediate,
+                "admitted_queued": self.admitted_queued,
                 "completed": self.completed,
                 "shed": self.shed,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_timeout": self.shed_timeout,
                 "rejected_closed": self.rejected_closed,
                 "peak_active": self.peak_active,
                 "peak_queued": self.peak_queued,
+                "queue_wait": self._queue_wait.as_dict(),
+                "retry_after_s": self._retry_after_locked(),
                 "closed": self._closed,
             }
+
+    def metric_families(self, labels: dict | None = None) -> list[MetricFamily]:
+        """Admission counters as typed families for Prometheus exposition."""
+        base = dict(labels or {})
+        outcomes = MetricFamily(
+            "verdict_admission_outcomes_total",
+            "counter",
+            "Request admission outcomes (every arrival lands in exactly one).",
+        )
+        gauges = [
+            ("verdict_admission_active", "Requests currently executing."),
+            ("verdict_admission_queued", "Requests currently waiting in queue."),
+        ]
+        with self._lock:
+            for outcome, count in (
+                ("admitted_immediate", self.admitted_immediate),
+                ("admitted_queued", self.admitted_queued),
+                ("shed_queue_full", self.shed_queue_full),
+                ("shed_timeout", self.shed_timeout),
+                ("rejected_closed", self.rejected_closed),
+            ):
+                outcomes.add(base | {"outcome": outcome}, count)
+            active = MetricFamily(
+                gauges[0][0], "gauge", gauges[0][1]
+            ).add(base, self._active)
+            queued = MetricFamily(
+                gauges[1][0], "gauge", gauges[1][1]
+            ).add(base, self._queued)
+            wait = MetricFamily(
+                "verdict_admission_queue_wait_seconds",
+                "histogram",
+                "Queue wait of requests admitted after queueing.",
+            ).add_histogram(
+                base,
+                self._queue_wait.buckets,
+                list(self._queue_wait.bucket_counts),
+                self._queue_wait.total_seconds,
+                self._queue_wait.count,
+            )
+        return [outcomes, active, queued, wait]
 
     # ----------------------------------------------------------------- private
 
@@ -136,40 +203,57 @@ class AdmissionController:
         with self._lock:
             if self._closed:
                 self.rejected_closed += 1
+                set_attrs(admission="rejected_closed")
                 raise ShuttingDown("admission closed: server is shutting down")
             if self._active < self.max_active:
                 self._admit_locked()
+                self.admitted_immediate += 1
+                set_attrs(admission="admitted")
                 return
             if self._queued >= self.max_queued:
                 self.shed += 1
+                self.shed_queue_full += 1
+                retry_after = self._retry_after_locked()
+                set_attrs(admission="shed_queue_full", retry_after_s=retry_after)
                 raise ShedLoad(
                     f"admission queue full ({self._queued}/{self.max_queued} "
-                    f"queued, {self._active} active)"
+                    f"queued, {self._active} active)",
+                    retry_after_s=retry_after,
                 )
             self._queued += 1
             self.peak_queued = max(self.peak_queued, self._queued)
+            wait_started = time.monotonic()
             deadline = (
                 None
                 if self.queue_timeout_s is None
-                else time.monotonic() + self.queue_timeout_s
+                else wait_started + self.queue_timeout_s
             )
             try:
                 while True:
                     if self._closed:
                         self.rejected_closed += 1
+                        set_attrs(admission="rejected_closed")
                         raise ShuttingDown(
                             "admission closed while queued: server is shutting down"
                         )
                     if self._active < self.max_active:
                         self._admit_locked()
+                        self.admitted_queued += 1
+                        waited = time.monotonic() - wait_started
+                        self._queue_wait.observe(waited)
+                        set_attrs(admission="admitted_after_queue", queue_wait_s=waited)
                         return
                     remaining = (
                         None if deadline is None else deadline - time.monotonic()
                     )
                     if remaining is not None and remaining <= 0:
                         self.shed += 1
+                        self.shed_timeout += 1
+                        retry_after = self._retry_after_locked()
+                        set_attrs(admission="shed_timeout", retry_after_s=retry_after)
                         raise ShedLoad(
-                            f"gave up after queueing {self.queue_timeout_s:g}s"
+                            f"gave up after queueing {self.queue_timeout_s:g}s",
+                            retry_after_s=retry_after,
                         )
                     self._slots.wait(remaining)
             except BaseException:
@@ -180,6 +264,18 @@ class AdmissionController:
                 raise
             finally:
                 self._queued -= 1
+
+    def _retry_after_locked(self) -> float:
+        """Deterministic backoff hint for a shed request, in seconds.
+
+        A shed means the queue (plus every active slot) is saturated; the
+        honest hint is the configured queue-drain horizon -- a client
+        retrying sooner would rejoin the same full queue.  Clamped to
+        [1, 30] so a generous ``queue_timeout_s`` never tells clients to
+        disappear for minutes.
+        """
+        horizon = self.queue_timeout_s if self.queue_timeout_s is not None else 1.0
+        return min(max(horizon, 1.0), 30.0)
 
     def _admit_locked(self) -> None:
         self._active += 1

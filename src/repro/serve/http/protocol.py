@@ -53,13 +53,25 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class ApiError(ReproError):
-    """One typed HTTP failure: status code, machine code, human message."""
+    """One typed HTTP failure: status code, machine code, human message.
 
-    def __init__(self, status: int, code: str, message: str):
+    ``retry_after_s``, when set, becomes the response's ``Retry-After``
+    header -- admission control fills it with its queue-drain backoff hint
+    on 429s.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_s: float | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
 
     def body(self) -> dict:
         return {"error": {"code": self.code, "message": self.message}}
@@ -81,8 +93,8 @@ def tenant_exists(name: str) -> ApiError:
     return ApiError(409, "tenant_exists", f"tenant {name!r} already exists")
 
 
-def shed_load(message: str) -> ApiError:
-    return ApiError(429, "shed_load", message)
+def shed_load(message: str, retry_after_s: float | None = None) -> ApiError:
+    return ApiError(429, "shed_load", message, retry_after_s=retry_after_s)
 
 
 def shutting_down(message: str = "server is shutting down") -> ApiError:
@@ -142,6 +154,8 @@ class AskRequest:
     sql: str
     budget: ServiceBudget | None
     record: bool | None
+    explain: bool = False
+    trace: bool = False
 
 
 def parse_ask(payload: object) -> AskRequest:
@@ -154,6 +168,8 @@ def parse_ask(payload: object) -> AskRequest:
             "max_latency_s": ((int, float), False),
             "deadline_s": ((int, float), False),
             "record": (bool, False),
+            "explain": (bool, False),
+            "trace": (bool, False),
         },
     )
     _validate_tenant_name(fields["tenant"])
@@ -177,6 +193,8 @@ def parse_ask(payload: object) -> AskRequest:
         sql=fields["sql"],
         budget=budget,
         record=fields["record"],
+        explain=bool(fields["explain"]),
+        trace=bool(fields["trace"]),
     )
 
 
@@ -360,7 +378,7 @@ def map_exception(error: Exception) -> ApiError:
     if isinstance(error, DeadlineExceeded):
         return deadline_exceeded(str(error))
     if isinstance(error, ShedLoad):
-        return shed_load(str(error))
+        return shed_load(str(error), getattr(error, "retry_after_s", None))
     if isinstance(error, ShuttingDown):
         return shutting_down(str(error))
     if isinstance(error, SQLSyntaxError):

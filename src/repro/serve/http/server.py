@@ -4,19 +4,30 @@ No third-party web framework -- the whole network layer is the standard
 library, so the front door deploys anywhere the engine does.  Endpoints
 (all under ``/v1``, JSON request/response):
 
-=======  =======================  ===========================================
-method   path                     purpose
-=======  =======================  ===========================================
-POST     ``/v1/ask``              answer one SQL request within its budget
-POST     ``/v1/feedback/append``  append rows to a tenant fact table
-POST     ``/v1/feedback/record``  full-scan a query and record its snippets
-GET      ``/v1/metrics``          server-wide (or ``?tenant=`` scoped) stats
-POST     ``/v1/admin/train``      run the offline step (sync or background)
-POST     ``/v1/admin/snapshot``   force a durable full snapshot
-POST     ``/v1/admin/tenants``    create a tenant
-GET      ``/v1/admin/tenants``    list tenants
-GET      ``/v1/healthz``          liveness probe
-=======  =======================  ===========================================
+=======  ========================  ==========================================
+method   path                      purpose
+=======  ========================  ==========================================
+POST     ``/v1/ask``               answer one SQL request within its budget
+                                   (``explain: true`` returns the planner's
+                                   decision record without executing;
+                                   ``trace: true`` attaches the span tree)
+POST     ``/v1/feedback/append``   append rows to a tenant fact table
+POST     ``/v1/feedback/record``   full-scan a query and record its snippets
+GET      ``/v1/metrics``           server-wide (or ``?tenant=`` scoped)
+                                   stats; ``?format=prometheus`` renders the
+                                   text exposition instead of JSON
+GET      ``/v1/trace/<id>``        finished span tree of one request id
+POST     ``/v1/admin/train``       run the offline step (sync or background)
+POST     ``/v1/admin/snapshot``    force a durable full snapshot
+POST     ``/v1/admin/tenants``     create a tenant
+GET      ``/v1/admin/tenants``     list tenants
+GET      ``/v1/healthz``           liveness probe
+=======  ========================  ==========================================
+
+Every request is stamped with a request id -- adopted from a valid
+``X-Request-Id`` header or minted -- echoed in the response header and
+payload, recorded on the audit line, and (with a tracer) keying the
+request's span tree in the trace ring and JSONL trace log.
 
 Execution model: connection-handler threads run the query themselves (the
 per-tenant service's worker pool is for in-process ``submit()`` callers),
@@ -38,10 +49,19 @@ from __future__ import annotations
 import json
 import threading
 import time
+from contextlib import ExitStack
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro import faults
+from repro.obs.metrics import MetricFamily, merge_families, render_prometheus
+from repro.obs.trace import (
+    Tracer,
+    current_trace,
+    mint_request_id,
+    span as trace_span,
+    valid_request_id,
+)
 from repro.serve.http import protocol
 from repro.serve.http.admission import AdmissionController
 from repro.serve.http.audit import AuditLog
@@ -75,6 +95,7 @@ class VerdictHTTPServer(ThreadingHTTPServer):
         max_queued: int = 16,
         queue_timeout_s: float | None = 5.0,
         audit: AuditLog | None = None,
+        tracer: Tracer | None = None,
     ):
         super().__init__(address, _Handler)
         self.tenants = tenants
@@ -84,6 +105,9 @@ class VerdictHTTPServer(ThreadingHTTPServer):
             queue_timeout_s=queue_timeout_s,
         )
         self.audit = audit
+        # Every request gets a request id regardless; the tracer decides
+        # whether a span tree is recorded against it.
+        self.tracer = tracer
         self.started_ts = time.time()
         self._serve_thread: threading.Thread | None = None
         self._close_lock = threading.Lock()
@@ -123,6 +147,8 @@ class VerdictHTTPServer(ThreadingHTTPServer):
             self.tenants.close()
             if self.audit is not None:
                 self.audit.close()
+            if self.tracer is not None:
+                self.tracer.close()
 
     def __enter__(self) -> "VerdictHTTPServer":
         return self
@@ -159,20 +185,31 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         url = urlparse(self.path)
+        # Every request carries a request id end to end: adopted from a
+        # valid X-Request-Id header, minted otherwise.  It is echoed in the
+        # response header and payload, stamped on the audit record, and
+        # keys the trace in the ring/trace log.
+        offered = self.headers.get("X-Request-Id") or ""
+        request_id = offered if valid_request_id(offered) else mint_request_id()
         audit_fields: dict = {}
-        try:
-            faults.inject("http.handler", method=method, path=url.path)
-            status, payload = self._route(method, url.path, url.query, audit_fields)
-        except ApiError as error:
-            status, payload = error.status, error.body()
-            audit_fields["error"] = error.code
-        except Exception as error:  # engine failures -> typed mapping
-            mapped = protocol.map_exception(error)
-            status, payload = mapped.status, mapped.body()
-            audit_fields["error"] = mapped.code
+        tracer = self.server.tracer
+        if tracer is None:
+            status, payload, retry_after = self._handle(method, url, audit_fields)
+        else:
+            with tracer.request(request_id, name=f"{method} {url.path}") as root:
+                status, payload, retry_after = self._handle(
+                    method, url, audit_fields
+                )
+                root.set(status=status)
+                if "error" in audit_fields:
+                    root.set(error_code=audit_fields["error"])
+        if isinstance(payload, dict):
+            payload = {**payload, "request_id": request_id}
         latency = time.perf_counter() - started
         try:
-            self._respond(status, payload)
+            self._respond(
+                status, payload, retry_after_s=retry_after, request_id=request_id
+            )
         except (BrokenPipeError, ConnectionResetError):
             audit_fields["client_gone"] = True
         if self.server.audit is not None:
@@ -180,8 +217,25 @@ class _Handler(BaseHTTPRequestHandler):
                 endpoint=f"{method} {url.path}",
                 status=status,
                 latency_s=latency,
+                request_id=request_id,
                 **audit_fields,
             )
+
+    def _handle(
+        self, method: str, url, audit_fields: dict
+    ) -> tuple[int, dict | str, float | None]:
+        """Route one request, mapping every failure to a typed response."""
+        try:
+            faults.inject("http.handler", method=method, path=url.path)
+            status, payload = self._route(method, url.path, url.query, audit_fields)
+            return status, payload, None
+        except ApiError as error:
+            audit_fields["error"] = error.code
+            return error.status, error.body(), error.retry_after_s
+        except Exception as error:  # engine failures -> typed mapping
+            mapped = protocol.map_exception(error)
+            audit_fields["error"] = mapped.code
+            return mapped.status, mapped.body(), mapped.retry_after_s
 
     def _route(
         self, method: str, path: str, query: str, audit_fields: dict
@@ -196,7 +250,9 @@ class _Handler(BaseHTTPRequestHandler):
             params = parse_qs(query)
             tenant = params.get("tenant", [None])[0]
             audit_fields["tenant"] = tenant
-            return self._metrics(tenant)
+            return self._metrics(tenant, params.get("format", [None])[0])
+        if method == "GET" and path.startswith("/v1/trace/"):
+            return self._trace(path[len("/v1/trace/"):])
         if method == "POST" and path == "/v1/admin/train":
             return self._train(self._read_json(), audit_fields)
         if method == "POST" and path == "/v1/admin/snapshot":
@@ -245,7 +301,21 @@ class _Handler(BaseHTTPRequestHandler):
         # Client-fault errors (bad SQL, unknown table) must not reach the
         # routing layer, where they would surface as opaque 500s.
         parsed = parse_query(request.sql)
-        with self.server.admission.admit():
+        if request.explain:
+            # EXPLAIN never executes (no scan, no engine work), so like
+            # metrics and health it bypasses admission: the plan must be
+            # inspectable on a saturated server.
+            with self.server.tenants.lease(request.tenant) as tenant:
+                _check_tables(tenant.service.catalog, parsed)
+                plan = tenant.service.explain(request.sql, budget=request.budget)
+            audit_fields["explain"] = True
+            return 200, {"tenant": request.tenant, "explain": plan}
+        with ExitStack() as stack:
+            # The admission span covers only the wait for a slot (its
+            # outcome/queue-wait attrs are set inside the controller); the
+            # slot itself is held for the whole execution.
+            with trace_span("admission"):
+                stack.enter_context(self.server.admission.admit())
             with self.server.tenants.lease(request.tenant) as tenant:
                 _check_tables(tenant.service.catalog, parsed)
                 answer = tenant.service.query(
@@ -254,14 +324,23 @@ class _Handler(BaseHTTPRequestHandler):
         state = protocol.answer_to_state(answer)
         audit_fields["route"] = state["route"]
         audit_fields["error_bound"] = state["relative_error_bound"]
-        return 200, {"tenant": request.tenant, "answer": state}
+        response = {"tenant": request.tenant, "answer": state}
+        if request.trace:
+            # The root span is still open (it closes in _dispatch after the
+            # response is rendered), so the attached tree reports the wall
+            # time accumulated so far; the ring holds the finished version.
+            root = current_trace()
+            response["trace"] = None if root is None else root.to_dict()
+        return 200, response
 
     def _append(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         from repro.db.table import Table
 
         request = protocol.parse_append(payload)
         audit_fields["tenant"] = request.tenant
-        with self.server.admission.admit():
+        with ExitStack() as stack:
+            with trace_span("admission"):
+                stack.enter_context(self.server.admission.admit())
             with self.server.tenants.lease(request.tenant) as tenant:
                 catalog = tenant.service.catalog
                 if not catalog.has_table(request.table):
@@ -287,16 +366,24 @@ class _Handler(BaseHTTPRequestHandler):
         # Parse errors are the client's fault and must not burn a full
         # sample scan: surface them before admission.
         parsed = parse_query(request.sql)
-        with self.server.admission.admit():
+        with ExitStack() as stack:
+            with trace_span("admission"):
+                stack.enter_context(self.server.admission.admit())
             with self.server.tenants.lease(request.tenant) as tenant:
                 _check_tables(tenant.service.catalog, parsed)
                 recorded = tenant.service.record_answer(request.sql)
         return 200, {"tenant": request.tenant, "recorded": recorded}
 
-    def _metrics(self, tenant_name: str | None) -> tuple[int, dict]:
+    def _metrics(
+        self, tenant_name: str | None, format: str | None = None
+    ) -> tuple[int, dict | str]:
         server = self.server
+        if format is not None and format != "prometheus":
+            raise protocol.bad_request(f"unknown metrics format {format!r}")
+        if format == "prometheus":
+            return 200, self._prometheus(tenant_name)
         if tenant_name is None:
-            return 200, {
+            state = {
                 "uptime_s": time.time() - server.started_ts,
                 "admission": server.admission.snapshot(),
                 "tenants": server.tenants.stats(),
@@ -304,6 +391,9 @@ class _Handler(BaseHTTPRequestHandler):
                     server.audit.entries_written if server.audit else 0
                 ),
             }
+            if server.tracer is not None:
+                state["tracer"] = server.tracer.stats()
+            return 200, state
         with server.tenants.lease(tenant_name) as tenant:
             service = tenant.service
             return 200, {
@@ -315,6 +405,77 @@ class _Handler(BaseHTTPRequestHandler):
                 # background trainer, and the store's recovery counters.
                 "metrics": service.observability(),
             }
+
+    def _prometheus(self, tenant_name: str | None) -> str:
+        """Prometheus text exposition: server-wide or one tenant's families.
+
+        The server-wide view unifies the admission controller, the tracer,
+        the audit log, and every *resident* tenant's service families
+        (route counters/histograms, breakers, trainer, store, cache) under
+        ``tenant`` labels.  Evicted tenants are deliberately not loaded: a
+        metrics scrape must stay cheap and side-effect-free.
+        """
+        server = self.server
+        if tenant_name is not None:
+            with server.tenants.lease(tenant_name) as tenant:
+                return render_prometheus(
+                    merge_families(
+                        tenant.service.metric_families({"tenant": tenant_name})
+                    )
+                )
+        families = [
+            MetricFamily(
+                "verdict_uptime_seconds", "gauge", "Seconds since server start."
+            ).add({}, time.time() - server.started_ts)
+        ]
+        families += server.admission.metric_families()
+        if server.audit is not None:
+            families.append(
+                MetricFamily(
+                    "verdict_audit_entries_total",
+                    "counter",
+                    "Audit-log records written this session.",
+                ).add({}, server.audit.entries_written)
+            )
+        if server.tracer is not None:
+            stats = server.tracer.stats()
+            families.append(
+                MetricFamily(
+                    "verdict_traces_finished_total",
+                    "counter",
+                    "Request traces finished (ring + logs).",
+                ).add({}, stats["finished"])
+            )
+            families.append(
+                MetricFamily(
+                    "verdict_slow_queries_total",
+                    "counter",
+                    "Traces exceeding the slow-query threshold.",
+                ).add({}, stats["slow_queries"])
+            )
+        for name in server.tenants.stats()["loaded_tenants"]:
+            try:
+                with server.tenants.lease(name) as tenant:
+                    families += tenant.service.metric_families({"tenant": name})
+            except ApiError:
+                continue  # evicted or deleted between the snapshot and lease
+        return render_prometheus(merge_families(families))
+
+    def _trace(self, request_id: str) -> tuple[int, dict]:
+        tracer = self.server.tracer
+        if tracer is None:
+            raise ApiError(
+                404, "tracing_disabled", "the server runs without a tracer"
+            )
+        trace = tracer.get(request_id)
+        if trace is None:
+            raise ApiError(
+                404,
+                "unknown_trace",
+                f"no trace for request {request_id!r} (expired from the "
+                f"ring, or the id was never served)",
+            )
+        return 200, {"trace": trace}
 
     def _train(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         request = protocol.parse_train(payload)
@@ -362,12 +523,27 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise protocol.bad_request(f"body is not valid JSON: {error}") from None
 
-    def _respond(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def _respond(
+        self,
+        status: int,
+        payload: dict | str,
+        retry_after_s: float | None = None,
+        request_id: str | None = None,
+    ) -> None:
+        if isinstance(payload, str):
+            # Pre-rendered text body (the Prometheus exposition).
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         if status == 429:
-            self.send_header("Retry-After", "1")
+            hint = retry_after_s if retry_after_s is not None else 1
+            self.send_header("Retry-After", f"{hint:g}")
         self.end_headers()
         self.wfile.write(body)

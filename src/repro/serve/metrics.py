@@ -20,11 +20,13 @@ is a few appends and integer increments.
 
 from __future__ import annotations
 
+import math
 import random
 import threading
 from bisect import bisect_left
 
-from repro.db.scan import scan_counters_snapshot
+from repro.db.scan import ScanCounters, scan_counters_snapshot
+from repro.obs.metrics import MetricFamily
 
 #: Histogram bucket upper bounds, in seconds (log-spaced, "+Inf" implied).
 DEFAULT_BUCKETS = (
@@ -68,12 +70,20 @@ class LatencyHistogram:
                 self._reservoir[slot] = seconds
 
     def quantile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) of the observed latencies, 0.0 if empty."""
+        """The ``q``-quantile (0..1) of the observed latencies, 0.0 if empty.
+
+        Nearest-rank selection: the smallest observation such that at least
+        ``q * n`` of the samples are <= it (``ceil(q*n)``-th order
+        statistic).  The previous ``int(q*n)`` truncation systematically
+        overshot by one rank -- p50 of 100 samples returned the 51st value,
+        and upper quantiles on small reservoirs landed right only because
+        of the ``n-1`` cap.
+        """
         if not self._reservoir:
             return 0.0
         ordered = sorted(self._reservoir)
-        index = min(int(q * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        rank = math.ceil(q * len(ordered))
+        return ordered[min(max(rank - 1, 0), len(ordered) - 1)]
 
     @property
     def mean_seconds(self) -> float:
@@ -99,18 +109,19 @@ class ServiceMetrics:
 
     Besides the per-route counters and latency histograms, the snapshot
     includes the partitioned-scan accounting (partitions scanned vs skipped
-    by zone-map pruning, :mod:`repro.db.scan`).  The counters are
-    **process-wide** scans observed since this metrics object was created --
-    in the common one-service-per-process deployment that is the service's
-    own scan activity, but co-resident services/runners all contribute to
-    the same totals (per-executor attribution lives on
-    ``ExactExecutor.scan_counters``).
+    by zone-map pruning, :mod:`repro.db.scan`).  When the owning service
+    passes its shared :class:`~repro.db.scan.ScanCounters`, the ``scan``
+    key attributes exactly *this service's* scans -- two services in one
+    process (the HTTP benchmark's in-process twin, the experiment runner)
+    no longer double-count each other.  The process-wide delta since this
+    object's birth stays available under ``scan_process``.
     """
 
-    def __init__(self):
+    def __init__(self, scan_counters: ScanCounters | None = None):
         self._lock = threading.Lock()
         self._routes: dict[str, dict] = {}
         self._events: dict[str, int] = {}
+        self._scan_counters = scan_counters
         self._scan_baseline = scan_counters_snapshot()
 
     def record_event(self, name: str, count: int = 1) -> None:
@@ -131,6 +142,16 @@ class ServiceMetrics:
             return self._events.get(name, 0)
 
     def scan_snapshot(self) -> dict:
+        """This service's partition/pruning counters (see class docstring).
+
+        Falls back to the process-wide delta since this object's birth when
+        no per-service counters were wired in (standalone construction).
+        """
+        if self._scan_counters is not None:
+            return self._scan_counters.snapshot()
+        return self.process_scan_snapshot()
+
+    def process_scan_snapshot(self) -> dict:
         """Process-wide partition/pruning counters since this object's birth."""
         current = scan_counters_snapshot()
         delta = {
@@ -212,4 +233,81 @@ class ServiceMetrics:
             "routes": routes,
             "events": events,
             "scan": self.scan_snapshot(),
+            "scan_process": self.process_scan_snapshot(),
         }
+
+    def metric_families(self, labels: dict | None = None) -> list[MetricFamily]:
+        """The same counters as typed families for Prometheus exposition.
+
+        ``labels`` (e.g. ``{"tenant": name}``) is stamped on every sample.
+        """
+        base = dict(labels or {})
+        requests = MetricFamily(
+            "verdict_requests_total", "counter", "Requests served, by route."
+        )
+        budget_met = MetricFamily(
+            "verdict_budget_met_total",
+            "counter",
+            "Requests whose error/latency budget was met, by route.",
+        )
+        fallbacks = MetricFamily(
+            "verdict_route_fallbacks_total",
+            "counter",
+            "Requests that fell back from a cheaper route, by final route.",
+        )
+        model_seconds = MetricFamily(
+            "verdict_route_model_seconds_total",
+            "counter",
+            "Cumulative model-clock (IO cost model) seconds, by route.",
+        )
+        wall = MetricFamily(
+            "verdict_route_wall_seconds",
+            "histogram",
+            "Wall-clock latency of served requests, by route.",
+        )
+        events = MetricFamily(
+            "verdict_events_total",
+            "counter",
+            "Robustness events (breaker trips, deadline hits, flush errors).",
+        )
+        scans = MetricFamily(
+            "verdict_scan_partitions_total",
+            "counter",
+            "Partitions considered by this service's scans, by outcome.",
+        )
+        scan_rows = MetricFamily(
+            "verdict_scan_rows_scanned_total",
+            "counter",
+            "Rows actually scanned (post zone-map pruning) by this service.",
+        )
+        with self._lock:
+            for route, entry in sorted(self._routes.items()):
+                route_labels = base | {"route": route}
+                requests.add(route_labels, entry["requests"])
+                budget_met.add(route_labels, entry["budget_met"])
+                fallbacks.add(route_labels, entry["fallbacks"])
+                model_seconds.add(route_labels, entry["model_seconds"])
+                hist: LatencyHistogram = entry["wall"]
+                wall.add_histogram(
+                    route_labels,
+                    hist.buckets,
+                    list(hist.bucket_counts),
+                    hist.total_seconds,
+                    hist.count,
+                )
+            for name, count in sorted(self._events.items()):
+                events.add(base | {"event": name}, count)
+        scan = self.scan_snapshot()
+        scans.add(base | {"outcome": "scanned"}, scan["partitions_scanned"])
+        scans.add(base | {"outcome": "pruned"}, scan["partitions_pruned"])
+        scan_rows.add(base, scan["rows_scanned"])
+        return [
+            requests,
+            budget_met,
+            fallbacks,
+            model_seconds,
+            wall,
+            events,
+            scans,
+            scan_rows,
+        ]

@@ -26,6 +26,7 @@ charge, so "cheapest" is well-defined and reproducible.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 from repro.aqp.estimators import confidence_multiplier
@@ -105,11 +106,34 @@ class ServiceBudget:
 
 @dataclass(frozen=True)
 class RouteDecision:
-    """One planned route with the planner's reasoning and cost estimate."""
+    """One planned route with the planner's reasoning and cost estimates.
+
+    ``estimated_rows`` is the rows the route is expected to touch (the
+    pruned-scan estimate for exact, the first sample batch plus dimension
+    rows for the approximate routes).  ``estimated_error`` is the planner's
+    a-priori relative-error-bound proxy: ``0.0`` for exact; for the sample
+    routes the unit-coefficient-of-variation CLT bound
+    ``multiplier / sqrt(batch rows)`` -- the actual bound scales with the
+    data's dispersion, but the proxy ranks routes and, recorded next to the
+    observed bound in the request trace, is the predicted-vs-observed pair
+    the adaptive planner will calibrate on.
+    """
 
     route: Route
     reason: str
     estimated_seconds: float
+    estimated_rows: int = 0
+    estimated_error: float | None = None
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering for EXPLAIN output and trace attributes."""
+        return {
+            "route": self.route.value,
+            "reason": self.reason,
+            "estimated_seconds": self.estimated_seconds,
+            "estimated_rows": self.estimated_rows,
+            "estimated_error": self.estimated_error,
+        }
 
 
 class QueryPlanner:
@@ -131,17 +155,22 @@ class QueryPlanner:
         cache before calling the planner (a hit needs no plan at all).
         """
         exact_cost = self.estimated_exact_seconds(query)
+        exact_rows = self.estimated_exact_rows(query)
         if budget.requires_exact:
             return [
                 RouteDecision(
                     route=Route.EXACT,
                     reason="budget demands an exact answer",
                     estimated_seconds=exact_cost,
+                    estimated_rows=exact_rows,
+                    estimated_error=0.0,
                 )
             ]
 
         decisions: list[RouteDecision] = []
         batch_cost = self.estimated_first_batch_seconds(query)
+        batch_rows = self.estimated_first_batch_rows(query)
+        batch_error = self.estimated_batch_error(batch_rows)
         if check.supported:
             ready = self.synopsis_snippets_for(query.table)
             if ready > 0:
@@ -153,6 +182,11 @@ class QueryPlanner:
                             "inference tightens the first-batch bound"
                         ),
                         estimated_seconds=batch_cost,
+                        estimated_rows=batch_rows,
+                        # Theorem 1: the improved bound is never larger than
+                        # the raw first-batch bound, so the raw proxy is a
+                        # (conservative) estimate for the learned route too.
+                        estimated_error=batch_error,
                     )
                 )
         # Online aggregation stays in the plan even when the learned route
@@ -170,6 +204,8 @@ class QueryPlanner:
                     else "no error budget given; cheapest raw approximation"
                 ),
                 estimated_seconds=batch_cost,
+                estimated_rows=batch_rows,
+                estimated_error=batch_error,
             )
         )
         decisions.append(
@@ -177,6 +213,8 @@ class QueryPlanner:
                 route=Route.EXACT,
                 reason="fallback: exact scan always meets any error budget",
                 estimated_seconds=exact_cost,
+                estimated_rows=exact_rows,
+                estimated_error=0.0,
             )
         )
         return decisions
@@ -206,29 +244,47 @@ class QueryPlanner:
         Predicates over joined dimension attributes prune conservatively
         (they are not resolvable on the fact table alone).
         """
+        return self.engine.aqp.cost_model.query_seconds(
+            self.estimated_exact_rows(query)
+        )
+
+    def estimated_exact_rows(self, query: ast.Query) -> int:
+        """Rows the exact route must touch: pruned fact scan plus dimensions."""
         catalog = self.engine.catalog
         if catalog.has_table(query.table):
             rows = estimate_scan_rows(catalog.table(query.table), query.where)
         else:
             rows = 0
-        dimension_rows = sum(
-            catalog.cardinality(join.table)
-            for join in query.joins
-            if catalog.has_table(join.table)
-        )
-        return self.engine.aqp.cost_model.query_seconds(rows + dimension_rows)
+        return rows + self._dimension_rows(query)
 
     def estimated_first_batch_seconds(self, query: ast.Query) -> float:
         """Model seconds for the cheapest approximate answer (one batch)."""
+        return self.engine.aqp.cost_model.query_seconds(
+            self.estimated_first_batch_rows(query)
+        )
+
+    def estimated_first_batch_rows(self, query: ast.Query) -> int:
+        """Rows one sample batch touches, dimension joins included."""
         aqp = self.engine.aqp
         catalog = self.engine.catalog
         if not catalog.has_table(query.table):
-            return aqp.cost_model.query_seconds(0)
+            return 0
         sample = aqp.samples.sample_for(query.table)
-        batch_rows = sample.rows_after_batches(1)
-        dimension_rows = sum(
+        return sample.rows_after_batches(1) + self._dimension_rows(query)
+
+    def estimated_batch_error(self, batch_rows: int) -> float:
+        """A-priori relative-error-bound proxy for a ``batch_rows`` sample.
+
+        The CLT bound at the planner's confidence, assuming a unit
+        coefficient of variation (the dispersion term the planner cannot
+        know without scanning).  See :class:`RouteDecision`.
+        """
+        return self.multiplier / math.sqrt(max(batch_rows, 1))
+
+    def _dimension_rows(self, query: ast.Query) -> int:
+        catalog = self.engine.catalog
+        return sum(
             catalog.cardinality(join.table)
             for join in query.joins
             if catalog.has_table(join.table)
         )
-        return aqp.cost_model.query_seconds(batch_rows + dimension_rows)

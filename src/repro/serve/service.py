@@ -49,6 +49,7 @@ written *behind* the final snapshot.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections import OrderedDict
@@ -66,9 +67,14 @@ from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
 from repro.core.engine import VerdictAnswer, VerdictEngine
 from repro.db.catalog import Catalog
 from repro.db.executor import ExactExecutor
+from repro.db.scan import ScanCounters
 from repro.db.table import Table
 from repro.deadline import Deadline, current_deadline, deadline_scope
 from repro.errors import DeadlineExceeded, ReproError, ServiceError
+from repro.obs.metrics import MetricFamily
+from repro.obs.trace import Tracer, current_trace, set_attrs
+from repro.obs.trace import event as trace_event
+from repro.obs.trace import span as trace_span
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.planner import QueryPlanner, Route, RouteDecision, ServiceBudget
@@ -247,6 +253,13 @@ class VerdictService:
         ``trainer_restart_backoff_s``; when every retry fails the trainer is
         marked dead (visible in :meth:`health`) until a later round
         succeeds.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`.  When set, requests that
+        arrive without an ambient trace (direct :meth:`query` callers) get
+        a root span of their own; requests already traced (the HTTP front
+        door opens the root) just contribute child spans.  ``None`` (the
+        default) keeps the hot path span-free at the cost of one contextvar
+        read per instrumented site.
     """
 
     def __init__(
@@ -269,6 +282,7 @@ class VerdictService:
         breaker_cooldown_s: float = 5.0,
         trainer_max_restarts: int = 3,
         trainer_restart_backoff_s: float = 0.05,
+        tracer: Tracer | None = None,
     ):
         if max_workers <= 0:
             raise ServiceError("max_workers must be positive")
@@ -279,8 +293,16 @@ class VerdictService:
         if trainer_max_restarts < 0:
             raise ServiceError("trainer_max_restarts must be non-negative")
         self.catalog = catalog
+        # One scan-accounting stream shared by every engine this service
+        # owns: the metrics "scan" view then attributes exactly this
+        # service's scans, co-resident services notwithstanding.
+        self.scan_counters = ScanCounters()
         self.aqp = OnlineAggregationEngine(
-            catalog, sampling=sampling, cost_model=cost_model, vectorized=vectorized
+            catalog,
+            sampling=sampling,
+            cost_model=cost_model,
+            vectorized=vectorized,
+            scan_counters=self.scan_counters,
         )
         self.time_bound = TimeBoundEngine(
             catalog,
@@ -288,13 +310,17 @@ class VerdictService:
             cost_model=cost_model,
             sample_store=self.aqp.samples,
             vectorized=vectorized,
+            scan_counters=self.scan_counters,
         )
         self.engine = VerdictEngine(
             catalog, self.aqp, config=config, time_bound_engine=self.time_bound
         )
-        self.exact = ExactExecutor(catalog, vectorized=vectorized)
+        self.exact = ExactExecutor(
+            catalog, vectorized=vectorized, scan_counters=self.scan_counters
+        )
         self.planner = QueryPlanner(self.engine, confidence=confidence)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(scan_counters=self.scan_counters)
+        self.tracer = tracer
         self.store = store
         self.confidence = confidence
         self.multiplier = confidence_multiplier(confidence)
@@ -369,7 +395,138 @@ class VerdictService:
         and propagates parse errors to the caller.
         """
         with self._request_scope():
+            if self.tracer is not None and current_trace() is None:
+                # Direct callers (no HTTP front door) still get a trace:
+                # mint a root here so the ring and trace log see them.
+                with self.tracer.request(name="service.query") as root:
+                    root.set(sql=sql if isinstance(sql, str) else (sql.text or ""))
+                    return self._serve_query(sql, budget, record)
             return self._serve_query(sql, budget, record)
+
+    def explain(
+        self,
+        sql: Union[str, ast.Query],
+        budget: ServiceBudget | None = None,
+    ) -> dict:
+        """The planner's full decision record for one request, *unexecuted*.
+
+        Returns plain data mirroring exactly what :meth:`query` would do
+        with this budget right now: the candidate-route table (cost/error
+        estimates, planning order, per-route reasons), whether the answer
+        cache would hit, each breaker's state and the resulting skip
+        decisions, and the cost-model inputs (estimated scan rows, sample
+        batch rows, synopsis readiness).  Reading breaker state here never
+        consumes a half-open probe slot, and the cache probe never touches
+        LRU order -- EXPLAIN observes, it does not perturb.
+        """
+        with self._request_scope():
+            budget = budget or self.default_budget
+            parsed, check = self.engine.check(sql)
+            cached = self._cache_probe(sql, budget)
+            decisions = self.planner.plan(parsed, check, budget)
+            order = {decision.route: index for index, decision in enumerate(decisions)}
+            planned = {decision.route: decision for decision in decisions}
+            snippets = self.planner.synopsis_snippets_for(parsed.table)
+
+            candidates: list[dict] = [
+                {
+                    "route": Route.CACHED.value,
+                    "planned": cached is not None,
+                    "would_attempt": cached is not None,
+                    "reason": (
+                        "cache holds a current answer within the error budget"
+                        if cached is not None
+                        else "no current cache entry satisfies the budget"
+                    ),
+                    "cached_error_bound": (
+                        cached.relative_error_bound if cached is not None else None
+                    ),
+                }
+            ]
+            chosen = Route.CACHED.value if cached is not None else None
+            for route in (Route.LEARNED, Route.ONLINE_AGG, Route.EXACT):
+                entry: dict = {"route": route.value, "planned": route in planned}
+                decision = planned.get(route)
+                if decision is None:
+                    if route is Route.LEARNED and not check.supported:
+                        entry["reason"] = (
+                            "query class is unsupported by the learned synopsis"
+                        )
+                    elif route is Route.LEARNED and snippets == 0:
+                        entry["reason"] = (
+                            f"synopsis holds no ready snippets for {parsed.table!r}"
+                        )
+                    else:
+                        entry["reason"] = "budget demands an exact answer"
+                    entry["would_attempt"] = False
+                    candidates.append(entry)
+                    continue
+                entry.update(decision.as_dict())
+                entry["order"] = order[route]
+                breaker = self._breakers.get(route)
+                would_attempt = True
+                skip_reason = None
+                if breaker is not None:
+                    snapshot = breaker.snapshot()
+                    entry["breaker"] = snapshot
+                    if snapshot["state"] == "open":
+                        would_attempt = False
+                        skip_reason = (
+                            "circuit breaker open for another "
+                            f"{snapshot['cooldown_remaining_s']:.3g}s"
+                        )
+                if route is Route.ONLINE_AGG and Route.LEARNED in planned:
+                    entry["note"] = (
+                        "skipped when the learned route answers: its improved "
+                        "bound is never larger (Theorem 1); runs only as the "
+                        "fallback for inference errors"
+                    )
+                entry["would_attempt"] = would_attempt
+                if skip_reason is not None:
+                    entry["skip_reason"] = skip_reason
+                if chosen is None and would_attempt:
+                    chosen = route.value
+                candidates.append(entry)
+
+            deadline = current_deadline()
+            return {
+                "sql": parsed.text or (sql if isinstance(sql, str) else ""),
+                "table": parsed.table,
+                "supported": check.supported,
+                "unsupported_reasons": list(check.reasons),
+                "budget": {
+                    "max_relative_error": budget.max_relative_error,
+                    "max_latency_s": budget.max_latency_s,
+                    "deadline_s": budget.deadline_s,
+                    "requires_exact": budget.requires_exact,
+                },
+                "deadline": {
+                    "ambient": deadline is not None,
+                    "remaining_s": (
+                        deadline.remaining_s if deadline is not None else None
+                    ),
+                },
+                "candidates": candidates,
+                "chosen_route": chosen,
+                "cost_model_inputs": {
+                    "estimated_exact_rows": self.planner.estimated_exact_rows(parsed),
+                    "estimated_first_batch_rows": (
+                        self.planner.estimated_first_batch_rows(parsed)
+                    ),
+                    "synopsis_snippets_for_table": snippets,
+                    "confidence": self.confidence,
+                },
+                "versions": {
+                    "synopsis": self.engine.synopsis.version,
+                    "catalog": self.catalog.catalog_version,
+                    "models": self.engine.models_version,
+                    "synopsis_size": self.engine.synopsis_size(),
+                },
+                "cache": {
+                    "would_hit": cached is not None,
+                    "entries": self.cache_size(),
+                },
+            }
 
     def _serve_query(
         self,
@@ -403,7 +560,10 @@ class VerdictService:
         # The cache is keyed by the request itself (SQL text or parsed
         # query), checked *before* parsing: a hit costs a dict probe and two
         # version comparisons, not a parse.
-        cached = self._cache_lookup(sql, budget)
+        with trace_span("cache.lookup") as cache_span:
+            cached = self._cache_lookup(sql, budget)
+            if cache_span is not None:
+                cache_span.set(hit=cached is not None)
         if cached is not None:
             wall = time.perf_counter() - started
             answer = replace(
@@ -413,10 +573,20 @@ class VerdictService:
             self.metrics.observe(
                 Route.CACHED.value, wall, model_seconds=0.0, budget_met=True
             )
+            set_attrs(
+                route=Route.CACHED.value,
+                error_bound=answer.relative_error_bound,
+            )
             return answer
 
         parsed, check = self.engine.check(sql)
-        decisions = self.planner.plan(parsed, check, budget)
+        with trace_span("plan") as plan_span:
+            decisions = self.planner.plan(parsed, check, budget)
+            if plan_span is not None:
+                plan_span.set(
+                    supported=check.supported,
+                    candidates=[decision.as_dict() for decision in decisions],
+                )
         best: ServedAnswer | None = None
         best_raw: AQPAnswer | None = None
         best_versions: tuple[int, int, int] | None = None
@@ -428,6 +598,11 @@ class VerdictService:
                 # answers with inference, whose bound is never larger
                 # (Theorem 1).  Online aggregation only runs as the fallback
                 # when inference itself *errored*.
+                trace_event(
+                    "route.skip",
+                    route=decision.route.value,
+                    reason="dominated by the learned answer (Theorem 1)",
+                )
                 continue
             if (
                 best is not None
@@ -435,6 +610,12 @@ class VerdictService:
                 and decision.estimated_seconds > budget.max_latency_s
             ):
                 # Escalating would blow the latency budget; keep best effort.
+                trace_event(
+                    "route.skip",
+                    route=decision.route.value,
+                    reason="estimated cost exceeds the latency budget",
+                    estimated_seconds=decision.estimated_seconds,
+                )
                 continue
             breaker = self._breakers.get(decision.route)
             if breaker is not None and not breaker.allow():
@@ -442,12 +623,30 @@ class VerdictService:
                 # skip straight to the fallback instead of paying for
                 # another failure.
                 self.metrics.record_event(f"breaker.{decision.route.value}.skip")
+                trace_event(
+                    "route.skip",
+                    route=decision.route.value,
+                    reason="circuit breaker rejected the attempt",
+                )
                 fallback = True
                 continue
             try:
-                candidate, raw, versions = self._execute_route(
-                    decision, parsed, check, budget
-                )
+                with trace_span(
+                    f"route.{decision.route.value}",
+                    predicted_seconds=decision.estimated_seconds,
+                    predicted_rows=decision.estimated_rows,
+                    predicted_error=decision.estimated_error,
+                ) as route_span:
+                    candidate, raw, versions = self._execute_route(
+                        decision, parsed, check, budget
+                    )
+                    if route_span is not None:
+                        route_span.set(
+                            observed_seconds=candidate.model_seconds,
+                            observed_error=candidate.relative_error_bound,
+                            batches=candidate.batches_processed,
+                            degraded=candidate.degraded,
+                        )
             except DeadlineExceeded:
                 if breaker is not None:
                     # The client's clock ran out; that says nothing about
@@ -496,7 +695,10 @@ class VerdictService:
         recorded = False
         cache_versions = best_versions
         if should_record and check.supported and best_raw is not None:
-            recorded, pre_version, post_versions = self._record(parsed, best_raw)
+            with trace_span("record") as record_span:
+                recorded, pre_version, post_versions = self._record(parsed, best_raw)
+                if record_span is not None:
+                    record_span.set(recorded=recorded)
             if recorded and (pre_version, post_versions[1], post_versions[2]) == best_versions:
                 # Recording this answer's own snippets is the only mutation
                 # since execution, and it does not invalidate the answer:
@@ -516,6 +718,12 @@ class VerdictService:
             budget_met=budget_met,
             fallback=fallback,
         )
+        set_attrs(
+            route=answer.route.value,
+            error_bound=answer.relative_error_bound,
+            model_seconds=answer.model_seconds,
+            budget_met=budget_met,
+        )
         return answer
 
     def submit(
@@ -528,7 +736,11 @@ class VerdictService:
         if self._phase != "serving":
             raise ServiceError("service is closed")
         faults.inject("service.submit")
-        return self._pool.submit(self.query, sql, budget, record)
+        # The ambient trace (and any other contextvars, e.g. a deadline
+        # scope) must follow the request onto the worker thread; a plain
+        # submit would run it in the pool thread's own empty context.
+        context = contextvars.copy_context()
+        return self._pool.submit(context.run, self.query, sql, budget, record)
 
     def append(self, table_name: str, appended: Table, adjust: bool = True) -> int:
         """Append tuples to a fact table with exclusive access (Appendix D).
@@ -784,7 +996,80 @@ class VerdictService:
         }
         if self.store is not None:
             data["store"] = self.store.state_snapshot()
+        if self.tracer is not None:
+            data["tracer"] = self.tracer.stats()
         return data
+
+    #: Breaker states as gauge values (Prometheus cannot carry strings).
+    _BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+    def metric_families(self, labels: dict | None = None) -> list[MetricFamily]:
+        """Everything :meth:`observability` reports, as typed metric families.
+
+        The route counters/histograms come from :class:`ServiceMetrics`;
+        this adds breaker state, trainer liveness, store recovery counters,
+        and answer-cache residency -- the one registry the Prometheus
+        endpoint renders.  ``labels`` (typically ``{"tenant": name}``) is
+        stamped on every sample.
+        """
+        base = dict(labels or {})
+        families = self.metrics.metric_families(base)
+        breaker_state = MetricFamily(
+            "verdict_breaker_state",
+            "gauge",
+            "Route circuit-breaker state (0=closed, 1=half_open, 2=open).",
+        )
+        breaker_transitions = MetricFamily(
+            "verdict_breaker_transitions_total",
+            "counter",
+            "Circuit-breaker state transitions, by route.",
+        )
+        for route, breaker in self._breakers.items():
+            snapshot = breaker.snapshot()
+            breaker_state.add(
+                base | {"route": route.value},
+                self._BREAKER_STATE_VALUES.get(snapshot["state"], 0),
+            )
+            breaker_transitions.add(
+                base | {"route": route.value}, snapshot["transitions"]
+            )
+        trainer_restarts = MetricFamily(
+            "verdict_trainer_restarts_total",
+            "counter",
+            "Background-trainer crash restarts.",
+        ).add(base, self.trainer_restarts)
+        trainer_dead = MetricFamily(
+            "verdict_trainer_dead",
+            "gauge",
+            "1 when the background trainer exhausted its restarts.",
+        ).add(base, 1 if self._trainer_dead else 0)
+        cache_entries = MetricFamily(
+            "verdict_cache_entries",
+            "gauge",
+            "Answer-cache entries resident.",
+        ).add(base, self.cache_size())
+        families += [
+            breaker_state,
+            breaker_transitions,
+            trainer_restarts,
+            trainer_dead,
+            cache_entries,
+        ]
+        if self.store is not None:
+            store_events = MetricFamily(
+                "verdict_store_events_total",
+                "counter",
+                "Synopsis-store recovery and maintenance events, by kind.",
+            )
+            for name, count in sorted(self.store.counters.items()):
+                store_events.add(base | {"event": name}, count)
+            quarantined = MetricFamily(
+                "verdict_store_quarantined",
+                "gauge",
+                "1 when the store quarantined a corrupt snapshot.",
+            ).add(base, 1 if self.store.quarantined else 0)
+            families += [store_events, quarantined]
+        return families
 
     # -------------------------------------------------------------- lifecycle
 
@@ -1099,6 +1384,28 @@ class VerdictService:
             if not budget.error_met(entry.answer.relative_error_bound):
                 return None
             self._state.cache.move_to_end(request)
+            return entry.answer
+
+    def _cache_probe(
+        self, request: Union[str, ast.Query], budget: ServiceBudget
+    ) -> ServedAnswer | None:
+        """Read-only cache check for EXPLAIN: observes, never perturbs.
+
+        Unlike :meth:`_cache_lookup` this neither evicts stale entries nor
+        promotes hits in the LRU order -- an EXPLAIN must leave the service
+        exactly as it found it.
+        """
+        with self._cache_lock:
+            entry: _CacheEntry | None = self._state.cache.get(request)
+            if entry is None:
+                return None
+            stale = (
+                entry.synopsis_version != self.engine.synopsis.version
+                or entry.catalog_version != self.catalog.catalog_version
+                or entry.models_version != self.engine.models_version
+            )
+            if stale or not budget.error_met(entry.answer.relative_error_bound):
+                return None
             return entry.answer
 
     def _cache_store(

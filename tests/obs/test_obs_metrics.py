@@ -1,0 +1,156 @@
+"""Unit tests for metric families and the Prometheus text renderer."""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricFamily, merge_families, render_prometheus
+
+#: One exposition sample line: name{labels} value
+SAMPLE_RE = re.compile(
+    r"\A(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)\Z"
+)
+
+
+def parse_exposition(text: str) -> dict:
+    """Minimal 0.0.4 parser: validates structure, returns {series: value}."""
+    series: dict[str, float] = {}
+    typed: dict[str, str] = {}
+    for line in text.strip().splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram")
+            assert name not in typed, f"duplicate TYPE for {name}"
+            typed[name] = kind
+            continue
+        match = SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        base = re.sub(r"_(bucket|sum|count)$", "", match["name"])
+        assert match["name"] in typed or base in typed, f"undeclared {match['name']}"
+        series[f"{match['name']}{{{match['labels'] or ''}}}"] = float(match["value"])
+    return series
+
+
+class TestMetricFamily:
+    def test_kind_is_checked(self):
+        with pytest.raises(ValueError):
+            MetricFamily("x", "summary", "nope")
+
+    def test_add_histogram_checks_bucket_arity(self):
+        family = MetricFamily("h", "histogram", "help")
+        with pytest.raises(ValueError):
+            family.add_histogram({}, (1.0, 2.0), [1, 2], 0.5, 3)  # missing +Inf
+
+    def test_add_histogram_on_counter_rejected(self):
+        with pytest.raises(ValueError):
+            MetricFamily("c", "counter", "help").add_histogram({}, (), [0], 0, 0)
+
+
+class TestRenderer:
+    def test_counter_and_gauge(self):
+        families = [
+            MetricFamily("req_total", "counter", "Requests.")
+            .add({"route": "learned"}, 3)
+            .add({"route": "exact"}, 1),
+            MetricFamily("active", "gauge", "Now running.").add({}, 2),
+        ]
+        text = render_prometheus(families)
+        series = parse_exposition(text)
+        assert series['req_total{route="learned"}'] == 3
+        assert series['req_total{route="exact"}'] == 1
+        assert series["active{}"] == 2
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        family = MetricFamily("lat", "histogram", "Latency.")
+        # bounds (0.1, 1.0): 2 below 0.1, 3 in (0.1,1], 1 overflow
+        family.add_histogram({"op": "scan"}, (0.1, 1.0), [2, 3, 1], 2.5, 6)
+        series = parse_exposition(render_prometheus([family]))
+        assert series['lat_bucket{le="0.1",op="scan"}'] == 2
+        assert series['lat_bucket{le="1",op="scan"}'] == 5
+        assert series['lat_bucket{le="+Inf",op="scan"}'] == 6
+        assert series['lat_sum{op="scan"}'] == 2.5
+        assert series['lat_count{op="scan"}'] == 6
+
+    def test_label_escaping(self):
+        family = MetricFamily("weird", "gauge", "Help with\nnewline.").add(
+            {"q": 'say "hi"\\now'}, 1
+        )
+        text = render_prometheus([family])
+        assert '\\"hi\\"' in text
+        assert "Help with\\nnewline." in text
+        # escaped payload still one line per sample
+        assert len(text.strip().splitlines()) == 3
+
+    def test_labels_sorted_deterministically(self):
+        one = MetricFamily("m", "counter", "h").add({"b": "2", "a": "1"}, 1)
+        two = MetricFamily("m", "counter", "h").add({"a": "1", "b": "2"}, 1)
+        assert render_prometheus([one]) == render_prometheus([two])
+
+    def test_float_and_int_formatting(self):
+        family = MetricFamily("v", "gauge", "h").add({}, 2.0).add({"k": "f"}, 2.5)
+        text = render_prometheus([family])
+        assert "v 2\n" in text
+        assert "v{k=\"f\"} 2.5" in text
+
+    def test_empty_is_empty(self):
+        assert render_prometheus([]) == ""
+
+
+class TestMergeFamilies:
+    def test_merges_same_name_preserving_order(self):
+        tenant_a = MetricFamily("req_total", "counter", "Requests.").add(
+            {"tenant": "a"}, 1
+        )
+        other = MetricFamily("active", "gauge", "Now.").add({}, 4)
+        tenant_b = MetricFamily("req_total", "counter", "Requests.").add(
+            {"tenant": "b"}, 2
+        )
+        merged = merge_families([tenant_a, other, tenant_b])
+        assert [family.name for family in merged] == ["req_total", "active"]
+        series = parse_exposition(render_prometheus(merged))
+        assert series['req_total{tenant="a"}'] == 1
+        assert series['req_total{tenant="b"}'] == 2
+
+    def test_merge_leaves_inputs_usable(self):
+        base = MetricFamily("x", "counter", "h").add({}, 1)
+        merged = merge_families([base, MetricFamily("x", "counter", "h").add({}, 2)])
+        assert len(base.samples) == 1  # the merge copied, not aliased
+        assert len(merged[0].samples) == 2
+
+    def test_parser_rejects_duplicate_type_blocks(self):
+        """The helper parser enforces what merge_families exists to fix."""
+        unmerged = [
+            MetricFamily("dup", "counter", "h").add({"t": "a"}, 1),
+            MetricFamily("dup", "counter", "h").add({"t": "b"}, 1),
+        ]
+        with pytest.raises(AssertionError):
+            parse_exposition(render_prometheus(unmerged))
+        parse_exposition(render_prometheus(merge_families(unmerged)))
+
+
+class TestServiceMetricsFamilies:
+    def test_service_metrics_render_parses(self):
+        from repro.serve.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.observe("learned", 0.01, model_seconds=0.5, budget_met=True)
+        metrics.observe("exact", 0.2, model_seconds=2.0, fallback=True)
+        metrics.record_event("deadline.exceeded")
+        series = parse_exposition(
+            render_prometheus(metrics.metric_families({"tenant": "t"}))
+        )
+        assert series['verdict_requests_total{route="learned",tenant="t"}'] == 1
+        assert series['verdict_route_fallbacks_total{route="exact",tenant="t"}'] == 1
+        assert (
+            series['verdict_events_total{event="deadline.exceeded",tenant="t"}'] == 1
+        )
+        assert math.isclose(
+            series['verdict_route_wall_seconds_sum{route="exact",tenant="t"}'], 0.2
+        )
+        assert series['verdict_route_wall_seconds_count{route="exact",tenant="t"}'] == 1

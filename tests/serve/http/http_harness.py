@@ -66,6 +66,7 @@ def start_server(
     queue_timeout_s: float = 5.0,
     max_loaded: int = 8,
     audit: bool = True,
+    tracer=None,
     **service_kwargs,
 ) -> VerdictHTTPServer:
     """An in-process front door on a free port, tenants pre-created."""
@@ -84,6 +85,7 @@ def start_server(
         max_queued=max_queued,
         queue_timeout_s=queue_timeout_s,
         audit=AuditLog.open_session(root / "audit") if audit else None,
+        tracer=tracer,
     )
     return server.start()
 

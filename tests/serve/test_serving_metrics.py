@@ -19,9 +19,25 @@ class TestLatencyHistogram:
         for value in range(1, 101):
             histogram.observe(value / 1000.0)
         assert histogram.count == 100
-        assert abs(histogram.quantile(0.5) - 0.051) < 1e-12
-        assert abs(histogram.quantile(0.99) - 0.1) < 1e-12
+        # Nearest-rank: p50 of 100 ordered values is the 50th (0.050), not
+        # the 51st -- the old implementation rounded the rank up by one.
+        assert abs(histogram.quantile(0.5) - 0.050) < 1e-12
+        assert abs(histogram.quantile(0.99) - 0.099) < 1e-12
+        assert abs(histogram.quantile(1.0) - 0.1) < 1e-12
         assert histogram.max_seconds == 0.1
+
+    def test_quantile_nearest_rank_definition(self):
+        # Direct check of the ceil-based nearest-rank rule on a small set:
+        # for n=4 values, q=0.5 -> rank ceil(2)=2 -> the 2nd smallest.
+        histogram = LatencyHistogram()
+        for value in (0.4, 0.1, 0.3, 0.2):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.1
+        assert histogram.quantile(0.25) == 0.1
+        assert histogram.quantile(0.5) == 0.2
+        assert histogram.quantile(0.75) == 0.3
+        assert histogram.quantile(0.51) == 0.3
+        assert histogram.quantile(1.0) == 0.4
 
     def test_buckets_partition_observations(self):
         histogram = LatencyHistogram()
