@@ -373,6 +373,110 @@ def check_tracing(payload: dict) -> list[str]:
     return []
 
 
+def run_replication_overhead(
+    rows: int,
+    num_queries: int,
+    concurrency: int,
+    sample_ratio: float = 0.2,
+    batches: int = 5,
+    workers: int = 4,
+) -> dict:
+    """Replicated-leader vs standalone throughput on paired disjoint traces.
+
+    Two identically-configured leader subprocesses -- one standalone, one
+    with a live follower subprocess pulling its WAL (async acks, the
+    default) -- replay the same disjoint traces back to back, so machine
+    drift hits both sides of each pair.  The gate takes the best per-trace
+    ratio (same rationale as the tracing gate): shipping the WAL to a
+    follower must keep >= 0.9x standalone throughput on the read path.
+    """
+    import tempfile
+
+    traces = [make_trace(tag=tag, num_queries=num_queries) for tag in (0, 1, 2)]
+    servers: dict[str, ServerProcess] = {}
+    follower: ServerProcess | None = None
+    rates: dict[str, list[float]] = {"standalone": [], "replicated": []}
+    try:
+        for mode in ("standalone", "replicated"):
+            root = Path(tempfile.mkdtemp(prefix=f"bench-http-{mode}-"))
+            servers[mode] = ServerProcess(
+                root, rows, sample_ratio, batches, workers, queue=64
+            )
+        follower_root = Path(tempfile.mkdtemp(prefix="bench-http-follower-"))
+        follower = ServerProcess(
+            follower_root, rows, sample_ratio, batches, workers, queue=64,
+            extra_args=(
+                "--follow",
+                f"127.0.0.1:{servers['replicated'].port}",
+                "--repl-poll",
+                "0.2",
+            ),
+        )
+
+        from repro.serve.client import VerdictClient
+
+        for server in servers.values():
+            with VerdictClient(
+                port=server.port, tenant=TENANT, timeout_s=300.0
+            ) as admin:
+                for sql in TRAINING_SQL:
+                    admin.record(sql)
+                admin.train()
+
+        for trace in traces:
+            for mode, server in servers.items():
+                report = replay_trace_through_client(
+                    "127.0.0.1",
+                    server.port,
+                    TENANT,
+                    trace,
+                    concurrency=concurrency,
+                    timeout_s=300.0,
+                )
+                if report.failures:
+                    raise RuntimeError(
+                        f"{report.failures} failures replaying on the "
+                        f"{mode} server"
+                    )
+                rates[mode].append(report.queries_per_second)
+    finally:
+        if follower is not None:
+            follower.stop()
+        for server in servers.values():
+            server.stop()
+
+    ratios = [
+        replicated / max(standalone, 1e-12)
+        for replicated, standalone in zip(
+            rates["replicated"], rates["standalone"]
+        )
+    ]
+    return {
+        "benchmark": "http-replication-overhead",
+        "description": (
+            "Paired trace replay against a leader shipping its WAL to a "
+            "live pulling follower vs an identical standalone server."
+        ),
+        "workload": {
+            "num_rows": rows,
+            "num_queries": num_queries,
+            "concurrency": concurrency,
+            "workers": workers,
+        },
+        "standalone_qps": rates["standalone"],
+        "replicated_qps": rates["replicated"],
+        "ratios": ratios,
+        "replication_overhead_ratio": max(ratios),
+    }
+
+
+def check_replication(payload: dict) -> list[str]:
+    ratio = payload["replication_overhead_ratio"]
+    if ratio < 0.9:
+        return [f"replicated-leader throughput {ratio:.2f}x standalone (< 0.9x)"]
+    return []
+
+
 #: Smoke configuration: small table, short per-level traces, but the full
 #: 32-client top level -- the acceptance bar is measured where it matters.
 SMOKE = dict(rows=50_000, queries_per_level=128, concurrency_levels=(1, 8, 32))
@@ -380,6 +484,10 @@ SMOKE = dict(rows=50_000, queries_per_level=128, concurrency_levels=(1, 8, 32))
 #: Tracing-overhead smoke: smaller table and mid concurrency -- the
 #: per-request tracing cost is what is being bounded, not peak throughput.
 TRACING_SMOKE = dict(rows=30_000, num_queries=96, concurrency=8)
+
+#: Replication-overhead smoke: same shape as the tracing gate -- the cost
+#: being bounded is WAL shipping on the leader's request path.
+REPLICATION_SMOKE = dict(rows=30_000, num_queries=96, concurrency=8)
 
 #: The committed-artifact configuration.
 FULL = dict(rows=100_000, queries_per_level=160, concurrency_levels=(1, 8, 32))
@@ -412,6 +520,12 @@ def test_tracing_overhead_smoke():
     assert not check_tracing(payload), check_tracing(payload)
 
 
+def test_replication_overhead_smoke():
+    """Pytest entry: a replicated leader must keep >= 0.9x standalone."""
+    payload = run_replication_overhead(**REPLICATION_SMOKE)
+    assert not check_replication(payload), check_replication(payload)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="CI gate: small + strict")
@@ -425,6 +539,9 @@ def main() -> int:
         tracing = run_tracing_overhead(**TRACING_SMOKE)
         print(json.dumps(tracing, indent=2))
         problems += check_tracing(tracing)
+        replication = run_replication_overhead(**REPLICATION_SMOKE)
+        print(json.dumps(replication, indent=2))
+        problems += check_replication(replication)
         for problem in problems:
             print(f"FAIL: {problem}")
         if problems:
@@ -432,7 +549,9 @@ def main() -> int:
         print(
             f"smoke OK in {time.perf_counter() - started:.1f}s: wire ratio "
             f"{payload['wire_ratio_at_top_concurrency']:.2f}x in-process, "
-            f"tracing {tracing['tracing_overhead_ratio']:.2f}x untraced"
+            f"tracing {tracing['tracing_overhead_ratio']:.2f}x untraced, "
+            f"replication {replication['replication_overhead_ratio']:.2f}x "
+            f"standalone"
         )
         return 0
 

@@ -82,6 +82,51 @@ class DeadlineExceeded(ReproError):
     """
 
 
+class ReplicationError(ReproError):
+    """Leader/follower WAL shipping failed (torn record, bad metadata, ...)."""
+
+
+class EpochFencedError(ReplicationError):
+    """A write or shipped record carries a stale or divergent fencing epoch.
+
+    This is the split-brain hard error: after a promotion bumps the fencing
+    epoch, anything still stamped with the old epoch -- a deposed leader's
+    late write, a record shipped from a superseded lineage -- is rejected
+    outright rather than silently merged.  ``local`` and ``remote`` carry
+    the two ``(epoch, lineage)`` pairs involved, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        local: tuple[int, str] | None = None,
+        remote: tuple[int, str] | None = None,
+    ):
+        super().__init__(message)
+        self.local = local
+        self.remote = remote
+
+
+class ReplicationGapError(ReplicationError):
+    """Shipped records do not follow on from the follower's applied state.
+
+    Raised on a sequence or version-chain gap during apply; the follower
+    recovers by re-bootstrapping from a fresh leader snapshot.
+    """
+
+
+class ReadOnlyFollowerError(ReplicationError):
+    """A mutating request reached a read-only follower.
+
+    ``leader``, when known, is the leader endpoint the client should retry
+    against (surfaced as the ``leader`` hint in the HTTP error body).
+    """
+
+    def __init__(self, message: str, leader: str | None = None):
+        super().__init__(message)
+        self.leader = leader
+
+
 class FaultInjectedError(ReproError):
     """An injected fault fired (``action: "error"`` in a fault plan).
 

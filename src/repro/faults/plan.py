@@ -36,6 +36,14 @@ KNOWN_POINTS = frozenset(
         "store.snapshot.fsync",  # before fsyncing the snapshot tmp file
         "store.snapshot.rename",  # before the tmp -> snapshot.json publish rename
         "store.replay.record",  # applying one delta record during restore
+        "store.dir.fsync",  # before fsyncing a directory after a rename publish
+        # --- replication (serve/replication/, serve/http/server.py)
+        "repl.ship.snapshot",  # leader serving a bootstrap snapshot (supports "torn")
+        "repl.ship.deltas",  # leader serving a non-empty delta tail (supports "torn")
+        "repl.pull.cycle",  # follower starting one pull cycle
+        "repl.apply.record",  # follower appending one shipped delta record
+        "repl.apply.snapshot",  # follower installing a shipped snapshot
+        "repl.promote",  # during promotion, after the puller stops
         # --- serving layer (serve/service.py)
         "service.route.learned",  # executing the learned route
         "service.route.online_agg",  # executing the online-aggregation route

@@ -16,15 +16,27 @@ retried only when it carries ``Retry-After`` -- an explicit "come back
 later"; a bare 503 means the server is going away and the caller should
 fail over, not camp on the socket.
 
-Transport-level drops (connection reset, refused) reconnect and retry only
-when ``retry_transport_errors`` is set **and the request is idempotent**:
-``ask`` with ``record=False`` and every GET.  A dropped connection leaves
-it unknown whether the server executed the request, so anything that
-mutates learned state (``feedback/append``, ``feedback/record``, recording
-asks, admin calls) is never replayed blindly -- a duplicate append would
-silently double rows.  Non-idempotent requests raise
-:class:`TransportError` so callers see crashes honestly and decide
-themselves.
+Transport-level drops are split by *when* the connection died.  A refused
+or failed **connect** means the request was provably never sent, so it is
+safe to retry -- against the next endpoint when several are configured --
+for *any* request, mutating or not.  A connection that died **in flight**
+(reset, timeout after the bytes left) leaves the request's fate unknown:
+those reconnect and retry only when ``retry_transport_errors`` is set
+**and the request is idempotent** (``ask`` with ``record=False`` and every
+GET).  Anything that mutates learned state (``feedback/append``,
+``feedback/record``, recording asks, admin calls) is never replayed
+blindly -- a duplicate append would silently double rows.  Non-idempotent
+in-flight drops raise :class:`TransportError` so callers see crashes
+honestly and decide themselves.
+
+Failover: pass ``endpoints=["host:a", "host:b"]`` to spread one logical
+service over a replicated leader/follower pair.  A mutating request that
+lands on a read-only follower comes back as a typed 503 whose body names
+the leader; the client adopts that endpoint and retries -- safe for any
+request, because the follower rejected it before doing anything.  A
+``retry_budget_s`` wall-clock budget bounds the *total* time spent
+retrying (backoff sleeps included) per call; exceeding it raises
+:class:`RetriesExhausted` instead of sleeping into the caller's deadline.
 
 Every HTTP error status maps to a typed exception carrying the server's
 machine-readable error code (:class:`BadRequestError`,
@@ -81,6 +93,31 @@ class RemoteError(ClientError):
     """Any other non-2xx response (including 500 internal errors)."""
 
 
+class RetriesExhausted(ClientError):
+    """The per-call ``retry_budget_s`` wall clock ran out while retrying.
+
+    Raised *instead of* sleeping past the budget, so a caller with a
+    deadline gets the time back.  Carries the last status/code seen.
+    """
+
+
+def parse_endpoint(value: str, default_port: int = 8123) -> tuple[str, int]:
+    """``host``, ``host:port``, or ``http://host:port[/...]`` -> (host, port)."""
+    text = value.strip()
+    if "//" in text:
+        text = text.split("//", 1)[1]
+    text = text.split("/", 1)[0]
+    host, _, port = text.partition(":")
+    if not host:
+        raise ClientError(f"invalid endpoint {value!r}")
+    if not port:
+        return host, default_port
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ClientError(f"invalid endpoint {value!r}") from None
+
+
 _STATUS_EXCEPTIONS = {
     400: BadRequestError,
     404: NotFoundError,
@@ -107,11 +144,25 @@ class VerdictClient:
         Exponential backoff schedule: attempt ``k`` sleeps
         ``min(cap, base * 2**k)`` scaled by jitter in ``[0.5, 1.0]``.
     retry_transport_errors:
-        Also retry (with the same backoff) when the connection drops, for
-        *idempotent* requests only (GETs and non-recording asks) -- useful
-        across a server restart; off by default.
+        Also retry (with the same backoff) when an established connection
+        drops mid-request, for *idempotent* requests only (GETs and
+        non-recording asks) -- useful across a server restart; off by
+        default.  A failed *connect* is always retryable regardless (the
+        request was never sent).
     seed:
         Seed of the deterministic jitter stream.
+    endpoints:
+        Optional list of ``host:port`` endpoints forming one logical
+        service (a replicated pair).  The first is tried first; a refused
+        connect or a follower rejection rotates to the next.  Overrides
+        ``host``/``port``.
+    retry_budget_s:
+        Wall-clock budget for retrying one call (sleeps included).  When a
+        retry would sleep past it, :class:`RetriesExhausted` is raised
+        instead.  ``None`` (default) keeps the attempt-count limit only.
+    follow_leader_hints:
+        Follow the ``leader`` endpoint named in a follower's typed 503
+        rejection (on by default).
     """
 
     def __init__(
@@ -125,16 +176,27 @@ class VerdictClient:
         backoff_cap_s: float = 2.0,
         retry_transport_errors: bool = False,
         seed: int = 0,
+        endpoints: Sequence[str] | None = None,
+        retry_budget_s: float | None = None,
+        follow_leader_hints: bool = True,
     ):
-        self.host = host
-        self.port = port
+        if endpoints:
+            self._endpoints = [parse_endpoint(entry) for entry in endpoints]
+        else:
+            self._endpoints = [(host, port)]
+        self._endpoint_index = 0
+        self.host, self.port = self._endpoints[0]
         self.tenant = tenant
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.retry_transport_errors = retry_transport_errors
+        self.retry_budget_s = retry_budget_s
+        self.follow_leader_hints = follow_leader_hints
         self.retries_performed = 0
+        #: Endpoint switches performed (rotations + followed leader hints).
+        self.failovers_performed = 0
         #: Request id of the most recent response (the server echoes the
         #: offered X-Request-Id or the id it minted).
         self.last_request_id: str | None = None
@@ -295,6 +357,48 @@ class VerdictClient:
     def health(self) -> dict:
         return self._request("GET", "/v1/healthz", idempotent=True)
 
+    # ------------------------------------------------------------- replication
+
+    def replication_status(self) -> dict:
+        """Role, fencing epoch, per-tenant lag/ack state of this node."""
+        return self._request("GET", "/v1/replication/status", idempotent=True)
+
+    def replication_snapshot(self, tenant: str | None = None) -> dict:
+        """A shippable bootstrap snapshot document for one tenant."""
+        name = self._tenant(tenant)
+        return self._request(
+            "GET", f"/v1/replication/snapshot?tenant={name}", idempotent=True
+        )
+
+    def replication_deltas(
+        self,
+        tenant: str | None = None,
+        from_seq: int = 0,
+        epoch: int | None = None,
+        lineage: str | None = None,
+        max_records: int | None = None,
+    ) -> dict:
+        """The leader's WAL tail past ``from_seq`` (also acks through it)."""
+        name = self._tenant(tenant)
+        path = f"/v1/replication/deltas?tenant={name}&from={from_seq}"
+        if epoch is not None:
+            path += f"&epoch={epoch}"
+        if lineage:
+            path += f"&lineage={lineage}"
+        if max_records is not None:
+            path += f"&max_records={max_records}"
+        return self._request("GET", path, idempotent=True)
+
+    def promote(self) -> dict:
+        """Promote the connected follower to leader (manual failover)."""
+        return self._request("POST", "/v1/admin/promote", {})
+
+    def fence(self, epoch: int, lineage: str) -> dict:
+        """Tell this node a newer leader exists: stop accepting writes."""
+        return self._request(
+            "POST", "/v1/replication/fence", {"epoch": epoch, "lineage": lineage}
+        )
+
     def close(self) -> None:
         if self._connection is not None:
             self._connection.close()
@@ -346,6 +450,49 @@ class VerdictClient:
                 pass
             self._connection = None
 
+    def _rotate_endpoint(self) -> bool:
+        """Switch to the next configured endpoint; False with only one."""
+        if len(self._endpoints) < 2:
+            return False
+        self._drop_connection()
+        self._endpoint_index = (self._endpoint_index + 1) % len(self._endpoints)
+        self.host, self.port = self._endpoints[self._endpoint_index]
+        self.failovers_performed += 1
+        return True
+
+    def _adopt_endpoint(self, endpoint: str) -> None:
+        """Point at the leader a follower's rejection named."""
+        host, port = parse_endpoint(endpoint)
+        self._drop_connection()
+        if (host, port) in self._endpoints:
+            self._endpoint_index = self._endpoints.index((host, port))
+        else:
+            self._endpoints.append((host, port))
+            self._endpoint_index = len(self._endpoints) - 1
+        self.host, self.port = host, port
+        self.failovers_performed += 1
+
+    def _sleep_within_budget(
+        self, delay: float, deadline: float | None, context: str
+    ) -> None:
+        """Back off for ``delay`` -- unless that would bust the retry budget."""
+        if deadline is not None and time.monotonic() + delay > deadline:
+            raise RetriesExhausted(
+                f"{context}: retry budget of {self.retry_budget_s:g}s exhausted"
+            )
+        if delay > 0:
+            time.sleep(delay)
+
+    @staticmethod
+    def _error_info(data: bytes) -> dict:
+        """The typed error object of a failure body, tolerating garbage."""
+        try:
+            payload = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            return {}
+        error = payload.get("error") if isinstance(payload, dict) else None
+        return error if isinstance(error, dict) else {}
+
     def _request(
         self,
         method: str,
@@ -365,10 +512,44 @@ class VerdictClient:
             headers["Content-Type"] = "application/json"
         if request_id is not None:
             headers["X-Request-Id"] = request_id
+        context = f"{method} {path}"
         attempt = 0
+        # Endpoint switches (rotations, followed leader hints) are bounded
+        # separately from backoff retries: they are free of double-execution
+        # risk but must not ping-pong forever between two confused nodes.
+        hops = 0
+        max_hops = len(self._endpoints) + 2
+        deadline = (
+            None
+            if self.retry_budget_s is None
+            else time.monotonic() + self.retry_budget_s
+        )
         while True:
+            connection = self._connect()
+            if connection.sock is None:
+                # Connect explicitly so a refused/unreachable endpoint is
+                # distinguishable from an in-flight drop: nothing was sent,
+                # so retrying is safe for ANY request, mutating or not.
+                try:
+                    connection.connect()
+                except OSError as error:
+                    self._drop_connection()
+                    rotated = hops < max_hops and self._rotate_endpoint()
+                    if rotated:
+                        hops += 1
+                    if attempt < self.max_retries and (
+                        rotated or self.retry_transport_errors
+                    ):
+                        self.retries_performed += 1
+                        delay = 0.0 if rotated else self._backoff(attempt)
+                        self._sleep_within_budget(delay, deadline, context)
+                        attempt += 1
+                        continue
+                    raise TransportError(
+                        f"{context} failed: connect to {self.host}:{self.port}: "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
             try:
-                connection = self._connect()
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 data = response.read()
@@ -382,32 +563,60 @@ class VerdictClient:
                 OSError,
             ) as error:
                 self._drop_connection()
-                # A dropped connection leaves the request's fate unknown;
-                # only requests that are safe to execute twice are replayed.
+                # An in-flight drop leaves the request's fate unknown; only
+                # requests that are safe to execute twice are replayed --
+                # against the next endpoint when one is configured.
                 if (
                     self.retry_transport_errors
                     and idempotent
                     and attempt < self.max_retries
                 ):
+                    if hops < max_hops and self._rotate_endpoint():
+                        hops += 1
                     self.retries_performed += 1
-                    time.sleep(self._backoff(attempt))
+                    self._sleep_within_budget(
+                        self._backoff(attempt), deadline, context
+                    )
                     attempt += 1
                     continue
                 raise TransportError(
-                    f"{method} {path} failed: {type(error).__name__}: {error}"
+                    f"{context} failed: {type(error).__name__}: {error}"
                 ) from error
             if status == 429 and attempt < self.max_retries:
                 self.retries_performed += 1
-                time.sleep(self._backoff(attempt, retry_after))
+                self._sleep_within_budget(
+                    self._backoff(attempt, retry_after), deadline, context
+                )
                 attempt += 1
                 continue
-            if status == 503 and retry_after is not None and attempt < self.max_retries:
-                # An explicit "come back later" (e.g. a rolling restart);
-                # a bare 503 still fails fast below.
-                self.retries_performed += 1
-                time.sleep(self._backoff(attempt, retry_after))
-                attempt += 1
-                continue
+            if status == 503:
+                info = self._error_info(data)
+                if (
+                    info.get("code") == "read_only_follower"
+                    and self.follow_leader_hints
+                    and hops < max_hops
+                ):
+                    # The follower rejected the request before doing any
+                    # work, so retrying elsewhere is safe even for
+                    # mutations.  Prefer the leader it named; otherwise try
+                    # the next configured endpoint.
+                    leader = info.get("leader")
+                    if leader:
+                        self._adopt_endpoint(leader)
+                        hops += 1
+                        continue
+                    if self._rotate_endpoint():
+                        hops += 1
+                        continue
+                if retry_after is not None and attempt < self.max_retries:
+                    # An explicit "come back later" (e.g. a rolling
+                    # restart); a bare 503 still fails fast below.
+                    self.retries_performed += 1
+                    self._sleep_within_budget(
+                        self._backoff(attempt, retry_after), deadline, context
+                    )
+                    attempt += 1
+                    continue
             if raw and 200 <= status < 300:
                 return data.decode("utf-8", errors="replace")
             return self._decode(method, path, status, data)

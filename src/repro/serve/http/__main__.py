@@ -15,6 +15,17 @@ requests finish, every tenant's learned state is snapshotted, and the audit
 log is closed.  Because each tenant's catalog is built deterministically
 from ``(workload, rows, seed, tenant name)``, a restarted server over the
 same ``--root`` and data flags resumes every tenant byte-identically.
+
+High availability: start a second process with ``--follow <leader>`` to run
+it as a read-only replication follower pulling the leader's WAL::
+
+    python -m repro.serve.http --root /tmp/verdict-b --follow 127.0.0.1:8123
+
+The follower serves asks (degraded read-only mode), rejects writes with a
+typed 503 naming the leader, and ``POST /v1/admin/promote`` turns it into
+the leader under a fresh fencing epoch (manual failover).  ``--repl-ack
+sync`` on the *leader* makes feedback acks wait until a follower confirms
+the write is durably applied remotely.
 """
 
 from __future__ import annotations
@@ -33,6 +44,8 @@ from repro.obs.trace import Tracer
 from repro.serve.http.audit import AuditLog
 from repro.serve.http.server import VerdictHTTPServer
 from repro.serve.http.tenants import TenantManager
+from repro.serve.replication import ReplicationManager, ReplicationPuller
+from repro.serve.replication.state import ROLE_FOLLOWER, ROLE_LEADER
 from repro.serve.service import VerdictService
 
 
@@ -145,6 +158,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write traces at least this slow to <root>/trace/slow.jsonl",
     )
+    parser.add_argument(
+        "--follow",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a read-only replication follower of this leader",
+    )
+    parser.add_argument(
+        "--repl-poll",
+        type=float,
+        default=0.5,
+        help="follower pull interval in seconds",
+    )
+    parser.add_argument(
+        "--repl-ack",
+        choices=("async", "sync"),
+        default="async",
+        help="sync: leader feedback acks wait for a follower's durable apply",
+    )
+    parser.add_argument(
+        "--repl-ack-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a sync-ack write waits before a typed 503",
+    )
+    parser.add_argument(
+        "--repl-lag-degraded",
+        type=float,
+        default=30.0,
+        help="follower lag above this many seconds reports degraded health",
+    )
     args = parser.parse_args(argv)
 
     root = Path(args.root)
@@ -154,6 +197,15 @@ def main(argv: list[str] | None = None) -> int:
     cost_model = CostModelConfig.scaled_for(int(args.rows * args.sample_ratio))
     config = VerdictConfig(learn_length_scales=args.learn)
 
+    replication = ReplicationManager(
+        root,
+        role=ROLE_FOLLOWER if args.follow else ROLE_LEADER,
+        leader_url=args.follow,
+        ack_mode=args.repl_ack,
+        ack_timeout_s=args.repl_ack_timeout,
+        lag_degraded_s=args.repl_lag_degraded,
+    )
+
     def service_factory(catalog, store) -> VerdictService:
         return VerdictService(
             catalog,
@@ -162,7 +214,9 @@ def main(argv: list[str] | None = None) -> int:
             cost_model=cost_model,
             config=config,
             max_workers=2,
-            auto_train_every=args.auto_train_every,
+            # Training is a write: followers receive learned state via
+            # replication, never produce it locally.
+            auto_train_every=None if replication.is_follower else args.auto_train_every,
             flush_every=args.flush_every,
         )
 
@@ -171,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         build_catalog_factory(args.workload, args.rows, args.seed),
         service_factory=service_factory,
         max_loaded=args.max_loaded_tenants,
+        replication=replication,
     )
     for name in filter(None, args.tenants.split(",")):
         if not tenants.exists(name):
@@ -206,7 +261,19 @@ def main(argv: list[str] | None = None) -> int:
         queue_timeout_s=args.queue_timeout,
         audit=audit,
         tracer=tracer,
+        replication=replication,
     )
+    puller = None
+    if replication.is_follower and replication.leader_url:
+        puller = ReplicationPuller(
+            replication,
+            tenants,
+            replication.leader_url,
+            poll_interval_s=args.repl_poll,
+            tracer=tracer,
+        )
+        puller.start()
+    replication.bind(tenants=tenants, puller=puller)
     server.start()
     print(
         json.dumps(
@@ -220,6 +287,12 @@ def main(argv: list[str] | None = None) -> int:
                     if tracer is None
                     else str(tracer.log_path) if tracer.log_path else "ring-only"
                 ),
+                "replication": {
+                    "role": replication.role,
+                    "epoch": replication.epoch.number,
+                    "leader": replication.leader_url,
+                    "ack_mode": replication.ack_mode,
+                },
             }
         ),
         flush=True,
@@ -235,6 +308,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         stop.wait()
     finally:
+        if puller is not None:
+            puller.stop()
         server.close()
     print(json.dumps({"stopped": True}), flush=True)
     return 0

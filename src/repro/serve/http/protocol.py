@@ -16,8 +16,21 @@ status    code                    meaning
 404       ``unknown_table``       SQL or append references an unknown table
 404       ``unknown_route``       no such endpoint
 409       ``tenant_exists``       tenant create with an existing name
+409       ``epoch_fenced``        the write/fence carries a stale or divergent
+                                  fencing epoch (a deposed leader's late
+                                  write); hard error, never retried
+409       ``snapshot_required``   a replication pull's ``from`` predates the
+                                  leader's delta log; follower must bootstrap
+                                  from ``/v1/replication/snapshot``
+409       ``replication_gap``     shipped records do not chain onto the
+                                  follower's applied state
 429       ``shed_load``           admission queue full / queue wait timed out
 503       ``shutting_down``       the server is draining
+503       ``read_only_follower``  a mutating request reached a follower; the
+                                  ``leader`` field in the error body names
+                                  the endpoint to retry against
+503       ``replication_timeout`` sync-ack mode: the write is durable locally
+                                  but no follower confirmed it in time
 504       ``deadline_exceeded``   the request's deadline expired with nothing
                                   to return (partial estimates come back 200,
                                   flagged ``degraded``)
@@ -57,7 +70,8 @@ class ApiError(ReproError):
 
     ``retry_after_s``, when set, becomes the response's ``Retry-After``
     header -- admission control fills it with its queue-drain backoff hint
-    on 429s.
+    on 429s.  ``extra`` fields are merged into the error body (e.g. the
+    ``leader`` hint on ``read_only_follower``).
     """
 
     def __init__(
@@ -66,15 +80,17 @@ class ApiError(ReproError):
         code: str,
         message: str,
         retry_after_s: float | None = None,
+        extra: dict | None = None,
     ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.retry_after_s = retry_after_s
+        self.extra = dict(extra or {})
 
     def body(self) -> dict:
-        return {"error": {"code": self.code, "message": self.message}}
+        return {"error": {"code": self.code, "message": self.message, **self.extra}}
 
 
 def bad_request(message: str, code: str = "bad_request") -> ApiError:
@@ -103,6 +119,44 @@ def shutting_down(message: str = "server is shutting down") -> ApiError:
 
 def deadline_exceeded(message: str) -> ApiError:
     return ApiError(504, "deadline_exceeded", message)
+
+
+def read_only_follower(message: str, leader: str | None = None) -> ApiError:
+    # Deliberately no Retry-After: retrying against the same follower can
+    # never succeed.  The client follows the ``leader`` hint instead.
+    extra = {"leader": leader} if leader else {}
+    return ApiError(503, "read_only_follower", message, extra=extra)
+
+
+def epoch_fenced(
+    message: str,
+    local: tuple[int, str] | None = None,
+    remote: tuple[int, str] | None = None,
+) -> ApiError:
+    extra: dict = {}
+    if local is not None:
+        extra["local_epoch"], extra["local_lineage"] = local
+    if remote is not None:
+        extra["remote_epoch"], extra["remote_lineage"] = remote
+    return ApiError(409, "epoch_fenced", message, extra=extra)
+
+
+def snapshot_required(tenant: str, from_seq: int, snapshot_seq: int) -> ApiError:
+    return ApiError(
+        409,
+        "snapshot_required",
+        f"tenant {tenant!r}: pull from seq {from_seq} predates the leader's "
+        f"delta log (snapshot is at seq {snapshot_seq}); bootstrap from "
+        "/v1/replication/snapshot",
+        extra={"snapshot_seq": snapshot_seq},
+    )
+
+
+def replication_timeout(message: str) -> ApiError:
+    # No Retry-After either: the write *is* durable on the leader; blindly
+    # retrying it would double-apply.  The caller decides what "applied
+    # locally, unconfirmed remotely" means for it.
+    return ApiError(503, "replication_timeout", message)
 
 
 # --------------------------------------------------------------------------- #
@@ -278,6 +332,29 @@ def parse_tenant_only(payload: object) -> TenantRequest:
     return TenantRequest(tenant=fields["tenant"])
 
 
+@dataclass(frozen=True)
+class FenceRequest:
+    epoch: int
+    lineage: str
+
+
+def parse_fence(payload: object) -> FenceRequest:
+    fields = _validate(payload, {"epoch": (int, True), "lineage": (str, True)})
+    if fields["epoch"] < 1:
+        raise bad_request("field 'epoch' must be a positive integer")
+    if not fields["lineage"]:
+        raise bad_request("field 'lineage' must be non-empty")
+    return FenceRequest(epoch=fields["epoch"], lineage=fields["lineage"])
+
+
+def parse_promote(payload: object) -> None:
+    """``admin/promote`` takes no arguments; the body must be ``{}`` (or absent)."""
+    if payload is None:
+        return None
+    _validate(payload, {})
+    return None
+
+
 # --------------------------------------------------------------------------- #
 # Answer serialisation
 # --------------------------------------------------------------------------- #
@@ -366,6 +443,9 @@ def map_exception(error: Exception) -> ApiError:
     from repro.errors import (
         CatalogError,
         DeadlineExceeded,
+        EpochFencedError,
+        ReadOnlyFollowerError,
+        ReplicationGapError,
         ServiceError,
         SQLSyntaxError,
         TableError,
@@ -377,6 +457,12 @@ def map_exception(error: Exception) -> ApiError:
         return error
     if isinstance(error, DeadlineExceeded):
         return deadline_exceeded(str(error))
+    if isinstance(error, EpochFencedError):
+        return epoch_fenced(str(error), local=error.local, remote=error.remote)
+    if isinstance(error, ReadOnlyFollowerError):
+        return read_only_follower(str(error), leader=error.leader)
+    if isinstance(error, ReplicationGapError):
+        return ApiError(409, "replication_gap", str(error))
     if isinstance(error, ShedLoad):
         return shed_load(str(error), getattr(error, "retry_after_s", None))
     if isinstance(error, ShuttingDown):

@@ -21,8 +21,25 @@ POST     ``/v1/admin/train``       run the offline step (sync or background)
 POST     ``/v1/admin/snapshot``    force a durable full snapshot
 POST     ``/v1/admin/tenants``     create a tenant
 GET      ``/v1/admin/tenants``     list tenants
-GET      ``/v1/healthz``           liveness probe
+POST     ``/v1/admin/promote``     promote this follower to leader under a
+                                   fresh fencing epoch (manual failover)
+GET      ``/v1/healthz``           liveness probe (reports replication role,
+                                   fencing epoch, and max lag)
+GET      ``/v1/replication/...``   WAL shipping: ``snapshot`` (checksummed
+                                   bootstrap document), ``deltas?from=<seq>``
+                                   (CRC'd WAL tail; the pull doubles as the
+                                   follower's durable-apply ack), ``status``
+POST     ``/v1/replication/fence`` another node claims a higher epoch: stop
+                                   accepting writes (used on deposed leaders)
 =======  ========================  ==========================================
+
+Mutating endpoints (``feedback/*``, ``admin/train``, ``admin/snapshot``,
+tenant create) are gated on the replication role: a follower rejects them
+with a typed 503 carrying a ``leader`` hint, and a fenced-out ex-leader
+rejects them with a hard 409 ``epoch_fenced``.  ``ask`` is always served
+(read-only degraded mode), with snippet recording forced off on
+non-writable nodes.  Replication endpoints bypass admission: a saturated
+leader must still ship its WAL.
 
 Every request is stamped with a request id -- adopted from a valid
 ``X-Request-Id`` header or minted -- echoed in the response header and
@@ -67,7 +84,11 @@ from repro.serve.http.admission import AdmissionController
 from repro.serve.http.audit import AuditLog
 from repro.serve.http.protocol import ApiError
 from repro.serve.http.tenants import TenantManager
+from repro.serve.replication import ReplicationManager
 from repro.sqlparser.parser import parse_query
+
+#: Cap on delta records per replication pull (the follower batches anyway).
+MAX_SHIP_RECORDS = 1024
 
 
 def _check_tables(catalog, parsed) -> None:
@@ -96,9 +117,19 @@ class VerdictHTTPServer(ThreadingHTTPServer):
         queue_timeout_s: float | None = 5.0,
         audit: AuditLog | None = None,
         tracer: Tracer | None = None,
+        replication: ReplicationManager | None = None,
     ):
         super().__init__(address, _Handler)
         self.tenants = tenants
+        # A server constructed without replication wiring is a standalone
+        # leader at epoch 1: every write gate below passes unconditionally.
+        self.replication = (
+            replication if replication is not None else ReplicationManager()
+        )
+        # Set by a fired "torn" ship fault: the handler sends the (mangled)
+        # response first, then the process dies -- modelling a leader that
+        # crashed mid-ship after the bytes left the socket.
+        self._kill_after_response = False
         self.admission = AdmissionController(
             max_active=max_active,
             max_queued=max_queued,
@@ -213,13 +244,18 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             audit_fields["client_gone"] = True
         if self.server.audit is not None:
+            replication = self.server.replication
             self.server.audit.record(
                 endpoint=f"{method} {url.path}",
                 status=status,
                 latency_s=latency,
                 request_id=request_id,
+                role=replication.role,
+                epoch=replication.epoch.number,
                 **audit_fields,
             )
+        if self.server._kill_after_response:
+            faults.hard_exit()
 
     def _handle(
         self, method: str, url, audit_fields: dict
@@ -261,6 +297,16 @@ class _Handler(BaseHTTPRequestHandler):
             return self._create_tenant(self._read_json(), audit_fields)
         if method == "GET" and path == "/v1/admin/tenants":
             return 200, {"tenants": self.server.tenants.list_tenants()}
+        if method == "POST" and path == "/v1/admin/promote":
+            return self._promote(self._read_json(), audit_fields)
+        if method == "GET" and path == "/v1/replication/deltas":
+            return self._replication_deltas(parse_qs(query), audit_fields)
+        if method == "GET" and path == "/v1/replication/snapshot":
+            return self._replication_snapshot(parse_qs(query), audit_fields)
+        if method == "GET" and path == "/v1/replication/status":
+            return self._replication_status()
+        if method == "POST" and path == "/v1/replication/fence":
+            return self._fence(self._read_json(), audit_fields)
         if method == "GET" and path == "/v1/healthz":
             return self._healthz()
         raise protocol.unknown_route(method, path)
@@ -280,6 +326,7 @@ class _Handler(BaseHTTPRequestHandler):
             for name, health in sorted(tenants.items())
             for reason in health["reasons"]
         ]
+        reasons += server.replication.health_reasons()
         if server.admission.closed:
             status = "draining"
         elif reasons:
@@ -290,6 +337,7 @@ class _Handler(BaseHTTPRequestHandler):
             "status": status,
             "reasons": reasons,
             "tenants": tenants,
+            "replication": server.replication.summary(),
             "uptime_s": time.time() - server.started_ts,
         }
 
@@ -318,8 +366,14 @@ class _Handler(BaseHTTPRequestHandler):
                 stack.enter_context(self.server.admission.admit())
             with self.server.tenants.lease(request.tenant) as tenant:
                 _check_tables(tenant.service.catalog, parsed)
+                # Degraded read-only mode: followers (and fenced leaders)
+                # still answer asks, but never record snippets -- recording
+                # is a write and writes arrive via replication only.
+                record = request.record
+                if not self.server.replication.is_writable:
+                    record = False
                 answer = tenant.service.query(
-                    request.sql, budget=request.budget, record=request.record
+                    request.sql, budget=request.budget, record=record
                 )
         state = protocol.answer_to_state(answer)
         audit_fields["route"] = state["route"]
@@ -338,6 +392,7 @@ class _Handler(BaseHTTPRequestHandler):
 
         request = protocol.parse_append(payload)
         audit_fields["tenant"] = request.tenant
+        self.server.replication.require_writable()
         with ExitStack() as stack:
             with trace_span("admission"):
                 stack.enter_context(self.server.admission.admit())
@@ -352,6 +407,7 @@ class _Handler(BaseHTTPRequestHandler):
                 adjusted = tenant.service.append(
                     request.table, appended, adjust=request.adjust
                 )
+                self._sync_ack(tenant)
         audit_fields["rows"] = len(appended)
         return 200, {
             "tenant": request.tenant,
@@ -363,6 +419,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _record(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         request = protocol.parse_record(payload)
         audit_fields["tenant"] = request.tenant
+        self.server.replication.require_writable()
         # Parse errors are the client's fault and must not burn a full
         # sample scan: surface them before admission.
         parsed = parse_query(request.sql)
@@ -372,7 +429,34 @@ class _Handler(BaseHTTPRequestHandler):
             with self.server.tenants.lease(request.tenant) as tenant:
                 _check_tables(tenant.service.catalog, parsed)
                 recorded = tenant.service.record_answer(request.sql)
+                if recorded:
+                    self._sync_ack(tenant)
         return 200, {"tenant": request.tenant, "recorded": recorded}
+
+    def _sync_ack(self, tenant) -> None:
+        """In sync-ack mode, block the ack until a follower confirms the write.
+
+        The write is first flushed (its WAL record must exist to ship), then
+        the handler waits for a follower pull whose ``from`` covers the
+        record's sequence -- the follower's statement that it durably applied
+        it.  On timeout the write is durable *locally* but unconfirmed
+        remotely: a typed 503 without Retry-After, because retrying the
+        mutation would double-apply it.
+        """
+        replication = self.server.replication
+        if replication.ack_mode != "sync" or not replication.is_leader:
+            return
+        tenant.service.flush()
+        seq = tenant.store.sequence
+        with trace_span("replication.ack") as span:
+            confirmed = replication.wait_replicated(tenant.name, seq)
+            if span is not None:
+                span.set(seq=seq, confirmed=confirmed)
+        if not confirmed:
+            raise protocol.replication_timeout(
+                f"write is durable locally at seq {seq} but no follower "
+                f"confirmed it within {replication.ack_timeout_s:g}s"
+            )
 
     def _metrics(
         self, tenant_name: str | None, format: str | None = None
@@ -429,6 +513,7 @@ class _Handler(BaseHTTPRequestHandler):
             ).add({}, time.time() - server.started_ts)
         ]
         families += server.admission.metric_families()
+        families += server.replication.metric_families()
         if server.audit is not None:
             families.append(
                 MetricFamily(
@@ -480,6 +565,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _train(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         request = protocol.parse_train(payload)
         audit_fields["tenant"] = request.tenant
+        self.server.replication.require_writable()
         with self.server.tenants.lease(request.tenant) as tenant:
             if request.wait:
                 tenant.service.train(request.learn)
@@ -490,6 +576,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _snapshot(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         request = protocol.parse_tenant_only(payload)
         audit_fields["tenant"] = request.tenant
+        self.server.replication.require_writable()
         with self.server.tenants.lease(request.tenant) as tenant:
             outcome = tenant.service.snapshot()
         return 200, {"tenant": request.tenant, "snapshot": outcome}
@@ -497,8 +584,156 @@ class _Handler(BaseHTTPRequestHandler):
     def _create_tenant(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         request = protocol.parse_tenant_only(payload)
         audit_fields["tenant"] = request.tenant
+        self.server.replication.require_writable()
         record = self.server.tenants.create(request.tenant)
         return 201, record
+
+    # ------------------------------------------------------------- replication
+
+    def _require_leader(self) -> None:
+        replication = self.server.replication
+        if not replication.is_leader:
+            raise protocol.read_only_follower(
+                "replication shipping endpoints are leader-only",
+                leader=replication.leader_url,
+            )
+
+    @staticmethod
+    def _query_param(params: dict, name: str, required: bool = True) -> str | None:
+        values = params.get(name)
+        if not values:
+            if required:
+                raise protocol.bad_request(f"missing query parameter {name!r}")
+            return None
+        return values[0]
+
+    def _replication_deltas(
+        self, params: dict, audit_fields: dict
+    ) -> tuple[int, dict]:
+        """Ship the WAL tail past ``from`` -- and treat the pull as an ack.
+
+        ``from=N`` is the follower's statement that it has *durably applied*
+        through sequence N: it is recorded via ``note_pull`` before anything
+        else, which is what releases leader writes blocked in sync-ack mode.
+        A ``from`` behind the snapshot horizon cannot be served from the
+        delta log and gets a typed 409 pointing at the snapshot endpoint.
+        """
+        self._require_leader()
+        tenant_name = self._query_param(params, "tenant")
+        audit_fields["tenant"] = tenant_name
+        try:
+            from_seq = int(self._query_param(params, "from"))
+            max_records = int(self._query_param(params, "max_records", False) or 256)
+        except ValueError:
+            raise protocol.bad_request(
+                "'from' and 'max_records' must be integers"
+            ) from None
+        max_records = max(1, min(max_records, MAX_SHIP_RECORDS))
+        remote_epoch = self._query_param(params, "epoch", False)
+        remote_lineage = self._query_param(params, "lineage", False) or ""
+        replication = self.server.replication
+        if remote_epoch is not None and int(remote_epoch) > replication.epoch.number:
+            # The puller already follows a newer leader than us: we are the
+            # deposed one.  Fence ourselves and reject the pull.
+            replication.fence(int(remote_epoch), remote_lineage)
+            raise protocol.epoch_fenced(
+                f"this leader's epoch {replication.epoch.number} was "
+                f"superseded by epoch {remote_epoch}",
+                local=(replication.epoch.number, replication.epoch.lineage),
+                remote=(int(remote_epoch), remote_lineage),
+            )
+        replication.note_pull(tenant_name, from_seq)
+        with self.server.tenants.lease(tenant_name) as tenant:
+            store = tenant.store
+            if from_seq < store.snapshot_sequence:
+                raise protocol.snapshot_required(
+                    tenant_name, from_seq, store.snapshot_sequence
+                )
+            lines = store.delta_tail(from_seq, max_records)
+            state = store.replication_state()
+        if lines:
+            directive = faults.inject(
+                "repl.ship.deltas", tenant=tenant_name, records=len(lines)
+            )
+            if directive is not None and directive.action == "torn":
+                # Ship a half-written last record and die once the response
+                # is flushed: the canonical torn-tail crash, as seen by a
+                # follower instead of a local restart.
+                lines = lines[:-1] + [lines[-1][: max(1, len(lines[-1]) // 2)]]
+                self.server._kill_after_response = True
+        audit_fields["records"] = len(lines)
+        return 200, {
+            "tenant": tenant_name,
+            "from": from_seq,
+            "lines": lines,
+            "seq": state["sequence"],
+            "snapshot_seq": state["snapshot_sequence"],
+            "epoch": state["epoch"],
+            "lineage": state["lineage"],
+        }
+
+    def _replication_snapshot(
+        self, params: dict, audit_fields: dict
+    ) -> tuple[int, dict]:
+        """Ship a shippable full snapshot for follower bootstrap.
+
+        Pending learned state is flushed first; if the published snapshot
+        predates the replication envelope (legacy) or the delta log is
+        non-empty, a fresh snapshot is written so the shipped document alone
+        reproduces the leader's current state.
+        """
+        self._require_leader()
+        tenant_name = self._query_param(params, "tenant")
+        audit_fields["tenant"] = tenant_name
+        with self.server.tenants.lease(tenant_name) as tenant:
+            store = tenant.store
+            tenant.service.flush()
+            if not store.snapshot_shippable or store.delta_log_length > 0:
+                tenant.service.snapshot()
+            document = store.snapshot_path.read_text()
+            state = store.replication_state()
+        directive = faults.inject("repl.ship.snapshot", tenant=tenant_name)
+        if directive is not None and directive.action == "torn":
+            document = document[: max(1, len(document) // 2)]
+            self.server._kill_after_response = True
+        return 200, {
+            "tenant": tenant_name,
+            "document": document,
+            "seq": state["snapshot_sequence"],
+            "epoch": state["epoch"],
+            "lineage": state["lineage"],
+        }
+
+    def _replication_status(self) -> tuple[int, dict]:
+        server = self.server
+        return 200, {
+            "replication": server.replication.status(),
+            "stores": {
+                name: store.replication_state()
+                for name, store in server.tenants.resident_stores()
+            },
+        }
+
+    def _fence(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        request = protocol.parse_fence(payload)
+        epoch = self.server.replication.fence(request.epoch, request.lineage)
+        # Stamp resident stores too so even in-process flushes (auto-train,
+        # shutdown snapshots) carry the new epoch from here on.
+        for _, store in self.server.tenants.resident_stores():
+            store.adopt_epoch(epoch.number, epoch.lineage)
+        return 200, {
+            "fenced": True,
+            "epoch": epoch.number,
+            "lineage": epoch.lineage,
+        }
+
+    def _promote(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        protocol.parse_promote(payload)
+        status = self.server.replication.promote()
+        return 200, {
+            "promoted": self.server.replication.is_leader,
+            "replication": status,
+        }
 
     # ----------------------------------------------------------------- plumbing
 

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro import faults
 from repro.db.catalog import Catalog
 from repro.serve.http.protocol import (
     TENANT_NAME_RE,
@@ -78,6 +79,7 @@ class TenantManager:
         catalog_factory: CatalogFactory,
         service_factory: ServiceFactory | None = None,
         max_loaded: int = 8,
+        replication=None,
     ):
         if max_loaded <= 0:
             raise ValueError("max_loaded must be positive")
@@ -85,6 +87,10 @@ class TenantManager:
         self.catalog_factory = catalog_factory
         self.service_factory = service_factory or _default_service_factory
         self.max_loaded = max_loaded
+        # The node's ReplicationManager, when replicated: stores are built
+        # replica (read-only) while the node is a follower, and stamped
+        # with the current fencing epoch when it is a leader.
+        self.replication = replication
         self.evictions = 0
         self._lock = threading.Lock()
         self._loaded: "OrderedDict[str, Tenant]" = OrderedDict()
@@ -110,8 +116,23 @@ class TenantManager:
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {"format": REGISTRY_FORMAT, "tenants": self._registry}
         temporary = self.registry_path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temporary, self.registry_path)
+        # The rename itself lives in the directory entry: without fsyncing
+        # the directory a crash can resurrect the old registry (or none),
+        # un-creating tenants whose create() was already acknowledged.
+        faults.inject("store.dir.fsync", directory=str(self.root))
+        try:
+            descriptor = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
 
     def create(self, name: str) -> dict:
         """Register a new tenant durably; 409 if the name is taken."""
@@ -203,7 +224,14 @@ class TenantManager:
 
     def _load(self, name: str) -> Tenant:
         directory = self.tenant_directory(name)
-        store = SynopsisStore(directory / "store")
+        replica = self.replication is not None and self.replication.is_follower
+        store = SynopsisStore(directory / "store", replica=replica)
+        if self.replication is not None and self.replication.is_leader:
+            # Leader stores stamp the node's fencing epoch on every WAL
+            # record from the first write (a promoted node's bumped epoch
+            # reaches tenants loaded after the promotion through here).
+            epoch = self.replication.epoch
+            store.adopt_epoch(epoch.number, epoch.lineage)
         catalog = self.catalog_factory(name)
         service = self.service_factory(catalog, store)
         return Tenant(name, directory, service)
@@ -260,6 +288,13 @@ class TenantManager:
         with self._lock:
             resident = list(self._loaded.values())
         return {tenant.name: tenant.service.health() for tenant in resident}
+
+    def resident_stores(self) -> list[tuple[str, SynopsisStore]]:
+        """``(name, store)`` of every resident tenant (promotion/fencing)."""
+        with self._lock:
+            return [
+                (tenant.name, tenant.store) for tenant in self._loaded.values()
+            ]
 
     # ------------------------------------------------------------------ close
 

@@ -1,0 +1,35 @@
+"""Leader/follower replication of the synopsis store over HTTP.
+
+The paper's accumulated synopsis is the asset worth replicating: this
+package ships the existing snapshot + CRC'd delta log
+(:mod:`repro.serve.store`) from a leader to pull-based followers over the
+HTTP front door, with epoch-fenced manual failover.
+
+* :class:`ReplicationManager` (:mod:`.state`) -- role (``leader`` /
+  ``follower`` / ``promoting``), the persisted fencing epoch, the
+  leader-side sync-ack coordinator, lag accounting, and promotion.
+* :class:`ReplicationPuller` (:mod:`.follower`) -- the follower's
+  per-tenant pull-apply loop: bootstrap from a shipped snapshot, tail the
+  delta log, apply through the byte-identical restore path.
+
+See ``docs/ARCHITECTURE.md`` ("Replication & failover") for the wire
+format, the fencing rules, and the degraded-mode route table.
+"""
+
+from repro.serve.replication.follower import ReplicationPuller
+from repro.serve.replication.state import (
+    ROLE_FOLLOWER,
+    ROLE_LEADER,
+    ROLE_PROMOTING,
+    Epoch,
+    ReplicationManager,
+)
+
+__all__ = [
+    "Epoch",
+    "ReplicationManager",
+    "ReplicationPuller",
+    "ROLE_FOLLOWER",
+    "ROLE_LEADER",
+    "ROLE_PROMOTING",
+]

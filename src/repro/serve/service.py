@@ -899,6 +899,38 @@ class VerdictService:
         with self._engine_lock:
             return self.store.save_snapshot(self.engine)
 
+    def replicate_deltas(self, lines: list[str]) -> list[dict]:
+        """Apply leader-shipped WAL records verbatim (follower side).
+
+        Each line is a complete CRC'd delta record as it appears in the
+        leader's log; the store appends it byte-for-byte and applies its
+        snippets through the same restore path a restart uses, so the
+        follower's state is byte-identical to the leader's by construction.
+        Cached answers need no explicit invalidation: cache entries are
+        stamped with the synopsis version, which every applied record
+        advances.
+        """
+        if self.store is None:
+            raise ServiceError("cannot apply replication without a store")
+        results = []
+        with self._request_scope():
+            with self._engine_lock:
+                for line in lines:
+                    results.append(self.store.ship_append(self.engine, line))
+        if results:
+            self.metrics.record_event("replication.apply", len(results))
+        return results
+
+    def replicate_snapshot(self, document: str) -> dict:
+        """Install a leader-shipped snapshot, replacing all local state."""
+        if self.store is None:
+            raise ServiceError("cannot apply replication without a store")
+        with self._request_scope():
+            with self._engine_lock:
+                applied = self.store.install_shipped_snapshot(self.engine, document)
+        self.metrics.record_event("replication.bootstrap")
+        return applied
+
     def close(self) -> None:
         """Graceful shutdown: drain all work, then snapshot the learned state.
 

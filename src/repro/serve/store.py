@@ -59,10 +59,29 @@ Recovery is idempotent: loading, killing, and loading again reaches the
 same state (the property and crash-matrix tests assert byte-identical
 replayed answers).  All recovery events are counted in
 :attr:`SynopsisStore.counters` and surfaced through the service metrics.
+
+Replication envelope
+--------------------
+Every delta record additionally carries a monotonic shipping sequence
+number (``seq``) and the store's fencing epoch (``epoch`` + a random
+``lineage`` token minted at each promotion), and snapshots carry a
+``replication`` block ``{seq, epoch, lineage}``.  The leader side of
+:mod:`repro.serve.replication` ships these verbatim (:meth:`delta_tail`);
+the follower side applies them verbatim (:meth:`ship_append`,
+:meth:`install_shipped_snapshot`) so replicated state is byte-identical by
+construction.  The fencing epoch is persisted in an ``epoch.json`` sidecar
+(and inside every snapshot): a record stamped with an older epoch -- or an
+equal epoch from a *different* lineage, the consensus-free split-brain
+signature -- is rejected with a typed
+:class:`~repro.errors.EpochFencedError` instead of silently diverging.
+A store opened with ``replica=True`` refuses local WAL writes (its log is
+written only by the shipping path) and its snapshots do not advance the
+sequence -- they merely persist what was shipped.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -76,11 +95,17 @@ from repro.core.serialize import (
     encode_snapshot_document,
 )
 from repro.core.snippet import Snippet
-from repro.errors import StoreError
+from repro.errors import (
+    EpochFencedError,
+    ReplicationError,
+    ReplicationGapError,
+    StoreError,
+)
 
 SNAPSHOT_FILE = "snapshot.json"
 PREVIOUS_SNAPSHOT_FILE = "snapshot.prev.json"
 DELTA_FILE = "deltas.jsonl"
+EPOCH_FILE = "epoch.json"
 QUARANTINE_DIR = "quarantine"
 
 
@@ -100,6 +125,11 @@ class SynopsisStore:
         Including them (default) makes restarts byte-exact and avoids an
         O(n^3) re-factorisation on first use, at the cost of larger
         snapshot files (O(n^2) floats per aggregate function).
+    replica:
+        Opened on a replication follower: local WAL writes are refused
+        (shipped records are the only writers of the delta log) and
+        snapshots persist the applied state without advancing the shipping
+        sequence.
     """
 
     def __init__(
@@ -107,12 +137,14 @@ class SynopsisStore:
         directory: str | os.PathLike[str],
         compact_after: int = 256,
         include_factors: bool = True,
+        replica: bool = False,
     ):
         if compact_after <= 0:
             raise StoreError("compact_after must be positive")
         self.directory = Path(directory)
         self.compact_after = compact_after
         self.include_factors = include_factors
+        self.replica = replica
         self.snapshots_written = 0
         self.deltas_written = 0
         #: Recovery accounting, surfaced through the serving metrics.
@@ -132,6 +164,20 @@ class SynopsisStore:
         self._persisted_version: int | None = None
         self._persisted_epoch: int | None = None
         self._delta_records = self._count_delta_records()
+        #: Shipping sequence: the seq of the last durable WAL event, and the
+        #: seq the current snapshot covers.  Everything in ``(snapshot
+        #: sequence, sequence]`` is in the delta log and shippable.
+        self.sequence = 0
+        self.snapshot_sequence = 0
+        #: True once ``snapshot.json`` carries a ``replication`` block (a
+        #: legacy snapshot cannot be shipped verbatim; the leader rewrites
+        #: it before serving a bootstrap).
+        self.snapshot_shippable = False
+        #: Fencing epoch: bumped (with a fresh lineage token) at every
+        #: promotion, stamped on every shipped record and snapshot.
+        self.fencing_epoch = 0
+        self.fencing_lineage = ""
+        self._load_fencing_sidecar()
 
     # ------------------------------------------------------------------- paths
 
@@ -150,6 +196,10 @@ class SynopsisStore:
     @property
     def delta_path(self) -> Path:
         return self.directory / DELTA_FILE
+
+    @property
+    def epoch_path(self) -> Path:
+        return self.directory / EPOCH_FILE
 
     def exists(self) -> bool:
         """Whether any snapshot generation is present to restore from."""
@@ -181,6 +231,25 @@ class SynopsisStore:
                 self._delta_records = 0
             return False
         engine.load_state_dict(snapshot["engine"])
+        replication = snapshot.get("replication")
+        if isinstance(replication, dict):
+            self.snapshot_sequence = int(replication.get("seq", 0))
+            self.snapshot_shippable = True
+            try:
+                self.adopt_epoch(
+                    int(replication.get("epoch", 0)),
+                    str(replication.get("lineage", "")),
+                )
+            except EpochFencedError:
+                pass  # the sidecar outlived this snapshot (promotion since)
+        else:
+            # A legacy (pre-replication) snapshot still represents state a
+            # follower does not have: give it a synthetic sequence so "from
+            # seq 0" pulls are answered with snapshot_required, never with
+            # a misleadingly empty tail.
+            self.snapshot_sequence = 1
+            self.snapshot_shippable = False
+        self.sequence = self.snapshot_sequence
         self._replay_deltas(engine)
         self._persisted_version = engine.synopsis.version
         self._persisted_epoch = engine.state_epoch
@@ -281,6 +350,8 @@ class SynopsisStore:
                 break
             for snippet_state in record["snippets"]:
                 engine.synopsis.restore(Snippet.from_state(snippet_state))
+            seq = record.get("seq")
+            self.sequence = seq if isinstance(seq, int) else self.sequence + 1
             valid_lines.append(line)
             records += 1
             self.counters["deltas_replayed"] += 1
@@ -316,6 +387,11 @@ class SynopsisStore:
             return self.save_snapshot(engine)
         if version == self._persisted_version:
             return "noop"
+        if self.replica:
+            # A follower's learned state may only change through the
+            # shipping path; a dirty local engine here means something
+            # mutated a read-only replica.
+            raise StoreError("replica store is read-only: writes arrive via replication")
         delta = engine.synopsis.changes_since(self._persisted_version)
         if delta is None or delta.dirty:
             return self.save_snapshot(engine)
@@ -331,6 +407,9 @@ class SynopsisStore:
         record = {
             "base_version": self._persisted_version,
             "version": version,
+            "seq": self.sequence + 1,
+            "epoch": self.fencing_epoch,
+            "lineage": self.fencing_lineage,
             "snippets": [snippet.to_state() for snippet in appended],
         }
         line = encode_checked_record(record) + "\n"
@@ -350,6 +429,7 @@ class SynopsisStore:
             faults.inject("store.delta.fsync", version=version)
             os.fsync(handle.fileno())
         self._persisted_version = version
+        self.sequence += 1
         self._delta_records += 1
         self.deltas_written += 1
         return "delta"
@@ -363,9 +443,19 @@ class SynopsisStore:
         publish the new snapshot via rename; truncate the delta log.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
+        # A leader snapshot is itself a WAL event (it may fold non-delta
+        # mutations -- training, evictions -- that were never shipped), so
+        # it advances the shipping sequence; a replica snapshot merely
+        # persists already-shipped state at its current sequence.
+        sequence = self.sequence if self.replica else self.sequence + 1
         payload = {
             "format": STATE_FORMAT_VERSION,
             "engine": engine.state_dict(include_prepared=self.include_factors),
+            "replication": {
+                "seq": sequence,
+                "epoch": self.fencing_epoch,
+                "lineage": self.fencing_lineage,
+            },
         }
         document = encode_snapshot_document(payload)
         temporary = self.snapshot_path.with_suffix(".json.tmp")
@@ -389,9 +479,16 @@ class SynopsisStore:
         os.replace(temporary, self.snapshot_path)
         faults.inject("store.delta.truncate")
         self._atomic_write(self.delta_path, "")
+        # The renames above are not durable until the directory entry is:
+        # without this a power loss can resurrect the previous generation
+        # even though the publish rename "succeeded".
+        self._fsync_directory(self.directory)
         self._persisted_version = engine.synopsis.version
         self._persisted_epoch = engine.state_epoch
         self._delta_records = 0
+        self.sequence = sequence
+        self.snapshot_sequence = sequence
+        self.snapshot_shippable = True
         self.snapshots_written += 1
         # A successful snapshot supersedes whatever was quarantined.
         self.quarantined = False
@@ -400,6 +497,203 @@ class SynopsisStore:
     def compact(self, engine: VerdictEngine) -> str:
         """Fold the delta log into a fresh snapshot immediately."""
         return self.save_snapshot(engine)
+
+    # -------------------------------------------------------------- replication
+
+    def adopt_epoch(self, number: int, lineage: str) -> None:
+        """Adopt a fencing epoch, persisting the sidecar on any advance.
+
+        Rules (the whole fencing contract lives here): an older epoch is a
+        deposed writer -- hard :class:`EpochFencedError`; an *equal* epoch
+        with a different lineage token means two nodes independently claimed
+        the same epoch (consensus-free split brain) -- also a hard error; a
+        newer epoch is adopted and persisted durably before this returns.
+        """
+        if number < self.fencing_epoch:
+            raise EpochFencedError(
+                f"epoch {number} is behind the locally fenced epoch "
+                f"{self.fencing_epoch}",
+                local=(self.fencing_epoch, self.fencing_lineage),
+                remote=(number, lineage),
+            )
+        if number == self.fencing_epoch:
+            if self.fencing_lineage and lineage and lineage != self.fencing_lineage:
+                raise EpochFencedError(
+                    f"epoch {number} was claimed by two lineages "
+                    f"({self.fencing_lineage!r} here, {lineage!r} remote): "
+                    "refusing to merge divergent histories",
+                    local=(self.fencing_epoch, self.fencing_lineage),
+                    remote=(number, lineage),
+                )
+            if lineage and not self.fencing_lineage:
+                self.fencing_lineage = lineage
+                self._persist_fencing()
+            return
+        self.fencing_epoch = number
+        self.fencing_lineage = lineage
+        self._persist_fencing()
+
+    def delta_tail(self, from_seq: int, max_records: int = 256) -> list[str]:
+        """Complete, CRC-valid delta lines with ``seq > from_seq``, in order.
+
+        This is what the leader ships.  Reading stops at the first torn,
+        corrupt, or unsequenced (legacy) line -- safe against a concurrent
+        append, which can only ever expose a partial *last* line -- so a
+        shipped batch is always a valid contiguous WAL segment.
+        """
+        if not self.delta_path.is_file():
+            return []
+        tail: list[str] = []
+        for line in self.delta_path.read_text(errors="replace").splitlines():
+            if not line.strip():
+                continue
+            record = decode_checked_record(line)
+            if not isinstance(record, dict):
+                break
+            seq = record.get("seq")
+            if not isinstance(seq, int):
+                break  # pre-replication record: only a snapshot can ship it
+            if seq <= from_seq:
+                continue
+            tail.append(line)
+            if len(tail) >= max_records:
+                break
+        return tail
+
+    def ship_append(self, engine: VerdictEngine, line: str) -> dict:
+        """Apply one shipped delta record verbatim (the follower apply path).
+
+        Fence-checks the record's epoch, chain-checks its sequence and base
+        version against the applied state, appends the *exact* shipped line
+        durably, and only then applies the snippets -- so a follower's WAL
+        is byte-identical to the leader's and a crash mid-apply replays to
+        the same state.  Raises :class:`ReplicationGapError` when the
+        record does not follow on (the follower re-bootstraps).
+        """
+        record = decode_checked_record(line)
+        if not isinstance(record, dict):
+            raise ReplicationError("shipped delta record is torn or corrupt")
+        seq = record.get("seq")
+        number = record.get("epoch")
+        lineage = record.get("lineage")
+        if not isinstance(seq, int) or not isinstance(number, int):
+            raise ReplicationError("shipped record lacks replication metadata")
+        self.adopt_epoch(number, str(lineage or ""))
+        if seq != self.sequence + 1:
+            raise ReplicationGapError(
+                f"shipped record seq {seq} does not follow the applied "
+                f"sequence {self.sequence}"
+            )
+        if record.get("base_version") != engine.synopsis.version:
+            raise ReplicationGapError(
+                f"shipped record expects synopsis version "
+                f"{record.get('base_version')} but the applied state is at "
+                f"{engine.synopsis.version}"
+            )
+        faults.inject("repl.apply.record", seq=seq)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.delta_path, "a", encoding="utf-8") as handle:
+            handle.write(line.rstrip("\n") + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        for snippet_state in record["snippets"]:
+            engine.synopsis.restore(Snippet.from_state(snippet_state))
+        self.sequence = seq
+        self._persisted_version = engine.synopsis.version
+        self._persisted_epoch = engine.state_epoch
+        self._delta_records += 1
+        self.deltas_written += 1
+        return record
+
+    def install_shipped_snapshot(self, engine: VerdictEngine, document: str) -> dict:
+        """Install a leader snapshot document verbatim (follower bootstrap).
+
+        The document is checksum-verified, fence-checked, published through
+        the same atomic rotation as a local snapshot (previous generation
+        retained, directory fsynced), the delta log is truncated, and the
+        engine state is loaded from it -- after which the follower's applied
+        sequence is exactly the snapshot's.
+        """
+        faults.inject("repl.apply.snapshot")
+        try:
+            payload = decode_snapshot_document(document)
+        except ValueError as error:
+            raise ReplicationError(f"shipped snapshot is corrupt: {error}") from error
+        if not isinstance(payload, dict) or payload.get("format") != STATE_FORMAT_VERSION:
+            raise ReplicationError("shipped snapshot has an unsupported format")
+        replication = payload.get("replication")
+        if not isinstance(replication, dict):
+            raise ReplicationError("shipped snapshot lacks replication metadata")
+        number = int(replication.get("epoch", 0))
+        lineage = str(replication.get("lineage", ""))
+        self.adopt_epoch(number, lineage)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        temporary = self.snapshot_path.with_suffix(".json.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self.snapshot_path.is_file():
+            os.replace(self.snapshot_path, self.previous_snapshot_path)
+        os.replace(temporary, self.snapshot_path)
+        self._atomic_write(self.delta_path, "")
+        self._fsync_directory(self.directory)
+        engine.load_state_dict(payload["engine"])
+        self.sequence = int(replication.get("seq", 0))
+        self.snapshot_sequence = self.sequence
+        self.snapshot_shippable = True
+        self._persisted_version = engine.synopsis.version
+        self._persisted_epoch = engine.state_epoch
+        self._delta_records = 0
+        self.snapshots_written += 1
+        self.quarantined = False
+        return payload
+
+    def replication_state(self) -> dict:
+        """Shipping-side accounting for the replication status endpoint."""
+        return {
+            "sequence": self.sequence,
+            "snapshot_sequence": self.snapshot_sequence,
+            "epoch": self.fencing_epoch,
+            "lineage": self.fencing_lineage,
+            "replica": self.replica,
+            "delta_log_length": self._delta_records,
+        }
+
+    def _load_fencing_sidecar(self) -> None:
+        if not self.epoch_path.is_file():
+            return
+        try:
+            payload = json.loads(self.epoch_path.read_text())
+            number = int(payload.get("epoch", 0))
+            lineage = str(payload.get("lineage", ""))
+        except (OSError, ValueError):
+            return  # an unreadable sidecar is equivalent to epoch 0
+        self.fencing_epoch = number
+        self.fencing_lineage = lineage
+
+    def _persist_fencing(self) -> None:
+        """Durably record the fencing epoch before any write carries it."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self.epoch_path,
+            json.dumps({"epoch": self.fencing_epoch, "lineage": self.fencing_lineage})
+            + "\n",
+        )
+        self._fsync_directory(self.directory)
+
+    @staticmethod
+    def _fsync_directory(path: Path) -> None:
+        """Flush a directory entry so a preceding rename survives power loss."""
+        faults.inject("store.dir.fsync", directory=str(path))
+        try:
+            descriptor = os.open(path, os.O_RDONLY)
+        except OSError:
+            return  # platforms that cannot open directories read-only
+        try:
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
 
     # ----------------------------------------------------------------- helpers
 
@@ -430,5 +724,7 @@ class SynopsisStore:
             "delta_log_length": self._delta_records,
             "quarantined": self.quarantined,
             "recovery_notes": list(self.recovery_notes),
+            "sequence": self.sequence,
+            "fencing_epoch": self.fencing_epoch,
             **self.counters,
         }

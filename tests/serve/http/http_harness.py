@@ -67,17 +67,30 @@ def start_server(
     max_loaded: int = 8,
     audit: bool = True,
     tracer=None,
+    replication=None,
+    precreate: bool = True,
     **service_kwargs,
 ) -> VerdictHTTPServer:
-    """An in-process front door on a free port, tenants pre-created."""
+    """An in-process front door on a free port, tenants pre-created.
+
+    ``replication``, when given, is the node's ``ReplicationManager``: the
+    tenant manager builds replica stores while it is a follower, and the
+    manager is bound to the tenants for promotion.  Follower nodes skip
+    tenant pre-creation (``precreate=False``): the puller mirrors the
+    leader's registry.
+    """
     tenants = TenantManager(
         root,
         make_catalog_factory(row_counts),
         service_factory=make_service_factory(**service_kwargs),
         max_loaded=max_loaded,
+        replication=replication,
     )
-    for name in row_counts:
-        tenants.create(name)
+    if precreate:
+        for name in row_counts:
+            tenants.create(name)
+    if replication is not None:
+        replication.bind(tenants=tenants)
     server = VerdictHTTPServer(
         ("127.0.0.1", 0),
         tenants,
@@ -86,6 +99,7 @@ def start_server(
         queue_timeout_s=queue_timeout_s,
         audit=AuditLog.open_session(root / "audit") if audit else None,
         tracer=tracer,
+        replication=replication,
     )
     return server.start()
 

@@ -1,0 +1,228 @@
+"""Failover behaviour of :class:`VerdictClient`, against scripted stubs.
+
+Two-endpoint scenarios the replicated pair creates: connect-refused
+rotation (safe for *any* request -- nothing was sent), following the
+``leader`` hint in a follower's typed 503 rejection, the hop cap that stops
+two confused nodes bouncing a request forever, the per-call
+``retry_budget_s`` wall clock (:class:`RetriesExhausted`), and the
+fail-fast handling of a sync-ack ``replication_timeout``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve.client import (
+    RetriesExhausted,
+    ServerClosingError,
+    VerdictClient,
+    parse_endpoint,
+)
+
+OK_BODY = json.dumps(
+    {"status": "ok", "recorded": True, "tenants": [], "answer": {}}
+).encode()
+
+
+def follower_rejection(leader: str | None) -> bytes:
+    error = {"code": "read_only_follower", "message": "read-only follower"}
+    if leader:
+        error["leader"] = leader
+    return json.dumps({"error": error}).encode()
+
+
+REPLICATION_TIMEOUT_BODY = json.dumps(
+    {"error": {"code": "replication_timeout", "message": "unconfirmed"}}
+).encode()
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays ``server.script`` steps: ``(status, headers, body)``."""
+
+    def _serve(self) -> None:
+        script = self.server.script  # type: ignore[attr-defined]
+        self.server.requests.append((self.command, self.path))  # type: ignore[attr-defined]
+        status, headers, body = (
+            script.popleft() if script else (200, {}, OK_BODY)
+        )
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _serve
+    do_POST = _serve
+
+    def log_message(self, *args) -> None:
+        pass
+
+
+@pytest.fixture
+def make_stub():
+    servers = []
+    threads = []
+
+    def build():
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        server.script = deque()
+        server.requests = []
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        threads.append(thread)
+        return server
+
+    yield build
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+def endpoint(stub) -> str:
+    return f"127.0.0.1:{stub.server_address[1]}"
+
+
+def dead_endpoint() -> str:
+    """An endpoint that refuses connections (bound once, then released)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+def make_client(endpoints, **kwargs) -> VerdictClient:
+    kwargs.setdefault("tenant", "acme")
+    kwargs.setdefault("backoff_base_s", 0.001)
+    kwargs.setdefault("backoff_cap_s", 0.002)
+    return VerdictClient(endpoints=endpoints, **kwargs)
+
+
+class TestParseEndpoint:
+    def test_accepted_forms(self):
+        assert parse_endpoint("host:9000") == ("host", 9000)
+        assert parse_endpoint("host") == ("host", 8123)
+        assert parse_endpoint("http://host:9000/v1") == ("host", 9000)
+
+    def test_rejected_forms(self):
+        from repro.serve.client import ClientError
+
+        for bad in ("", ":9000", "host:notaport"):
+            with pytest.raises(ClientError):
+                parse_endpoint(bad)
+
+
+class TestConnectRefusedRotation:
+    def test_mutation_rotates_to_the_live_endpoint(self, make_stub):
+        """A refused connect was provably never sent: ANY request retries."""
+        live = make_stub()
+        with make_client([dead_endpoint(), endpoint(live)]) as client:
+            assert client.record("SELECT COUNT(*) FROM sales") is True
+        assert client.failovers_performed == 1
+        assert len(live.requests) == 1
+        assert (client.host, client.port) == parse_endpoint(endpoint(live))
+
+    def test_single_dead_endpoint_still_fails(self):
+        from repro.serve.client import TransportError
+
+        with make_client([dead_endpoint()]) as client:
+            with pytest.raises(TransportError):
+                client.health()
+        assert client.failovers_performed == 0
+
+
+class TestLeaderHints:
+    def test_follower_rejection_hint_is_followed_for_mutations(self, make_stub):
+        follower, leader = make_stub(), make_stub()
+        follower.script.append(
+            (503, {}, follower_rejection(endpoint(leader)))
+        )
+        with make_client([endpoint(follower)]) as client:
+            assert client.record("SELECT COUNT(*) FROM sales") is True
+        assert len(follower.requests) == 1
+        assert len(leader.requests) == 1
+        assert client.failovers_performed == 1
+        # The adopted leader sticks for subsequent calls.
+        client_port = client.port
+        assert client_port == leader.server_address[1]
+
+    def test_hintless_rejection_rotates_to_the_next_endpoint(self, make_stub):
+        follower, leader = make_stub(), make_stub()
+        follower.script.append((503, {}, follower_rejection(None)))
+        with make_client([endpoint(follower), endpoint(leader)]) as client:
+            assert client.record("SELECT COUNT(*) FROM sales") is True
+        assert len(leader.requests) == 1
+
+    def test_hint_following_can_be_disabled(self, make_stub):
+        follower, leader = make_stub(), make_stub()
+        follower.script.append(
+            (503, {}, follower_rejection(endpoint(leader)))
+        )
+        with make_client(
+            [endpoint(follower)], follow_leader_hints=False
+        ) as client:
+            with pytest.raises(ServerClosingError) as excinfo:
+                client.record("SELECT COUNT(*) FROM sales")
+        assert excinfo.value.code == "read_only_follower"
+        assert len(leader.requests) == 0
+
+    def test_ping_pong_between_confused_nodes_is_bounded(self, make_stub):
+        """Two nodes each naming the other leader must not loop forever."""
+        first, second = make_stub(), make_stub()
+        for _ in range(8):
+            first.script.append((503, {}, follower_rejection(endpoint(second))))
+            second.script.append((503, {}, follower_rejection(endpoint(first))))
+        with make_client([endpoint(first)]) as client:
+            with pytest.raises(ServerClosingError) as excinfo:
+                client.record("SELECT COUNT(*) FROM sales")
+        assert excinfo.value.code == "read_only_follower"
+        # Hops are capped at len(endpoints) + 2, so the total requests seen
+        # across both nodes stay small.
+        assert len(first.requests) + len(second.requests) <= 5
+
+
+class TestRetryBudget:
+    def test_budget_exhaustion_is_typed(self, make_stub):
+        stub = make_stub()
+        # The server asks for a longer wait than the whole budget allows:
+        # the client must raise instead of sleeping into the deadline.
+        stub.script.append((429, {"Retry-After": "0.5"}, OK_BODY))
+        with make_client([endpoint(stub)], retry_budget_s=0.05) as client:
+            with pytest.raises(RetriesExhausted):
+                client.health()
+        assert len(stub.requests) == 1
+
+    def test_budget_permits_short_retries(self, make_stub):
+        stub = make_stub()
+        stub.script.extend([(429, {}, OK_BODY), (200, {}, OK_BODY)])
+        with make_client([endpoint(stub)], retry_budget_s=5.0) as client:
+            assert client.health()["status"] == "ok"
+        assert client.retries_performed == 1
+
+
+class TestReplicationTimeout:
+    def test_sync_ack_timeout_fails_fast(self, make_stub):
+        """A 503 replication_timeout means 'durable locally, unconfirmed
+        remotely' -- blind retry could double-apply, so the client must
+        surface it on the first response."""
+        stub = make_stub()
+        stub.script.append((503, {}, REPLICATION_TIMEOUT_BODY))
+        with make_client([endpoint(stub)]) as client:
+            with pytest.raises(ServerClosingError) as excinfo:
+                client.record("SELECT COUNT(*) FROM sales")
+        assert excinfo.value.code == "replication_timeout"
+        assert len(stub.requests) == 1
+        assert client.retries_performed == 0

@@ -1,0 +1,6 @@
+"""Make the HTTP test harness importable from the replication suite."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "http"))

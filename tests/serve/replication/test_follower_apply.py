@@ -1,0 +1,254 @@
+"""In-process leader/follower pairs: pull-apply, degraded mode, promotion.
+
+Two real HTTP servers on loopback -- a leader and a follower whose
+:class:`~repro.serve.replication.follower.ReplicationPuller` pulls the
+leader's WAL -- exercised through real :class:`VerdictClient` traffic:
+
+* the follower converges to the leader and serves byte-identical answers
+  (by :func:`answer_fingerprint`);
+* degraded read-only mode: every mutating route is rejected with a typed
+  503 naming the leader, asks still work (with recording forced off);
+* ``/v1/healthz`` and ``/v1/replication/status`` report role, epoch, and
+  lag; audit records are stamped with role and epoch;
+* sync-ack mode blocks feedback acks on a follower's confirming pull and
+  surfaces an unconfirmed write as a typed 503 (``replication_timeout``);
+* promotion bumps the fencing epoch, the promoted follower accepts writes,
+  and the deposed leader's late write is rejected with a typed epoch error.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.serve.client import ConflictError, ServerClosingError, VerdictClient
+from repro.serve.http.protocol import answer_fingerprint
+from repro.serve.replication import ReplicationManager, ReplicationPuller
+from repro.serve.replication.state import ROLE_FOLLOWER, ROLE_LEADER
+
+from http_harness import sales_rows, start_server
+
+ROWS = {"acme": 1_500}
+ASK_SQL = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 40"
+RECORD_SQL = [
+    "SELECT AVG(revenue) FROM sales WHERE week >= 1 AND week <= 20",
+    "SELECT COUNT(*) FROM sales WHERE week >= 10 AND week <= 35",
+    "SELECT AVG(revenue) FROM sales WHERE week >= 18 AND week <= 50",
+]
+
+
+def wait_until(predicate, timeout_s: float = 15.0, interval_s: float = 0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached within the timeout")
+
+
+class Pair:
+    """One leader + one pulling follower, with per-node clients."""
+
+    def __init__(self, root, ack_mode: str = "async", ack_timeout_s: float = 10.0):
+        self.leader_repl = ReplicationManager(
+            root / "leader",
+            role=ROLE_LEADER,
+            ack_mode=ack_mode,
+            ack_timeout_s=ack_timeout_s,
+        )
+        self.leader = start_server(
+            root / "leader", ROWS, replication=self.leader_repl, flush_every=1
+        )
+        leader_url = f"127.0.0.1:{self.leader.port}"
+        self.follower_repl = ReplicationManager(
+            root / "follower", role=ROLE_FOLLOWER, leader_url=leader_url
+        )
+        self.follower = start_server(
+            root / "follower",
+            ROWS,
+            replication=self.follower_repl,
+            precreate=False,
+            flush_every=1,
+        )
+        self.puller = ReplicationPuller(
+            self.follower_repl,
+            self.follower.tenants,
+            leader_url,
+            poll_interval_s=0.05,
+        )
+        self.follower_repl.bind(puller=self.puller)
+        self.puller.start()
+
+    def client(self, server, **kwargs) -> VerdictClient:
+        kwargs.setdefault("tenant", "acme")
+        kwargs.setdefault("max_retries", 0)
+        return VerdictClient(host="127.0.0.1", port=server.port, **kwargs)
+
+    def leader_seq(self) -> int:
+        with self.leader.tenants.lease("acme") as tenant:
+            return tenant.store.sequence
+
+    def follower_seq(self) -> int:
+        if not self.follower.tenants.exists("acme"):
+            return -1
+        with self.follower.tenants.lease("acme") as tenant:
+            return tenant.store.sequence
+
+    def wait_caught_up(self):
+        wait_until(lambda: self.follower_seq() >= self.leader_seq())
+
+    def close(self):
+        self.puller.stop()
+        self.follower.close()
+        self.leader.close()
+
+
+@pytest.fixture
+def pair(tmp_path):
+    built = Pair(tmp_path)
+    yield built
+    built.close()
+
+
+class TestCatchUp:
+    def test_follower_converges_and_answers_byte_identically(self, pair):
+        with pair.client(pair.leader) as leader:
+            for sql in RECORD_SQL:
+                assert leader.record(sql)
+            pair.wait_caught_up()
+            with pair.client(pair.follower) as follower:
+                ours = follower.ask(ASK_SQL, record=False)
+                theirs = leader.ask(ASK_SQL, record=False)
+        assert answer_fingerprint(ours) == answer_fingerprint(theirs)
+        assert pair.follower_repl.epoch.number == pair.leader_repl.epoch.number
+
+    def test_status_and_healthz_report_role_epoch_lag(self, pair):
+        with pair.client(pair.leader) as leader:
+            leader.record(RECORD_SQL[0])
+            pair.wait_caught_up()
+            leader_status = leader.replication_status()
+            leader_health = leader.health()
+        assert leader_status["replication"]["role"] == "leader"
+        assert leader_status["replication"]["epoch"] >= 1
+        assert leader_status["stores"]["acme"]["replica"] is False
+        # The follower's confirming pulls registered as acks.
+        assert leader_status["replication"]["acked"].get("acme", -1) >= 0
+        assert leader_health["replication"]["role"] == "leader"
+        with pair.client(pair.follower) as follower:
+            status = follower.replication_status()
+            health = follower.health()
+            exposition = follower.metrics_prometheus(tenant="")  # server-wide
+        assert status["replication"]["role"] == "follower"
+        assert status["replication"]["leader"] == f"127.0.0.1:{pair.leader.port}"
+        lag = status["replication"]["tenants"]["acme"]
+        assert lag["lag_records"] == 0
+        assert health["replication"]["max_lag_records"] == 0
+        assert "verdict_replication_role" in exposition
+        assert "verdict_replication_lag_records" in exposition
+
+    def test_audit_records_are_stamped_with_role_and_epoch(self, pair, tmp_path):
+        with pair.client(pair.leader) as leader:
+            leader.record(RECORD_SQL[0])
+        lines = [
+            json.loads(line)
+            for path in sorted((tmp_path / "leader" / "audit").glob("*.jsonl"))
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines, "the leader must have audited the request"
+        assert all(record.get("role") == "leader" for record in lines)
+        assert all(isinstance(record.get("epoch"), int) for record in lines)
+
+
+class TestDegradedMode:
+    def test_mutating_routes_are_rejected_with_leader_hint(self, pair):
+        with pair.client(pair.leader) as leader:
+            leader.record(RECORD_SQL[0])
+        pair.wait_caught_up()
+        leader_url = f"127.0.0.1:{pair.leader.port}"
+        with pair.client(pair.follower, follow_leader_hints=False) as follower:
+            for call in (
+                lambda: follower.append("sales", sales_rows(5, seed=1)),
+                lambda: follower.record(RECORD_SQL[1]),
+                lambda: follower.train(),
+                lambda: follower.create_tenant("globex"),
+            ):
+                with pytest.raises(ServerClosingError) as excinfo:
+                    call()
+                assert excinfo.value.code == "read_only_follower"
+                assert excinfo.value.status == 503
+                assert leader_url in str(excinfo.value)
+
+    def test_asks_still_serve_and_never_record(self, pair):
+        with pair.client(pair.leader) as leader:
+            leader.record(RECORD_SQL[0])
+        pair.wait_caught_up()
+        before = pair.follower_seq()
+        with pair.client(pair.follower, follow_leader_hints=False) as follower:
+            answer = follower.ask(ASK_SQL, record=True)  # recording forced off
+        assert answer["rows"]
+        assert pair.follower_seq() == before
+
+    def test_client_follows_the_leader_hint(self, pair):
+        """A write sent to the follower lands on the leader transparently."""
+        with pair.client(pair.follower) as client:  # hints on by default
+            assert client.record(RECORD_SQL[0])
+            assert client.failovers_performed == 1
+            assert client.port == pair.leader.port
+
+
+class TestSyncAck:
+    def test_acked_write_waits_for_the_follower(self, tmp_path):
+        pair = Pair(tmp_path, ack_mode="sync", ack_timeout_s=10.0)
+        try:
+            with pair.client(pair.leader) as leader:
+                assert leader.record(RECORD_SQL[0])
+            # The ack returned, so the follower must already cover the seq.
+            assert pair.follower_seq() >= pair.leader_seq()
+        finally:
+            pair.close()
+
+    def test_unconfirmed_write_is_a_typed_timeout(self, tmp_path):
+        pair = Pair(tmp_path, ack_mode="sync", ack_timeout_s=0.3)
+        try:
+            pair.puller.stop()  # no follower pulls: acks cannot be confirmed
+            with pair.client(pair.leader) as leader:
+                with pytest.raises(ServerClosingError) as excinfo:
+                    leader.record(RECORD_SQL[0])
+            assert excinfo.value.code == "replication_timeout"
+            # Durable locally despite the unconfirmed ack.
+            assert pair.leader_seq() >= 1
+        finally:
+            pair.close()
+
+
+class TestPromotion:
+    def test_promote_bumps_epoch_and_fences_the_old_leader(self, pair):
+        with pair.client(pair.leader) as leader:
+            for sql in RECORD_SQL:
+                leader.record(sql)
+        pair.wait_caught_up()
+        old_epoch = pair.leader_repl.epoch.number
+        with pair.client(pair.follower) as follower:
+            result = follower.promote()
+        assert result["promoted"] is True
+        assert result["replication"]["role"] == "leader"
+        assert result["replication"]["epoch"] == old_epoch + 1
+        # The new leader accepts writes under the bumped epoch...
+        with pair.client(pair.follower, follow_leader_hints=False) as follower:
+            assert follower.record(RECORD_SQL[0])
+        # ...and the deposed leader was fenced: late writes are hard errors.
+        assert pair.leader_repl.fenced
+        with pair.client(pair.leader, follow_leader_hints=False) as deposed:
+            with pytest.raises(ConflictError) as excinfo:
+                deposed.record(RECORD_SQL[1])
+        assert excinfo.value.code == "epoch_fenced"
+
+    def test_promote_is_idempotent_on_a_leader(self, pair):
+        with pair.client(pair.leader) as leader:
+            first = leader.promote()
+            second = leader.promote()
+        assert first["promoted"] is True
+        assert first["replication"]["epoch"] == second["replication"]["epoch"]

@@ -1,0 +1,144 @@
+"""Property test: shipping damage never breaks the prefix invariant.
+
+Hypothesis drives arbitrary interleavings of shipping events against a
+follower store -- clean applies, torn shipped lines (truncated at any byte),
+process crashes (the in-memory store and engine are discarded and reloaded
+from disk), and crash-torn tails of the follower's own delta log -- and
+asserts the one invariant everything else rests on:
+
+    the follower's applied state is always an exact *prefix* of the
+    leader's acked log -- its sequence never exceeds the leader's, and its
+    learned state is byte-identical to the oracle state at that sequence.
+
+The oracle is computed once per module by replaying the leader's shipped
+lines one at a time through a pristine replica (the same metadata-chain
+idea as ``tests/serve/test_store_corruption.py``), giving a fingerprint for
+every reachable sequence.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReplicationError
+from repro.serve.store import SynopsisStore
+
+from test_store_envelope import (
+    DELTA_SQL,
+    TRAINING,
+    build_engine,
+    engine_fingerprint,
+    record_one,
+)
+
+MORE_DELTA_SQL = DELTA_SQL + [
+    "SELECT AVG(revenue) FROM sales WHERE week >= 33 AND week <= 52",
+    "SELECT COUNT(*) FROM sales WHERE week >= 7 AND week <= 22",
+]
+
+
+@dataclass(frozen=True)
+class Shipped:
+    """The leader's shipped artifacts plus per-sequence oracle fingerprints."""
+
+    document: str  #: the bootstrap snapshot document
+    lines: tuple[str, ...]  #: the shipped delta lines, in order
+    snapshot_seq: int
+    leader_seq: int
+    oracle: dict[int, str]  #: sequence -> canonical engine state
+
+
+@pytest.fixture(scope="module")
+def shipped(tmp_path_factory) -> Shipped:
+    directory = tmp_path_factory.mktemp("ship-leader")
+    engine = build_engine()
+    for sql in TRAINING:
+        engine.execute(sql)
+    store = SynopsisStore(directory)
+    store.adopt_epoch(1, "lineage-a")
+    assert store.flush(engine) == "snapshot"
+    document = store.snapshot_path.read_text()
+    for sql in MORE_DELTA_SQL:
+        record_one(engine, sql)
+        assert store.flush(engine) == "delta"
+    lines = tuple(store.delta_tail(0))
+    assert len(lines) == len(MORE_DELTA_SQL)
+
+    oracle_dir = tmp_path_factory.mktemp("ship-oracle")
+    oracle_store = SynopsisStore(oracle_dir, replica=True)
+    oracle_engine = build_engine()
+    oracle_store.install_shipped_snapshot(oracle_engine, document)
+    oracle = {oracle_store.sequence: engine_fingerprint(oracle_engine)}
+    for line in lines:
+        oracle_store.ship_append(oracle_engine, line)
+        oracle[oracle_store.sequence] = engine_fingerprint(oracle_engine)
+    return Shipped(
+        document=document,
+        lines=lines,
+        snapshot_seq=store.snapshot_sequence,
+        leader_seq=store.sequence,
+        oracle=oracle,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_follower_state_is_always_a_prefix_of_the_acked_log(shipped, data):
+    directory = Path(tempfile.mkdtemp(prefix="ship-follower-"))
+    try:
+        store = SynopsisStore(directory, replica=True)
+        engine = build_engine()
+        store.install_shipped_snapshot(engine, shipped.document)
+        position = 0  # shipped lines applied so far
+
+        def check_invariant():
+            assert store.sequence <= shipped.leader_seq
+            assert store.sequence == shipped.snapshot_seq + position
+            assert engine_fingerprint(engine) == shipped.oracle[store.sequence]
+
+        check_invariant()
+        for _ in range(data.draw(st.integers(0, 8), label="steps")):
+            remaining = len(shipped.lines) - position
+            action = data.draw(
+                st.sampled_from(
+                    (["apply", "torn_ship"] if remaining else [])
+                    + ["crash_restart", "crash_torn_tail"]
+                ),
+                label="action",
+            )
+            if action == "apply":
+                batch = data.draw(st.integers(1, remaining), label="batch")
+                for line in shipped.lines[position : position + batch]:
+                    store.ship_append(engine, line)
+                    position += 1
+            elif action == "torn_ship":
+                # The next shipped line arrives truncated at an arbitrary
+                # byte: the CRC check must reject it atomically -- nothing
+                # applied, nothing appended.
+                line = shipped.lines[position]
+                cut = data.draw(st.integers(1, len(line) - 1), label="cut")
+                with pytest.raises(ReplicationError):
+                    store.ship_append(engine, line[:cut])
+            elif action in ("crash_restart", "crash_torn_tail"):
+                if action == "crash_torn_tail" and store.delta_path.is_file():
+                    # A crash tears the follower's own delta log at an
+                    # arbitrary byte; recovery truncates to the longest
+                    # valid prefix, moving the position *backwards*.
+                    size = store.delta_path.stat().st_size
+                    if size:
+                        keep = data.draw(st.integers(0, size - 1), label="keep")
+                        with open(store.delta_path, "r+b") as handle:
+                            handle.truncate(keep)
+                store = SynopsisStore(directory, replica=True)
+                engine = build_engine()
+                assert store.load_into(engine)
+                position = store.sequence - shipped.snapshot_seq
+            check_invariant()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
