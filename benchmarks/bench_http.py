@@ -26,8 +26,12 @@ perf-trajectory datapoint ``BENCH_http.json``.  CI runs::
 on a tiny workload and fails if wire throughput at the highest concurrency
 falls below 0.5x the in-process baseline, or if a tracing-enabled server
 (span ring + JSONL trace log, the default) falls below 0.9x the throughput
-of the same server started ``--no-trace``.  Also runs under pytest:
-``pytest benchmarks/bench_http.py -q``.
+of the same server started ``--no-trace``.  The smoke run also gates
+per-tenant governance: on a server with ``--tenant-qps`` quotas, a hot
+tenant offering 2x its quota (4x in the committed full artifact) must not
+drag well-behaved tenants below 0.7x (0.8x full) of the goodput they see
+replaying alone.  Also runs under pytest: ``pytest benchmarks/bench_http.py
+-q``.
 """
 
 from __future__ import annotations
@@ -114,7 +118,8 @@ def build_service(rows: int, sample_ratio: float, batches: int, workers: int):
 
 class ServerProcess:
     def __init__(self, root: Path, rows: int, sample_ratio: float, batches: int,
-                 workers: int, queue: int, extra_args: tuple[str, ...] = ()):
+                 workers: int, queue: int, extra_args: tuple[str, ...] = (),
+                 tenants: str = TENANT):
         environment = dict(os.environ)
         environment["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + (
             environment.get("PYTHONPATH", "")
@@ -132,7 +137,7 @@ class ServerProcess:
                 "--workers", str(workers),
                 "--queue", str(queue),
                 "--queue-timeout", "60",
-                "--tenants", TENANT,
+                "--tenants", tenants,
                 *extra_args,
             ],
             stdout=subprocess.PIPE,
@@ -477,6 +482,273 @@ def check_replication(payload: dict) -> list[str]:
     return []
 
 
+def paced_replay(
+    port: int,
+    tenant: str,
+    queries: list[str],
+    rate_qps: float,
+    concurrency: int,
+    error_budget: float = 0.1,
+    timeout_s: float = 120.0,
+) -> dict:
+    """Open-loop replay: offer ``queries`` at ``rate_qps``, never retrying.
+
+    Query ``i`` is sent at ``start + i / rate_qps`` by whichever of the
+    ``concurrency`` worker threads owns its index, so the *offered* load is
+    fixed by the schedule rather than by how fast the server answers --
+    exactly the shape governance is judged against.  Clients run with
+    ``max_retries=0``: a 429 shed is counted and dropped, not retried, so
+    goodput is admitted-and-answered queries per second of schedule time.
+    """
+    import threading
+
+    from repro.serve.client import ClientError, SaturatedError, VerdictClient
+
+    latencies: list[float | None] = [None] * len(queries)
+    sheds = [0] * concurrency
+    failures = [0] * concurrency
+    warm = threading.Barrier(concurrency + 1)
+    go = threading.Barrier(concurrency + 1)
+    start_at = [0.0]
+
+    def worker(worker_index: int) -> None:
+        with VerdictClient(
+            port=port,
+            tenant=tenant,
+            timeout_s=timeout_s,
+            max_retries=0,
+            seed=worker_index,
+        ) as client:
+            try:
+                client.health()  # connect off the clock
+            finally:
+                warm.wait(timeout=timeout_s)
+            go.wait(timeout=timeout_s)
+            for index in range(worker_index, len(queries), concurrency):
+                delay = start_at[0] + index / rate_qps - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                began = time.perf_counter()
+                try:
+                    client.ask(
+                        queries[index],
+                        max_relative_error=error_budget,
+                        record=False,
+                    )
+                except SaturatedError:
+                    sheds[worker_index] += 1
+                    continue
+                except ClientError:
+                    failures[worker_index] += 1
+                    continue
+                latencies[index] = time.perf_counter() - began
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    warm.wait(timeout=timeout_s)
+    start_at[0] = time.perf_counter()
+    go.wait(timeout=timeout_s)
+    for thread in threads:
+        thread.join()
+    wall = max(time.perf_counter() - start_at[0], 1e-9)
+
+    answered = [latency for latency in latencies if latency is not None]
+    return {
+        "tenant": tenant,
+        "offered_qps": rate_qps,
+        "queries": len(queries),
+        "served": len(answered),
+        "shed": sum(sheds),
+        "failures": sum(failures),
+        "goodput_qps": len(answered) / wall,
+        "p50_ms": percentile(answered, 0.50) * 1e3,
+        "p99_ms": percentile(answered, 0.99) * 1e3,
+    }
+
+
+def run_overload(
+    rows: int,
+    queries_per_tenant: int,
+    tenant_qps: float,
+    overload_factor: float,
+    utilization: float = 0.8,
+    sample_ratio: float = 0.2,
+    batches: int = 5,
+    workers: int = 4,
+    pace_concurrency: int = 8,
+) -> dict:
+    """Per-tenant isolation under overload, on one governed server.
+
+    Three tenants share a server whose governor grants each ``tenant_qps``
+    cheap-query *tokens* per second; a query's token price scales with the
+    planner's cost estimate, so the quota in requests-per-second is
+    ``tenant_qps / price``.  The price is probed with free EXPLAIN calls
+    before the clock starts.  First a well-behaved tenant replays alone at
+    ``utilization``x its request quota -- the *isolated baseline*.  Then
+    all three replay concurrently: two well-behaved tenants at the same
+    rate and one hot tenant offering ``overload_factor``x the full quota.
+    The governor must absorb the abuse locally: the hot tenant's excess is
+    shed at its own token bucket (cheap 429s, never the shared worker
+    pool), so each well-behaved tenant's goodput and tail latency stay
+    close to what it saw alone.
+    """
+    import tempfile
+    import threading
+
+    hot, tame = "hot", ("tame1", "tame2")
+    root = Path(tempfile.mkdtemp(prefix="bench-http-overload-"))
+    server = ServerProcess(
+        root, rows, sample_ratio, batches, workers, queue=64,
+        tenants=",".join((hot, *tame)),
+        extra_args=(
+            "--tenant-qps", str(tenant_qps),
+            "--tenant-concurrency", str(pace_concurrency),
+        ),
+    )
+    try:
+        from repro.serve.client import VerdictClient
+
+        for tenant in (hot, *tame):
+            with VerdictClient(
+                port=server.port, tenant=tenant, timeout_s=300.0
+            ) as admin:
+                for sql in TRAINING_SQL:
+                    admin.record(sql)
+                admin.train()
+                # First ask pays lazy scan/cache warmup; keep it off the
+                # clock (it also spends one quota token, refilled during
+                # the paced ramp of the measured phases).
+                admin.ask("SELECT COUNT(*) FROM sales", record=False)
+
+        # Disjoint trace blocks per (tenant, phase): tame1's isolated and
+        # overloaded phases must not share queries, or the second phase
+        # would measure the answer cache.  Cross-tenant overlap is harmless
+        # (separate services, separate caches) but tags are distinct anyway.
+        hot_trace = make_trace(
+            tag=0, num_queries=int(queries_per_tenant * overload_factor)
+        )
+        isolated_trace = make_trace(tag=1, num_queries=queries_per_tenant)
+        overload_traces = {
+            tame[0]: make_trace(tag=2, num_queries=queries_per_tenant),
+            tame[1]: make_trace(tag=3, num_queries=queries_per_tenant),
+        }
+
+        with VerdictClient(
+            port=server.port, tenant=tame[0], timeout_s=300.0
+        ) as admin:
+            prices = [
+                admin.explain(sql, max_relative_error=0.1)["governance"][
+                    "price_tokens"
+                ]
+                for sql in isolated_trace[:8]
+            ]
+        price = sum(prices) / len(prices)
+        quota_rps = tenant_qps / price  # full quota, in requests per second
+        tame_rate = utilization * quota_rps
+
+        isolated = paced_replay(
+            server.port, tame[0], isolated_trace, tame_rate, pace_concurrency
+        )
+
+        results: dict[str, dict] = {}
+
+        def replay_into(tenant: str, trace: list[str], rate: float) -> None:
+            results[tenant] = paced_replay(
+                server.port, tenant, trace, rate, pace_concurrency
+            )
+
+        contenders = [
+            threading.Thread(
+                target=replay_into,
+                args=(hot, hot_trace, overload_factor * quota_rps),
+            )
+        ] + [
+            threading.Thread(
+                target=replay_into, args=(tenant, overload_traces[tenant], tame_rate)
+            )
+            for tenant in tame
+        ]
+        for thread in contenders:
+            thread.start()
+        for thread in contenders:
+            thread.join()
+
+        with VerdictClient(port=server.port, tenant=hot, timeout_s=60.0) as admin:
+            governor_state = admin.metrics(tenant="")["governor"]
+    finally:
+        server.stop()
+
+    ratios = {
+        tenant: results[tenant]["goodput_qps"]
+        / max(isolated["goodput_qps"], 1e-12)
+        for tenant in tame
+    }
+    return {
+        "benchmark": "http-overload",
+        "description": (
+            "Three tenants on one governed server: two well-behaved at "
+            f"{utilization:g}x their token quota, one hot tenant offering "
+            f"{overload_factor:g}x.  Goodput ratios compare each "
+            "well-behaved tenant against the same tenant replaying alone."
+        ),
+        "workload": {
+            "num_rows": rows,
+            "queries_per_tenant": queries_per_tenant,
+            "workers": workers,
+            "pace_concurrency": pace_concurrency,
+        },
+        "tenant_qps": tenant_qps,
+        "avg_price_tokens": price,
+        "quota_rps": quota_rps,
+        "utilization": utilization,
+        "overload_factor": overload_factor,
+        "isolated": isolated,
+        "overload": results,
+        "governor": governor_state,
+        "tame_goodput_ratios": ratios,
+        "min_tame_goodput_ratio": min(ratios.values()),
+    }
+
+
+def check_overload(payload: dict, min_ratio: float = 0.8) -> list[str]:
+    problems = []
+    isolated = payload["isolated"]
+    if isolated["shed"] or isolated["failures"]:
+        problems.append(
+            f"isolated baseline saw {isolated['shed']} sheds and "
+            f"{isolated['failures']} failures offering 1x quota"
+        )
+    for tenant, ratio in sorted(payload["tame_goodput_ratios"].items()):
+        stats = payload["overload"][tenant]
+        if stats["failures"]:
+            problems.append(f"{stats['failures']} hard failures for {tenant}")
+        if ratio < min_ratio:
+            problems.append(
+                f"{tenant} goodput {ratio:.2f}x its isolated baseline "
+                f"(< {min_ratio}x) under overload"
+            )
+        if stats["p99_ms"] > 5 * isolated["p99_ms"] + 250:
+            problems.append(
+                f"{tenant} p99 {stats['p99_ms']:.0f}ms under overload vs "
+                f"{isolated['p99_ms']:.0f}ms isolated"
+            )
+    hot = payload["overload"]["hot"]
+    if hot["failures"]:
+        problems.append(f"{hot['failures']} hard failures for the hot tenant")
+    if hot["shed"] == 0:
+        problems.append("the hot tenant was never shed: the governor is idle")
+    if hot["goodput_qps"] > 1.5 * payload["quota_rps"]:
+        problems.append(
+            f"hot tenant goodput {hot['goodput_qps']:.1f} qps exceeds 1.5x "
+            f"its {payload['quota_rps']:.1f} rps quota"
+        )
+    return problems
+
+
 #: Smoke configuration: small table, short per-level traces, but the full
 #: 32-client top level -- the acceptance bar is measured where it matters.
 SMOKE = dict(rows=50_000, queries_per_level=128, concurrency_levels=(1, 8, 32))
@@ -488,6 +760,20 @@ TRACING_SMOKE = dict(rows=30_000, num_queries=96, concurrency=8)
 #: Replication-overhead smoke: same shape as the tracing gate -- the cost
 #: being bounded is WAL shipping on the leader's request path.
 REPLICATION_SMOKE = dict(rows=30_000, num_queries=96, concurrency=8)
+
+#: Overload-isolation smoke: a 2x-quota hot tenant, and well-behaved
+#: tenants must keep >= 0.7x their isolated goodput.  The committed
+#: artifact runs the stricter 4x / 0.8x configuration below.
+OVERLOAD_SMOKE = dict(
+    rows=20_000, queries_per_tenant=48, tenant_qps=48.0, overload_factor=2.0
+)
+OVERLOAD_SMOKE_MIN_RATIO = 0.7
+
+#: The committed-artifact overload configuration: the acceptance shape.
+OVERLOAD_FULL = dict(
+    rows=50_000, queries_per_tenant=80, tenant_qps=48.0, overload_factor=4.0
+)
+OVERLOAD_FULL_MIN_RATIO = 0.8
 
 #: The committed-artifact configuration.
 FULL = dict(rows=100_000, queries_per_level=160, concurrency_levels=(1, 8, 32))
@@ -526,6 +812,13 @@ def test_replication_overhead_smoke():
     assert not check_replication(payload), check_replication(payload)
 
 
+def test_overload_smoke():
+    """Pytest entry: well-behaved tenants keep >= 0.7x goodput at 2x abuse."""
+    payload = run_overload(**OVERLOAD_SMOKE)
+    problems = check_overload(payload, min_ratio=OVERLOAD_SMOKE_MIN_RATIO)
+    assert not problems, problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="CI gate: small + strict")
@@ -542,6 +835,9 @@ def main() -> int:
         replication = run_replication_overhead(**REPLICATION_SMOKE)
         print(json.dumps(replication, indent=2))
         problems += check_replication(replication)
+        overload = run_overload(**OVERLOAD_SMOKE)
+        print(json.dumps(overload, indent=2))
+        problems += check_overload(overload, min_ratio=OVERLOAD_SMOKE_MIN_RATIO)
         for problem in problems:
             print(f"FAIL: {problem}")
         if problems:
@@ -551,18 +847,25 @@ def main() -> int:
             f"{payload['wire_ratio_at_top_concurrency']:.2f}x in-process, "
             f"tracing {tracing['tracing_overhead_ratio']:.2f}x untraced, "
             f"replication {replication['replication_overhead_ratio']:.2f}x "
-            f"standalone"
+            f"standalone, overload isolation "
+            f"{overload['min_tame_goodput_ratio']:.2f}x isolated goodput"
         )
         return 0
 
     payload = run_benchmark(**FULL)
+    payload["overload"] = run_overload(**OVERLOAD_FULL)
     text = json.dumps(payload, indent=2) + "\n"
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / "http.json").write_text(text)
     (REPO_ROOT / "BENCH_http.json").write_text(text)
     print(text)
     print(f"wrote {RESULTS_DIR / 'http.json'} and {REPO_ROOT / 'BENCH_http.json'}")
-    return 1 if check(payload) else 0
+    problems = check(payload) + check_overload(
+        payload["overload"], min_ratio=OVERLOAD_FULL_MIN_RATIO
+    )
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":

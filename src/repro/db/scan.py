@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.deadline import current_deadline
+from repro.deadline import current_cancel, current_deadline
 from repro.db.expressions import _flip, distinct_match_mask, evaluate_predicate
 from repro.obs.trace import span as obs_span
 from repro.db.partition import (
@@ -367,13 +367,16 @@ def _scan_selected(
         ]
 
         # Cooperative cancellation: the exact scan is all-or-nothing, so an
-        # expired request deadline aborts it (DeadlineExceeded) rather than
-        # returning a partial result.  The deadline is captured *by value*
-        # here -- pool worker threads never see the request thread's ambient
-        # thread-local state.
+        # expired request deadline or an armed cancel token aborts it
+        # (DeadlineExceeded / QueryCancelled) rather than returning a partial
+        # result.  Both are captured *by value* here -- pool worker threads
+        # never see the request thread's ambient thread-local state.
         deadline = current_deadline()
+        cancel = current_cancel()
 
         def scan_one(bounds: tuple[int, int]) -> np.ndarray:
+            if cancel is not None:
+                cancel.check("partitioned scan")
             if deadline is not None:
                 deadline.check("partitioned scan")
             start, end = bounds

@@ -18,6 +18,14 @@ killed, so every cancellable loop opts in with one cheap ``expired`` check
 per batch/morsel.  The ambient variable is thread-local; worker threads a
 request fans out to (the morsel scan pool) receive the deadline by value
 in their closures, never by reading another thread's ambient state.
+
+A :class:`CancelToken` rides the same ambient mechanism and the same
+checkpoints: the front door creates one per request, arms it when
+``POST /v1/cancel/<request_id>`` arrives or when the client socket reports
+a disconnect, and ``check_deadline`` raises
+:class:`~repro.errors.QueryCancelled` at the next poll.  Unlike a deadline
+expiry, a cancellation never yields a partial answer -- nobody is
+listening -- so the serving layer aborts without caching or recording.
 """
 
 from __future__ import annotations
@@ -26,9 +34,77 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
-from repro.errors import DeadlineExceeded
+from repro.errors import DeadlineExceeded, QueryCancelled
+
+
+class CancelToken:
+    """A thread-safe one-shot cancellation flag polled at loop checkpoints.
+
+    ``cancel()`` is idempotent and latches the first reason.  An optional
+    ``probe`` callable (the HTTP front door's client-disconnect peek) is
+    invoked at most once per ``probe_interval_s`` during :meth:`check`; if
+    it returns a reason string the token cancels itself -- this is how a
+    long-running exact scan notices its client hung up without a watcher
+    thread.  Probes run outside the lock (a socket peek can block briefly)
+    and are dropped permanently if they raise.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[], str | None] | None = None,
+        probe_interval_s: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason = ""
+        self._probe = probe
+        self._probe_interval_s = probe_interval_s
+        self._clock = clock
+        self._next_probe_at = clock()
+
+    def cancel(self, reason: str = "requested") -> bool:
+        """Latch the cancel flag; returns True on the first (effective) call."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._cancelled = True
+            self._reason = reason
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`QueryCancelled` if cancelled (probing first)."""
+        if not self._cancelled and self._probe is not None:
+            probe = None
+            with self._lock:
+                now = self._clock()
+                if now >= self._next_probe_at:
+                    self._next_probe_at = now + self._probe_interval_s
+                    probe = self._probe
+            if probe is not None:
+                try:
+                    reason = probe()
+                except Exception:
+                    self._probe = None  # broken probe: never retry it
+                    reason = None
+                if reason:
+                    self.cancel(reason)
+        if self._cancelled:
+            raise QueryCancelled(
+                f"query cancelled ({self._reason})"
+                + (f" during {where}" if where else ""),
+                reason=self._reason,
+            )
 
 
 @dataclass(frozen=True)
@@ -87,8 +163,36 @@ def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
         _ambient.deadline = previous
 
 
+def current_cancel() -> CancelToken | None:
+    """The ambient cancel token of the calling thread, if any."""
+    return getattr(_ambient, "cancel", None)
+
+
+@contextmanager
+def cancel_scope(token: CancelToken | None) -> Iterator[CancelToken | None]:
+    """Install ``token`` as the calling thread's ambient cancel token.
+
+    Mirrors :func:`deadline_scope`: ``None`` is a no-op, scopes nest, and
+    worker threads a request fans out to must capture the token by value.
+    """
+    previous = current_cancel()
+    _ambient.cancel = token
+    try:
+        yield token
+    finally:
+        _ambient.cancel = previous
+
+
 def check_deadline(where: str = "") -> None:
-    """Raise :class:`DeadlineExceeded` if the ambient deadline expired."""
+    """Raise if the ambient deadline expired or the ambient token cancelled.
+
+    Cancellation is checked first: a request that is both cancelled and past
+    its deadline aborts as *cancelled* (nobody is listening for a degraded
+    partial), keeping the audit/metrics story unambiguous.
+    """
+    token = current_cancel()
+    if token is not None:
+        token.check(where)
     deadline = current_deadline()
     if deadline is not None:
         deadline.check(where)

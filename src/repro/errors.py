@@ -82,6 +82,22 @@ class DeadlineExceeded(ReproError):
     """
 
 
+class QueryCancelled(ReproError):
+    """A request was cancelled (explicit cancel or client disconnect).
+
+    Deliberately distinct from :class:`DeadlineExceeded`: a deadline expiry
+    can still yield a degraded partial answer, but a cancellation means
+    nobody is listening -- the serving layer aborts outright, records and
+    caches nothing, and the front door maps it to HTTP 499.  ``reason`` is
+    ``"requested"`` (POST /v1/cancel) or ``"disconnected"`` (the client hung
+    up mid-query).
+    """
+
+    def __init__(self, message: str, reason: str = "requested"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class ReplicationError(ReproError):
     """Leader/follower WAL shipping failed (torn record, bad metadata, ...)."""
 

@@ -55,6 +55,10 @@ KNOWN_POINTS = frozenset(
         "aqp.batch",  # before each online-aggregation sample batch
         # --- HTTP front door (serve/http/server.py)
         "http.handler",  # dispatching one HTTP request
+        "http.disconnect",  # the client-disconnect probe of an in-flight ask
+        # --- resource governor (serve/governor.py)
+        "governor.shed",  # shedding one request over a tenant quota
+        "governor.cancel",  # delivering one POST /v1/cancel cancellation
     }
 )
 

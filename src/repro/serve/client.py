@@ -82,7 +82,26 @@ class ConflictError(ClientError):
 
 
 class SaturatedError(ClientError):
-    """429: shed by admission control and retries exhausted."""
+    """429: shed by admission control and retries exhausted.
+
+    ``quota``, when the shed came from the per-tenant resource governor,
+    is the tenant's quota state from the error body (remaining tokens,
+    refill wait, concurrency) at the final attempt.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        code: str | None = None,
+        quota: dict | None = None,
+    ):
+        super().__init__(message, status=status, code=code)
+        self.quota = quota
+
+
+class CancelledError(ClientError):
+    """499: the request was cancelled mid-flight (cancel API / disconnect)."""
 
 
 class ServerClosingError(ClientError):
@@ -123,6 +142,7 @@ _STATUS_EXCEPTIONS = {
     404: NotFoundError,
     409: ConflictError,
     429: SaturatedError,
+    499: CancelledError,
     503: ServerClosingError,
 }
 
@@ -200,6 +220,9 @@ class VerdictClient:
         #: Request id of the most recent response (the server echoes the
         #: offered X-Request-Id or the id it minted).
         self.last_request_id: str | None = None
+        #: Tenant quota state from the most recent governor 429 body, if
+        #: any -- remaining tokens, refill wait, concurrency.
+        self.last_quota: dict | None = None
         self._random = random.Random(seed)
         self._connection: http.client.HTTPConnection | None = None
 
@@ -353,6 +376,15 @@ class VerdictClient:
 
     def list_tenants(self) -> list[dict]:
         return self._request("GET", "/v1/admin/tenants", idempotent=True)["tenants"]
+
+    def cancel(self, request_id: str) -> dict:
+        """Cancel the in-flight request with this id (cooperatively).
+
+        Returns ``{"cancelled": true, ...}`` when the id was in flight;
+        raises :class:`NotFoundError` when it already finished or was never
+        admitted.  Safe to repeat: cancellation is idempotent.
+        """
+        return self._request("POST", f"/v1/cancel/{request_id}", {}, idempotent=True)
 
     def health(self) -> dict:
         return self._request("GET", "/v1/healthz", idempotent=True)
@@ -582,13 +614,21 @@ class VerdictClient:
                 raise TransportError(
                     f"{context} failed: {type(error).__name__}: {error}"
                 ) from error
-            if status == 429 and attempt < self.max_retries:
-                self.retries_performed += 1
-                self._sleep_within_budget(
-                    self._backoff(attempt, retry_after), deadline, context
-                )
-                attempt += 1
-                continue
+            if status == 429:
+                # A governor shed's body carries the tenant's quota state;
+                # remember it (the Retry-After header it came with is
+                # already derived from the bucket refill, so the backoff
+                # below honors the quota automatically).
+                quota = self._error_info(data).get("quota")
+                if isinstance(quota, dict):
+                    self.last_quota = quota
+                if attempt < self.max_retries:
+                    self.retries_performed += 1
+                    self._sleep_within_budget(
+                        self._backoff(attempt, retry_after), deadline, context
+                    )
+                    attempt += 1
+                    continue
             if status == 503:
                 info = self._error_info(data)
                 if (
@@ -634,4 +674,12 @@ class VerdictClient:
         code = error_info.get("code")
         message = error_info.get("message", f"HTTP {status}")
         exc_type = _STATUS_EXCEPTIONS.get(status, RemoteError)
+        if exc_type is SaturatedError:
+            quota = error_info.get("quota")
+            raise SaturatedError(
+                f"{method} {path}: {message}",
+                status=status,
+                code=code,
+                quota=quota if isinstance(quota, dict) else None,
+            )
         raise exc_type(f"{method} {path}: {message}", status=status, code=code)

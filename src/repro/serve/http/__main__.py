@@ -41,6 +41,7 @@ from pathlib import Path
 from repro.config import CostModelConfig, SamplingConfig, VerdictConfig
 from repro.db.catalog import Catalog
 from repro.obs.trace import Tracer
+from repro.serve.governor import BrownoutController, ResourceGovernor
 from repro.serve.http.audit import AuditLog
 from repro.serve.http.server import VerdictHTTPServer
 from repro.serve.http.tenants import TenantManager
@@ -102,6 +103,49 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--max-loaded-tenants", type=int, default=8, help="LRU residency cap"
+    )
+    parser.add_argument(
+        "--tenant-qps",
+        type=float,
+        default=None,
+        help="per-tenant token refill rate (cheap-query tokens per second); "
+        "expensive asks are priced higher by the planner's cost estimate",
+    )
+    parser.add_argument(
+        "--tenant-concurrency",
+        type=int,
+        default=None,
+        help="max simultaneously executing asks per tenant",
+    )
+    parser.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=2.0,
+        help="bucket burst capacity, in seconds of --tenant-qps refill",
+    )
+    parser.add_argument(
+        "--cost-unit",
+        type=float,
+        default=0.1,
+        help="estimated model-seconds per extra quota token when pricing asks",
+    )
+    parser.add_argument(
+        "--brownout",
+        action="store_true",
+        help="widen error budgets under sustained queue saturation "
+        "(graceful degradation instead of a wall of 429s)",
+    )
+    parser.add_argument(
+        "--brownout-threshold",
+        type=float,
+        default=0.5,
+        help="queue-wait p99 (seconds) above which a window counts saturated",
+    )
+    parser.add_argument(
+        "--brownout-window",
+        type=float,
+        default=1.0,
+        help="saturation-detector window length in seconds",
     )
     parser.add_argument(
         "--tenants", default="", help="comma-separated tenants to pre-create"
@@ -253,6 +297,18 @@ def main(argv: list[str] | None = None) -> int:
             slow_log_path=slow_log,
             slow_threshold_s=args.slow_query_s,
         )
+    governor = ResourceGovernor(
+        tenant_qps=args.tenant_qps,
+        tenant_concurrency=args.tenant_concurrency,
+        burst_s=args.tenant_burst,
+        cost_unit_s=args.cost_unit,
+    )
+    brownout = None
+    if args.brownout:
+        brownout = BrownoutController(
+            threshold_s=args.brownout_threshold,
+            window_s=args.brownout_window,
+        )
     server = VerdictHTTPServer(
         (args.host, args.port),
         tenants,
@@ -262,6 +318,8 @@ def main(argv: list[str] | None = None) -> int:
         audit=audit,
         tracer=tracer,
         replication=replication,
+        governor=governor,
+        brownout=brownout,
     )
     puller = None
     if replication.is_follower and replication.leader_url:

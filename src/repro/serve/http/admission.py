@@ -39,11 +39,19 @@ class ShedLoad(ReproError):
     ``retry_after_s`` is the controller's backoff hint -- how long a client
     should wait before retrying, sized to the queue drain time.  The HTTP
     layer forwards it as the 429 response's ``Retry-After`` header.
+
+    ``quota``, set on tenant-level sheds from the resource governor, is the
+    tenant's live quota state (remaining tokens, refill wait, concurrency)
+    -- it rides into the 429 body so clients can size their backoff to the
+    *actual* bucket refill instead of the global queue horizon.
     """
 
-    def __init__(self, message: str, retry_after_s: float = 1.0):
+    def __init__(
+        self, message: str, retry_after_s: float = 1.0, quota: dict | None = None
+    ):
         super().__init__(message)
         self.retry_after_s = retry_after_s
+        self.quota = quota
 
 
 class ShuttingDown(ReproError):

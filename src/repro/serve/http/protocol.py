@@ -24,7 +24,13 @@ status    code                    meaning
                                   from ``/v1/replication/snapshot``
 409       ``replication_gap``     shipped records do not chain onto the
                                   follower's applied state
-429       ``shed_load``           admission queue full / queue wait timed out
+429       ``shed_load``           admission queue full / queue wait timed out /
+                                  a tenant quota or concurrency cap was hit
+                                  (the body's ``quota`` field carries the
+                                  tenant's remaining tokens and refill wait)
+499       ``cancelled``           the request was cancelled mid-flight
+                                  (``POST /v1/cancel`` or client disconnect);
+                                  nothing was cached or recorded
 503       ``shutting_down``       the server is draining
 503       ``read_only_follower``  a mutating request reached a follower; the
                                   ``leader`` field in the error body names
@@ -109,8 +115,22 @@ def tenant_exists(name: str) -> ApiError:
     return ApiError(409, "tenant_exists", f"tenant {name!r} already exists")
 
 
-def shed_load(message: str, retry_after_s: float | None = None) -> ApiError:
-    return ApiError(429, "shed_load", message, retry_after_s=retry_after_s)
+def shed_load(
+    message: str,
+    retry_after_s: float | None = None,
+    quota: dict | None = None,
+) -> ApiError:
+    # ``quota`` (set on per-tenant governor sheds) rides into the error
+    # body: remaining tokens, refill wait, and concurrency state so the
+    # client can back off for exactly as long as the bucket needs.
+    extra = {"quota": quota} if quota is not None else None
+    return ApiError(429, "shed_load", message, retry_after_s=retry_after_s, extra=extra)
+
+
+def cancelled(message: str, reason: str = "requested") -> ApiError:
+    # 499 (client closed request): non-standard but the de-facto code for
+    # "the client is no longer waiting"; never retried by the client.
+    return ApiError(499, "cancelled", message, extra={"reason": reason})
 
 
 def shutting_down(message: str = "server is shutting down") -> ApiError:
@@ -444,6 +464,7 @@ def map_exception(error: Exception) -> ApiError:
         CatalogError,
         DeadlineExceeded,
         EpochFencedError,
+        QueryCancelled,
         ReadOnlyFollowerError,
         ReplicationGapError,
         ServiceError,
@@ -457,6 +478,8 @@ def map_exception(error: Exception) -> ApiError:
         return error
     if isinstance(error, DeadlineExceeded):
         return deadline_exceeded(str(error))
+    if isinstance(error, QueryCancelled):
+        return cancelled(str(error), reason=error.reason)
     if isinstance(error, EpochFencedError):
         return epoch_fenced(str(error), local=error.local, remote=error.remote)
     if isinstance(error, ReadOnlyFollowerError):
@@ -464,7 +487,11 @@ def map_exception(error: Exception) -> ApiError:
     if isinstance(error, ReplicationGapError):
         return ApiError(409, "replication_gap", str(error))
     if isinstance(error, ShedLoad):
-        return shed_load(str(error), getattr(error, "retry_after_s", None))
+        return shed_load(
+            str(error),
+            getattr(error, "retry_after_s", None),
+            quota=getattr(error, "quota", None),
+        )
     if isinstance(error, ShuttingDown):
         return shutting_down(str(error))
     if isinstance(error, SQLSyntaxError):

@@ -11,6 +11,10 @@ POST     ``/v1/ask``               answer one SQL request within its budget
                                    (``explain: true`` returns the planner's
                                    decision record without executing;
                                    ``trace: true`` attaches the span tree)
+POST     ``/v1/cancel/<id>``       cooperatively cancel the in-flight ask
+                                   whose ``X-Request-Id`` is ``<id>``
+                                   (bypasses admission; the cancelled ask
+                                   itself answers 499 ``cancelled``)
 POST     ``/v1/feedback/append``   append rows to a tenant fact table
 POST     ``/v1/feedback/record``   full-scan a query and record its snippets
 GET      ``/v1/metrics``           server-wide (or ``?tenant=`` scoped)
@@ -64,6 +68,8 @@ response -- 200 if admitted before the close, 503 otherwise.
 from __future__ import annotations
 
 import json
+import select
+import socket
 import threading
 import time
 from contextlib import ExitStack
@@ -71,6 +77,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro import faults
+from repro.deadline import CancelToken, cancel_scope
+from repro.errors import QueryCancelled
 from repro.obs.metrics import MetricFamily, merge_families, render_prometheus
 from repro.obs.trace import (
     Tracer,
@@ -79,8 +87,9 @@ from repro.obs.trace import (
     span as trace_span,
     valid_request_id,
 )
+from repro.serve.governor import BrownoutController, ResourceGovernor
 from repro.serve.http import protocol
-from repro.serve.http.admission import AdmissionController
+from repro.serve.http.admission import AdmissionController, ShedLoad
 from repro.serve.http.audit import AuditLog
 from repro.serve.http.protocol import ApiError
 from repro.serve.http.tenants import TenantManager
@@ -118,9 +127,17 @@ class VerdictHTTPServer(ThreadingHTTPServer):
         audit: AuditLog | None = None,
         tracer: Tracer | None = None,
         replication: ReplicationManager | None = None,
+        governor: ResourceGovernor | None = None,
+        brownout: BrownoutController | None = None,
     ):
         super().__init__(address, _Handler)
         self.tenants = tenants
+        # Always present: an unconfigured governor admits everything but
+        # still hosts the cancel registry and per-tenant counters, so
+        # POST /v1/cancel works on an ungoverned server too.
+        self.governor = governor if governor is not None else ResourceGovernor()
+        # Brownout is opt-in (None = budgets are never touched).
+        self.brownout = brownout
         # A server constructed without replication wiring is a standalone
         # leader at epoch 1: every write gate below passes unconditionally.
         self.replication = (
@@ -222,6 +239,9 @@ class _Handler(BaseHTTPRequestHandler):
         # keys the trace in the ring/trace log.
         offered = self.headers.get("X-Request-Id") or ""
         request_id = offered if valid_request_id(offered) else mint_request_id()
+        # Stashed so _ask can register its cancel token under the same id
+        # the client saw in the response header.
+        self.active_request_id = request_id
         audit_fields: dict = {}
         tracer = self.server.tracer
         if tracer is None:
@@ -282,6 +302,10 @@ class _Handler(BaseHTTPRequestHandler):
             return self._append(self._read_json(), audit_fields)
         if method == "POST" and path == "/v1/feedback/record":
             return self._record(self._read_json(), audit_fields)
+        if method == "POST" and path.startswith("/v1/cancel/"):
+            # Cancellation bypasses admission: it must land on a saturated
+            # server -- that is exactly when cancelling matters most.
+            return self._cancel(path[len("/v1/cancel/"):], audit_fields)
         if method == "GET" and path == "/v1/metrics":
             params = parse_qs(query)
             tenant = params.get("tenant", [None])[0]
@@ -327,23 +351,36 @@ class _Handler(BaseHTTPRequestHandler):
             for reason in health["reasons"]
         ]
         reasons += server.replication.health_reasons()
+        brownout = server.brownout
+        if brownout is not None:
+            brownout.tick()
+            if brownout.level > 0:
+                reasons.append(
+                    f"brownout at level {brownout.level}: error budgets widened "
+                    f"under sustained queue saturation"
+                )
         if server.admission.closed:
             status = "draining"
         elif reasons:
             status = "degraded"
         else:
             status = "ok"
-        return 200, {
+        payload = {
             "status": status,
             "reasons": reasons,
             "tenants": tenants,
             "replication": server.replication.summary(),
+            "governor": server.governor.snapshot(),
             "uptime_s": time.time() - server.started_ts,
         }
+        if brownout is not None:
+            payload["brownout"] = brownout.snapshot()
+        return 200, payload
 
     # -------------------------------------------------------------- endpoints
 
     def _ask(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
+        server = self.server
         request = protocol.parse_ask(payload)
         audit_fields["tenant"] = request.tenant
         # Client-fault errors (bad SQL, unknown table) must not reach the
@@ -353,28 +390,76 @@ class _Handler(BaseHTTPRequestHandler):
             # EXPLAIN never executes (no scan, no engine work), so like
             # metrics and health it bypasses admission: the plan must be
             # inspectable on a saturated server.
-            with self.server.tenants.lease(request.tenant) as tenant:
+            with server.tenants.lease(request.tenant) as tenant:
                 _check_tables(tenant.service.catalog, parsed)
-                plan = tenant.service.explain(request.sql, budget=request.budget)
+                effective = self._effective_budget(tenant, request.budget, audit_fields)
+                plan = tenant.service.explain(request.sql, budget=effective)
+                plan["governance"] = self._governance_explain(
+                    tenant, parsed, request.budget, effective, request.tenant
+                )
             audit_fields["explain"] = True
             return 200, {"tenant": request.tenant, "explain": plan}
         with ExitStack() as stack:
-            # The admission span covers only the wait for a slot (its
-            # outcome/queue-wait attrs are set inside the controller); the
-            # slot itself is held for the whole execution.
-            with trace_span("admission"):
-                stack.enter_context(self.server.admission.admit())
-            with self.server.tenants.lease(request.tenant) as tenant:
+            # The lease comes first: pricing a request needs the tenant's
+            # planner, and a lease only pins residency (it is safe to hold
+            # across an admission queue wait).
+            with server.tenants.lease(request.tenant) as tenant:
                 _check_tables(tenant.service.catalog, parsed)
+                effective = self._effective_budget(tenant, request.budget, audit_fields)
+                # Tenant governance before the shared gate: a tenant over
+                # its quota is shed in microseconds with its own Retry-After
+                # and never occupies a global queue slot.
+                cost = server.governor.price_query(
+                    tenant.service.planner,
+                    parsed,
+                    effective or tenant.service.default_budget,
+                )
+                with trace_span("governance"):
+                    stack.enter_context(server.governor.admit(request.tenant, cost))
+                # The admission span covers only the wait for a slot (its
+                # outcome/queue-wait attrs are set inside the controller);
+                # the slot itself is held for the whole execution.  The
+                # measured wait feeds the brownout saturation detector; a
+                # shed counts as a full-horizon observation (the queue was
+                # saturated enough to refuse us).
+                wait_started = time.perf_counter()
+                try:
+                    with trace_span("admission"):
+                        stack.enter_context(server.admission.admit())
+                except ShedLoad:
+                    if server.brownout is not None:
+                        horizon = server.admission.queue_timeout_s
+                        server.brownout.observe(
+                            horizon
+                            if horizon is not None
+                            else 2.0 * server.brownout.threshold_s
+                        )
+                    raise
+                if server.brownout is not None:
+                    server.brownout.observe(time.perf_counter() - wait_started)
                 # Degraded read-only mode: followers (and fenced leaders)
                 # still answer asks, but never record snippets -- recording
                 # is a write and writes arrive via replication only.
                 record = request.record
-                if not self.server.replication.is_writable:
+                if not server.replication.is_writable:
                     record = False
-                answer = tenant.service.query(
-                    request.sql, budget=request.budget, record=record
-                )
+                # The cancel token is ambient for the whole execution: a
+                # POST /v1/cancel under this request id (or the disconnect
+                # probe noticing the client hung up) arms it, and the next
+                # scan/online-agg checkpoint raises QueryCancelled.
+                token = CancelToken(probe=self._disconnect_probe())
+                with server.governor.cancels.track(
+                    self.active_request_id, token, request.tenant
+                ):
+                    try:
+                        with cancel_scope(token):
+                            answer = tenant.service.query(
+                                request.sql, budget=effective, record=record
+                            )
+                    except QueryCancelled as error:
+                        server.governor.record_cancel(request.tenant, error.reason)
+                        audit_fields["cancelled"] = error.reason
+                        raise
         state = protocol.answer_to_state(answer)
         audit_fields["route"] = state["route"]
         audit_fields["error_bound"] = state["relative_error_bound"]
@@ -386,6 +471,100 @@ class _Handler(BaseHTTPRequestHandler):
             root = current_trace()
             response["trace"] = None if root is None else root.to_dict()
         return 200, response
+
+    def _effective_budget(self, tenant, requested, audit_fields: dict):
+        """The budget this request runs under after brownout widening.
+
+        With brownout disabled (or at level 0) the requested budget passes
+        through untouched -- including ``None`` (the service default).  At
+        a positive level the default is resolved so it can be widened too,
+        and the audit record is stamped with the level that did it.
+        """
+        brownout = self.server.brownout
+        if brownout is None:
+            return requested
+        brownout.tick()
+        if brownout.level == 0:
+            return requested
+        base = requested if requested is not None else tenant.service.default_budget
+        effective = brownout.effective_budget(base)
+        if effective is not base:
+            audit_fields["brownout_level"] = brownout.level
+        return effective
+
+    def _governance_explain(
+        self, tenant, parsed, requested, effective, tenant_name: str
+    ) -> dict:
+        """The EXPLAIN ``governance`` section: quota, price, brownout."""
+        server = self.server
+        pricing_budget = effective or tenant.service.default_budget
+        budget_state = None
+        if effective is not None:
+            budget_state = {
+                "max_relative_error": effective.max_relative_error,
+                "max_latency_s": effective.max_latency_s,
+                "deadline_s": effective.deadline_s,
+            }
+        return {
+            "tenant_quota": server.governor.quota_state(tenant_name),
+            "price_tokens": server.governor.price_query(
+                tenant.service.planner, parsed, pricing_budget
+            ),
+            "budget_widened": effective is not requested,
+            "effective_budget": budget_state,
+            "brownout": (
+                server.brownout.snapshot() if server.brownout is not None else None
+            ),
+        }
+
+    def _cancel(self, request_id: str, audit_fields: dict) -> tuple[int, dict]:
+        """Arm the cancel token of an in-flight ask by request id."""
+        # The (empty) body must be drained or the keep-alive stream desyncs.
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            self.rfile.read(min(length, protocol.MAX_BODY_BYTES))
+        if not valid_request_id(request_id):
+            raise protocol.bad_request(f"invalid request id {request_id!r}")
+        found, tenant = self.server.governor.cancels.cancel(request_id)
+        audit_fields["cancel_target"] = request_id
+        if not found:
+            raise ApiError(
+                404,
+                "unknown_request",
+                f"no in-flight request {request_id!r} (already finished, "
+                "never admitted, or served elsewhere)",
+            )
+        if tenant:
+            audit_fields["tenant"] = tenant
+        return 200, {"cancelled": True, "request": request_id}
+
+    def _disconnect_probe(self):
+        """A rate-limited peek that reports whether the client hung up.
+
+        Zero-timeout ``select`` + ``MSG_PEEK``: an EOF (empty read) or a
+        socket error means the client is gone -- cancel the query, nobody
+        is listening.  Readable *data* is a pipelined follow-up request on
+        the keep-alive connection, not a disconnect.  The ``http.disconnect``
+        fault point lets REPRO_FAULTS simulate a vanished client ("torn")
+        or kill/delay mid-probe.
+        """
+        sock = self.connection
+
+        def probe() -> str | None:
+            directive = faults.inject("http.disconnect")
+            if directive is not None and directive.action == "torn":
+                return "disconnected"
+            try:
+                readable, _, _ = select.select([sock], [], [], 0)
+                if not readable:
+                    return None
+                if sock.recv(1, socket.MSG_PEEK) == b"":
+                    return "disconnected"
+            except OSError:
+                return "disconnected"
+            return None
+
+        return probe
 
     def _append(self, payload: object, audit_fields: dict) -> tuple[int, dict]:
         from repro.db.table import Table
@@ -470,11 +649,15 @@ class _Handler(BaseHTTPRequestHandler):
             state = {
                 "uptime_s": time.time() - server.started_ts,
                 "admission": server.admission.snapshot(),
+                "governor": server.governor.snapshot(),
                 "tenants": server.tenants.stats(),
                 "audit_entries": (
                     server.audit.entries_written if server.audit else 0
                 ),
             }
+            if server.brownout is not None:
+                server.brownout.tick()
+                state["brownout"] = server.brownout.snapshot()
             if server.tracer is not None:
                 state["tracer"] = server.tracer.stats()
             return 200, state
@@ -513,6 +696,12 @@ class _Handler(BaseHTTPRequestHandler):
             ).add({}, time.time() - server.started_ts)
         ]
         families += server.admission.metric_families()
+        # Governor families carry per-tenant labels; merge_families below
+        # folds them into one HELP/TYPE block per family name.
+        families += server.governor.metric_families()
+        if server.brownout is not None:
+            server.brownout.tick()
+            families += server.brownout.metric_families()
         families += server.replication.metric_families()
         if server.audit is not None:
             families.append(

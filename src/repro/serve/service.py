@@ -70,7 +70,7 @@ from repro.db.executor import ExactExecutor
 from repro.db.scan import ScanCounters
 from repro.db.table import Table
 from repro.deadline import Deadline, current_deadline, deadline_scope
-from repro.errors import DeadlineExceeded, ReproError, ServiceError
+from repro.errors import DeadlineExceeded, QueryCancelled, ReproError, ServiceError
 from repro.obs.metrics import MetricFamily
 from repro.obs.trace import Tracer, current_trace, set_attrs
 from repro.obs.trace import event as trace_event
@@ -547,6 +547,9 @@ class VerdictService:
             except DeadlineExceeded:
                 self.metrics.record_event("deadline.exceeded")
                 raise
+            except QueryCancelled:
+                self.metrics.record_event("query.cancelled")
+                raise
 
     def _serve_within_deadline(
         self,
@@ -654,6 +657,14 @@ class VerdictService:
                     breaker.cancel()
                 if best is not None:
                     return self._degrade(best, budget, started)
+                raise
+            except QueryCancelled:
+                if breaker is not None:
+                    # Cancellation says nothing about the route's health.
+                    breaker.cancel()
+                # Never degrade to a partial: nobody is listening.  The
+                # abort happens before _record/_cache_store, so the answer
+                # cache, store, and metrics stay consistent.
                 raise
             except ReproError:
                 if breaker is not None:

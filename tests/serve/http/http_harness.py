@@ -68,6 +68,8 @@ def start_server(
     audit: bool = True,
     tracer=None,
     replication=None,
+    governor=None,
+    brownout=None,
     precreate: bool = True,
     **service_kwargs,
 ) -> VerdictHTTPServer:
@@ -100,6 +102,8 @@ def start_server(
         audit=AuditLog.open_session(root / "audit") if audit else None,
         tracer=tracer,
         replication=replication,
+        governor=governor,
+        brownout=brownout,
     )
     return server.start()
 

@@ -1,0 +1,198 @@
+"""End-to-end query cancellation over the HTTP front door.
+
+An in-flight ask -- slowed down with a ``delay`` fault at the
+online-aggregation batch point -- is cancelled by ``POST /v1/cancel`` or by
+a simulated client disconnect, and the contract is asserted end to end:
+the caller gets a typed 499, the worker slot frees promptly, and the
+cancellation is visible in the audit log, the trace ring, and the metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.obs.trace import Tracer
+from repro.serve.client import (
+    BadRequestError,
+    CancelledError,
+    NotFoundError,
+    VerdictClient,
+)
+from http_harness import start_server
+
+SLOW_SQL = "SELECT AVG(revenue) FROM sales WHERE week >= 5 AND week <= 45"
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def slow_batches(delay_s: float = 0.25, extra: list[FaultRule] | None = None):
+    """Delay every online-aggregation batch so asks stay in flight."""
+    rules = [FaultRule(point="aqp.batch", action="delay", delay_s=delay_s)]
+    return faults.install(FaultPlan(rules + list(extra or [])))
+
+
+@pytest.fixture()
+def server(tmp_path):
+    server = start_server(
+        tmp_path,
+        {"acme": 2_000},
+        max_active=2,
+        tracer=Tracer(ring_capacity=32, log_path=None),
+    )
+    yield server
+    faults.clear()  # close() drains; in-flight delays must not outlive us
+    server.close()
+
+
+def audit_records(server) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in server.audit.path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestExplicitCancel:
+    def test_cancel_in_flight_ask_end_to_end(self, server):
+        slow_batches()
+        request_id = "cancel-me-please-1"
+        errors: list[Exception] = []
+
+        def doomed_ask() -> None:
+            with VerdictClient(port=server.port, tenant="acme") as client:
+                try:
+                    client.ask(SLOW_SQL, max_relative_error=0.001, request_id=request_id)
+                except Exception as error:  # noqa: BLE001 - asserted below
+                    errors.append(error)
+
+        asker = threading.Thread(target=doomed_ask, daemon=True)
+        asker.start()
+        # Wait until the ask is registered (it is executing its first batch).
+        for _ in range(2_000):
+            if server.governor.cancels.in_flight() == 1:
+                break
+            threading.Event().wait(0.005)
+        else:
+            pytest.fail("ask never became cancellable")
+
+        with VerdictClient(port=server.port, tenant="acme") as canceller:
+            assert canceller.cancel(request_id) == {
+                "cancelled": True,
+                "request": request_id,
+                "request_id": canceller.last_request_id,
+            }
+        asker.join(timeout=60)
+        assert not asker.is_alive(), "cancelled ask never returned"
+
+        # The caller saw a typed 499.
+        assert len(errors) == 1
+        assert isinstance(errors[0], CancelledError)
+        assert errors[0].code == "cancelled"
+
+        # The worker slot was freed promptly and nothing is still tracked.
+        admission = server.admission.snapshot()
+        assert admission["active"] == 0
+        assert admission["completed"] == admission["admitted"]
+        assert server.governor.cancels.in_flight() == 0
+
+        # Audit: the ask is recorded as cancelled, the cancel as delivered.
+        records = audit_records(server)
+        ask_record = next(r for r in records if r.get("request_id") == request_id)
+        assert ask_record["status"] == 499
+        assert ask_record["cancelled"] == "requested"
+        assert ask_record["error"] == "cancelled"
+        cancel_record = next(
+            r for r in records if r.get("cancel_target") == request_id
+        )
+        assert cancel_record["status"] == 200
+        assert cancel_record["tenant"] == "acme"
+
+        # Trace: the ring holds the finished request flagged as cancelled.
+        trace = server.tracer.get(request_id)
+        assert trace is not None
+        assert trace["attrs"]["error_code"] == "cancelled"
+
+        # Metrics: governor and service both counted the cancellation.
+        snapshot = server.governor.snapshot()
+        assert snapshot["cancels"]["delivered"] == 1
+        assert snapshot["tenants"]["acme"]["cancelled"] == {"requested": 1}
+
+    def test_cancel_unknown_request_is_404(self, server):
+        with VerdictClient(port=server.port, tenant="acme") as client:
+            with pytest.raises(NotFoundError) as excinfo:
+                client.cancel("finished-long-ago-7")
+        assert excinfo.value.code == "unknown_request"
+        assert server.governor.cancels.unknown == 1
+
+    def test_cancel_invalid_id_is_400(self, server):
+        with VerdictClient(port=server.port, tenant="acme") as client:
+            with pytest.raises(BadRequestError):
+                client.cancel("bad~id!")  # URL-legal but not a request id
+
+    def test_cancel_is_idempotent_while_in_flight(self, server):
+        slow_batches()
+        request_id = "cancel-twice-1"
+        done = threading.Event()
+
+        def doomed_ask() -> None:
+            try:
+                with VerdictClient(port=server.port, tenant="acme") as client:
+                    with pytest.raises(CancelledError):
+                        client.ask(
+                            SLOW_SQL, max_relative_error=0.001, request_id=request_id
+                        )
+            finally:
+                done.set()
+
+        asker = threading.Thread(target=doomed_ask, daemon=True)
+        asker.start()
+        for _ in range(2_000):
+            if server.governor.cancels.in_flight() == 1:
+                break
+            threading.Event().wait(0.005)
+        with VerdictClient(port=server.port, tenant="acme") as canceller:
+            first = canceller.cancel(request_id)
+            assert first["cancelled"] is True
+            # A repeat may still find it (in flight) or 404 (finished);
+            # either way it must not wedge or double-count delivery.
+            try:
+                canceller.cancel(request_id)
+            except NotFoundError:
+                pass
+        assert done.wait(timeout=60)
+        assert server.governor.cancels.delivered == 1
+
+
+class TestDisconnectCancel:
+    def test_vanished_client_cancels_the_query(self, server):
+        # The "torn" directive at http.disconnect makes the probe report a
+        # hung-up client on its first poll, without real socket surgery.
+        slow_batches(
+            extra=[FaultRule(point="http.disconnect", action="torn")]
+        )
+        with VerdictClient(port=server.port, tenant="acme") as client:
+            with pytest.raises(CancelledError):
+                client.ask(SLOW_SQL, max_relative_error=0.001)
+        snapshot = server.governor.snapshot()
+        assert snapshot["tenants"]["acme"]["cancelled"] == {"disconnected": 1}
+        records = audit_records(server)
+        assert any(r.get("cancelled") == "disconnected" for r in records)
+        assert server.admission.snapshot()["active"] == 0
+
+    def test_healthy_connection_is_not_cancelled(self, server):
+        # No faults: the real probe peeks a live keep-alive socket with no
+        # pending data and must not mistake it for a disconnect.
+        with VerdictClient(port=server.port, tenant="acme") as client:
+            answer = client.ask(SLOW_SQL, max_relative_error=0.05)
+        assert answer["relative_error_bound"] >= 0.0
+        assert server.governor.snapshot()["tenants"]["acme"]["cancelled"] == {}

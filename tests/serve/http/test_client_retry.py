@@ -27,8 +27,8 @@ OK_BODY = json.dumps(
     {"status": "ok", "recorded": True, "tenants": [], "answer": {}}
 ).encode()
 
-#: Script steps: ``(status, headers)`` to respond, or ``"drop"`` to close
-#: the connection without answering.
+#: Script steps: ``(status, headers)`` or ``(status, headers, body_dict)``
+#: to respond, or ``"drop"`` to close the connection without answering.
 DROP = "drop"
 
 
@@ -41,16 +41,17 @@ class _ScriptedHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self.connection.close()
             return
-        status, headers = step
+        status, headers, *rest = step
+        body = json.dumps(rest[0]).encode() if rest else OK_BODY
         length = int(self.headers.get("Content-Length", 0))
         if length:
             self.rfile.read(length)
         self.send_response(status)
         for name, value in headers.items():
             self.send_header(name, value)
-        self.send_header("Content-Length", str(len(OK_BODY)))
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(OK_BODY)
+        self.wfile.write(body)
 
     do_GET = _serve
     do_POST = _serve
@@ -118,6 +119,64 @@ class TestStatusRetries:
         # Jitter is upward-only: never back before the server asked.
         assert elapsed >= 0.2
         assert elapsed < 2.0
+
+
+QUOTA = {
+    "tenant_qps": 2.0,
+    "tenant_concurrency": None,
+    "active": 0,
+    "remaining_tokens": 0.25,
+    "capacity_tokens": 4.0,
+    "refill_s": 0.15,
+}
+
+SHED_BODY = {"error": {"code": "shed_load", "message": "out of quota", "quota": QUOTA}}
+
+
+class TestGovernorQuotaSheds:
+    def test_refill_derived_retry_after_is_honoured_as_a_floor(self, stub):
+        # A governor shed's Retry-After is the bucket refill wait, not the
+        # global queue horizon; the client must not come back earlier.
+        stub.script.extend([(429, {"Retry-After": "0.15"}, SHED_BODY), (200, {})])
+        with make_client(stub) as client:
+            started = time.monotonic()
+            client.health()
+            elapsed = time.monotonic() - started
+        assert elapsed >= 0.15
+        assert client.retries_performed == 1
+        assert client.last_quota == QUOTA
+
+    def test_quota_state_is_kept_across_retries(self, stub):
+        drained = dict(QUOTA, remaining_tokens=0.0)
+        refilled = dict(QUOTA, remaining_tokens=1.5)
+        stub.script.extend(
+            [
+                (429, {"Retry-After": "0.01"}, {"error": {"code": "shed_load", "quota": drained}}),
+                (429, {"Retry-After": "0.01"}, {"error": {"code": "shed_load", "quota": refilled}}),
+                (200, {}),
+            ]
+        )
+        with make_client(stub) as client:
+            client.health()
+        # last_quota tracks the most recent shed, not the first.
+        assert client.last_quota == refilled
+
+    def test_exhausted_retries_surface_the_quota_on_the_error(self, stub):
+        stub.script.extend([(429, {}, SHED_BODY)] * 2)
+        with make_client(stub, max_retries=1) as client:
+            with pytest.raises(SaturatedError) as excinfo:
+                client.health()
+        assert excinfo.value.code == "shed_load"
+        assert excinfo.value.quota == QUOTA
+        assert client.last_quota == QUOTA
+
+    def test_shed_without_quota_leaves_last_quota_alone(self, stub):
+        # Global admission sheds carry no quota; a stale per-tenant quota
+        # from an earlier shed must not be overwritten with None.
+        stub.script.extend([(429, {}, SHED_BODY), (429, {}), (200, {})])
+        with make_client(stub) as client:
+            client.health()
+        assert client.last_quota == QUOTA
 
 
 class TestBackoffSchedule:

@@ -209,6 +209,81 @@ def crash_at(root: Path, point: str, action: str) -> None:
     )
 
 
+def test_crash_during_cancellation_recovers_and_replays_identically(
+    seeded_root, tmp_path
+):
+    """Kill the server between cancel lookup and delivery: no torn state.
+
+    A slow ask (every online-aggregation batch delayed by an injected
+    fault) is in flight when ``POST /v1/cancel`` arrives; the ``kill`` armed
+    at ``governor.cancel`` dies exactly between the registry lookup and the
+    token arm.  The cancelled-mid-cancel query must leave nothing behind:
+    both restarts replay the trace byte-identically.
+    """
+    import threading
+
+    root = tmp_path / "root"
+    shutil.copytree(seeded_root, root)
+
+    plan = {
+        "rules": [
+            {"point": "governor.cancel", "action": "kill"},
+            {"point": "aqp.batch", "action": "delay", "delay_s": 0.4},
+        ]
+    }
+    server = ServerProcess(root, fault_plan=plan)
+    request_id = "cancel-crash-1"
+    try:
+        errors: list[Exception] = []
+
+        def doomed_ask() -> None:
+            with VerdictClient(port=server.port, tenant=TENANT, timeout_s=120.0) as c:
+                try:
+                    c.ask(
+                        "SELECT AVG(revenue) FROM sales WHERE week >= 4 AND week <= 47",
+                        max_relative_error=0.0005,
+                        record=False,
+                        request_id=request_id,
+                    )
+                except ClientError as error:
+                    errors.append(error)
+
+        asker = threading.Thread(target=doomed_ask, daemon=True)
+        asker.start()
+        with VerdictClient(port=server.port, tenant=TENANT, timeout_s=120.0) as c:
+            for _ in range(2_000):
+                if c.metrics(tenant="")["governor"]["cancels"]["in_flight"] == 1:
+                    break
+                threading.Event().wait(0.005)
+            else:
+                raise AssertionError("ask never became cancellable")
+            with pytest.raises(ClientError):
+                c.cancel(request_id)
+                raise AssertionError("server survived kill at governor.cancel")
+        server.process.wait(timeout=30)
+        asker.join(timeout=120)
+        assert not asker.is_alive()
+        assert errors, "the in-flight ask must die on the wire"
+    finally:
+        server.terminate()
+    assert server.process.returncode == FAULT_EXIT_CODE
+
+    restarted = ServerProcess(root)
+    try:
+        with VerdictClient(port=restarted.port, timeout_s=120.0) as admin:
+            assert admin.health()["status"] in ("ok", "degraded")
+        first = replay_fingerprints(restarted.port)
+    finally:
+        restarted.kill()
+
+    again = ServerProcess(root)
+    try:
+        second = replay_fingerprints(again.port)
+    finally:
+        again.terminate()
+    assert second == first, "replay diverged after a mid-cancellation crash"
+
+
 @pytest.mark.parametrize("point, action", matrix_params())
 def test_crash_at_store_fault_point_recovers_and_replays_identically(
     seeded_root, tmp_path, point, action

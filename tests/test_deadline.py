@@ -8,12 +8,15 @@ import time
 import pytest
 
 from repro.deadline import (
+    CancelToken,
     Deadline,
+    cancel_scope,
     check_deadline,
+    current_cancel,
     current_deadline,
     deadline_scope,
 )
-from repro.errors import DeadlineExceeded
+from repro.errors import DeadlineExceeded, QueryCancelled
 
 
 def expired_deadline(budget_s: float = 0.05) -> Deadline:
@@ -80,3 +83,93 @@ class TestAmbientScope:
             worker.start()
             worker.join()
         assert seen == [None], "ambient deadlines must not leak across threads"
+
+
+class TestCancelToken:
+    def test_cancel_latches_first_reason(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert token.cancel("requested") is True
+        assert token.cancel("disconnected") is False  # idempotent latch
+        assert token.reason == "requested"
+
+    def test_check_raises_typed_error_with_reason(self):
+        token = CancelToken()
+        token.check("batch 1")  # not cancelled: no-op
+        token.cancel("disconnected")
+        with pytest.raises(QueryCancelled) as excinfo:
+            token.check("batch 2")
+        assert excinfo.value.reason == "disconnected"
+        assert "batch 2" in str(excinfo.value)
+
+    def test_probe_is_rate_limited(self):
+        calls = []
+        clock = [0.0]
+        token = CancelToken(
+            probe=lambda: calls.append(1), probe_interval_s=0.5, clock=lambda: clock[0]
+        )
+        for _ in range(10):
+            token.check()
+        assert len(calls) == 1  # clock never advanced: one probe only
+        clock[0] = 0.5
+        token.check()
+        assert len(calls) == 2
+
+    def test_probe_reporting_a_reason_cancels(self):
+        token = CancelToken(probe=lambda: "disconnected", probe_interval_s=0.0)
+        with pytest.raises(QueryCancelled) as excinfo:
+            token.check("scan")
+        assert excinfo.value.reason == "disconnected"
+        assert token.cancelled
+
+    def test_broken_probe_is_dropped_permanently(self):
+        calls = []
+
+        def probe():
+            calls.append(1)
+            raise OSError("socket gone weird")
+
+        token = CancelToken(probe=probe, probe_interval_s=0.0)
+        token.check()
+        token.check()
+        assert len(calls) == 1  # never retried
+        assert not token.cancelled
+
+
+class TestAmbientCancelScope:
+    def test_no_scope_means_no_token(self):
+        assert current_cancel() is None
+        check_deadline("anywhere")  # no ambient state: no-op
+
+    def test_check_deadline_raises_inside_cancelled_scope(self):
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(QueryCancelled):
+                check_deadline("batch 3")
+        assert current_cancel() is None  # restored on exit
+
+    def test_cancellation_wins_over_an_expired_deadline(self):
+        # A request that is both cancelled and past its deadline must abort
+        # as *cancelled*: nobody is listening for a degraded partial.
+        token = CancelToken()
+        token.cancel("requested")
+        with deadline_scope(expired_deadline()):
+            with cancel_scope(token):
+                with pytest.raises(QueryCancelled):
+                    check_deadline("batch 1")
+
+    def test_scope_is_thread_local(self):
+        seen = []
+        with cancel_scope(CancelToken()):
+            worker = threading.Thread(target=lambda: seen.append(current_cancel()))
+            worker.start()
+            worker.join()
+        assert seen == [None], "ambient tokens must not leak across threads"
+
+    def test_none_scope_masks_the_outer_token(self):
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with cancel_scope(None):
+                check_deadline("shielded")
